@@ -1,0 +1,376 @@
+//! Flooding connectivity: the `Θ(n/k + D)` baseline (paper §1.2).
+//!
+//! Every vertex floods the smallest label it has seen. Within a machine
+//! propagation is free (local computation costs nothing), so each
+//! *graph-round* consists of: intra-machine fixpoint, then one superstep
+//! carrying every improved label across inter-machine edges (deduplicated
+//! per link), then a counted convergence check. The number of graph-rounds
+//! is the machine-quotient diameter ≤ D; congestion adds the `n/k` term
+//! the Conversion Theorem of [22] predicts.
+
+use crate::messages::{id_bits, Label, Payload};
+use kgraph::{Graph, Partition};
+use kmachine::bandwidth::Bandwidth;
+use kmachine::bsp::Bsp;
+use kmachine::message::Envelope;
+use kmachine::metrics::CommStats;
+use kmachine::network::NetworkConfig;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Flooding result.
+#[derive(Clone, Debug)]
+pub struct FloodingOutput {
+    /// Final per-vertex labels (min vertex id of the component).
+    pub labels: Vec<Label>,
+    /// Communication statistics.
+    pub stats: CommStats,
+    /// Graph-rounds until global convergence (≈ diameter).
+    pub graph_rounds: u32,
+}
+
+impl FloodingOutput {
+    /// Number of distinct final labels.
+    pub fn component_count(&self) -> usize {
+        let mut set = self.labels.clone();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+}
+
+/// Runs flooding connectivity over `k` machines.
+pub fn flooding_connectivity(
+    g: &Graph,
+    k: usize,
+    seed: u64,
+    bandwidth: Bandwidth,
+) -> FloodingOutput {
+    let part = Partition::random_vertex(g, k, seed);
+    flooding_with_partition(g, &part, bandwidth)
+}
+
+/// Runs flooding with an explicit partition.
+#[allow(clippy::needless_range_loop)] // machine ids index several parallel structures
+pub fn flooding_with_partition(g: &Graph, part: &Partition, bandwidth: Bandwidth) -> FloodingOutput {
+    let k = part.k();
+    let n = g.n();
+    let l = id_bits(n);
+    let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig::new(k, bandwidth, n));
+    let mut labels: Vec<Label> = (0..n as Label).collect();
+    // Per machine: the frontier of vertices whose labels changed.
+    let mut frontier: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for v in 0..n as u32 {
+        frontier[part.home(v)].push(v);
+    }
+    let mut graph_rounds = 0;
+    loop {
+        graph_rounds += 1;
+        // Intra-machine fixpoint over each machine's frontier (free).
+        for m in 0..k {
+            let mut queue = std::mem::take(&mut frontier[m]);
+            let mut pos = 0;
+            while pos < queue.len() {
+                let v = queue[pos];
+                pos += 1;
+                let lv = labels[v as usize];
+                for &(nb, _) in g.neighbors(v) {
+                    if part.home(nb) == m && labels[nb as usize] > lv {
+                        labels[nb as usize] = lv;
+                        queue.push(nb);
+                    }
+                }
+            }
+            frontier[m] = queue;
+        }
+        // Cross-machine announcements: for every frontier vertex, tell each
+        // remote neighbor machine its (possibly improved) label, dedup per
+        // (destination, vertex).
+        let mut out = Vec::new();
+        let mut any_remote = false;
+        for m in 0..k {
+            let mut per_dst: FxHashMap<usize, FxHashMap<u32, Label>> = FxHashMap::default();
+            let mut seen: FxHashSet<u32> = FxHashSet::default();
+            for &v in &frontier[m] {
+                if !seen.insert(v) {
+                    continue;
+                }
+                let lv = labels[v as usize];
+                for &(nb, _) in g.neighbors(v) {
+                    let h = part.home(nb);
+                    if h != m {
+                        per_dst.entry(h).or_default().insert(v, lv);
+                    }
+                }
+            }
+            for (dst, updates) in per_dst {
+                let payload = Payload::FloodLabels {
+                    updates: updates.into_iter().collect(),
+                };
+                let bits = payload.wire_bits(l);
+                out.push(Envelope::with_bits(m, dst, payload, bits));
+                any_remote = true;
+            }
+            frontier[m].clear();
+        }
+        if !any_remote {
+            // Convergence: one final counted flag exchange (all machines
+            // report "no change" to M0, M0 confirms).
+            charge_flag_exchange(&mut bsp, k, l);
+            break;
+        }
+        bsp.superstep(out);
+        let inboxes = bsp.take_all_inboxes();
+        for (m, inbox) in inboxes.into_iter().enumerate() {
+            for env in inbox {
+                if let Payload::FloodLabels { updates } = env.payload {
+                    for (v, lab) in updates {
+                        // Apply to the *neighbors* of v that live here.
+                        for &(nb, _) in g.neighbors(v) {
+                            if part.home(nb) == m && labels[nb as usize] > lab {
+                                labels[nb as usize] = lab;
+                                frontier[m].push(nb);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Per-graph-round convergence flag (counted).
+        charge_flag_exchange(&mut bsp, k, l);
+    }
+    FloodingOutput {
+        labels,
+        stats: bsp.into_stats(),
+        graph_rounds,
+    }
+}
+
+/// One machine of the event-driven flooding variant (runs on the
+/// fine-grained [`kmachine::program::Runner`] instead of BSP supersteps).
+/// Labels pipeline through the network as soon as they improve, so the
+/// event-driven execution can beat the graph-round batching.
+struct FloodMachine<'g> {
+    id: usize,
+    g: &'g Graph,
+    part: &'g Partition,
+    l: u64,
+    labels: FxHashMap<u32, Label>,
+    /// Local vertices whose labels changed and have not been announced.
+    frontier: Vec<u32>,
+}
+
+impl FloodMachine<'_> {
+    /// Applies an improved label to `v`'s local neighbors and propagates
+    /// the intra-machine fixpoint (free local computation).
+    fn absorb(&mut self, v: u32, label: Label) {
+        let mut queue = vec![(v, label)];
+        while let Some((x, lx)) = queue.pop() {
+            for &(nb, _) in self.g.neighbors(x) {
+                if self.part.home(nb) == self.id {
+                    let cur = self.labels.get_mut(&nb).expect("local vertex");
+                    if *cur > lx {
+                        *cur = lx;
+                        self.frontier.push(nb);
+                        queue.push((nb, lx));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl kmachine::program::Program<Payload> for FloodMachine<'_> {
+    fn round(
+        &mut self,
+        _round: u64,
+        inbox: Vec<Envelope<Payload>>,
+        out: &mut Vec<Envelope<Payload>>,
+    ) {
+        for env in inbox {
+            if let Payload::FloodLabels { updates } = env.payload {
+                for (v, lab) in updates {
+                    self.absorb(v, lab);
+                }
+            }
+        }
+        // Announce the frontier: one batch per destination machine.
+        let frontier = std::mem::take(&mut self.frontier);
+        let mut per_dst: FxHashMap<usize, FxHashMap<u32, Label>> = FxHashMap::default();
+        for v in frontier {
+            let lv = self.labels[&v];
+            for &(nb, _) in self.g.neighbors(v) {
+                let h = self.part.home(nb);
+                if h != self.id {
+                    per_dst.entry(h).or_default().insert(v, lv);
+                }
+            }
+        }
+        for (dst, updates) in per_dst {
+            let payload = Payload::FloodLabels {
+                updates: updates.into_iter().collect(),
+            };
+            let bits = payload.wire_bits(self.l);
+            out.push(Envelope::with_bits(self.id, dst, payload, bits));
+        }
+    }
+
+    fn passive(&self) -> bool {
+        self.frontier.is_empty()
+    }
+}
+
+/// Event-driven flooding on the fine-grained network. Produces the same
+/// labels as [`flooding_with_partition`]; rounds may differ (pipelining vs
+/// batching) but stay in the same `Θ(n/k + D)` regime.
+pub fn flooding_event_driven(
+    g: &Graph,
+    part: &Partition,
+    bandwidth: Bandwidth,
+) -> FloodingOutput {
+    let k = part.k();
+    let n = g.n();
+    let l = id_bits(n);
+    let machines: Vec<FloodMachine> = (0..k)
+        .map(|id| {
+            let verts = part.vertices_of(id);
+            let mut m = FloodMachine {
+                id,
+                g,
+                part,
+                l,
+                labels: verts.iter().map(|&v| (v, v as Label)).collect(),
+                frontier: Vec::new(),
+            };
+            // Initial frontier: every vertex announces its own id, after a
+            // free local fixpoint.
+            let verts2 = m.labels.keys().copied().collect::<Vec<_>>();
+            for v in verts2 {
+                let lv = m.labels[&v];
+                m.absorb(v, lv);
+                m.frontier.push(v);
+            }
+            m
+        })
+        .collect();
+    let cfg = kmachine::network::NetworkConfig::new(k, bandwidth, n);
+    let mut runner = kmachine::program::Runner::new(cfg, machines);
+    let rounds = runner.run(u64::MAX);
+    let mut labels = vec![0 as Label; n];
+    for m in runner.programs() {
+        for (&v, &lab) in &m.labels {
+            labels[v as usize] = lab;
+        }
+    }
+    let mut stats = runner.stats().clone();
+    stats.rounds = rounds;
+    FloodingOutput {
+        labels,
+        stats,
+        graph_rounds: rounds as u32,
+    }
+}
+
+/// The two-superstep 1-bit convergence exchange (machines → M0 → machines).
+fn charge_flag_exchange(bsp: &mut Bsp<Payload>, k: usize, l: u64) {
+    let mut up = Vec::new();
+    for m in 1..k {
+        let payload = Payload::Flag { bit: true };
+        let bits = payload.wire_bits(l);
+        up.push(Envelope::with_bits(m, 0, payload, bits));
+    }
+    bsp.superstep(up);
+    let _ = bsp.take_all_inboxes();
+    let mut down = Vec::new();
+    for m in 1..k {
+        let payload = Payload::Flag { bit: true };
+        let bits = payload.wire_bits(l);
+        down.push(Envelope::with_bits(0, m, payload, bits));
+    }
+    bsp.superstep(down);
+    let _ = bsp.take_all_inboxes();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::{generators, refalgo};
+
+    fn check(g: &Graph, k: usize, seed: u64) -> FloodingOutput {
+        let out = flooding_connectivity(g, k, seed, Bandwidth::default());
+        let truth = refalgo::connected_components(g);
+        for (v, &t) in truth.iter().enumerate() {
+            assert_eq!(out.labels[v], t as Label, "vertex {v}");
+        }
+        out
+    }
+
+    #[test]
+    fn flooding_matches_reference_on_paths_and_cycles() {
+        check(&generators::path(50), 4, 1);
+        check(&generators::cycle(64), 4, 2);
+    }
+
+    #[test]
+    fn flooding_matches_reference_on_random_graphs() {
+        check(&generators::gnp(300, 0.015, 3), 6, 4);
+        check(&generators::planted_components(200, 4, 3, 5), 4, 6);
+    }
+
+    #[test]
+    fn graph_rounds_track_diameter() {
+        let path = generators::path(200);
+        let out = check(&path, 4, 7);
+        // Label 0 must travel ~n hops; machine-quotient shortens it only by
+        // the free intra-machine hops.
+        assert!(
+            out.graph_rounds >= 20,
+            "a long path needs many graph-rounds, got {}",
+            out.graph_rounds
+        );
+        let clique = generators::complete(64);
+        let out2 = check(&clique, 4, 8);
+        assert!(
+            out2.graph_rounds <= 4,
+            "a clique floods in O(1) graph-rounds, got {}",
+            out2.graph_rounds
+        );
+    }
+
+    #[test]
+    fn event_driven_flooding_matches_bsp_labels() {
+        for (g, k, seed) in [
+            (generators::path(150), 4usize, 1u64),
+            (generators::gnp(250, 0.02, 2), 6, 3),
+            (generators::planted_components(200, 3, 4, 4), 4, 5),
+        ] {
+            let part = Partition::random_vertex(&g, k, seed);
+            let bsp = flooding_with_partition(&g, &part, Bandwidth::default());
+            let evt = flooding_event_driven(&g, &part, Bandwidth::default());
+            assert_eq!(bsp.labels, evt.labels, "k={k} seed={seed}");
+            assert!(evt.stats.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn event_driven_pipelining_is_not_slower_than_batching() {
+        // Without per-graph-round convergence flags, the event-driven run
+        // should finish in at most the BSP variant's rounds on a path.
+        let g = generators::path(300);
+        let part = Partition::random_vertex(&g, 4, 9);
+        let bsp = flooding_with_partition(&g, &part, Bandwidth::default());
+        let evt = flooding_event_driven(&g, &part, Bandwidth::default());
+        assert!(
+            evt.stats.rounds <= bsp.stats.rounds,
+            "event-driven {} vs BSP {}",
+            evt.stats.rounds,
+            bsp.stats.rounds
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_labels() {
+        let g = Graph::unweighted(10, [(3, 7)]);
+        let out = check(&g, 2, 9);
+        assert_eq!(out.component_count(), 9);
+    }
+}

@@ -1,0 +1,89 @@
+//! The referee baseline (paper §2 warm-up): ship the whole graph to one
+//! machine and solve locally. The referee has `k−1` incident links, so
+//! collection costs `Ω(m/k)` rounds — the bound the fast algorithms beat.
+
+use crate::messages::{id_bits, Payload};
+use kgraph::{refalgo, Graph, Partition};
+use kmachine::bandwidth::Bandwidth;
+use kmachine::bsp::Bsp;
+use kmachine::message::Envelope;
+use kmachine::metrics::CommStats;
+use kmachine::network::NetworkConfig;
+
+/// Referee-collection result.
+#[derive(Clone, Debug)]
+pub struct RefereeOutput {
+    /// Component labels computed at the referee.
+    pub labels: Vec<u32>,
+    /// Communication statistics (dominated by the collection).
+    pub stats: CommStats,
+}
+
+/// Collects all edges at machine 0 and solves connectivity there.
+pub fn referee_connectivity(
+    g: &Graph,
+    k: usize,
+    seed: u64,
+    bandwidth: Bandwidth,
+) -> RefereeOutput {
+    let part = Partition::random_vertex(g, k, seed);
+    let n = g.n();
+    let l = id_bits(n);
+    let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig::new(k, bandwidth, n));
+    // Each machine batches its local vertices' edges (each edge shipped by
+    // the smaller endpoint's home to avoid duplicates).
+    let mut out = Vec::new();
+    for m in 0..k {
+        let edges: Vec<(u32, u32, u64)> = g
+            .edges()
+            .iter()
+            .filter(|e| part.home(e.u) == m)
+            .map(|e| (e.u, e.v, e.w))
+            .collect();
+        if m != 0 && !edges.is_empty() {
+            let payload = Payload::EdgeList { edges };
+            let bits = payload.wire_bits(l);
+            out.push(Envelope::with_bits(m, 0, payload, bits));
+        }
+    }
+    bsp.superstep(out);
+    let _ = bsp.take_all_inboxes();
+    // Local solve at the referee is free in the model.
+    let labels = refalgo::connected_components(g);
+    RefereeOutput {
+        labels,
+        stats: bsp.into_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::generators;
+
+    #[test]
+    fn referee_answers_correctly_and_pays_collection() {
+        let g = generators::gnm(400, 2000, 1);
+        let out = referee_connectivity(&g, 8, 2, Bandwidth::Bits(256));
+        assert_eq!(
+            out.labels,
+            kgraph::refalgo::connected_components(&g)
+        );
+        // Machine 0 receives ~all edges over 7 links.
+        assert!(out.stats.recv_bits[0] > 0);
+        assert_eq!(out.stats.recv_bits[0], out.stats.total_bits);
+    }
+
+    #[test]
+    fn referee_rounds_scale_with_m_over_k() {
+        let w = Bandwidth::Bits(512);
+        let g1 = generators::gnm(500, 2000, 3);
+        let g2 = generators::gnm(500, 8000, 4);
+        let r1 = referee_connectivity(&g1, 8, 5, w).stats.rounds;
+        let r2 = referee_connectivity(&g2, 8, 5, w).stats.rounds;
+        assert!(
+            r2 > 3 * r1,
+            "4x the edges should cost ~4x the rounds: {r1} vs {r2}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! MST under the random edge partition (paper §1.3, footnote 5).
+//!
+//! In the REP model `Θ~(n/k)` rounds are tight for MST. The upper bound:
+//!
+//! 1. **Filter.** Each machine applies the cycle property to its local edge
+//!    set (local Kruskal): any edge that closes a cycle among lighter local
+//!    edges cannot be in the global MST. At most `n − 1` edges survive per
+//!    machine.
+//! 2. **Convert REP → RVP.** Surviving edges are routed to the home machine
+//!    (hash) of their smaller endpoint: ≤ `n − 1` edges per source machine,
+//!    spread over `k` links — `O~(n/k)` rounds. This is the dominant term.
+//! 3. **Finish.** Run the fast RVP MST algorithm on the filtered union.
+//!
+//! Experiment E12 contrasts the measured `Θ~(n/k)` here with the RVP
+//! model's `Θ~(n/k²)`.
+
+use crate::messages::{id_bits, Payload};
+use crate::mst::{minimum_spanning_tree_with_partition, MstConfig, MstOutput};
+use kgraph::graph::Edge;
+use kgraph::unionfind::UnionFind;
+use kgraph::{Graph, Partition};
+use kmachine::bsp::Bsp;
+use kmachine::message::Envelope;
+use kmachine::network::NetworkConfig;
+
+/// Result of the REP-model MST (same shape as the RVP result, plus the
+/// number of edges that survived filtering).
+#[derive(Clone, Debug)]
+pub struct RepMstOutput {
+    /// The MST computation result (edges, weight, combined stats).
+    pub mst: MstOutput,
+    /// Edges surviving the local cycle-property filters.
+    pub filtered_edges: usize,
+    /// The REP→RVP routing stage in isolation — the `Θ~(n/k)` term that
+    /// separates the REP model from RVP (experiment E12): its rounds scale
+    /// as `1/k` while the post-filter core run scales as `1/k²`.
+    pub routing: kmachine::metrics::CommStats,
+}
+
+/// Runs the REP-model MST over `k` machines.
+pub fn rep_mst(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> RepMstOutput {
+    let rep = Partition::random_edge(g, k, seed);
+    let n = g.n();
+    let l = id_bits(n);
+    // Step 1: local cycle-property filtering (free local computation).
+    let mut kept: Vec<Vec<Edge>> = Vec::with_capacity(k);
+    for m in 0..k {
+        let mut local = rep.edges_of(g, m);
+        local.sort_unstable_by_key(Graph::edge_key);
+        let mut uf = UnionFind::new(n);
+        let mut keep = Vec::new();
+        for e in local {
+            if uf.union(e.u, e.v) {
+                keep.push(e);
+            }
+        }
+        kept.push(keep);
+    }
+    // Step 2: route surviving edges to RVP homes (one superstep, counted).
+    let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig::new(k, cfg.bandwidth, n));
+    let rvp = Partition::random_vertex(g, k, seed);
+    let mut out = Vec::new();
+    for (m, edges) in kept.iter().enumerate() {
+        let mut per_dst: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); k];
+        for e in edges {
+            per_dst[rvp.home(e.u)].push((e.u, e.v, e.w));
+        }
+        for (dst, batch) in per_dst.into_iter().enumerate() {
+            if dst != m && !batch.is_empty() {
+                let payload = Payload::EdgeList { edges: batch };
+                let bits = payload.wire_bits(l);
+                out.push(Envelope::with_bits(m, dst, payload, bits));
+            }
+        }
+    }
+    bsp.superstep(out);
+    let _ = bsp.take_all_inboxes();
+    let routing = bsp.into_stats();
+    // Step 3: the RVP algorithm on the filtered union (MST-preserving by
+    // the cycle property; REP assigns each edge once so there are no dups).
+    let union: Vec<Edge> = kept.into_iter().flatten().collect();
+    let filtered_edges = union.len();
+    let filtered = Graph::from_dedup_edges(n, union);
+    let mut mst = minimum_spanning_tree_with_partition(&filtered, &rvp, seed ^ 0x9E9, cfg);
+    let mut combined = routing.clone();
+    combined.absorb(&mst.stats);
+    mst.stats = combined;
+    RepMstOutput {
+        mst,
+        filtered_edges,
+        routing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::{generators, refalgo};
+
+    #[test]
+    fn filtering_preserves_the_mst() {
+        let g = generators::randomize_weights(&generators::random_connected(120, 300, 1), 500, 2);
+        let out = rep_mst(&g, 4, 3, &MstConfig::default());
+        let reference = refalgo::kruskal(&g);
+        assert!(refalgo::is_spanning_forest(&g, &out.mst.edges));
+        assert_eq!(out.mst.total_weight, refalgo::forest_weight(&reference));
+    }
+
+    #[test]
+    fn filtering_shrinks_dense_graphs() {
+        let g = generators::randomize_weights(&generators::gnm(200, 8000, 4), 300, 5);
+        let out = rep_mst(&g, 8, 6, &MstConfig::default());
+        // Each of 8 machines keeps < n edges.
+        assert!(out.filtered_edges < 8 * 200);
+        assert!(out.filtered_edges < g.m());
+    }
+
+    #[test]
+    fn disconnected_inputs_yield_spanning_forests() {
+        let g = generators::randomize_weights(&generators::planted_components(100, 4, 5, 7), 50, 8);
+        let out = rep_mst(&g, 4, 9, &MstConfig::default());
+        assert_eq!(out.mst.edges.len(), 100 - 4);
+        assert!(refalgo::is_spanning_forest(&g, &out.mst.edges));
+    }
+}

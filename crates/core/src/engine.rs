@@ -1,0 +1,1039 @@
+//! The shared Borůvka-style engine behind connectivity (§2) and MST (§3.1).
+//!
+//! One phase of the engine (paper §2.1):
+//!
+//! 1. **Outgoing-edge selection** (§2.3–§2.4). Every machine groups its
+//!    vertices by component label into *parts*, builds one linear sketch per
+//!    part, and sends it to the component's random proxy machine. The proxy
+//!    sums part sketches — intra-component edges cancel by linearity — and
+//!    samples a candidate outgoing edge. For MST, a `Θ(log n)`-iteration
+//!    elimination loop repeats the sampling with sketches filtered to
+//!    strictly lighter edges, converging on the minimum-weight outgoing
+//!    edge (MWOE) w.h.p.
+//! 2. **DRR** (§2.5). Each component draws a shared-randomness rank and
+//!    connects to the component across its chosen edge iff that component's
+//!    rank is larger, yielding a forest of `O(log n)`-depth trees (Lemma 6).
+//! 3. **Merging.** Proxies pointer-jump to their tree's root label and
+//!    broadcast a relabel command to every machine holding a part. (A
+//!    non-converged jump relabels to an ancestor — still within the same
+//!    true component, so correctness is unaffected; only progress slows.)
+//!
+//! Phase 0 uses the paper's own setup ("each node ... is also the component
+//! proxy of its own component", §2.1): singleton components are proxied by
+//! their home machines, so sketch aggregation is local and free; the sample
+//! a singleton's sketch would return is a uniformly random incident edge
+//! (MST: the minimum-key incident edge), which the home machine computes
+//! directly.
+//!
+//! All communication flows through [`kmachine::Bsp`], so every round and
+//! bit is accounted exactly as in the paper's Lemma-1 analysis.
+
+use crate::messages::{id_bits, EdgeKey, Label, Payload};
+use crate::proxy::ProxyScheme;
+use kgraph::{Graph, Partition};
+use kmachine::bandwidth::Bandwidth;
+use kmachine::bsp::Bsp;
+use kmachine::message::Envelope;
+use kmachine::metrics::CommStats;
+use kmachine::network::NetworkConfig;
+use kmachine::par::par_for_each_state;
+use krand::shared::{SharedRandomness, Use};
+use ksketch::{L0Sketch, SketchFns, SketchParams};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// What the engine is computing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Connected components: one uniform outgoing edge per phase.
+    Connectivity,
+    /// Minimum spanning tree: MWOE via the edge-elimination loop.
+    Mst,
+    /// A (not necessarily minimum) spanning forest: connectivity's uniform
+    /// outgoing edges, with the merge edges recorded as output — the
+    /// paper's `O~(n/k²)` spanning-tree claim (§1, §3.1) without the
+    /// `Θ(log n)` elimination overhead.
+    SpanningForest,
+}
+
+/// How components pick their merge partner (§2.5 and footnote 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergeStrategy {
+    /// Distributed random ranking: merge toward the sampled neighbor iff
+    /// its rank is larger — `O(log n)`-depth trees (Lemma 6).
+    #[default]
+    Drr,
+    /// Footnote 9's "alternate and simpler idea": each component draws a
+    /// bit; a merge happens only from a 0-component into a 1-component.
+    /// Trees are stars (depth 1, no pointer-jumping iterations needed) but
+    /// only ~1/4 of sampled edges merge per phase — the E17 ablation
+    /// quantifies the trade.
+    CoinFlip,
+}
+
+/// Engine configuration shared by connectivity and MST.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Per-link bandwidth policy.
+    pub bandwidth: Bandwidth,
+    /// Sketch repetitions (failure probability decays exponentially).
+    pub reps: u32,
+    /// Charge the §2.2 shared-randomness distribution cost (E15 ablation).
+    pub charge_shared_randomness: bool,
+    /// Run the §2.6 component-counting output protocol at the end.
+    pub run_output_protocol: bool,
+    /// Hard phase cap; defaults to the paper's `12 log₂ n`.
+    pub max_phases: Option<u32>,
+    /// Merge-partner selection rule (§2.5 vs footnote 9).
+    pub merge: MergeStrategy,
+    /// Which §1.1 communication restriction to charge rounds under.
+    pub cost_model: kmachine::bandwidth::CostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            bandwidth: Bandwidth::default(),
+            reps: 5,
+            charge_shared_randomness: true,
+            run_output_protocol: true,
+            max_phases: None,
+            merge: MergeStrategy::Drr,
+            cost_model: Default::default(),
+        }
+    }
+}
+
+/// Everything the engine produces: the distributed outputs plus the full
+/// communication accounting and instrumentation for the experiments.
+#[derive(Clone, Debug)]
+pub struct EngineResult {
+    /// Final component label of every vertex (gathered from home machines).
+    pub labels: Vec<Label>,
+    /// Communication statistics (rounds are the model's cost measure).
+    pub stats: CommStats,
+    /// Phases executed (Lemma 7 predicts `O(log n)`).
+    pub phases: u32,
+    /// Distinct labels at the start of each phase.
+    pub phase_components: Vec<usize>,
+    /// Max DRR tree depth per phase (Lemma 6 predicts `O(log n)`).
+    pub drr_depths: Vec<u32>,
+    /// MST edges, flattened over machines (`Mode::Mst` only).
+    pub mst_edges: Vec<(u32, u32, u64)>,
+    /// How many MST edges each machine output (output criterion (a)).
+    pub mst_edges_per_machine: Vec<usize>,
+    /// Component count from the §2.6 output protocol, if run.
+    pub counted_components: Option<u64>,
+}
+
+impl EngineResult {
+    /// The number of distinct final labels (ground-truth comparable).
+    pub fn component_count(&self) -> usize {
+        let mut set: Vec<Label> = self.labels.clone();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+}
+
+/// Per-component state held at its proxy machine during one phase.
+#[derive(Clone, Debug)]
+struct ProxyComp {
+    /// The component's own label (the key it is stored under).
+    own: Label,
+    /// Machines holding parts of this component (for relabel broadcasts).
+    parts: Vec<u16>,
+    /// Merged component sketch (phases ≥ 1).
+    sketch: Option<L0Sketch>,
+    /// Candidate outgoing edge currently being probed (canonical u < v).
+    candidate: Option<(u32, u32)>,
+    /// Probe replies for the candidate's two endpoints: (label, exists, w).
+    info: [Option<(Label, bool, u64)>; 2],
+    /// Resolved outgoing edge of this phase: (u, v, w) with the guarantee
+    /// that exactly one endpoint is internal.
+    chosen: Option<(u32, u32, u64)>,
+    /// Label on the other side of `chosen`.
+    other_label: Option<Label>,
+    /// MST: best (lightest) verified outgoing key so far.
+    best: Option<EdgeKey>,
+    /// MST: the edge realizing `best`.
+    best_edge: Option<(u32, u32, u64)>,
+    /// MST: elimination finished for this component.
+    elim_done: bool,
+    /// MST: consecutive failed/empty samples. A component is only declared
+    /// done after two strikes, so a single Monte-Carlo sampling failure
+    /// (≈0.1% per query at 5 repetitions) cannot silently terminate the
+    /// elimination with a non-minimal edge.
+    none_streak: u8,
+    /// DRR parent (merge target), if any.
+    parent: Option<Label>,
+    /// Pointer-jumping state.
+    ptr: Label,
+    /// Whether `ptr` is known to be the tree root.
+    ptr_done: bool,
+}
+
+impl ProxyComp {
+    fn new(label: Label) -> Self {
+        ProxyComp {
+            own: label,
+            parts: Vec::new(),
+            sketch: None,
+            candidate: None,
+            info: [None, None],
+            chosen: None,
+            other_label: None,
+            best: None,
+            best_edge: None,
+            elim_done: false,
+            none_streak: 0,
+            parent: None,
+            ptr: label,
+            ptr_done: true,
+        }
+    }
+}
+
+/// One machine's state: its vertices, their labels, the components it
+/// proxies this phase, and its I/O buffers.
+struct MachineState {
+    id: usize,
+    verts: Vec<u32>,
+    labels: FxHashMap<u32, Label>,
+    proxied: FxHashMap<Label, ProxyComp>,
+    inbox: Vec<Envelope<Payload>>,
+    outbox: Vec<Envelope<Payload>>,
+    mst_out: Vec<(u32, u32, u64)>,
+    /// MST elimination: thresholds received for the parts this machine
+    /// holds. Presence means "this component is still eliminating";
+    /// `Some(key)` bounds the rebuild, `None` means rebuild unfiltered
+    /// (the component is retrying after a failed first sample).
+    thresholds: FxHashMap<Label, Option<EdgeKey>>,
+    /// Scratch flag used by convergence aggregation.
+    flag: bool,
+}
+
+/// The engine itself. Borrows the input graph and partition for the run.
+pub struct Engine<'g> {
+    g: &'g Graph,
+    part: &'g Partition,
+    mode: Mode,
+    cfg: EngineConfig,
+    k: usize,
+    n: usize,
+    l: u64,
+    shared: SharedRandomness,
+    scheme: ProxyScheme,
+    bsp: Bsp<Payload>,
+    machines: Vec<MachineState>,
+    params: SketchParams,
+    phase_components: Vec<usize>,
+    drr_depths: Vec<u32>,
+}
+
+impl<'g> Engine<'g> {
+    /// Builds an engine for one run. `seed` drives all randomness.
+    pub fn new(
+        g: &'g Graph,
+        part: &'g Partition,
+        mode: Mode,
+        seed: u64,
+        cfg: EngineConfig,
+    ) -> Self {
+        let k = part.k();
+        let n = g.n();
+        let shared = SharedRandomness::new(seed);
+        let net = NetworkConfig {
+            k,
+            bandwidth: cfg.bandwidth,
+            n,
+            cost_model: cfg.cost_model,
+        };
+        let machines = (0..k)
+            .map(|id| {
+                let verts = part.vertices_of(id);
+                let labels = verts.iter().map(|&v| (v, v as Label)).collect();
+                MachineState {
+                    id,
+                    verts,
+                    labels,
+                    proxied: FxHashMap::default(),
+                    inbox: Vec::new(),
+                    outbox: Vec::new(),
+                    mst_out: Vec::new(),
+                    thresholds: FxHashMap::default(),
+                    flag: false,
+                }
+            })
+            .collect();
+        Engine {
+            g,
+            part,
+            mode,
+            cfg,
+            k,
+            n,
+            l: id_bits(n),
+            scheme: ProxyScheme::new(shared, k),
+            shared,
+            bsp: Bsp::new(net),
+            machines,
+            params: SketchParams::for_graph(n, cfg.reps),
+            phase_components: Vec::new(),
+            drr_depths: Vec::new(),
+        }
+    }
+
+    /// Tracks an Alice/Bob machine bipartition (§4 harness).
+    pub fn set_cut(&mut self, side: Vec<bool>) {
+        self.bsp.set_cut(side);
+    }
+
+    /// Runs the algorithm to completion and returns outputs + accounting.
+    pub fn run(mut self) -> EngineResult {
+        if self.cfg.charge_shared_randomness {
+            // §2.2: M1 distributes Θ~(n/k) shared bits before phase 1.
+            let bits = SharedRandomness::paper_shared_bits(self.n, self.k);
+            let rounds =
+                SharedRandomness::distribution_rounds(bits, self.k, self.bsp.link_bits());
+            self.bsp.charge_modeled_rounds(rounds, bits, 0);
+        }
+        let max_phases = self
+            .cfg
+            .max_phases
+            .unwrap_or(12 * id_bits(self.n.max(2)) as u32 + 2);
+        let mut phases = 0;
+        for p in 0..max_phases {
+            self.phase_components.push(self.count_labels());
+            let progressed = self.run_phase(p);
+            phases = p + 1;
+            if !progressed {
+                break;
+            }
+        }
+        let counted = if self.cfg.run_output_protocol {
+            Some(self.output_protocol(phases))
+        } else {
+            None
+        };
+        // Gather outputs (instrumentation, not communication).
+        let mut labels = vec![0 as Label; self.n];
+        for st in &self.machines {
+            for (&v, &lab) in &st.labels {
+                labels[v as usize] = lab;
+            }
+        }
+        let mst_edges_per_machine: Vec<usize> =
+            self.machines.iter().map(|st| st.mst_out.len()).collect();
+        let mst_edges = self
+            .machines
+            .iter()
+            .flat_map(|st| st.mst_out.iter().copied())
+            .collect();
+        EngineResult {
+            labels,
+            stats: self.bsp.into_stats(),
+            phases,
+            phase_components: self.phase_components,
+            drr_depths: self.drr_depths,
+            mst_edges,
+            mst_edges_per_machine,
+            counted_components: counted,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase machinery
+    // ------------------------------------------------------------------
+
+    /// Runs one phase; returns whether any component found an outgoing edge.
+    fn run_phase(&mut self, p: u32) -> bool {
+        self.select_outgoing(p);
+        // Phase-progress flag: any component with a resolved outgoing edge?
+        let progressed = self.aggregate_flag(|st| {
+            st.proxied.values().any(|c| c.chosen.is_some())
+        });
+        if !progressed {
+            return false;
+        }
+        self.build_drr_forest(p);
+        self.record_drr_depth();
+        self.pointer_jump(p);
+        self.relabel(p);
+        true
+    }
+
+    /// Step 1: every component selects (at most) one outgoing edge.
+    fn select_outgoing(&mut self, p: u32) {
+        if p == 0 {
+            self.phase0_local_select();
+            return;
+        }
+        // Fresh sketch functions for (phase, elimination-iteration 0).
+        let mut iter = 0u32;
+        let fns = self.sketch_fns(p, iter);
+        self.charge_fns_distribution(&fns);
+        self.build_and_send_sketches(p, &fns, /*only_thresholded=*/ false);
+        self.proxy_merge_sketches(p, &fns);
+        self.probe_candidates(p);
+        if self.mode != Mode::Mst {
+            // Single sample: the verified candidate is the chosen edge.
+            par_for_each_state(&mut self.machines, |_, st| {
+                for c in st.proxied.values_mut() {
+                    finalize_candidate(c);
+                    c.chosen = c.best_edge;
+                }
+            });
+            return;
+        }
+        // MST: elimination loop (§3.1). Repeat: accept candidate as the new
+        // best, broadcast the threshold, rebuild filtered sketches, sample
+        // again — until every component is done (its lightest verified edge
+        // is the MWOE w.h.p.).
+        let max_iters = 2 * id_bits(self.n) as u32 + 8;
+        loop {
+            par_for_each_state(&mut self.machines, |_, st| {
+                for c in st.proxied.values_mut() {
+                    finalize_candidate(c);
+                }
+            });
+            let active = self.aggregate_flag(|st| {
+                st.proxied.values().any(|c| !c.elim_done)
+            });
+            if !active || iter >= max_iters {
+                break;
+            }
+            iter += 1;
+            self.broadcast_thresholds(p);
+            let fns = self.sketch_fns(p, iter);
+            self.charge_fns_distribution(&fns);
+            self.build_and_send_sketches(p, &fns, /*only_thresholded=*/ true);
+            self.proxy_merge_sketches(p, &fns);
+            self.probe_candidates(p);
+        }
+        par_for_each_state(&mut self.machines, |_, st| {
+            for c in st.proxied.values_mut() {
+                c.chosen = c.best_edge;
+            }
+        });
+    }
+
+    /// Phase 0 (paper §2.1): singleton components are proxied by their home
+    /// machine, so selection is fully local. Connectivity samples a uniform
+    /// incident edge; MST takes the minimum-key incident edge.
+    fn phase0_local_select(&mut self) {
+        let g = self.g;
+        let mode = self.mode;
+        let prf = self.shared.prf(Use::Phase0Sample);
+        par_for_each_state(&mut self.machines, |id, st| {
+            for &v in &st.verts {
+                let nbrs = g.neighbors(v);
+                let mut comp = ProxyComp::new(v as Label);
+                comp.parts = vec![id as u16];
+                if !nbrs.is_empty() {
+                    let (nb, w) = match mode {
+                        Mode::Connectivity | Mode::SpanningForest => {
+                            nbrs[prf.eval_mod(0, v as u64, nbrs.len() as u64) as usize]
+                        }
+                        Mode::Mst => *nbrs
+                            .iter()
+                            .min_by_key(|&&(nb, w)| {
+                                let (a, b) = if v < nb { (v, nb) } else { (nb, v) };
+                                (w, a, b)
+                            })
+                            .expect("nonempty"),
+                    };
+                    let (a, b) = if v < nb { (v, nb) } else { (nb, v) };
+                    comp.chosen = Some((a, b, w));
+                    comp.best_edge = comp.chosen;
+                    // At phase 0 the other endpoint's label is its id.
+                    comp.other_label = Some(nb as Label);
+                }
+                st.proxied.insert(v as Label, comp);
+            }
+        });
+    }
+
+    /// Derives the sketch functions for `(phase, elimination iteration)`.
+    fn sketch_fns(&self, p: u32, iter: u32) -> SketchFns {
+        // Distinct tag per (phase, iteration): phases are < 2^26 and
+        // iterations < 64 in practice.
+        SketchFns::new(&self.shared, p * 64 + iter, self.params)
+    }
+
+    /// §2.3 "without shared randomness": Θ(log² n) seed bits per phase are
+    /// generated at M1 and distributed in O(1) rounds — charged here.
+    fn charge_fns_distribution(&mut self, fns: &SketchFns) {
+        if self.cfg.charge_shared_randomness {
+            let bits = fns.random_bits();
+            let rounds = SharedRandomness::distribution_rounds(bits, self.k, self.bsp.link_bits());
+            self.bsp.charge_modeled_rounds(rounds, bits, 0);
+        }
+    }
+
+    /// Builds part sketches and sends them to proxies. With
+    /// `only_thresholded`, only parts that received an elimination threshold
+    /// participate, and their sketches keep only edges strictly below it.
+    fn build_and_send_sketches(&mut self, p: u32, fns: &SketchFns, only_thresholded: bool) {
+        let g = self.g;
+        let part = self.part;
+        let scheme = &self.scheme;
+        let l = self.l;
+        let params = self.params;
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            // Group local vertices by label.
+            let mut groups: FxHashMap<Label, Vec<u32>> = FxHashMap::default();
+            for &v in &st.verts {
+                groups.entry(st.labels[&v]).or_default().push(v);
+            }
+            for (label, vs) in groups {
+                let active = st.thresholds.get(&label).copied();
+                if only_thresholded && active.is_none() {
+                    continue;
+                }
+                let thr = active.flatten();
+                let mut sk = L0Sketch::new(params);
+                for &v in &vs {
+                    for &(nb, w) in g.neighbors(v) {
+                        if let Some(t) = thr {
+                            let (a, b) = if v < nb { (v, nb) } else { (nb, v) };
+                            if (w, a, b) >= t {
+                                continue;
+                            }
+                        }
+                        sk.add_incident_edge(fns, v, nb);
+                    }
+                }
+                let dst = scheme.proxy_of(part, p, 0, label);
+                let payload = Payload::PartSketch {
+                    label,
+                    sketch: Box::new(sk),
+                };
+                let bits = payload.wire_bits(l);
+                st.outbox
+                    .push(Envelope::with_bits(id, dst, payload, bits));
+            }
+        });
+        self.machines = machines;
+        self.flush();
+    }
+
+    /// Proxies merge arriving part sketches and sample a candidate edge.
+    fn proxy_merge_sketches(&mut self, _p: u32, fns: &SketchFns) {
+        par_for_each_state(&mut self.machines, |_, st| {
+            let inbox = std::mem::take(&mut st.inbox);
+            // Components seen this superstep (for requerying).
+            let mut touched: FxHashSet<Label> = FxHashSet::default();
+            for env in inbox {
+                if let Payload::PartSketch { label, sketch } = env.payload {
+                    let comp = st
+                        .proxied
+                        .entry(label)
+                        .or_insert_with(|| ProxyComp::new(label));
+                    if !comp.parts.contains(&(env.src as u16)) {
+                        comp.parts.push(env.src as u16);
+                    }
+                    match &mut comp.sketch {
+                        Some(acc) => acc.merge(&sketch),
+                        None => comp.sketch = Some(*sketch),
+                    }
+                    touched.insert(label);
+                }
+            }
+            for label in touched {
+                let comp = st.proxied.get_mut(&label).expect("just inserted");
+                comp.candidate = comp
+                    .sketch
+                    .as_ref()
+                    .and_then(|sk| sk.query(fns))
+                    .map(|(u, v)| (u.min(v), u.max(v)));
+                comp.info = [None, None];
+                comp.sketch = None; // sampled once; free the memory
+            }
+        });
+    }
+
+    /// Probe the candidate edges: proxy asks both endpoints' home machines
+    /// for current label, existence, and weight (two supersteps).
+    fn probe_candidates(&mut self, _p: u32) {
+        let part = self.part;
+        let l = self.l;
+        // Superstep A: queries out.
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let mut out = Vec::new();
+            for (&label, c) in st.proxied.iter() {
+                if let Some((u, v)) = c.candidate {
+                    for (ask, other) in [(u, v), (v, u)] {
+                        let payload = Payload::EdgeProbe {
+                            comp: label,
+                            ask,
+                            other,
+                        };
+                        let bits = payload.wire_bits(l);
+                        out.push(Envelope::with_bits(id, part.home(ask), payload, bits));
+                    }
+                }
+            }
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        // Superstep B: homes answer from their authoritative label map.
+        let g = self.g;
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let inbox = std::mem::take(&mut st.inbox);
+            for env in inbox {
+                if let Payload::EdgeProbe { comp, ask, other } = env.payload {
+                    let label = *st.labels.get(&ask).expect("probe reached home machine");
+                    let weight = g.edge_weight(ask, other);
+                    let payload = Payload::EdgeProbeReply {
+                        comp,
+                        vertex: ask,
+                        label,
+                        exists: weight.is_some(),
+                        weight: weight.unwrap_or(0),
+                    };
+                    let bits = payload.wire_bits(l);
+                    st.outbox
+                        .push(Envelope::with_bits(id, env.src, payload, bits));
+                }
+            }
+        });
+        self.machines = machines;
+        self.flush();
+        // Record replies at the proxies.
+        par_for_each_state(&mut self.machines, |_, st| {
+            let inbox = std::mem::take(&mut st.inbox);
+            for env in inbox {
+                if let Payload::EdgeProbeReply {
+                    comp,
+                    vertex,
+                    label,
+                    exists,
+                    weight,
+                } = env.payload
+                {
+                    if let Some(c) = st.proxied.get_mut(&comp) {
+                        if let Some((u, v)) = c.candidate {
+                            let slot = if vertex == u { 0 } else { 1 };
+                            debug_assert!(vertex == u || vertex == v);
+                            c.info[slot] = Some((label, exists, weight));
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// MST: broadcast each active component's new strict threshold to all
+    /// machines holding a part of it.
+    fn broadcast_thresholds(&mut self, _p: u32) {
+        let l = self.l;
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let mut out = Vec::new();
+            for (&label, c) in st.proxied.iter() {
+                if c.elim_done {
+                    continue;
+                }
+                let key = c.best;
+                for &m in &c.parts {
+                    let payload = Payload::Threshold { label, key };
+                    let bits = payload.wire_bits(l);
+                    out.push(Envelope::with_bits(id, m as usize, payload, bits));
+                }
+            }
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        par_for_each_state(&mut self.machines, |_, st| {
+            st.thresholds.clear();
+            let inbox = std::mem::take(&mut st.inbox);
+            for env in inbox {
+                if let Payload::Threshold { label, key } = env.payload {
+                    st.thresholds.insert(label, key);
+                }
+            }
+        });
+    }
+
+    /// Step 2 (§2.5): merge partners from verified candidates + shared
+    /// randomness (DRR ranks, or footnote 9's coin flips).
+    fn build_drr_forest(&mut self, p: u32) {
+        let scheme = &self.scheme;
+        let merge = self.cfg.merge;
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |_, st| {
+            for (&label, c) in st.proxied.iter_mut() {
+                let connects = |other: Label| match merge {
+                    MergeStrategy::Drr => scheme.connects(p, label, other),
+                    MergeStrategy::CoinFlip => {
+                        !scheme.coin(p, label) && scheme.coin(p, other)
+                    }
+                };
+                c.parent = match (c.chosen, c.other_label) {
+                    (Some(_), Some(other)) if connects(other) => Some(other),
+                    _ => None,
+                };
+                match c.parent {
+                    Some(parent) => {
+                        c.ptr = parent;
+                        c.ptr_done = false;
+                    }
+                    None => {
+                        c.ptr = label;
+                        c.ptr_done = true;
+                    }
+                }
+            }
+        });
+        self.machines = machines;
+    }
+
+    /// Step 3 (§2.5): pointer jumping among proxies until every component
+    /// knows its root label. The iteration count covers the w.h.p. Lemma-6
+    /// depth bound; a straggler merely relabels to an ancestor (safe).
+    fn pointer_jump(&mut self, p: u32) {
+        let depth_bound = 6 * (id_bits(self.n + 1) as u32) + 2;
+        let iters = 32 - (2 * depth_bound).leading_zeros() + 1;
+        for _ in 0..iters {
+            if !self.aggregate_flag(|st| st.proxied.values().any(|c| !c.ptr_done)) {
+                break;
+            }
+            let part = self.part;
+            let scheme = &self.scheme;
+            let l = self.l;
+            // Queries out.
+            let mut machines = std::mem::take(&mut self.machines);
+            par_for_each_state(&mut machines, |id, st| {
+                let mut out = Vec::new();
+                for (&label, c) in st.proxied.iter() {
+                    if !c.ptr_done {
+                        let payload = Payload::PtrQuery {
+                            asker: label,
+                            target: c.ptr,
+                        };
+                        let bits = payload.wire_bits(l);
+                        out.push(Envelope::with_bits(
+                            id,
+                            scheme.proxy_of(part, p, 0, c.ptr),
+                            payload,
+                            bits,
+                        ));
+                    }
+                }
+                st.outbox.extend(out);
+            });
+            self.machines = machines;
+            self.flush();
+            // Answers back (reads only pre-iteration state: replies are
+            // computed before any update is applied).
+            let mut machines = std::mem::take(&mut self.machines);
+            par_for_each_state(&mut machines, |id, st| {
+                let inbox = std::mem::take(&mut st.inbox);
+                let mut out = Vec::new();
+                for env in inbox {
+                    if let Payload::PtrQuery { asker, target } = env.payload {
+                        let t = st
+                            .proxied
+                            .get(&target)
+                            .expect("pointer target must be proxied here");
+                        let payload = Payload::PtrReply {
+                            asker,
+                            ptr: t.ptr,
+                            done: t.ptr_done,
+                        };
+                        let bits = payload.wire_bits(l);
+                        out.push(Envelope::with_bits(id, env.src, payload, bits));
+                    }
+                }
+                st.outbox.extend(out);
+            });
+            self.machines = machines;
+            self.flush();
+            // Apply updates.
+            par_for_each_state(&mut self.machines, |_, st| {
+                let inbox = std::mem::take(&mut st.inbox);
+                for env in inbox {
+                    if let Payload::PtrReply { asker, ptr, done } = env.payload {
+                        if let Some(c) = st.proxied.get_mut(&asker) {
+                            c.ptr = ptr;
+                            c.ptr_done = done;
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Step 4: proxies broadcast relabel commands; machines apply them.
+    /// MST: a component that merged outputs its chosen edge at the proxy.
+    fn relabel(&mut self, _p: u32) {
+        let l = self.l;
+        let mode = self.mode;
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let mut out = Vec::new();
+            for (&label, c) in st.proxied.iter() {
+                if c.parent.is_some() {
+                    if mode != Mode::Connectivity {
+                        if let Some(e) = c.chosen {
+                            st.mst_out.push(e);
+                        }
+                    }
+                    if c.ptr != label {
+                        for &m in &c.parts {
+                            let payload = Payload::Relabel {
+                                old: label,
+                                new: c.ptr,
+                            };
+                            let bits = payload.wire_bits(l);
+                            out.push(Envelope::with_bits(id, m as usize, payload, bits));
+                        }
+                    }
+                }
+            }
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        par_for_each_state(&mut self.machines, |_, st| {
+            let inbox = std::mem::take(&mut st.inbox);
+            let mut map: FxHashMap<Label, Label> = FxHashMap::default();
+            for env in inbox {
+                if let Payload::Relabel { old, new } = env.payload {
+                    map.insert(old, new);
+                }
+            }
+            if !map.is_empty() {
+                for lab in st.labels.values_mut() {
+                    if let Some(&nl) = map.get(lab) {
+                        *lab = nl;
+                    }
+                }
+            }
+            // Phase is over: clear per-phase proxy state.
+            st.proxied.clear();
+            st.thresholds.clear();
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Control flow helpers
+    // ------------------------------------------------------------------
+
+    /// Flushes all machine outboxes through one superstep and distributes
+    /// the delivered messages into machine inboxes.
+    fn flush(&mut self) {
+        let mut out = Vec::new();
+        for st in &mut self.machines {
+            out.append(&mut st.outbox);
+        }
+        self.bsp.superstep(out);
+        let inboxes = self.bsp.take_all_inboxes();
+        for (st, mut ib) in self.machines.iter_mut().zip(inboxes) {
+            st.inbox.append(&mut ib);
+        }
+    }
+
+    /// Global OR over a per-machine predicate: flags to M0, M0 broadcasts
+    /// the result (two supersteps of 1-bit messages — the counted cost of
+    /// convergence detection).
+    fn aggregate_flag(&mut self, pred: impl Fn(&MachineState) -> bool + Sync) -> bool {
+        let l = self.l;
+        par_for_each_state(&mut self.machines, |_, st| {
+            st.flag = pred(st);
+        });
+        let mut machines = std::mem::take(&mut self.machines);
+        for st in machines.iter_mut() {
+            if st.id != 0 {
+                let payload = Payload::Flag { bit: st.flag };
+                let bits = payload.wire_bits(l);
+                st.outbox.push(Envelope::with_bits(st.id, 0, payload, bits));
+            }
+        }
+        self.machines = machines;
+        self.flush();
+        let global = {
+            let st0 = &mut self.machines[0];
+            let inbox = std::mem::take(&mut st0.inbox);
+            let mut any = st0.flag;
+            for env in inbox {
+                if let Payload::Flag { bit } = env.payload {
+                    any |= bit;
+                }
+            }
+            any
+        };
+        let mut machines = std::mem::take(&mut self.machines);
+        {
+            let st0 = &mut machines[0];
+            for dst in 1..self.k {
+                let payload = Payload::Flag { bit: global };
+                let bits = payload.wire_bits(l);
+                st0.outbox.push(Envelope::with_bits(0, dst, payload, bits));
+            }
+        }
+        self.machines = machines;
+        self.flush();
+        for st in &mut self.machines {
+            st.inbox.clear();
+            st.flag = global;
+        }
+        global
+    }
+
+    /// §2.6 output protocol: every machine announces each distinct label it
+    /// holds to that label's proxy; proxies count distinct labels and report
+    /// to M1 (machine 0 here). Returns the global component count.
+    fn output_protocol(&mut self, after_phase: u32) -> u64 {
+        let p = after_phase.max(1); // never the phase-0 identity proxy map
+        let part = self.part;
+        let scheme = &self.scheme;
+        let l = self.l;
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let mut distinct: FxHashSet<Label> = FxHashSet::default();
+            for &lab in st.labels.values() {
+                distinct.insert(lab);
+            }
+            let mut out = Vec::new();
+            for lab in distinct {
+                let payload = Payload::LabelAnnounce { label: lab };
+                let bits = payload.wire_bits(l);
+                out.push(Envelope::with_bits(
+                    id,
+                    scheme.proxy_of(part, p, 1, lab),
+                    payload,
+                    bits,
+                ));
+            }
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        let l2 = self.l;
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let inbox = std::mem::take(&mut st.inbox);
+            let mut distinct: FxHashSet<Label> = FxHashSet::default();
+            for env in inbox {
+                if let Payload::LabelAnnounce { label } = env.payload {
+                    distinct.insert(label);
+                }
+            }
+            let payload = Payload::CountReport {
+                count: distinct.len() as u64,
+            };
+            let bits = payload.wire_bits(l2);
+            st.outbox.push(Envelope::with_bits(id, 0, payload, bits));
+        });
+        self.machines = machines;
+        self.flush();
+        let st0 = &mut self.machines[0];
+        let inbox = std::mem::take(&mut st0.inbox);
+        let mut total = 0u64;
+        for env in inbox {
+            if let Payload::CountReport { count } = env.payload {
+                total += count;
+            }
+        }
+        total
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumentation (orchestrator-side, zero communication cost)
+    // ------------------------------------------------------------------
+
+    /// Number of distinct labels across all machines.
+    fn count_labels(&self) -> usize {
+        let mut set: FxHashSet<Label> = FxHashSet::default();
+        for st in &self.machines {
+            set.extend(st.labels.values().copied());
+        }
+        set.len()
+    }
+
+    /// Max DRR tree depth of the current phase (Lemma 6 / Figure 2 data).
+    fn record_drr_depth(&mut self) {
+        let mut parents: FxHashMap<Label, Label> = FxHashMap::default();
+        for st in &self.machines {
+            for (&label, c) in &st.proxied {
+                if let Some(par) = c.parent {
+                    parents.insert(label, par);
+                }
+            }
+        }
+        let mut depth_memo: FxHashMap<Label, u32> = FxHashMap::default();
+        let mut max_depth = 0;
+        for &start in parents.keys() {
+            let mut chain = Vec::new();
+            let mut cur = start;
+            let mut d = loop {
+                if let Some(&d) = depth_memo.get(&cur) {
+                    break d;
+                }
+                match parents.get(&cur) {
+                    Some(&nxt) => {
+                        chain.push(cur);
+                        cur = nxt;
+                    }
+                    None => break 0,
+                }
+            };
+            for &node in chain.iter().rev() {
+                d += 1;
+                depth_memo.insert(node, d);
+            }
+            max_depth = max_depth.max(d);
+        }
+        self.drr_depths.push(max_depth);
+    }
+}
+
+/// Validates a probed candidate and folds it into the component state:
+/// the edge must exist and have exactly one internal endpoint. For MST the
+/// verified key becomes the new `best`; an invalid/absent candidate ends
+/// the elimination for this component (Monte-Carlo skip).
+fn finalize_candidate(c: &mut ProxyComp) {
+    /// Strikes before an empty/invalid sample is accepted as "no lighter
+    /// edge exists" (the retry drives the false-done probability to ~1e-6).
+    const STRIKES: u8 = 2;
+    let miss = |c: &mut ProxyComp| {
+        c.none_streak += 1;
+        if c.none_streak >= STRIKES {
+            c.elim_done = true;
+        }
+    };
+    match (c.candidate, c.info[0], c.info[1]) {
+        (Some((u, v)), Some((lu, e0, w)), Some((lv, e1, _))) => {
+            // Exactly one endpoint must be inside this component.
+            let other = if lu == c.own && lv != c.own {
+                Some(lv)
+            } else if lv == c.own && lu != c.own {
+                Some(lu)
+            } else {
+                None
+            };
+            match other {
+                Some(other) if e0 && e1 => {
+                    c.other_label = Some(other);
+                    c.best = Some((w, u, v));
+                    c.best_edge = Some((u, v, w));
+                    c.chosen = Some((u, v, w));
+                    c.none_streak = 0;
+                }
+                _ => miss(c),
+            }
+        }
+        // No candidate: support empty, or unlucky hashing — a strike.
+        (None, _, _) => miss(c),
+        // Missing replies should not happen; treat as a failed sample.
+        _ => miss(c),
+    }
+    c.candidate = None;
+    c.info = [None, None];
+}

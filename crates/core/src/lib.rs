@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! The paper's algorithms in the k-machine model.
+//!
+//! * [`connectivity`] — the headline `O~(n/k²)`-round connected-components
+//!   algorithm (§2): linear sketches + randomized proxies + distributed
+//!   random ranking.
+//! * [`mst`] — Theorem 2: minimum spanning tree via sketch-based Borůvka
+//!   with the edge-elimination MWOE loop, under both output criteria.
+//! * [`mincut`] — Theorem 3: `O(log n)`-approximate min-cut by Karger-style
+//!   geometric edge sampling plus connectivity probes.
+//! * [`verify`] — Theorem 4: the eight graph verification problems.
+//! * [`baselines`] — the comparison algorithms: flooding (`Θ(n/k + D)`),
+//!   edge-checking Borůvka (GHS-style, the `Θ(m)`-bits-per-phase regime),
+//!   referee collection (`Θ(m/k)`), and the §1.3 REP-model filtering MST.
+//! * [`lowerbound`] — §4: random-partition set disjointness, the Figure-1
+//!   spanning-connected-subgraph gadget, and the 2-party Alice/Bob
+//!   simulation harness that counts bits across the machine cut.
+
+pub mod baselines;
+pub mod connectivity;
+pub mod engine;
+pub mod lowerbound;
+pub mod messages;
+pub mod mincut;
+pub mod mst;
+pub mod proxy;
+pub mod st;
+pub mod verify;
+
+pub use connectivity::{connected_components, ConnectivityConfig, ConnectivityOutput};
+pub use mincut::{approx_min_cut, MinCutConfig, MinCutOutput};
+pub use mst::{minimum_spanning_tree, MstConfig, MstOutput, OutputCriterion};
+pub use st::{spanning_forest, SpanningForestOutput};

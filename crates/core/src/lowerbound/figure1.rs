@@ -1,0 +1,107 @@
+//! The Figure-1 gadget: spanning-connected-subgraph from set disjointness.
+//!
+//! For an instance `(X, Y)` of length `b`, the graph `G` has `n = 2b + 2`
+//! vertices `s, t, u_1..u_b, v_1..v_b` and edges `(s,t)`, `(u_i,v_i)`,
+//! `(s,u_i)`, `(v_i,t)` — diameter 2. The subgraph `H` keeps all `(u_i,v_i)`
+//! and `(s,t)`, plus `(s,u_i)` iff `X[i] = 0` and `(v_i,t)` iff `Y[i] = 0`.
+//!
+//! `H` is a spanning connected subgraph of `G` **iff** `X` and `Y` are
+//! disjoint: index `i` has `X[i] = Y[i] = 1` exactly when the pair
+//! `{u_i, v_i}` loses both its attachments and floats away.
+
+use crate::lowerbound::disjointness::DisjointnessInstance;
+use kgraph::graph::Edge;
+use kgraph::Graph;
+use rustc_hash::FxHashSet;
+
+/// Vertex ids of the gadget.
+pub const S: u32 = 0;
+/// The second special vertex `t`.
+pub const T: u32 = 1;
+
+/// The id of `u_i`.
+pub fn u(i: usize) -> u32 {
+    2 + i as u32
+}
+
+/// The id of `v_i` for instance length `b`.
+pub fn v(i: usize, b: usize) -> u32 {
+    2 + (b + i) as u32
+}
+
+/// Builds `(G, H)` for a disjointness instance.
+pub fn scs_gadget(inst: &DisjointnessInstance) -> (Graph, FxHashSet<(u32, u32)>) {
+    let b = inst.len();
+    let n = 2 * b + 2;
+    let mut edges: Vec<Edge> = Vec::with_capacity(3 * b + 1);
+    let mut h: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let canon = |a: u32, c: u32| (a.min(c), a.max(c));
+    edges.push(Edge::new(S, T, 1));
+    h.insert(canon(S, T));
+    for i in 0..b {
+        edges.push(Edge::new(u(i), v(i, b), 1));
+        h.insert(canon(u(i), v(i, b)));
+        edges.push(Edge::new(S, u(i), 1));
+        if !inst.x[i] {
+            h.insert(canon(S, u(i)));
+        }
+        edges.push(Edge::new(v(i, b), T, 1));
+        if !inst.y[i] {
+            h.insert(canon(v(i, b), T));
+        }
+    }
+    (Graph::from_dedup_edges(n, edges), h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::refalgo;
+
+    #[test]
+    fn gadget_shape_and_diameter() {
+        let inst = DisjointnessInstance::random(16, 400, 1, None);
+        let (g, _) = scs_gadget(&inst);
+        assert_eq!(g.n(), 34);
+        assert_eq!(g.m(), 3 * 16 + 1);
+        assert!(refalgo::is_connected(&g));
+        // Diameter 2: everything is within one hop of {s, t} which are
+        // adjacent; check eccentricity of s is ≤ 2.
+        assert!(refalgo::eccentricity(&g, S) <= 2);
+    }
+
+    #[test]
+    fn h_is_scs_iff_disjoint() {
+        for seed in 0..30u64 {
+            for force in [Some(true), Some(false), None] {
+                let inst = DisjointnessInstance::random(24, 350, seed, force);
+                let (g, h) = scs_gadget(&inst);
+                let hg = g.edge_subgraph(&h);
+                assert_eq!(
+                    refalgo::is_connected(&hg),
+                    inst.disjoint(),
+                    "seed {seed} force {force:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_the_intersection_indices_disconnect() {
+        // X[3] = Y[3] = 1, everything else 0.
+        let mut inst = DisjointnessInstance {
+            x: vec![false; 8],
+            y: vec![false; 8],
+        };
+        inst.x[3] = true;
+        inst.y[3] = true;
+        let (g, h) = scs_gadget(&inst);
+        let hg = g.edge_subgraph(&h);
+        let labels = refalgo::connected_components(&hg);
+        assert_eq!(refalgo::component_count(&hg), 2);
+        // The floating component is exactly {u_3, v_3}.
+        assert_eq!(labels[u(3) as usize], labels[v(3, 8) as usize]);
+        assert_ne!(labels[u(3) as usize], labels[S as usize]);
+        assert_eq!(labels[u(2) as usize], labels[S as usize]);
+    }
+}

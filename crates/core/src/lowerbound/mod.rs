@@ -1,0 +1,21 @@
+//! The §4 lower-bound apparatus.
+//!
+//! The paper proves `Ω~(n/k²)` rounds for connectivity-flavored
+//! verification problems by reducing random-input-partition 2-party set
+//! disjointness (Lemma 8) to spanning-connected-subgraph (SCS) verification
+//! on the Figure-1 gadget, then simulating any k-machine algorithm as a
+//! 2-party protocol whose communication is the bits crossing the
+//! Alice/Bob machine cut.
+//!
+//! * [`disjointness`] — instances and the random input partition model.
+//! * [`figure1`] — the gadget graph `G` and subgraph `H` of Figure 1.
+//! * [`simulation`] — runs the real SCS verifier with the machine set split
+//!   between Alice and Bob and reports the cut traffic (experiment E13).
+
+pub mod disjointness;
+pub mod figure1;
+pub mod simulation;
+
+pub use disjointness::{DisjointnessInstance, RandomInputPartition};
+pub use figure1::scs_gadget;
+pub use simulation::{simulate_scs_two_party, TwoPartyReport};

@@ -1,0 +1,219 @@
+//! Message payloads of the distributed algorithms, with explicit wire sizes.
+//!
+//! Wire sizes follow the paper's encodings: vertex ids and component labels
+//! cost `⌈log₂ n⌉` bits, weights 32 bits, sketches their `polylog(n)` size
+//! ([`ksketch::SketchParams::wire_bits`]), plus a flat 16-bit type tag per
+//! message. Sizes are computed once per message by [`Payload::wire_bits`],
+//! which needs the id width `L = ⌈log₂ n⌉` as context.
+
+use ksketch::L0Sketch;
+
+/// A component label. Labels are always ids of representative vertices, so
+/// they fit in the same `⌈log₂ n⌉` bits as vertex ids.
+pub type Label = u64;
+
+/// An MST comparison key: `(weight, u, v)` — the tie-free total order.
+pub type EdgeKey = (u64, u32, u32);
+
+/// Every message any of the algorithms sends.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// A component part's combined sketch, machine → component proxy (§2.4).
+    PartSketch {
+        /// The component label this part belongs to.
+        label: Label,
+        /// The part's combined sketch (sum of its vertices' sketches).
+        sketch: Box<L0Sketch>,
+    },
+    /// Proxy asks `home(ask)` about endpoint `ask` of candidate edge
+    /// `{ask, other}`: current label, edge existence, and weight.
+    EdgeProbe {
+        /// Component on whose behalf the proxy asks.
+        comp: Label,
+        /// The endpoint whose home machine is being asked.
+        ask: u32,
+        /// The other endpoint of the candidate edge.
+        other: u32,
+    },
+    /// Home machine's answer to an [`Payload::EdgeProbe`].
+    EdgeProbeReply {
+        /// Component the probe belonged to.
+        comp: Label,
+        /// The endpoint that was asked about.
+        vertex: u32,
+        /// Its current component label.
+        label: Label,
+        /// Whether the probed edge exists in `G`.
+        exists: bool,
+        /// The edge weight (0 if absent).
+        weight: u64,
+    },
+    /// MST elimination broadcast: parts must rebuild sketches filtered to
+    /// edges with key strictly below `key`; `None` means the component is
+    /// done eliminating (its MWOE is fixed).
+    Threshold {
+        /// The component label.
+        label: Label,
+        /// The new strict upper bound, or `None` when done.
+        key: Option<EdgeKey>,
+    },
+    /// Pointer-jumping query, proxy(asker) → proxy(target) (§2.5).
+    PtrQuery {
+        /// The component doing the jump.
+        asker: Label,
+        /// The component whose pointer is requested.
+        target: Label,
+    },
+    /// Pointer-jumping reply.
+    PtrReply {
+        /// The component doing the jump.
+        asker: Label,
+        /// The target's current pointer.
+        ptr: Label,
+        /// Whether the target's pointer is already a root.
+        done: bool,
+    },
+    /// Merge command, proxy → machines holding parts of `old`.
+    Relabel {
+        /// The label being retired.
+        old: Label,
+        /// The root label that replaces it.
+        new: Label,
+    },
+    /// A one-bit control flag (convergence detection).
+    Flag {
+        /// The bit.
+        bit: bool,
+    },
+    /// Output protocol (§2.6 end): a machine announces a label it holds.
+    LabelAnnounce {
+        /// The label.
+        label: Label,
+    },
+    /// Output protocol: a proxy reports how many distinct labels it proxies.
+    CountReport {
+        /// Number of distinct labels.
+        count: u64,
+    },
+    /// Flooding baseline: batched `(vertex, new label)` updates addressed to
+    /// a machine hosting neighbors of those vertices.
+    FloodLabels {
+        /// The updates.
+        updates: Vec<(u32, Label)>,
+    },
+    /// A batch of edges (referee collection, REP routing).
+    EdgeList {
+        /// `(u, v, w)` triples.
+        edges: Vec<(u32, u32, u64)>,
+    },
+    /// Edge-checking Borůvka: a part's local MWOE candidate for `label`.
+    Candidate {
+        /// The component label.
+        label: Label,
+        /// The candidate edge key.
+        key: EdgeKey,
+        /// The label on the other side of the candidate edge.
+        to_label: Label,
+    },
+    /// Final s–t comparison result exchanged between two home machines.
+    StDone {
+        /// Whether both endpoints carried the same label.
+        same: bool,
+    },
+    /// Per-edge status tests of the GHS-style baseline, aggregated per
+    /// machine pair for simulation efficiency: `count` individual tests of
+    /// `3·⌈log₂ n⌉` bits each (edge id + queried label).
+    TestBatch {
+        /// Number of individual edge tests carried.
+        count: u64,
+    },
+}
+
+/// Flat per-message type tag cost.
+const TAG_BITS: u64 = 16;
+/// Weight field cost.
+const W_BITS: u64 = 32;
+
+impl Payload {
+    /// The wire size given the id width `l = ⌈log₂ n⌉` bits.
+    pub fn wire_bits(&self, l: u64) -> u64 {
+        TAG_BITS
+            + match self {
+                Payload::PartSketch { sketch, .. } => l + sketch.wire_bits(),
+                Payload::EdgeProbe { .. } => 3 * l,
+                Payload::EdgeProbeReply { .. } => 3 * l + 1 + W_BITS,
+                Payload::Threshold { key, .. } => l + 1 + key.map_or(0, |_| 2 * l + W_BITS),
+                Payload::PtrQuery { .. } => 2 * l,
+                Payload::PtrReply { .. } => 2 * l + 1,
+                Payload::Relabel { .. } => 2 * l,
+                Payload::Flag { .. } => 1,
+                Payload::LabelAnnounce { .. } => l,
+                Payload::CountReport { .. } => 32,
+                Payload::FloodLabels { updates } => updates.len() as u64 * 2 * l,
+                Payload::EdgeList { edges } => edges.len() as u64 * (2 * l + W_BITS),
+                Payload::Candidate { .. } => 2 * l + (2 * l + W_BITS) + l,
+                Payload::StDone { .. } => 1,
+                Payload::TestBatch { count } => count * 3 * l,
+            }
+    }
+}
+
+/// The id width for an `n`-vertex instance.
+pub fn id_bits(n: usize) -> u64 {
+    kmachine::bandwidth::id_bits(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksketch::SketchParams;
+
+    #[test]
+    fn sizes_scale_with_id_width() {
+        let q = Payload::PtrQuery { asker: 1, target: 2 };
+        assert_eq!(q.wire_bits(10), 16 + 20);
+        assert_eq!(q.wire_bits(20), 16 + 40);
+    }
+
+    #[test]
+    fn sketch_messages_dominate_control_messages() {
+        let p = SketchParams::for_graph(1 << 14, 4);
+        let s = Payload::PartSketch {
+            label: 0,
+            sketch: Box::new(ksketch::L0Sketch::new(p)),
+        };
+        let f = Payload::Flag { bit: true };
+        assert!(s.wire_bits(14) > 100 * f.wire_bits(14));
+    }
+
+    #[test]
+    fn batched_messages_cost_per_entry() {
+        let one = Payload::FloodLabels {
+            updates: vec![(1, 2)],
+        };
+        let ten = Payload::FloodLabels {
+            updates: (0..10).map(|i| (i, i as u64)).collect(),
+        };
+        let l = 12;
+        assert_eq!(
+            ten.wire_bits(l) - TAG_BITS,
+            10 * (one.wire_bits(l) - TAG_BITS)
+        );
+    }
+
+    #[test]
+    fn threshold_none_is_cheaper_than_some() {
+        let some = Payload::Threshold {
+            label: 5,
+            key: Some((9, 1, 2)),
+        };
+        let none = Payload::Threshold { label: 5, key: None };
+        assert!(some.wire_bits(16) > none.wire_bits(16));
+    }
+
+    #[test]
+    fn id_bits_matches_bandwidth_helper() {
+        assert_eq!(id_bits(1 << 16), 16);
+        assert_eq!(id_bits((1 << 16) + 1), 17);
+    }
+}

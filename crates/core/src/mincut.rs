@@ -1,0 +1,221 @@
+//! `O(log n)`-approximate minimum cut (paper §3.2, Theorem 3).
+//!
+//! Karger random-sampling probes [18], as proposed for the CONGEST model in
+//! Ghaffari–Kuhn [15], with our fast connectivity algorithm as the
+//! connectivity tester: sample every edge independently with geometrically
+//! decreasing probabilities `p_i = 2^{-i}`; the first probe whose sampled
+//! subgraph disconnects localizes the min cut weight λ within an `O(log n)`
+//! factor (a cut of weight λ survives sampling w.h.p. while `p·λ ≳ log n`).
+//!
+//! Sampling uses shared randomness keyed by the canonical edge, so both
+//! endpoint home machines make identical decisions with zero communication.
+//! Integer weights are treated as edge multiplicities: an edge of weight `w`
+//! survives with probability `1 − (1−p)^w`.
+
+use crate::connectivity::{connected_components_with_partition, ConnectivityConfig};
+use kgraph::graph::Edge;
+use kgraph::{Graph, Partition};
+use kmachine::bandwidth::Bandwidth;
+use kmachine::metrics::CommStats;
+use krand::shared::{SharedRandomness, Use};
+
+/// Configuration for the min-cut approximation.
+#[derive(Clone, Copy, Debug)]
+pub struct MinCutConfig {
+    /// Per-link bandwidth policy.
+    pub bandwidth: Bandwidth,
+    /// Sketch repetitions for the inner connectivity runs.
+    pub reps: u32,
+    /// Charge the §2.2 shared-randomness distribution cost.
+    pub charge_shared_randomness: bool,
+}
+
+impl Default for MinCutConfig {
+    fn default() -> Self {
+        MinCutConfig {
+            bandwidth: Bandwidth::default(),
+            reps: 5,
+            charge_shared_randomness: true,
+        }
+    }
+}
+
+/// The result of a min-cut approximation run.
+#[derive(Clone, Debug)]
+pub struct MinCutOutput {
+    /// The estimate `λ̂` (an `O(log n)`-approximation of λ w.h.p.).
+    pub estimate: u64,
+    /// The probe index at which the sampled graph first disconnected.
+    pub disconnecting_probe: u32,
+    /// Total probes run.
+    pub probes: u32,
+    /// Combined communication accounting over all probes.
+    pub stats: CommStats,
+}
+
+/// Approximates the min cut of a *connected* graph `g` over `k` machines.
+///
+/// Returns `estimate = 0` immediately (after one probe) if `g` is already
+/// disconnected.
+///
+/// ```
+/// use kconn::mincut::{approx_min_cut, MinCutConfig};
+/// use kgraph::generators;
+///
+/// // Two dense blocks joined by 2 unit bridges: lambda = 2.
+/// let g = generators::barbell(16, 2, 1, 5);
+/// let out = approx_min_cut(&g, 4, 5, &MinCutConfig::default());
+/// // The estimate is within the Theorem-3 O(log n) factor of 2.
+/// let ratio = (out.estimate.max(1) as f64 / 2.0).max(2.0 / out.estimate.max(1) as f64);
+/// assert!(ratio <= 4.0 * (g.n() as f64).log2());
+/// ```
+pub fn approx_min_cut(g: &Graph, k: usize, seed: u64, cfg: &MinCutConfig) -> MinCutOutput {
+    let part = Partition::random_vertex(g, k, seed);
+    let shared = SharedRandomness::new(seed ^ 0xC07);
+    let conn_cfg = ConnectivityConfig {
+        bandwidth: cfg.bandwidth,
+        reps: cfg.reps,
+        charge_shared_randomness: cfg.charge_shared_randomness,
+        run_output_protocol: true,
+        max_phases: None,
+        merge: Default::default(),
+        cost_model: Default::default(),
+    };
+    let mut stats = CommStats::new(k);
+    // Probe i = 0 is p = 1 (the input graph itself).
+    let max_probe = 2 + 64 - g
+        .edges()
+        .iter()
+        .map(|e| e.w)
+        .max()
+        .unwrap_or(1)
+        .leading_zeros()
+        + kmachine::bandwidth::ceil_log2(g.n().max(2));
+    let mut disconnecting = None;
+    let mut probes = 0;
+    for i in 0..max_probe {
+        probes += 1;
+        let sampled = sample_subgraph(g, &shared, i);
+        let out =
+            connected_components_with_partition(&sampled, &part, seed ^ (i as u64) << 32, &conn_cfg);
+        stats.absorb(&out.stats);
+        if out.component_count() > 1 {
+            disconnecting = Some(i);
+            break;
+        }
+    }
+    let i_star = disconnecting.unwrap_or(max_probe);
+    // λ is localized around 2^{i*} · Θ(log n); report the geometric pivot.
+    // With p = 2^{-i*} the graph disconnected, so λ ≲ 2^{i*} · O(log n);
+    // with p = 2^{-(i*-1)} it stayed connected, so λ ≳ 2^{i*-1} / O(log n).
+    let estimate = if i_star == 0 { 0 } else { 1u64 << (i_star - 1) };
+    MinCutOutput {
+        estimate,
+        disconnecting_probe: i_star,
+        probes,
+        stats,
+    }
+}
+
+/// The sampled subgraph of probe `i` (`p = 2^{-i}`): shared-randomness
+/// decision per edge, identical on every machine.
+fn sample_subgraph(g: &Graph, shared: &SharedRandomness, probe: u32) -> Graph {
+    if probe == 0 {
+        return g.clone();
+    }
+    let prf = shared.prf(Use::MinCutSample { probe });
+    let n = g.n();
+    let keep = |e: &Edge| -> bool {
+        // Keep with probability 1 − (1−p)^w: simulate w Bernoulli(p) coins
+        // via one PRF stream per unit of weight (w is small in practice;
+        // cap the loop at 64 units — beyond that survival is certain for
+        // any p ≥ 2^-32 we ever probe... keep exact with the cap noted).
+        let id = e.u as u64 * n as u64 + e.v as u64;
+        let units = e.w.min(64);
+        (0..units).any(|t| {
+            let h = prf.eval(id, t);
+            // Keep this unit with probability 2^{-probe}: all `probe`
+            // leading bits zero.
+            probe >= 64 || h >> (64 - probe) == 0
+        })
+    };
+    let edges: Vec<Edge> = g.edges().iter().filter(|e| keep(e)).cloned().collect();
+    Graph::from_dedup_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::{generators, mincut, refalgo};
+
+    #[test]
+    fn sampling_probe0_is_identity() {
+        let g = generators::gnm(50, 120, 1);
+        let shared = SharedRandomness::new(2);
+        let s = sample_subgraph(&g, &shared, 0);
+        assert_eq!(s.m(), g.m());
+    }
+
+    #[test]
+    fn sampling_rate_halves_per_probe() {
+        let g = generators::gnm(200, 4000, 3);
+        let shared = SharedRandomness::new(4);
+        let m1 = sample_subgraph(&g, &shared, 1).m() as f64;
+        let m2 = sample_subgraph(&g, &shared, 2).m() as f64;
+        assert!((m1 / g.m() as f64 - 0.5).abs() < 0.1, "p=1/2 keeps ~half");
+        assert!((m2 / g.m() as f64 - 0.25).abs() < 0.1, "p=1/4 keeps ~quarter");
+    }
+
+    #[test]
+    fn heavier_edges_survive_longer() {
+        let n = 400;
+        let edges: Vec<(u32, u32, u64)> = (0..n as u32 - 1).map(|i| (i, i + 1, 16)).collect();
+        let g = Graph::from_edges(n, edges);
+        let shared = SharedRandomness::new(5);
+        // p = 1/2 with w = 16: survival 1 - 2^-16 each.
+        let s = sample_subgraph(&g, &shared, 1);
+        assert!(s.m() as f64 > 0.99 * g.m() as f64);
+    }
+
+    #[test]
+    fn barbell_estimate_is_within_log_factor() {
+        // Bridge weight 4 between two dense blocks: λ = 4.
+        let g = generators::barbell(24, 4, 1, 7);
+        let lambda = mincut::stoer_wagner(&g).unwrap();
+        assert_eq!(lambda, 4);
+        let out = approx_min_cut(&g, 4, 9, &MinCutConfig::default());
+        let logn = (g.n() as f64).log2();
+        let est = out.estimate.max(1) as f64;
+        let ratio = (est / lambda as f64).max(lambda as f64 / est);
+        assert!(
+            ratio <= 4.0 * logn,
+            "ratio {ratio} exceeds O(log n) = {logn}"
+        );
+        assert!(out.stats.rounds > 0);
+    }
+
+    #[test]
+    fn denser_graphs_need_deeper_probes() {
+        // λ(K_n restricted)… use G(n, m) with increasing density: the
+        // disconnecting probe index must not decrease.
+        let sparse = generators::random_connected(128, 30, 11);
+        let dense = generators::random_connected(128, 1500, 12);
+        let a = approx_min_cut(&sparse, 4, 13, &MinCutConfig::default());
+        let b = approx_min_cut(&dense, 4, 13, &MinCutConfig::default());
+        assert!(
+            b.disconnecting_probe >= a.disconnecting_probe,
+            "denser graph disconnects later: {} vs {}",
+            b.disconnecting_probe,
+            a.disconnecting_probe
+        );
+    }
+
+    #[test]
+    fn disconnected_input_estimates_zero() {
+        let g = generators::planted_components(60, 2, 4, 15);
+        assert!(refalgo::component_count(&g) > 1);
+        let out = approx_min_cut(&g, 4, 16, &MinCutConfig::default());
+        assert_eq!(out.estimate, 0);
+        assert_eq!(out.disconnecting_probe, 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Minimum spanning tree in the k-machine model (paper §3.1, Theorem 2).
+//!
+//! Sketch-based Borůvka: each phase every component finds its minimum-weight
+//! outgoing edge (MWOE) by the `Θ(log n)`-iteration edge-elimination loop —
+//! sample a uniform outgoing edge, broadcast its weight as a threshold,
+//! rebuild sketches restricted to strictly lighter edges, resample — then
+//! merges along MWOEs with the same DRR machinery as connectivity.
+//!
+//! Output criteria (Theorem 2):
+//! * **(a) `AnyMachine`** — every MST edge is output by at least one machine
+//!   (the proxy that chose it). `O~(n/k²)` rounds.
+//! * **(b) `BothEndpoints`** — every MST edge is additionally routed to the
+//!   home machines of both endpoints. This is the regime with the
+//!   `Ω~(n/k)` lower bound of [22] (a machine hosting a high-degree vertex
+//!   must receive the status of all its edges); the extra routing step
+//!   reproduces exactly that bottleneck on star-like graphs (E8).
+
+use crate::engine::{Engine, EngineConfig, EngineResult, Mode};
+use crate::messages::{id_bits, Payload};
+use kgraph::graph::Edge;
+use kgraph::{Graph, Partition};
+use kmachine::bandwidth::Bandwidth;
+use kmachine::bsp::Bsp;
+use kmachine::message::Envelope;
+use kmachine::metrics::CommStats;
+use kmachine::network::NetworkConfig;
+
+/// Which output criterion of Theorem 2 to satisfy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputCriterion {
+    /// Theorem 2(a): each MST edge known by at least one machine.
+    AnyMachine,
+    /// Theorem 2(b): each MST edge known by both endpoint home machines.
+    BothEndpoints,
+}
+
+/// Configuration for an MST run.
+#[derive(Clone, Copy, Debug)]
+pub struct MstConfig {
+    /// Per-link bandwidth policy.
+    pub bandwidth: Bandwidth,
+    /// Sketch repetitions.
+    pub reps: u32,
+    /// Charge the §2.2 shared-randomness distribution cost.
+    pub charge_shared_randomness: bool,
+    /// Which Theorem 2 output criterion to satisfy.
+    pub criterion: OutputCriterion,
+    /// Optional hard phase cap.
+    pub max_phases: Option<u32>,
+}
+
+impl Default for MstConfig {
+    fn default() -> Self {
+        MstConfig {
+            bandwidth: Bandwidth::default(),
+            reps: 5,
+            charge_shared_randomness: true,
+            criterion: OutputCriterion::AnyMachine,
+            max_phases: None,
+        }
+    }
+}
+
+/// The result of an MST run.
+#[derive(Clone, Debug)]
+pub struct MstOutput {
+    /// The spanning-forest edges (canonical, deduplicated, sorted).
+    pub edges: Vec<Edge>,
+    /// Total weight of the output forest.
+    pub total_weight: u128,
+    /// Full communication accounting.
+    pub stats: CommStats,
+    /// Borůvka phases executed.
+    pub phases: u32,
+    /// How many edges each machine output (criterion (a) distribution).
+    pub edges_per_machine: Vec<usize>,
+    /// The isolated cost of the Theorem 2(b) endpoint-routing stage
+    /// (`None` under criterion (a)). On star-like inputs this stage
+    /// concentrates Θ(n) receive bits at one machine — the Ω~(n/k)
+    /// bottleneck of [22] (experiment E8).
+    pub endpoint_routing: Option<CommStats>,
+}
+
+/// Runs the MST algorithm on a weighted graph over `k` machines.
+///
+/// ```
+/// use kconn::mst::{minimum_spanning_tree, MstConfig};
+/// use kgraph::{generators, refalgo};
+///
+/// let g = generators::randomize_weights(&generators::grid(5, 6), 100, 3);
+/// let out = minimum_spanning_tree(&g, 4, 3, &MstConfig::default());
+/// assert!(refalgo::is_spanning_forest(&g, &out.edges));
+/// let kruskal = refalgo::kruskal(&g);
+/// assert_eq!(out.total_weight, refalgo::forest_weight(&kruskal));
+/// ```
+pub fn minimum_spanning_tree(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> MstOutput {
+    let part = Partition::random_vertex(g, k, seed);
+    minimum_spanning_tree_with_partition(g, &part, seed, cfg)
+}
+
+/// Runs the MST algorithm with an explicit partition.
+pub fn minimum_spanning_tree_with_partition(
+    g: &Graph,
+    part: &Partition,
+    seed: u64,
+    cfg: &MstConfig,
+) -> MstOutput {
+    let engine_cfg = EngineConfig {
+        bandwidth: cfg.bandwidth,
+        reps: cfg.reps,
+        charge_shared_randomness: cfg.charge_shared_randomness,
+        run_output_protocol: false,
+        max_phases: cfg.max_phases,
+        merge: Default::default(),
+        cost_model: Default::default(),
+    };
+    let result = Engine::new(g, part, Mode::Mst, seed, engine_cfg).run();
+    let mut stats = result.stats.clone();
+    let mut endpoint_routing = None;
+    if cfg.criterion == OutputCriterion::BothEndpoints {
+        let routing = route_to_endpoints(g, part, &result, cfg);
+        stats.absorb(&routing);
+        endpoint_routing = Some(routing);
+    }
+    let mut edges: Vec<Edge> = result
+        .mst_edges
+        .iter()
+        .map(|&(u, v, w)| Edge::new(u, v, w))
+        .collect();
+    edges.sort_unstable_by_key(|e| (e.u, e.v));
+    edges.dedup();
+    let total_weight = edges.iter().map(|e| e.w as u128).sum();
+    MstOutput {
+        edges,
+        total_weight,
+        stats,
+        phases: result.phases,
+        edges_per_machine: result.mst_edges_per_machine,
+        endpoint_routing,
+    }
+}
+
+/// Theorem 2(b): route every chosen edge to both endpoint home machines.
+/// The per-machine receive load is Θ(deg) edge records — on a star this is
+/// the Ω~(n/k) bottleneck the paper proves unavoidable.
+fn route_to_endpoints(
+    g: &Graph,
+    part: &Partition,
+    result: &EngineResult,
+    cfg: &MstConfig,
+) -> CommStats {
+    let net = NetworkConfig::new(part.k(), cfg.bandwidth, g.n());
+    let mut bsp: Bsp<Payload> = Bsp::new(net);
+    let l = id_bits(g.n());
+    // Reconstruct which machine output each edge (machine order matches the
+    // flattening in EngineResult).
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    for (machine, &cnt) in result.mst_edges_per_machine.iter().enumerate() {
+        for _ in 0..cnt {
+            let (u, v, w) = result.mst_edges[idx];
+            idx += 1;
+            for dst in [part.home(u), part.home(v)] {
+                let payload = Payload::EdgeList {
+                    edges: vec![(u, v, w)],
+                };
+                let bits = payload.wire_bits(l);
+                out.push(Envelope::with_bits(machine, dst, payload, bits));
+            }
+        }
+    }
+    bsp.superstep(out);
+    let _ = bsp.take_all_inboxes();
+    bsp.into_stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::{generators, refalgo};
+
+    fn check(g: &Graph, k: usize, seed: u64) -> MstOutput {
+        let out = minimum_spanning_tree(g, k, seed, &MstConfig::default());
+        let reference = refalgo::kruskal(g);
+        assert!(
+            refalgo::is_spanning_forest(g, &out.edges),
+            "output must be a spanning forest"
+        );
+        assert_eq!(
+            out.total_weight,
+            refalgo::forest_weight(&reference),
+            "forest weight must equal Kruskal's"
+        );
+        out
+    }
+
+    #[test]
+    fn tiny_weighted_square() {
+        let g = Graph::from_edges(
+            4,
+            [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 10)],
+        );
+        let out = check(&g, 2, 3);
+        assert_eq!(out.edges.len(), 3);
+        assert_eq!(out.total_weight, 6);
+    }
+
+    #[test]
+    fn weighted_grid() {
+        let g = generators::randomize_weights(&generators::grid(6, 7), 1000, 5);
+        check(&g, 4, 6);
+    }
+
+    #[test]
+    fn weighted_random_connected() {
+        let g = generators::randomize_weights(&generators::random_connected(150, 200, 7), 500, 8);
+        check(&g, 6, 9);
+    }
+
+    #[test]
+    fn disconnected_graph_yields_spanning_forest() {
+        let g = generators::randomize_weights(&generators::planted_components(120, 3, 5, 10), 99, 11);
+        let out = check(&g, 4, 12);
+        assert_eq!(out.edges.len(), 120 - 3);
+    }
+
+    #[test]
+    fn uniform_weights_still_give_minimum_forest() {
+        // All weights 1: any spanning tree is minimum; the tie-free key
+        // keeps the algorithm deterministic and the forest valid.
+        let g = generators::random_connected(80, 60, 13);
+        check(&g, 4, 14);
+    }
+
+    #[test]
+    fn star_graph_mwoe_everywhere() {
+        let g = generators::randomize_weights(&generators::star(64), 100, 15);
+        let out = check(&g, 4, 16);
+        assert_eq!(out.edges.len(), 63);
+    }
+
+    #[test]
+    fn both_endpoints_criterion_costs_more() {
+        let g = generators::randomize_weights(&generators::star(256), 50, 17);
+        let a = minimum_spanning_tree(
+            &g,
+            8,
+            18,
+            &MstConfig {
+                criterion: OutputCriterion::AnyMachine,
+                ..MstConfig::default()
+            },
+        );
+        let b = minimum_spanning_tree(
+            &g,
+            8,
+            18,
+            &MstConfig {
+                criterion: OutputCriterion::BothEndpoints,
+                ..MstConfig::default()
+            },
+        );
+        assert_eq!(a.total_weight, b.total_weight);
+        assert!(
+            b.stats.rounds > a.stats.rounds,
+            "criterion (b) must pay the endpoint routing: {} vs {}",
+            b.stats.rounds,
+            a.stats.rounds
+        );
+        // The star's hub home machine receives Θ(n) bits under (b).
+        assert!(b.stats.max_machine_recv_bits() > a.stats.max_machine_recv_bits());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = generators::randomize_weights(&generators::gnm(100, 300, 19), 77, 20);
+        let a = minimum_spanning_tree(&g, 4, 21, &MstConfig::default());
+        let b = minimum_spanning_tree(&g, 4, 21, &MstConfig::default());
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.stats.rounds, b.stats.rounds);
+    }
+}

@@ -1,0 +1,152 @@
+//! Randomized proxy computation and DRR ranks (paper §2.2 and §2.5).
+//!
+//! Every machine derives the same hash functions from shared randomness, so
+//! proxy machines and component ranks are computed locally, with no
+//! communication:
+//!
+//! * **Proxies.** The proxy of component `C` in `(phase, iteration)` is
+//!   `h_{phase,iter}(C) ∈ [k]`. Spreading components' communication over
+//!   random proxies is what makes Lemma 1's `O~(n/k²)`-round routing work.
+//!   Phase 0 is special: every vertex is its own singleton component and the
+//!   paper makes each node "the component proxy of its own component"
+//!   (§2.1) — so the phase-0 proxy is the vertex's home machine, and the
+//!   part-to-proxy hop is local and free.
+//! * **Ranks.** DRR draws a random rank per component per phase. We derive
+//!   `rank(C) = PRF(phase, C)`, which every machine evaluates locally —
+//!   same independent-uniform distribution as the paper's communicated
+//!   ranks, strictly less traffic (DESIGN.md §3.2). Ties break by label,
+//!   giving a strict total order, so the DRR digraph is guaranteed acyclic.
+
+use crate::messages::Label;
+use kgraph::Partition;
+use krand::shared::{SharedRandomness, Use};
+
+/// Computes component proxies and ranks for one run. Cheap to construct;
+/// all machines conceptually hold an identical copy.
+#[derive(Clone)]
+pub struct ProxyScheme {
+    shared: SharedRandomness,
+    k: usize,
+}
+
+impl ProxyScheme {
+    /// Builds the scheme from the run's shared randomness.
+    pub fn new(shared: SharedRandomness, k: usize) -> Self {
+        ProxyScheme { shared, k }
+    }
+
+    /// The proxy machine of component `label` in `(phase, iteration)`.
+    ///
+    /// `part` resolves phase-0 labels (vertex ids) to home machines.
+    pub fn proxy_of(&self, part: &Partition, phase: u32, iteration: u32, label: Label) -> usize {
+        if phase == 0 {
+            // §2.1: each vertex starts as the proxy of its own component.
+            return part.home(label as u32);
+        }
+        self.shared
+            .prf(Use::Proxy { phase, iteration })
+            .eval_mod(0, label, self.k as u64) as usize
+    }
+
+    /// The DRR rank of component `label` in `phase`, as a comparable key
+    /// `(rank, label)`. `a` merges toward `b` iff `key(b) > key(a)`.
+    pub fn rank_key(&self, phase: u32, label: Label) -> (u64, Label) {
+        (self.shared.prf(Use::Rank { phase }).eval(0, label), label)
+    }
+
+    /// Whether component `a` should connect to component `b` under DRR.
+    pub fn connects(&self, phase: u32, a: Label, b: Label) -> bool {
+        self.rank_key(phase, b) > self.rank_key(phase, a)
+    }
+
+    /// The footnote-9 coin of component `label` in `phase`: merges happen
+    /// only from a `false`-coin component into a `true`-coin component.
+    pub fn coin(&self, phase: u32, label: Label) -> bool {
+        self.shared.prf(Use::Rank { phase }).eval(1, label) & 1 == 1
+    }
+
+    /// Number of machines.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::generators;
+
+    fn scheme(k: usize) -> (ProxyScheme, Partition) {
+        let g = generators::path(64);
+        let part = Partition::random_vertex(&g, k, 11);
+        (ProxyScheme::new(SharedRandomness::new(7), k), part)
+    }
+
+    #[test]
+    fn phase0_proxy_is_home_machine() {
+        let (s, part) = scheme(4);
+        for v in 0..64u64 {
+            assert_eq!(s.proxy_of(&part, 0, 0, v), part.home(v as u32));
+        }
+    }
+
+    #[test]
+    fn later_phases_hash_labels_to_machines() {
+        let (s, part) = scheme(8);
+        let mut seen = [false; 8];
+        for label in 0..256u64 {
+            let p = s.proxy_of(&part, 3, 0, label);
+            assert!(p < 8);
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all machines should proxy something");
+    }
+
+    #[test]
+    fn proxies_differ_across_phases_and_iterations() {
+        let (s, part) = scheme(16);
+        let labels: Vec<u64> = (0..200).collect();
+        let p1: Vec<usize> = labels.iter().map(|&l| s.proxy_of(&part, 1, 0, l)).collect();
+        let p2: Vec<usize> = labels.iter().map(|&l| s.proxy_of(&part, 2, 0, l)).collect();
+        let p3: Vec<usize> = labels.iter().map(|&l| s.proxy_of(&part, 1, 1, l)).collect();
+        assert_ne!(p1, p2);
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn drr_connection_is_antisymmetric_and_total() {
+        let (s, _) = scheme(4);
+        for a in 0..50u64 {
+            for b in 0..50u64 {
+                if a == b {
+                    assert!(!s.connects(5, a, b));
+                } else {
+                    assert_ne!(
+                        s.connects(5, a, b),
+                        s.connects(5, b, a),
+                        "exactly one direction must win"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coins_are_fair_and_phase_dependent() {
+        let (s, _) = scheme(4);
+        let heads = (0..4000u64).filter(|&l| s.coin(3, l)).count();
+        assert!((1800..2200).contains(&heads), "heads = {heads}");
+        let flips_differ = (0..100u64).any(|l| s.coin(3, l) != s.coin(4, l));
+        assert!(flips_differ, "coins must refresh across phases");
+    }
+
+    #[test]
+    fn ranks_are_roughly_balanced_coin_flips() {
+        // Over random pairs, each side should win about half the time.
+        let (s, _) = scheme(4);
+        let wins = (0..2000u64)
+            .filter(|&i| s.connects(9, 2 * i, 2 * i + 1))
+            .count();
+        assert!((800..1200).contains(&wins), "wins = {wins}");
+    }
+}

@@ -1,0 +1,94 @@
+//! E2/E3/E9 bench: the baselines against the sketch algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kconn::baselines::edge_boruvka::{edge_boruvka_mst_mode, CheckMode};
+use kconn::baselines::flooding::flooding_connectivity;
+use kconn::baselines::referee::referee_connectivity;
+use kconn::baselines::rep_mst::rep_mst;
+use kconn::{connected_components, ConnectivityConfig, MstConfig};
+use kgraph::generators;
+use kmachine::bandwidth::Bandwidth;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_connectivity_baselines(c: &mut Criterion) {
+    let n = 2048;
+    let g = generators::gnm(n, 3 * n, 21);
+    let mut group = c.benchmark_group("connectivity_algorithms");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("sketch", |b| {
+        b.iter(|| {
+            connected_components(black_box(&g), 8, 5, &ConnectivityConfig::default())
+                .stats
+                .rounds
+        })
+    });
+    group.bench_function("flooding", |b| {
+        b.iter(|| {
+            flooding_connectivity(black_box(&g), 8, 5, Bandwidth::default())
+                .stats
+                .rounds
+        })
+    });
+    group.bench_function("referee", |b| {
+        b.iter(|| {
+            referee_connectivity(black_box(&g), 8, 5, Bandwidth::default())
+                .stats
+                .rounds
+        })
+    });
+    group.finish();
+}
+
+fn bench_mst_baselines(c: &mut Criterion) {
+    let n = 512;
+    let g = generators::randomize_weights(&generators::gnm(n, 8 * n, 23), 100_000, 24);
+    let mut group = c.benchmark_group("mst_algorithms");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("sketch", |b| {
+        b.iter(|| {
+            kconn::minimum_spanning_tree(black_box(&g), 8, 5, &MstConfig::default())
+                .stats
+                .rounds
+        })
+    });
+    group.bench_function("ghs_batched", |b| {
+        b.iter(|| {
+            edge_boruvka_mst_mode(
+                black_box(&g),
+                8,
+                5,
+                Bandwidth::default(),
+                CheckMode::BatchedPush,
+            )
+            .stats
+            .rounds
+        })
+    });
+    group.bench_function("ghs_per_edge", |b| {
+        b.iter(|| {
+            edge_boruvka_mst_mode(
+                black_box(&g),
+                8,
+                5,
+                Bandwidth::default(),
+                CheckMode::PerEdgeTest,
+            )
+            .stats
+            .rounds
+        })
+    });
+    group.bench_function("rep_filtering", |b| {
+        b.iter(|| rep_mst(black_box(&g), 8, 5, &MstConfig::default()).mst.stats.rounds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity_baselines, bench_mst_baselines);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E1 bench: the O~(n/k²) connectivity algorithm across machine counts.
+//!
+//! Criterion measures wall-clock simulation time; the model-round data for
+//! EXPERIMENTS.md comes from the `tables` binary. Each iteration runs the
+//! full distributed algorithm and asserts correctness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kconn::{connected_components, ConnectivityConfig};
+use kgraph::{generators, refalgo};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_connectivity_vs_k(c: &mut Criterion) {
+    let n = 2048;
+    let g = generators::gnm(n, 4 * n, 11);
+    let truth = refalgo::component_count(&g);
+    let cfg = ConnectivityConfig::default();
+    let mut group = c.benchmark_group("connectivity_vs_k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let out = connected_components(black_box(&g), k, 7, &cfg);
+                assert_eq!(out.component_count(), truth);
+                out.stats.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_connectivity_vs_n(c: &mut Criterion) {
+    let k = 8;
+    let cfg = ConnectivityConfig::default();
+    let mut group = c.benchmark_group("connectivity_vs_n");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for n in [512usize, 2048, 8192] {
+        let g = generators::gnm(n, 4 * n, 13);
+        let truth = refalgo::component_count(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = connected_components(black_box(&g), k, 7, &cfg);
+                assert_eq!(out.component_count(), truth);
+                out.stats.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity_vs_k, bench_connectivity_vs_n);
+criterion_main!(benches);

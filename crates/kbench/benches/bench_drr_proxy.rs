@@ -1,0 +1,32 @@
+//! E4/E5 bench: proxy routing and DRR merging on the adversarial path
+//! workload (where chain formation would hurt without DRR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kconn::{connected_components, ConnectivityConfig};
+use kgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_path_merging(c: &mut Criterion) {
+    let cfg = ConnectivityConfig::default();
+    let mut group = c.benchmark_group("drr_on_paths");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(3));
+    for n in [1024usize, 4096] {
+        let g = generators::path(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = connected_components(black_box(&g), 8, 51, &cfg);
+                assert_eq!(out.component_count(), 1);
+                // The quantity Lemma 6 bounds:
+                out.drr_depths.iter().copied().max().unwrap_or(0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_merging);
+criterion_main!(benches);

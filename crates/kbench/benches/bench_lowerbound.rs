@@ -1,0 +1,30 @@
+//! E13 bench: the §4 two-party SCS simulation on the Figure-1 gadget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kconn::lowerbound::{simulate_scs_two_party, DisjointnessInstance};
+use kconn::ConnectivityConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_two_party_scs(c: &mut Criterion) {
+    let cfg = ConnectivityConfig::default();
+    let mut group = c.benchmark_group("two_party_scs");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(3));
+    for b_len in [128usize, 512] {
+        let inst = DisjointnessInstance::random(b_len, 300, b_len as u64, Some(true));
+        group.bench_with_input(BenchmarkId::from_parameter(b_len), &b_len, |b, _| {
+            b.iter(|| {
+                let r = simulate_scs_two_party(black_box(&inst), 8, 41, &cfg);
+                assert!(r.verdict);
+                r.cut_bits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_party_scs);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E10 bench: the Theorem-3 min-cut approximation (geometric sampling +
+//! connectivity probes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kconn::{approx_min_cut, MinCutConfig};
+use kgraph::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mincut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mincut_approx");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(4));
+    for bridges in [1usize, 4, 16] {
+        let g = generators::barbell(64, bridges, 1, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bridges),
+            &bridges,
+            |b, _| {
+                b.iter(|| {
+                    approx_min_cut(black_box(&g), 8, 9, &MinCutConfig::default()).estimate
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mincut);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E7/E8 bench: sketch-based MST (Theorem 2) under both output criteria.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kconn::{minimum_spanning_tree, MstConfig, OutputCriterion};
+use kgraph::{generators, refalgo};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mst_vs_k(c: &mut Criterion) {
+    let n = 1024;
+    let g = generators::randomize_weights(&generators::gnm(n, 4 * n, 71), 1_000_000, 72);
+    let expect = refalgo::forest_weight(&refalgo::kruskal(&g));
+    let cfg = MstConfig::default();
+    let mut group = c.benchmark_group("mst_vs_k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let out = minimum_spanning_tree(black_box(&g), k, 73, &cfg);
+                assert_eq!(out.total_weight, expect);
+                out.stats.rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mst_output_criteria(c: &mut Criterion) {
+    let n = 1024;
+    let g = generators::randomize_weights(&generators::star(n), 1000, 81);
+    let mut group = c.benchmark_group("mst_output_criterion");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for (name, criterion) in [
+        ("any_machine", OutputCriterion::AnyMachine),
+        ("both_endpoints", OutputCriterion::BothEndpoints),
+    ] {
+        let cfg = MstConfig {
+            criterion,
+            ..MstConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| minimum_spanning_tree(black_box(&g), 8, 82, &cfg).stats.rounds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst_vs_k, bench_mst_output_criteria);
+criterion_main!(benches);

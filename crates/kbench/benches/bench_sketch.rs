@@ -1,0 +1,101 @@
+//! Microbenches of the linear-sketch substrate (§2.3): building vertex
+//! sketches, merging part sketches, and ℓ₀-sampling queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use krand::shared::SharedRandomness;
+use ksketch::{L0Sketch, SketchFns, SketchParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn setup(n: usize, reps: u32) -> (SketchParams, SketchFns) {
+    let params = SketchParams::for_graph(n, reps);
+    let fns = SketchFns::new(&SharedRandomness::new(7), 1, params);
+    (params, fns)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_build_per_degree");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let n = 1 << 16;
+    let (params, fns) = setup(n, 5);
+    for deg in [8usize, 64, 512] {
+        let neighbors: Vec<u32> = (0..deg as u32).map(|i| 1000 + i).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(deg), &deg, |b, _| {
+            b.iter(|| {
+                let mut s = L0Sketch::new(params);
+                for &nb in &neighbors {
+                    s.add_incident_edge(&fns, black_box(5), nb);
+                }
+                s
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let n = 1 << 16;
+    let (params, fns) = setup(n, 5);
+    let mut parts = Vec::new();
+    for p in 0..64u32 {
+        let mut s = L0Sketch::new(params);
+        for i in 0..16u32 {
+            s.add_incident_edge(&fns, p * 16 + i, 60_000 + i);
+        }
+        parts.push(s);
+    }
+    c.bench_function("sketch_merge_64_parts", |b| {
+        b.iter(|| {
+            let mut acc = L0Sketch::new(params);
+            for s in &parts {
+                acc.merge(black_box(s));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let n = 1 << 16;
+    let (params, fns) = setup(n, 5);
+    let mut group = c.benchmark_group("sketch_query_per_support");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for support in [1usize, 32, 1024] {
+        let mut s = L0Sketch::new(params);
+        for i in 0..support as u32 {
+            s.add_incident_edge(&fns, 3, 10_000 + i);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(support), &support, |b, _| {
+            b.iter(|| black_box(&s).query(&fns))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fns_derivation(c: &mut Criterion) {
+    // Per-phase hash-function setup (includes the fingerprint tables).
+    c.bench_function("sketch_fns_setup_n65536", |b| {
+        let params = SketchParams::for_graph(1 << 16, 5);
+        let shared = SharedRandomness::new(9);
+        let mut phase = 0u32;
+        b.iter(|| {
+            phase = phase.wrapping_add(1);
+            SketchFns::new(black_box(&shared), phase, params)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_merge,
+    bench_query,
+    bench_fns_derivation
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E11 bench: Theorem-4 verification problems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kconn::{verify, ConnectivityConfig};
+use kgraph::generators;
+use rustc_hash::FxHashSet;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_verification(c: &mut Criterion) {
+    let n = 1024;
+    let g = generators::random_connected(n, n / 2, 31);
+    let cfg = ConnectivityConfig::default();
+    let all: FxHashSet<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+    let e0 = g.edges()[0];
+    let mut group = c.benchmark_group("verification");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("spanning_connected_subgraph", |b| {
+        b.iter(|| verify::spanning_connected_subgraph(black_box(&g), &all, 8, 32, &cfg).holds)
+    });
+    group.bench_function("st_connectivity", |b| {
+        b.iter(|| verify::st_connectivity(black_box(&g), 0, (n - 1) as u32, 8, 33, &cfg).holds)
+    });
+    group.bench_function("cut_verification", |b| {
+        let mut cut = FxHashSet::default();
+        cut.insert((e0.u, e0.v));
+        b.iter(|| verify::cut_verification(black_box(&g), &cut, 8, 34, &cfg).holds)
+    });
+    group.bench_function("bipartiteness", |b| {
+        b.iter(|| verify::bipartiteness(black_box(&g), 8, 35, &cfg).holds)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

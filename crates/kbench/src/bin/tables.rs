@@ -1,0 +1,54 @@
+//! Regenerates every experiment table/figure series of the reproduction.
+//!
+//! Usage:
+//!   tables [--quick] [E1 E7 ...]
+//!
+//! Prints markdown sections to stdout and writes raw data points to
+//! `results/experiments.json`. EXPERIMENTS.md records the output of a full
+//! (non-quick) run against the paper's predictions.
+
+use kbench::experiments::{run_experiment, ALL_IDS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+
+    println!("# k-machine reproduction — experiment report");
+    println!(
+        "\nmode: {} | experiments: {}\n",
+        if quick { "quick" } else { "full" },
+        if ids.is_empty() {
+            "all".to_string()
+        } else {
+            ids.join(", ")
+        }
+    );
+
+    let started = Instant::now();
+    let run_ids: Vec<String> = if ids.is_empty() {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+
+    let mut all_records = Vec::new();
+    for id in &run_ids {
+        let t = Instant::now();
+        let out = run_experiment(id, quick)
+            .unwrap_or_else(|| panic!("unknown experiment id {id:?}; known: {ALL_IDS:?}"));
+        println!("{}", out.markdown);
+        println!("_({} took {:.1?})_\n", id, t.elapsed());
+        all_records.extend(out.records);
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&all_records).expect("serialize");
+    std::fs::write("results/experiments.json", json).expect("write results");
+    println!(
+        "\nwrote {} records to results/experiments.json in {:.1?}",
+        all_records.len(),
+        started.elapsed()
+    );
+}

@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+//! Experiment harness: workload definitions and result records shared by
+//! the `tables` binary (which regenerates every table/figure series of
+//! DESIGN.md §4) and the Criterion benches.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_all, run_experiment, ExperimentRecord};
+pub use table::Table;

@@ -1,0 +1,380 @@
+//! Seeded synthetic graph generators for every workload in DESIGN.md §4.
+//!
+//! All generators are deterministic in their seed, so experiments and tests
+//! are exactly reproducible. The Figure-1 lower-bound gadget lives in
+//! `kconn::lowerbound::figure1` (it also needs the subgraph H); everything
+//! else is here.
+
+use crate::graph::{Edge, Graph, VertexId, Weight};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair independently with probability `p`.
+/// Uses geometric skipping, so the cost is O(m), not O(n²).
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut r = rng(seed);
+    let mut edges = Vec::new();
+    if p <= 0.0 || n < 2 {
+        return Graph::from_dedup_edges(n, edges);
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    // Iterate pair indices 0..n(n-1)/2 with geometric jumps.
+    let total: u64 = n as u64 * (n as u64 - 1) / 2;
+    let log1p = (1.0 - p).ln();
+    let mut i: u64 = 0;
+    loop {
+        let u: f64 = r.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log1p).floor() as u64;
+        i = i.saturating_add(skip);
+        if i >= total {
+            break;
+        }
+        let (a, b) = pair_from_index(i, n as u64);
+        edges.push(Edge::new(a, b, 1));
+        i += 1;
+    }
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Maps a linear index in `[0, n(n-1)/2)` to the lexicographic pair `(a, b)`.
+fn pair_from_index(idx: u64, n: u64) -> (VertexId, VertexId) {
+    // Row a starts at offset a*n - a*(a+1)/2 - a ... solve by walking rows is
+    // O(n); use the closed-form via quadratic inversion instead.
+    // Offset of row a is: S(a) = a*(2n - a - 1) / 2.
+    // Find the largest a with S(a) <= idx.
+    let fa = {
+        let nf = n as f64;
+        let disc = (2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * idx as f64;
+        ((2.0 * nf - 1.0 - disc.max(0.0).sqrt()) / 2.0).floor() as u64
+    };
+    let mut a = fa.min(n - 2);
+    // Fix up float error by local search.
+    let s = |a: u64| a * (2 * n - a - 1) / 2;
+    while a > 0 && s(a) > idx {
+        a -= 1;
+    }
+    while a < n - 2 && s(a + 1) <= idx {
+        a += 1;
+    }
+    let b = a + 1 + (idx - s(a));
+    (a as VertexId, b as VertexId)
+}
+
+/// Uniform `G(n, m)`: exactly `m` distinct edges chosen uniformly.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let total = n as u64 * (n as u64 - 1) / 2;
+    assert!(m as u64 <= total, "too many edges requested");
+    let mut r = rng(seed);
+    let mut chosen: FxHashSet<u64> = FxHashSet::default();
+    while chosen.len() < m {
+        chosen.insert(r.gen_range(0..total));
+    }
+    let edges = chosen
+        .into_iter()
+        .map(|i| {
+            let (a, b) = pair_from_index(i, n as u64);
+            Edge::new(a, b, 1)
+        })
+        .collect();
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Simple path `0 - 1 - ... - (n-1)` (diameter `n-1`).
+pub fn path(n: usize) -> Graph {
+    let edges = (0..n.saturating_sub(1) as u32)
+        .map(|i| Edge::new(i, i + 1, 1))
+        .collect();
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3);
+    let mut edges: Vec<Edge> = (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 1)).collect();
+    edges.push(Edge::new(n as u32 - 1, 0, 1));
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// `rows x cols` grid (diameter `rows + cols - 2`).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1), 1));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c), 1));
+            }
+        }
+    }
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Star: vertex 0 joined to all others. The Theorem 2(b) worst case — one
+/// home machine must learn the status of `n-1` edges.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2);
+    let edges = (1..n as u32).map(|v| Edge::new(0, v, 1)).collect();
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            edges.push(Edge::new(a, b, 1));
+        }
+    }
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Uniform random labelled tree via a Prüfer-like attachment: vertex `i`
+/// attaches to a uniform vertex in `[0, i)`. Connected, `n - 1` edges.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let edges = (1..n as u32)
+        .map(|v| Edge::new(v, r.gen_range(0..v), 1))
+        .collect();
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// A connected graph: random tree plus `extra` random non-tree edges.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let mut edges: Vec<Edge> = (1..n as u32)
+        .map(|v| {
+            let u = r.gen_range(0..v);
+            seen.insert((u.min(v), u.max(v)));
+            Edge::new(v, u, 1)
+        })
+        .collect();
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let budget = (total - (n as u64 - 1)).min(extra as u64);
+    while (edges.len() as u64) < n as u64 - 1 + budget {
+        let a = r.gen_range(0..n as u32);
+        let b = r.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            edges.push(Edge::new(a, b, 1));
+        }
+    }
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Planted components: `parts` disjoint random-connected blocks of (roughly)
+/// equal size. Vertex ids are shuffled so components do not align with
+/// machine hashing. Ground truth component count == `parts`.
+pub fn planted_components(n: usize, parts: usize, extra_per_part: usize, seed: u64) -> Graph {
+    assert!(parts >= 1 && parts <= n);
+    let mut r = rng(seed);
+    // Shuffled vertex ids.
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = r.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    let mut edges = Vec::new();
+    let base = n / parts;
+    let mut start = 0usize;
+    for p in 0..parts {
+        let size = base + usize::from(p < n % parts);
+        let block = &ids[start..start + size];
+        start += size;
+        if size <= 1 {
+            continue;
+        }
+        // Random tree within the block...
+        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for i in 1..size {
+            let j = r.gen_range(0..i);
+            let (a, b) = (block[i], block[j]);
+            seen.insert((a.min(b), a.max(b)));
+            edges.push(Edge::new(a, b, 1));
+        }
+        // ...plus extra intra-block edges.
+        let mut added = 0usize;
+        let cap = size * (size - 1) / 2 - (size - 1);
+        while added < extra_per_part.min(cap) {
+            let a = block[r.gen_range(0..size)];
+            let b = block[r.gen_range(0..size)];
+            if a == b {
+                continue;
+            }
+            if seen.insert((a.min(b), a.max(b))) {
+                edges.push(Edge::new(a, b, 1));
+                added += 1;
+            }
+        }
+    }
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Barbell: two random-connected dense blocks joined by `bridge_w`-weighted
+/// bridges. Known min cut = sum of bridge weights (when blocks are denser).
+pub fn barbell(block: usize, bridges: usize, bridge_w: Weight, seed: u64) -> Graph {
+    assert!(block >= 2 && bridges >= 1 && bridges <= block);
+    let n = 2 * block;
+    let g1 = random_connected(block, block, seed ^ 1);
+    let g2 = random_connected(block, block, seed ^ 2);
+    let mut edges: Vec<Edge> = Vec::new();
+    for e in g1.edges() {
+        edges.push(Edge::new(e.u, e.v, bridge_w * 4 + 1));
+    }
+    for e in g2.edges() {
+        edges.push(Edge::new(
+            e.u + block as u32,
+            e.v + block as u32,
+            bridge_w * 4 + 1,
+        ));
+    }
+    for i in 0..bridges as u32 {
+        edges.push(Edge::new(i, i + block as u32, bridge_w));
+    }
+    Graph::from_dedup_edges(n, edges)
+}
+
+/// Assigns distinct-looking random weights in `[1, max_w]` to a graph's
+/// edges (ties remain possible; the `(w,u,v)` comparator handles them).
+pub fn randomize_weights(g: &Graph, max_w: Weight, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let edges = g
+        .edges()
+        .iter()
+        .map(|e| Edge::new(e.u, e.v, r.gen_range(1..=max_w)))
+        .collect();
+    Graph::from_dedup_edges(g.n(), edges)
+}
+
+/// An even cycle (bipartite) or odd cycle (not) — verification workloads.
+pub fn parity_cycle(n: usize, odd: bool) -> Graph {
+    let n = if (n % 2 == 1) == odd { n } else { n + 1 };
+    cycle(n.max(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refalgo;
+
+    #[test]
+    fn pair_from_index_roundtrip() {
+        let n = 17u64;
+        let mut idx = 0u64;
+        for a in 0..n - 1 {
+            for b in (a + 1)..n {
+                assert_eq!(pair_from_index(idx, n), (a as u32, b as u32), "idx {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_edge_count_is_plausible() {
+        let n = 400;
+        let p = 0.02;
+        let g = gnp(n, p, 7);
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let m = g.m() as f64;
+        assert!(
+            (m - expect).abs() < 5.0 * expect.sqrt() + 10.0,
+            "m={m} expect~{expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_count_and_no_duplicates() {
+        let g = gnm(100, 300, 3);
+        assert_eq!(g.m(), 300);
+    }
+
+    #[test]
+    fn structured_generators_shapes() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(grid(3, 4).m(), 3 * 3 + 2 * 4);
+        assert_eq!(star(6).m(), 5);
+        assert_eq!(complete(6).m(), 15);
+        assert_eq!(refalgo::diameter_lower_bound(&path(50), 0), 49);
+    }
+
+    #[test]
+    fn random_tree_is_connected_acyclic() {
+        let g = random_tree(200, 11);
+        assert_eq!(g.m(), 199);
+        assert!(refalgo::is_connected(&g));
+        assert!(!refalgo::has_cycle(&g));
+    }
+
+    #[test]
+    fn random_connected_is_connected_with_extras() {
+        let g = random_connected(150, 100, 5);
+        assert!(refalgo::is_connected(&g));
+        assert_eq!(g.m(), 149 + 100);
+    }
+
+    #[test]
+    fn planted_components_have_exact_count() {
+        for parts in [1usize, 2, 5, 9] {
+            let g = planted_components(300, parts, 3, 42 + parts as u64);
+            assert_eq!(refalgo::component_count(&g), parts, "parts {parts}");
+        }
+    }
+
+    #[test]
+    fn barbell_min_cut_is_bridges() {
+        let g = barbell(8, 2, 5, 9);
+        assert_eq!(crate::mincut::stoer_wagner(&g), Some(10));
+    }
+
+    #[test]
+    fn randomize_weights_preserves_topology() {
+        let g = grid(4, 4);
+        let w = randomize_weights(&g, 1000, 13);
+        assert_eq!(w.m(), g.m());
+        assert!(w.edges().iter().all(|e| (1..=1000).contains(&e.w)));
+        assert!(w
+            .edges()
+            .iter()
+            .zip(g.edges())
+            .all(|(a, b)| (a.u, a.v) == (b.u, b.v)));
+    }
+
+    #[test]
+    fn parity_cycle_parities() {
+        assert!(crate::refalgo::bipartition(&parity_cycle(10, false)).is_some());
+        assert!(crate::refalgo::bipartition(&parity_cycle(10, true)).is_none());
+        assert!(crate::refalgo::bipartition(&parity_cycle(11, true)).is_none());
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = gnp(200, 0.05, 99);
+        let b = gnp(200, 0.05, 99);
+        assert_eq!(a.edges(), b.edges());
+        let c = gnm(200, 400, 5);
+        let d = gnm(200, 400, 5);
+        assert_eq!(c.edges(), d.edges());
+    }
+}

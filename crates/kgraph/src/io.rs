@@ -1,0 +1,141 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: first line `n m`, then one `u v w` triple per line. Lines whose
+//! first non-space character is `#` are comments. Round-trip tested.
+
+use crate::graph::{Edge, Graph};
+use std::fmt::Write as _;
+
+/// Serializes a graph to the edge-list text format.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", g.n(), g.m());
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {} {}", e.u, e.v, e.w);
+    }
+    out
+}
+
+/// Errors from [`from_edge_list`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line `n m` is missing or malformed.
+    BadHeader,
+    /// An edge line failed to parse (line number, 1-based).
+    BadEdge(usize),
+    /// The edge count in the header disagrees with the body.
+    CountMismatch {
+        /// Edge count declared in the header.
+        expected: usize,
+        /// Edges actually present in the body.
+        found: usize,
+    },
+    /// An endpoint id is outside `[0, n)` (line number, 1-based).
+    OutOfRange(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or malformed `n m` header"),
+            ParseError::BadEdge(l) => write!(f, "malformed edge on line {l}"),
+            ParseError::CountMismatch { expected, found } => {
+                write!(f, "header declared {expected} edges but found {found}")
+            }
+            ParseError::OutOfRange(l) => write!(f, "endpoint out of range on line {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the edge-list text format.
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines.next().ok_or(ParseError::BadHeader)?;
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or(ParseError::BadHeader)?;
+    let m: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or(ParseError::BadHeader)?;
+    let mut edges = Vec::with_capacity(m);
+    for (lineno, line) in lines {
+        let mut t = line.split_whitespace();
+        let u: u32 = t
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or(ParseError::BadEdge(lineno))?;
+        let v: u32 = t
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or(ParseError::BadEdge(lineno))?;
+        let w: u64 = match t.next() {
+            Some(x) => x.parse().map_err(|_| ParseError::BadEdge(lineno))?,
+            None => 1,
+        };
+        if u as usize >= n || v as usize >= n || u == v {
+            return Err(ParseError::OutOfRange(lineno));
+        }
+        edges.push(Edge::new(u, v, w));
+    }
+    if edges.len() != m {
+        return Err(ParseError::CountMismatch {
+            expected: m,
+            found: edges.len(),
+        });
+    }
+    Ok(Graph::from_dedup_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = generators::randomize_weights(&generators::gnm(60, 150, 4), 99, 5);
+        let text = to_edge_list(&g);
+        let h = from_edge_list(&text).unwrap();
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn comments_and_default_weight() {
+        let text = "# a comment\n3 2\n0 1\n# another\n1 2 7\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        assert_eq!(g.edge_weight(1, 2), Some(7));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(from_edge_list("").unwrap_err(), ParseError::BadHeader);
+        assert_eq!(from_edge_list("x y\n").unwrap_err(), ParseError::BadHeader);
+        assert_eq!(
+            from_edge_list("3 1\n0 zzz\n").unwrap_err(),
+            ParseError::BadEdge(2)
+        );
+        assert_eq!(
+            from_edge_list("3 1\n0 5\n").unwrap_err(),
+            ParseError::OutOfRange(2)
+        );
+        assert_eq!(
+            from_edge_list("3 2\n0 1\n").unwrap_err(),
+            ParseError::CountMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Graph substrate for the k-machine reproduction.
+//!
+//! Provides the input-graph representation shared by all algorithms, seeded
+//! synthetic generators for every workload in the experiment index
+//! (DESIGN.md §4), the random vertex / random edge partition models of the
+//! paper (§1.1, §1.3), and exact sequential reference algorithms used as
+//! ground truth for the Monte-Carlo distributed algorithms: union-find
+//! connectivity, Kruskal MST, BFS / s-t connectivity / bipartiteness, and
+//! Stoer–Wagner min-cut.
+
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod mincut;
+pub mod partition;
+pub mod refalgo;
+pub mod unionfind;
+
+pub use graph::{Graph, VertexId, Weight};
+pub use partition::{Partition, PartitionKind};
+pub use unionfind::UnionFind;

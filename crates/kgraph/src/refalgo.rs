@@ -1,0 +1,279 @@
+//! Exact sequential reference algorithms (ground truth for every
+//! Monte-Carlo distributed output).
+
+use crate::graph::{Edge, Graph, VertexId, Weight};
+use crate::unionfind::UnionFind;
+use std::collections::VecDeque;
+
+/// Connected-component labels: `label[v]` = min vertex id in `v`'s component.
+pub fn connected_components(g: &Graph) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.n());
+    for e in g.edges() {
+        uf.union(e.u, e.v);
+    }
+    uf.canonical_labels()
+}
+
+/// Number of connected components.
+pub fn component_count(g: &Graph) -> usize {
+    let mut uf = UnionFind::new(g.n());
+    for e in g.edges() {
+        uf.union(e.u, e.v);
+    }
+    uf.count()
+}
+
+/// Whether the whole graph is connected (`n == 0` counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() == 0 || component_count(g) == 1
+}
+
+/// Whether `s` and `t` are in the same component.
+pub fn st_connected(g: &Graph, s: VertexId, t: VertexId) -> bool {
+    let mut uf = UnionFind::new(g.n());
+    for e in g.edges() {
+        uf.union(e.u, e.v);
+    }
+    uf.connected(s, t)
+}
+
+/// BFS distances from `src` (`u32::MAX` = unreachable).
+pub fn bfs_distances(g: &Graph, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(x) = q.pop_front() {
+        let d = dist[x as usize];
+        for &(nb, _) in g.neighbors(x) {
+            if dist[nb as usize] == u32::MAX {
+                dist[nb as usize] = d + 1;
+                q.push_back(nb);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity-based diameter estimate: max BFS distance from `src`'s
+/// component (exact diameter for trees when double-sweeped; a lower bound in
+/// general, which is all the flooding baseline analysis needs).
+pub fn eccentricity(g: &Graph, src: VertexId) -> u32 {
+    bfs_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep diameter lower bound: BFS from `src`, then BFS from the
+/// farthest vertex found.
+pub fn diameter_lower_bound(g: &Graph, src: VertexId) -> u32 {
+    let d0 = bfs_distances(g, src);
+    let far = d0
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as u32)
+        .unwrap_or(src);
+    eccentricity(g, far)
+}
+
+/// 2-coloring test: returns a coloring if `g` is bipartite, `None` otherwise.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let n = g.n();
+    let mut color = vec![u8::MAX; n];
+    for start in 0..n as u32 {
+        if color[start as usize] != u8::MAX {
+            continue;
+        }
+        color[start as usize] = 0;
+        let mut q = VecDeque::from([start]);
+        while let Some(x) = q.pop_front() {
+            let cx = color[x as usize];
+            for &(nb, _) in g.neighbors(x) {
+                if color[nb as usize] == u8::MAX {
+                    color[nb as usize] = 1 - cx;
+                    q.push_back(nb);
+                } else if color[nb as usize] == cx {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+/// Whether the graph contains any cycle. A forest has `n - #components`
+/// edges; any extra edge closes a cycle.
+pub fn has_cycle(g: &Graph) -> bool {
+    g.m() > g.n() - component_count(g)
+}
+
+/// Whether edge `(u, v)` lies on some cycle: true iff `u` and `v` remain
+/// connected after removing the edge.
+pub fn edge_on_cycle(g: &Graph, u: VertexId, v: VertexId) -> bool {
+    debug_assert!(g.has_edge(u, v));
+    let mut uf = UnionFind::new(g.n());
+    for e in g.edges() {
+        if (e.u, e.v) != (u.min(v), u.max(v)) {
+            uf.union(e.u, e.v);
+        }
+    }
+    uf.connected(u, v)
+}
+
+/// Kruskal's algorithm with the tie-free `(w, u, v)` comparator.
+/// Returns the unique minimum spanning forest.
+pub fn kruskal(g: &Graph) -> Vec<Edge> {
+    let mut order: Vec<&Edge> = g.edges().iter().collect();
+    order.sort_unstable_by_key(|e| Graph::edge_key(e));
+    let mut uf = UnionFind::new(g.n());
+    let mut out = Vec::new();
+    for e in order {
+        if uf.union(e.u, e.v) {
+            out.push(*e);
+        }
+    }
+    out
+}
+
+/// Total weight of an edge set.
+pub fn forest_weight(edges: &[Edge]) -> u128 {
+    edges.iter().map(|e| e.w as u128).sum()
+}
+
+/// Checks that `edges` forms a spanning forest of `g` with one tree per
+/// component of `g` (i.e. a spanning tree of each component).
+pub fn is_spanning_forest(g: &Graph, edges: &[Edge]) -> bool {
+    // Every claimed edge must exist in g with matching weight.
+    for e in edges {
+        match g.edge_weight(e.u, e.v) {
+            Some(w) if w == e.w => {}
+            _ => return false,
+        }
+    }
+    // Acyclic and spanning: unions must all succeed, and the final component
+    // count must match g's.
+    let mut uf = UnionFind::new(g.n());
+    for e in edges {
+        if !uf.union(e.u, e.v) {
+            return false; // cycle
+        }
+    }
+    uf.count() == component_count(g)
+}
+
+/// The weight of each vertex's minimum-key incident edge; `None` for
+/// isolated vertices. Used to sanity-check MWOE selection in tests.
+pub fn min_incident_key(g: &Graph, v: VertexId) -> Option<(Weight, VertexId, VertexId)> {
+    g.neighbors(v)
+        .iter()
+        .map(|&(nb, w)| {
+            let (a, b) = if v < nb { (v, nb) } else { (nb, v) };
+            (w, a, b)
+        })
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        Graph::unweighted(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn components_of_disjoint_triangles() {
+        let g = two_triangles();
+        let labels = connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);
+        assert_eq!(component_count(&g), 2);
+        assert!(!is_connected(&g));
+        assert!(st_connected(&g, 0, 2));
+        assert!(!st_connected(&g, 0, 3));
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = Graph::unweighted(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(eccentricity(&g, 2), 2);
+        assert_eq!(diameter_lower_bound(&g, 2), 4);
+    }
+
+    #[test]
+    fn bipartition_detects_odd_cycles() {
+        let even = Graph::unweighted(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(bipartition(&even).is_some());
+        let odd = Graph::unweighted(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(bipartition(&odd).is_none());
+    }
+
+    #[test]
+    fn bipartition_coloring_is_proper() {
+        let g = Graph::unweighted(6, [(0, 3), (0, 4), (1, 4), (1, 5), (2, 5)]);
+        let c = bipartition(&g).expect("bipartite");
+        for e in g.edges() {
+            assert_ne!(c[e.u as usize], c[e.v as usize]);
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let tree = Graph::unweighted(4, [(0, 1), (1, 2), (1, 3)]);
+        assert!(!has_cycle(&tree));
+        let g = two_triangles();
+        assert!(has_cycle(&g));
+        assert!(edge_on_cycle(&g, 0, 1));
+        let bridge = Graph::unweighted(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(!edge_on_cycle(&bridge, 1, 2));
+    }
+
+    #[test]
+    fn kruskal_on_weighted_square() {
+        // Square with one heavy diagonal: MST must avoid the heaviest edge.
+        let g = Graph::from_edges(
+            4,
+            [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 10)],
+        );
+        let mst = kruskal(&g);
+        assert_eq!(mst.len(), 3);
+        assert_eq!(forest_weight(&mst), 6);
+        assert!(is_spanning_forest(&g, &mst));
+    }
+
+    #[test]
+    fn kruskal_ties_are_deterministic() {
+        // All weights equal: the (w, u, v) comparator picks a unique forest.
+        let g = Graph::from_edges(4, [(0, 1, 5), (1, 2, 5), (2, 3, 5), (3, 0, 5)]);
+        let a = kruskal(&g);
+        let b = kruskal(&g);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(is_spanning_forest(&g, &a));
+    }
+
+    #[test]
+    fn spanning_forest_validation_rejects_bad_sets() {
+        let g = two_triangles();
+        // A cycle is not a forest.
+        let cyc: Vec<Edge> = g.edges()[0..3].to_vec();
+        assert!(!is_spanning_forest(&g, &cyc));
+        // Too few edges leaves extra components.
+        let forest = vec![g.edges()[0]];
+        assert!(!is_spanning_forest(&g, &forest));
+        // A proper spanning forest passes.
+        let mst = kruskal(&g);
+        assert!(is_spanning_forest(&g, &mst));
+    }
+
+    #[test]
+    fn min_incident_key_picks_lightest() {
+        let g = Graph::from_edges(3, [(0, 1, 9), (0, 2, 4)]);
+        assert_eq!(min_incident_key(&g, 0), Some((4, 0, 2)));
+        assert_eq!(min_incident_key(&g, 1), Some((9, 0, 1)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-link bandwidth policies.
+//!
+//! The model grants each link `O(polylog n)` bits per round. The default
+//! used by all experiments is `c · ⌈log₂ n⌉²` bits (the paper's hidden
+//! polylog is at most `log³ n`; a `log² n` link budget with `log n`-bit
+//! words keeps message counts and round counts in the paper's regime).
+
+/// Which §1.1 communication restriction to charge rounds under.
+///
+/// The paper gives two equivalent views of the model: a per-*link* budget
+/// of `W` bits per round (the default, used by all bounds), or a per-
+/// *machine* budget — each machine may send/receive at most `W·(k−1)` bits
+/// per round in total, however distributed over its links. The two differ
+/// by at most a `k−1` factor in either direction and are interchangeable
+/// for the asymptotic results ([22], Theorem 4.1); experiment E19 measures
+/// the actual gap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// `W` bits per directed link per round (the standard model).
+    #[default]
+    PerLink,
+    /// `W·(k−1)` bits total per machine per round, send and receive each.
+    PerMachine,
+}
+
+/// How many bits a directed link may carry per round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bandwidth {
+    /// A fixed number of bits per round.
+    Bits(u64),
+    /// `c · ⌈log₂ n⌉²` bits per round — the standard polylog budget.
+    PolylogSquared {
+        /// The leading constant `c`.
+        c: u64,
+    },
+}
+
+impl Bandwidth {
+    /// Resolves the policy against the instance size `n`.
+    pub fn bits_per_round(self, n: usize) -> u64 {
+        match self {
+            Bandwidth::Bits(b) => b.max(1),
+            Bandwidth::PolylogSquared { c } => {
+                let log = ceil_log2(n.max(2)) as u64;
+                (c * log * log).max(1)
+            }
+        }
+    }
+}
+
+impl Default for Bandwidth {
+    /// `8 · log² n` bits per round.
+    fn default() -> Self {
+        Bandwidth::PolylogSquared { c: 8 }
+    }
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1` (0 for `x = 1`).
+pub fn ceil_log2(x: usize) -> u32 {
+    debug_assert!(x >= 1);
+    (usize::BITS - (x - 1).leading_zeros()).min(usize::BITS)
+}
+
+/// The number of bits needed to name one of `x` distinct values (at least 1).
+pub fn id_bits(x: usize) -> u64 {
+    ceil_log2(x.max(2)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn polylog_budget_grows_with_n() {
+        let b = Bandwidth::PolylogSquared { c: 8 };
+        assert_eq!(b.bits_per_round(1 << 10), 8 * 10 * 10);
+        assert_eq!(b.bits_per_round(1 << 20), 8 * 20 * 20);
+        assert!(b.bits_per_round(2) >= 1);
+    }
+
+    #[test]
+    fn fixed_budget_is_fixed_and_positive() {
+        assert_eq!(Bandwidth::Bits(100).bits_per_round(1 << 30), 100);
+        assert_eq!(Bandwidth::Bits(0).bits_per_round(10), 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Superstep (BSP) execution: the layer the paper's algorithms run on.
+//!
+//! Every algorithm in the paper is a sequence of message batches whose
+//! delivery cost is the congestion bound of Lemma 1: delivering a batch
+//! takes exactly `max_{directed link} ⌈bits(link)/W⌉` rounds, because the
+//! complete topology gives every ordered pair its own dedicated link and
+//! batches are enqueued simultaneously. [`Bsp::superstep`] charges exactly
+//! that (the fine-grained [`crate::network::Network`] provably needs the
+//! same number of rounds — see this module's tests and the crate's
+//! proptests), and routes messages into per-machine inboxes.
+
+use crate::message::Envelope;
+use crate::metrics::{CommStats, SuperstepLoad};
+use crate::network::NetworkConfig;
+use rustc_hash::FxHashMap;
+
+/// The superstep runner.
+///
+/// ```
+/// use kmachine::bsp::Bsp;
+/// use kmachine::bandwidth::Bandwidth;
+/// use kmachine::message::Envelope;
+/// use kmachine::network::NetworkConfig;
+///
+/// let mut bsp: Bsp<u64> = Bsp::new(NetworkConfig::new(3, Bandwidth::Bits(64), 64));
+/// // Two 64-bit messages on the same link: 2 rounds; one elsewhere: parallel.
+/// bsp.superstep(vec![
+///     Envelope::new(0, 1, 7u64),
+///     Envelope::new(0, 1, 8u64),
+///     Envelope::new(2, 0, 9u64),
+/// ]);
+/// assert_eq!(bsp.stats().rounds, 2);
+/// assert_eq!(bsp.take_inbox(1).len(), 2);
+/// ```
+pub struct Bsp<M> {
+    cfg: NetworkConfig,
+    w: u64,
+    stats: CommStats,
+    inboxes: Vec<Vec<Envelope<M>>>,
+    /// Optional machine bipartition: `cut[i]` is machine `i`'s side; bits
+    /// crossing sides accumulate into `stats.cut_bits` (§4 harness).
+    cut: Option<Vec<bool>>,
+}
+
+impl<M> Bsp<M> {
+    /// Creates a runner over `k` machines.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        assert!(cfg.k >= 2, "the model requires k >= 2");
+        Bsp {
+            w: cfg.link_bits(),
+            stats: CommStats::new(cfg.k),
+            inboxes: (0..cfg.k).map(|_| Vec::new()).collect(),
+            cut: None,
+            cfg,
+        }
+    }
+
+    /// Tracks bits crossing a machine bipartition (`side[i]` = machine `i`'s
+    /// side). Used by the §4 Alice/Bob communication-complexity harness.
+    pub fn set_cut(&mut self, side: Vec<bool>) {
+        assert_eq!(side.len(), self.cfg.k);
+        self.cut = Some(side);
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// The per-link budget `W` in bits per round.
+    pub fn link_bits(&self) -> u64 {
+        self.w
+    }
+
+    /// Executes one superstep: routes `outgoing` (any order), charges
+    /// `max_link ⌈bits/W⌉` rounds, and appends to the receivers' inboxes.
+    ///
+    /// Self-addressed messages are delivered for free (local computation
+    /// costs nothing in the model). A superstep with no cross-machine
+    /// message charges zero rounds: it is not a communication step.
+    pub fn superstep(&mut self, outgoing: Vec<Envelope<M>>) {
+        let mut link_bits: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        let mut machine_out = vec![0u64; self.cfg.k];
+        let mut machine_in = vec![0u64; self.cfg.k];
+        let mut total = 0u64;
+        let mut messages = 0u64;
+        for env in outgoing {
+            assert!(env.src < self.cfg.k && env.dst < self.cfg.k, "bad machine id");
+            if env.is_local() {
+                self.inboxes[env.dst].push(env);
+                continue;
+            }
+            let bits = env.bits.max(1);
+            *link_bits.entry((env.src as u32, env.dst as u32)).or_insert(0) += bits;
+            machine_out[env.src] += bits;
+            machine_in[env.dst] += bits;
+            total += bits;
+            messages += 1;
+            self.stats.sent_bits[env.src] += bits;
+            self.stats.recv_bits[env.dst] += bits;
+            if let Some(cut) = &self.cut {
+                if cut[env.src] != cut[env.dst] {
+                    self.stats.cut_bits += bits;
+                }
+            }
+            self.inboxes[env.dst].push(env);
+        }
+        let max_link = link_bits.values().copied().max().unwrap_or(0);
+        let rounds = match self.cfg.cost_model {
+            crate::bandwidth::CostModel::PerLink => max_link.div_ceil(self.w),
+            crate::bandwidth::CostModel::PerMachine => {
+                // §1.1 alternate view: each machine moves at most
+                // W·(k−1) bits per round, send and receive separately.
+                let budget = self.w * (self.cfg.k as u64 - 1);
+                let max_machine = machine_out
+                    .iter()
+                    .chain(machine_in.iter())
+                    .copied()
+                    .max()
+                    .unwrap_or(0);
+                max_machine.div_ceil(budget)
+            }
+        };
+        self.stats.rounds += rounds;
+        self.stats.supersteps += 1;
+        self.stats.messages += messages;
+        self.stats.total_bits += total;
+        self.stats.max_link_bits = self.stats.max_link_bits.max(max_link);
+        self.stats.superstep_loads.push(SuperstepLoad {
+            max_link_bits: max_link,
+            total_bits: total,
+            messages,
+            rounds,
+        });
+    }
+
+    /// Takes machine `i`'s inbox (clearing it).
+    pub fn take_inbox(&mut self, i: usize) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.inboxes[i])
+    }
+
+    /// Takes all inboxes at once (indexed by machine).
+    pub fn take_all_inboxes(&mut self) -> Vec<Vec<Envelope<M>>> {
+        let k = self.cfg.k;
+        (0..k).map(|i| std::mem::take(&mut self.inboxes[i])).collect()
+    }
+
+    /// Charges extra rounds for a modeled sub-protocol that is not executed
+    /// message-by-message (e.g. the §2.2 shared-randomness distribution).
+    /// `bits_from_one_machine` is attributed to machine `src`'s send load.
+    pub fn charge_modeled_rounds(&mut self, rounds: u64, bits_from_one_machine: u64, src: usize) {
+        self.stats.rounds += rounds;
+        self.stats.total_bits += bits_from_one_machine;
+        if src < self.stats.sent_bits.len() {
+            self.stats.sent_bits[src] += bits_from_one_machine;
+        }
+    }
+
+    /// Charges one barrier round (e.g. a termination-detection exchange that
+    /// moves O(k) tiny messages; the model still spends a round on it).
+    pub fn charge_barrier(&mut self) {
+        self.stats.rounds += 1;
+    }
+
+    /// Communication statistics so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Consumes the runner, returning its statistics.
+    pub fn into_stats(self) -> CommStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+    use crate::message::WireSize;
+    use crate::network::Network;
+
+    #[derive(Clone, Debug)]
+    struct B(u64);
+    impl WireSize for B {
+        fn wire_bits(&self) -> u64 {
+            self.0
+        }
+    }
+
+    fn cfg(k: usize, w: u64) -> NetworkConfig {
+        NetworkConfig::new(k, Bandwidth::Bits(w), 64)
+    }
+
+    #[test]
+    fn superstep_charges_max_link_rounds() {
+        let mut bsp: Bsp<B> = Bsp::new(cfg(4, 10));
+        bsp.superstep(vec![
+            Envelope::new(0, 1, B(25)), // link (0,1): 25 bits -> 3 rounds
+            Envelope::new(2, 3, B(10)), // 1 round, in parallel
+            Envelope::new(3, 2, B(9)),
+        ]);
+        assert_eq!(bsp.stats().rounds, 3);
+        assert_eq!(bsp.take_inbox(1).len(), 1);
+        assert_eq!(bsp.take_inbox(2).len(), 1);
+    }
+
+    #[test]
+    fn local_messages_are_free() {
+        let mut bsp: Bsp<B> = Bsp::new(cfg(3, 10));
+        bsp.superstep(vec![Envelope::new(1, 1, B(1_000_000))]);
+        assert_eq!(bsp.stats().rounds, 0);
+        assert_eq!(bsp.stats().total_bits, 0);
+        assert_eq!(bsp.take_inbox(1).len(), 1);
+    }
+
+    #[test]
+    fn empty_superstep_charges_nothing() {
+        let mut bsp: Bsp<B> = Bsp::new(cfg(2, 10));
+        bsp.superstep(vec![]);
+        assert_eq!(bsp.stats().rounds, 0);
+        assert_eq!(bsp.stats().supersteps, 1);
+    }
+
+    #[test]
+    fn bsp_rounds_equal_fine_grained_network_rounds() {
+        // The analytic charge must equal the fine-grained drain time for
+        // the same batch: randomized cross-check.
+        use krand::prf::Prf;
+        let prf = Prf::new(77);
+        for trial in 0..50u64 {
+            let k = 2 + (prf.eval(0, trial) % 6) as usize;
+            let w = 1 + prf.eval(1, trial) % 40;
+            let msgs: Vec<(usize, usize, u64)> = (0..(prf.eval(2, trial) % 60))
+                .map(|i| {
+                    let s = prf.eval_mod(3, trial * 1000 + i, k as u64) as usize;
+                    let mut d = prf.eval_mod(4, trial * 1000 + i, k as u64) as usize;
+                    if d == s {
+                        d = (d + 1) % k;
+                    }
+                    (s, d, 1 + prf.eval(5, trial * 1000 + i) % 100)
+                })
+                .collect();
+            let mut bsp: Bsp<B> = Bsp::new(cfg(k, w));
+            bsp.superstep(
+                msgs.iter()
+                    .map(|&(s, d, b)| Envelope::new(s, d, B(b)))
+                    .collect(),
+            );
+            let mut net: Network<B> = Network::new(cfg(k, w));
+            for &(s, d, b) in &msgs {
+                net.send(Envelope::new(s, d, B(b)));
+            }
+            net.drain();
+            assert_eq!(
+                bsp.stats().rounds,
+                net.round(),
+                "trial {trial}: k={k} w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_machine_cost_model_sandwich() {
+        // For any batch: perMachine rounds ≤ perLink rounds ≤ (k−1)·perMachine
+        // (the §1.1 equivalence up to a k−1 factor).
+        use crate::bandwidth::CostModel;
+        use krand::prf::Prf;
+        let prf = Prf::new(31);
+        for trial in 0..40u64 {
+            let k = 3 + (prf.eval(0, trial) % 5) as usize;
+            let w = 1 + prf.eval(1, trial) % 30;
+            let msgs: Vec<(usize, usize, u64)> = (0..(prf.eval(2, trial) % 50))
+                .map(|i| {
+                    let s = prf.eval_mod(3, trial * 100 + i, k as u64) as usize;
+                    let mut d = prf.eval_mod(4, trial * 100 + i, k as u64) as usize;
+                    if d == s {
+                        d = (d + 1) % k;
+                    }
+                    (s, d, 1 + prf.eval(5, trial * 100 + i) % 80)
+                })
+                .collect();
+            let run = |model: CostModel| {
+                let mut c = cfg(k, w);
+                c.cost_model = model;
+                let mut bsp: Bsp<B> = Bsp::new(c);
+                bsp.superstep(
+                    msgs.iter()
+                        .map(|&(s, d, b)| Envelope::new(s, d, B(b)))
+                        .collect(),
+                );
+                bsp.stats().rounds
+            };
+            let per_link = run(CostModel::PerLink);
+            let per_machine = run(CostModel::PerMachine);
+            assert!(per_machine <= per_link, "trial {trial}");
+            assert!(
+                per_link <= per_machine * (k as u64 - 1) + 1,
+                "trial {trial}: {per_link} vs {per_machine} (k={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn per_machine_counts_send_and_receive_separately() {
+        use crate::bandwidth::CostModel;
+        // One machine receives from everyone: in-load drives the rounds.
+        let k = 5;
+        let mut c = cfg(k, 10);
+        c.cost_model = CostModel::PerMachine;
+        let mut bsp: Bsp<B> = Bsp::new(c);
+        // Machine 0 receives 4 × 40 bits = 160; budget = 10·4 = 40/round.
+        bsp.superstep((1..k).map(|s| Envelope::new(s, 0, B(40))).collect());
+        assert_eq!(bsp.stats().rounds, 4);
+    }
+
+    #[test]
+    fn cut_bits_track_the_bipartition() {
+        let mut bsp: Bsp<B> = Bsp::new(cfg(4, 10));
+        bsp.set_cut(vec![true, true, false, false]);
+        bsp.superstep(vec![
+            Envelope::new(0, 1, B(5)),  // same side: not counted
+            Envelope::new(1, 2, B(7)),  // crossing
+            Envelope::new(3, 0, B(11)), // crossing
+            Envelope::new(2, 3, B(13)), // same side
+        ]);
+        assert_eq!(bsp.stats().cut_bits, 18);
+        assert_eq!(bsp.stats().total_bits, 36);
+    }
+
+    #[test]
+    fn modeled_charges_accumulate() {
+        let mut bsp: Bsp<B> = Bsp::new(cfg(2, 10));
+        bsp.charge_modeled_rounds(7, 140, 0);
+        bsp.charge_barrier();
+        assert_eq!(bsp.stats().rounds, 8);
+        assert_eq!(bsp.stats().total_bits, 140);
+        assert_eq!(bsp.stats().sent_bits[0], 140);
+    }
+}

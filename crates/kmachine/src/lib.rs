@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! The k-machine model simulator (paper §1.1).
+//!
+//! `k ≥ 2` machines are pairwise interconnected by bidirectional
+//! point-to-point links. Computation advances in synchronous rounds; each
+//! *directed* link carries at most `W = O(polylog n)` bits per round; local
+//! computation is free. The round complexity of an algorithm is the number
+//! of rounds until termination — this crate counts exactly that, plus every
+//! communication metric the experiments need (total bits, per-link maxima,
+//! per-machine send/receive loads).
+//!
+//! Two execution layers are provided:
+//!
+//! * [`network::Network`] — a fine-grained per-round stepper with per-link
+//!   FIFO queues and partial transmission of oversized messages.
+//! * [`bsp::Bsp`] — a superstep runner: all messages of a batch are routed
+//!   and the step is charged `max_link ⌈bits/W⌉` rounds, which is provably
+//!   the number of rounds the fine-grained network needs for the same batch
+//!   (property-tested in this crate). The paper's algorithms are sequences
+//!   of such batches (Lemma 1 message schedules), so the BSP layer charges
+//!   exactly what the paper's analysis counts.
+
+pub mod bandwidth;
+pub mod bsp;
+pub mod link;
+pub mod message;
+pub mod metrics;
+pub mod network;
+pub mod par;
+pub mod program;
+
+pub use bandwidth::{Bandwidth, CostModel};
+pub use bsp::Bsp;
+pub use message::{Envelope, WireSize};
+pub use metrics::CommStats;
+pub use network::Network;
+pub use program::{Program, Runner};

@@ -1,0 +1,168 @@
+//! Communication accounting.
+//!
+//! Everything the experiments report comes from here: the round counter
+//! (the model's cost measure), bit totals, per-machine loads (the §2
+//! congestion arguments are about machines receiving too much), and
+//! per-superstep link-load records used to validate Lemma 1 empirically.
+
+/// A record of one superstep's communication load.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SuperstepLoad {
+    /// Bits on the most loaded directed link in this superstep.
+    pub max_link_bits: u64,
+    /// Total bits across all links in this superstep.
+    pub total_bits: u64,
+    /// Cross-machine messages delivered.
+    pub messages: u64,
+    /// Rounds charged for this superstep.
+    pub rounds: u64,
+}
+
+/// Cumulative communication statistics for one algorithm run.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    /// Total synchronous rounds — the model's cost measure.
+    pub rounds: u64,
+    /// Number of supersteps (message batches) executed.
+    pub supersteps: u64,
+    /// Total cross-machine messages.
+    pub messages: u64,
+    /// Total cross-machine bits.
+    pub total_bits: u64,
+    /// Max cumulative bits over any directed link.
+    pub max_link_bits: u64,
+    /// Bits sent by each machine.
+    pub sent_bits: Vec<u64>,
+    /// Bits received by each machine.
+    pub recv_bits: Vec<u64>,
+    /// Per-superstep load records (bounded: O(polylog) supersteps per run).
+    pub superstep_loads: Vec<SuperstepLoad>,
+    /// Bits that crossed the tracked machine bipartition, when one is set
+    /// (the §4 Alice/Bob simulation harness).
+    pub cut_bits: u64,
+}
+
+impl CommStats {
+    /// Fresh statistics for `k` machines.
+    pub fn new(k: usize) -> Self {
+        CommStats {
+            sent_bits: vec![0; k],
+            recv_bits: vec![0; k],
+            ..Default::default()
+        }
+    }
+
+    /// The heaviest per-machine receive load — the quantity the paper's
+    /// Ω~(n/k) arguments are about.
+    pub fn max_machine_recv_bits(&self) -> u64 {
+        self.recv_bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The heaviest per-machine send load.
+    pub fn max_machine_sent_bits(&self) -> u64 {
+        self.sent_bits.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Load-balance ratio over supersteps: mean over supersteps of
+    /// `max_link_bits / (total_bits / links)`, counting only supersteps
+    /// that moved at least `min_bits`. A value close to 1 means perfectly
+    /// even link usage; Lemma 1 predicts O(polylog) for proxy routing.
+    pub fn link_imbalance(&self, links: u64, min_bits: u64) -> f64 {
+        let mut num = 0.0;
+        let mut cnt = 0u64;
+        for l in &self.superstep_loads {
+            if l.total_bits >= min_bits && l.max_link_bits > 0 {
+                let mean = l.total_bits as f64 / links as f64;
+                num += l.max_link_bits as f64 / mean.max(1e-9);
+                cnt += 1;
+            }
+        }
+        if cnt == 0 {
+            1.0
+        } else {
+            num / cnt as f64
+        }
+    }
+
+    /// Folds another run's statistics into this one (used when an algorithm
+    /// invokes a sub-protocol that kept its own counters).
+    pub fn absorb(&mut self, other: &CommStats) {
+        self.rounds += other.rounds;
+        self.supersteps += other.supersteps;
+        self.messages += other.messages;
+        self.total_bits += other.total_bits;
+        self.max_link_bits = self.max_link_bits.max(other.max_link_bits);
+        if self.sent_bits.len() < other.sent_bits.len() {
+            self.sent_bits.resize(other.sent_bits.len(), 0);
+            self.recv_bits.resize(other.recv_bits.len(), 0);
+        }
+        for (a, b) in self.sent_bits.iter_mut().zip(&other.sent_bits) {
+            *a += b;
+        }
+        for (a, b) in self.recv_bits.iter_mut().zip(&other.recv_bits) {
+            *a += b;
+        }
+        self.superstep_loads
+            .extend(other.superstep_loads.iter().copied());
+        self.cut_bits += other.cut_bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = CommStats::new(2);
+        a.rounds = 5;
+        a.total_bits = 100;
+        a.sent_bits[0] = 60;
+        a.max_link_bits = 40;
+        let mut b = CommStats::new(2);
+        b.rounds = 3;
+        b.total_bits = 50;
+        b.sent_bits[1] = 50;
+        b.max_link_bits = 50;
+        a.absorb(&b);
+        assert_eq!(a.rounds, 8);
+        assert_eq!(a.total_bits, 150);
+        assert_eq!(a.sent_bits, vec![60, 50]);
+        assert_eq!(a.max_link_bits, 50);
+    }
+
+    #[test]
+    fn imbalance_of_even_load_is_one() {
+        let mut s = CommStats::new(4);
+        // 12 links, 120 bits total, max link 10 => perfectly even.
+        s.superstep_loads.push(SuperstepLoad {
+            max_link_bits: 10,
+            total_bits: 120,
+            messages: 12,
+            rounds: 1,
+        });
+        let r = s.link_imbalance(12, 1);
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_ignores_tiny_supersteps() {
+        let mut s = CommStats::new(4);
+        s.superstep_loads.push(SuperstepLoad {
+            max_link_bits: 5,
+            total_bits: 5,
+            messages: 1,
+            rounds: 1,
+        });
+        assert_eq!(s.link_imbalance(12, 100), 1.0);
+    }
+
+    #[test]
+    fn machine_maxima() {
+        let mut s = CommStats::new(3);
+        s.recv_bits = vec![5, 70, 20];
+        s.sent_bits = vec![90, 1, 2];
+        assert_eq!(s.max_machine_recv_bits(), 70);
+        assert_eq!(s.max_machine_sent_bits(), 90);
+    }
+}

@@ -1,0 +1,202 @@
+//! Event-driven execution: machines as programs reacting round by round.
+//!
+//! The BSP layer fits the paper's batch-structured algorithms; some
+//! baselines (and genuinely asynchronous-style protocols) are more natural
+//! as per-round reactive programs. A [`Program`] receives the messages
+//! delivered to its machine in each round and emits new ones; the
+//! [`Runner`] drives all programs against the fine-grained
+//! [`crate::network::Network`] until quiescence (all programs halted and
+//! all link queues drained).
+//!
+//! Unlike the BSP layer, messages pipeline: a machine can react to a
+//! message while other messages are still in transit, so event-driven
+//! executions can finish in fewer rounds than their BSP batchings.
+
+use crate::message::Envelope;
+use crate::metrics::CommStats;
+use crate::network::{Network, NetworkConfig};
+
+/// One machine's behaviour.
+pub trait Program<M> {
+    /// Called every round with the messages delivered to this machine this
+    /// round (possibly empty). New messages are pushed onto `out`
+    /// (self-addressed messages are not allowed — local work is free and
+    /// should just mutate state).
+    fn round(&mut self, round: u64, inbox: Vec<Envelope<M>>, out: &mut Vec<Envelope<M>>);
+
+    /// Whether this machine is passive: it will send nothing more unless a
+    /// message wakes it up. The run ends when every program is passive and
+    /// the network is idle.
+    fn passive(&self) -> bool;
+}
+
+/// Drives `k` programs against a fine-grained network.
+pub struct Runner<M, P> {
+    net: Network<M>,
+    programs: Vec<P>,
+}
+
+impl<M, P: Program<M>> Runner<M, P> {
+    /// Creates a runner; `programs.len()` must equal the configured `k`.
+    pub fn new(cfg: NetworkConfig, programs: Vec<P>) -> Self {
+        assert_eq!(programs.len(), cfg.k, "one program per machine");
+        Runner {
+            net: Network::new(cfg),
+            programs,
+        }
+    }
+
+    /// Runs until quiescence or `max_rounds`; returns the rounds used.
+    ///
+    /// Round structure: everything delivered by round `r`'s transmissions
+    /// is handed to the receiving programs, whose replies enter the link
+    /// queues for round `r + 1` — the synchronous semantics of §1.1.
+    pub fn run(&mut self, max_rounds: u64) -> u64 {
+        let k = self.programs.len();
+        // Round 0: programs initialize (empty inboxes).
+        let mut out = Vec::new();
+        for p in self.programs.iter_mut() {
+            p.round(0, Vec::new(), &mut out);
+        }
+        for env in out.drain(..) {
+            self.net.send(env);
+        }
+        while self.net.round() < max_rounds {
+            if self.net.idle() && self.programs.iter().all(|p| p.passive()) {
+                break;
+            }
+            let delivered = self.net.step();
+            let mut inboxes: Vec<Vec<Envelope<M>>> = (0..k).map(|_| Vec::new()).collect();
+            for env in delivered {
+                inboxes[env.dst].push(env);
+            }
+            let round = self.net.round();
+            for (p, inbox) in self.programs.iter_mut().zip(inboxes) {
+                p.round(round, inbox, &mut out);
+            }
+            for env in out.drain(..) {
+                self.net.send(env);
+            }
+        }
+        self.net.round()
+    }
+
+    /// The programs, for result extraction.
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// Communication statistics.
+    pub fn stats(&self) -> &CommStats {
+        self.net.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::Bandwidth;
+    use crate::message::WireSize;
+
+    #[derive(Clone, Debug)]
+    struct Token(u64);
+    impl WireSize for Token {
+        fn wire_bits(&self) -> u64 {
+            32
+        }
+    }
+
+    /// Passes a token around the ring `0 → 1 → ... → k-1 → 0` `laps` times.
+    struct RingHop {
+        id: usize,
+        k: usize,
+        remaining: u64,
+        seen: u64,
+        holds_token: bool,
+    }
+
+    impl Program<Token> for RingHop {
+        fn round(&mut self, _round: u64, inbox: Vec<Envelope<Token>>, out: &mut Vec<Envelope<Token>>) {
+            for env in inbox {
+                self.seen += 1;
+                if env.payload.0 > 0 {
+                    out.push(Envelope::new(
+                        self.id,
+                        (self.id + 1) % self.k,
+                        Token(env.payload.0 - 1),
+                    ));
+                }
+            }
+            if self.holds_token {
+                self.holds_token = false;
+                out.push(Envelope::new(
+                    self.id,
+                    (self.id + 1) % self.k,
+                    Token(self.remaining),
+                ));
+            }
+        }
+
+        fn passive(&self) -> bool {
+            !self.holds_token
+        }
+    }
+
+    #[test]
+    fn ring_token_takes_one_round_per_hop() {
+        let k = 5;
+        let hops = 12u64;
+        let programs: Vec<RingHop> = (0..k)
+            .map(|id| RingHop {
+                id,
+                k,
+                remaining: hops,
+                seen: 0,
+                holds_token: id == 0,
+            })
+            .collect();
+        let cfg = NetworkConfig::new(k, Bandwidth::Bits(64), 64);
+        let mut runner = Runner::new(cfg, programs);
+        let rounds = runner.run(10_000);
+        // hops+1 messages each take exactly one round on an uncongested ring.
+        assert_eq!(rounds, hops + 1);
+        let total_seen: u64 = runner.programs().iter().map(|p| p.seen).sum();
+        assert_eq!(total_seen, hops + 1);
+    }
+
+    #[test]
+    fn congestion_slows_the_event_driven_run() {
+        // The same token but with 8-bit links: each 32-bit hop takes 4 rounds.
+        let k = 4;
+        let hops = 6u64;
+        let programs: Vec<RingHop> = (0..k)
+            .map(|id| RingHop {
+                id,
+                k,
+                remaining: hops,
+                seen: 0,
+                holds_token: id == 0,
+            })
+            .collect();
+        let cfg = NetworkConfig::new(k, Bandwidth::Bits(8), 64);
+        let mut runner = Runner::new(cfg, programs);
+        let rounds = runner.run(10_000);
+        assert_eq!(rounds, 4 * (hops + 1));
+    }
+
+    #[test]
+    fn quiescent_start_ends_immediately() {
+        let programs: Vec<RingHop> = (0..3)
+            .map(|id| RingHop {
+                id,
+                k: 3,
+                remaining: 0,
+                seen: 0,
+                holds_token: false,
+            })
+            .collect();
+        let cfg = NetworkConfig::new(3, Bandwidth::Bits(8), 64);
+        let mut runner = Runner::new(cfg, programs);
+        assert_eq!(runner.run(100), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Pairwise-independent affine hash family `h(x) = (a x + b) mod p`.
+//!
+//! A specialization of [`crate::poly::PolyHash`] with `d = 2`, kept separate
+//! because the two-coefficient case is hot in sketch level selection and a
+//! dedicated struct avoids the Horner loop.
+
+use crate::m61::{M61, P};
+use crate::prf::Prf;
+
+/// An affine function over `F_{2^61-1}`: pairwise independent when `(a, b)`
+/// is uniform with `a != 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct PairwiseHash {
+    a: M61,
+    b: M61,
+}
+
+impl PairwiseHash {
+    /// Draws a pairwise-independent function from a PRF key.
+    pub fn from_prf(prf: &Prf, domain: u64) -> Self {
+        let mut a = M61::new(prf.eval(domain, 0));
+        if a.value() == 0 {
+            a = M61::ONE;
+        }
+        let b = M61::new(prf.eval(domain, 1));
+        PairwiseHash { a, b }
+    }
+
+    /// Builds from explicit parameters (tests).
+    pub fn new(a: u64, b: u64) -> Self {
+        let a = M61::new(a);
+        assert!(a.value() != 0, "slope must be nonzero");
+        PairwiseHash {
+            a,
+            b: M61::new(b),
+        }
+    }
+
+    /// Evaluates `h(x)` in `[0, p)`.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        self.a.mul(M61::new(x)).add(self.b).value()
+    }
+
+    /// Random bits consumed (two field elements).
+    pub fn random_bits(&self) -> u64 {
+        2 * 61
+    }
+
+    /// The field modulus this family maps into.
+    pub fn modulus() -> u64 {
+        P
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_affine_reference() {
+        let h = PairwiseHash::new(3, 10);
+        assert_eq!(h.eval(0), 10);
+        assert_eq!(h.eval(5), 25);
+        let x = P - 1;
+        let expect = ((3u128 * x as u128) + 10) % P as u128;
+        assert_eq!(h.eval(x) as u128, expect);
+    }
+
+    #[test]
+    fn prf_derivation_never_yields_zero_slope() {
+        // Probe many domains; slope zero would make the family degenerate.
+        let prf = Prf::new(5);
+        for dom in 0..200u64 {
+            let h = PairwiseHash::from_prf(&prf, dom);
+            assert_ne!(h.a.value(), 0);
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        let prf = Prf::new(11);
+        let h = PairwiseHash::from_prf(&prf, 0);
+        let mut outs: Vec<u64> = (0..1000).map(|x| h.eval(x)).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 1000, "affine map over a field is injective");
+    }
+}

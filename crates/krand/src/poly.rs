@@ -1,0 +1,136 @@
+//! d-wise independent hash families via random polynomials over `F_{2^61-1}`.
+//!
+//! A uniformly random polynomial of degree `d-1` evaluated at distinct points
+//! is a d-wise independent family (the classical Carter–Wegman / Joffe
+//! construction, used by the paper through [Alon–Babai–Itai] and Theorem 2.1
+//! of [5]). The linear-sketch level hashes need `Θ(log n)`-wise independence
+//! (Cormode–Firmani), which this provides with `d = Θ(log n)` coefficients.
+
+use crate::m61::{M61, P};
+use crate::prf::Prf;
+
+/// A hash function drawn from a d-wise independent polynomial family.
+///
+/// Evaluation maps `x ∈ [0, p)` to `h(x) ∈ [0, p)` by Horner's rule over the
+/// Mersenne field. Coefficients are derived deterministically from a PRF key
+/// so that every machine reconstructs the *same* function from the shared
+/// seed without communication, mirroring Section 2.2 of the paper.
+#[derive(Clone, Debug)]
+pub struct PolyHash {
+    coeffs: Vec<M61>,
+}
+
+impl PolyHash {
+    /// Draws a degree-`(d-1)` polynomial (a d-wise independent function)
+    /// with coefficients derived from `prf` under `domain`.
+    pub fn from_prf(prf: &Prf, domain: u64, d: usize) -> Self {
+        assert!(d >= 1, "independence parameter must be at least 1");
+        let coeffs = (0..d)
+            .map(|i| {
+                // Rejection-free: PRF output folded into [0, p). The modulo
+                // bias is 2^64 mod p ≈ 2^-58-level and irrelevant here.
+                M61::new(prf.eval(domain, i as u64))
+            })
+            .collect();
+        PolyHash { coeffs }
+    }
+
+    /// Builds a polynomial from explicit coefficients (tests / reproducibility).
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        assert!(!coeffs.is_empty());
+        PolyHash {
+            coeffs: coeffs.into_iter().map(M61::new).collect(),
+        }
+    }
+
+    /// Number of coefficients, i.e. the independence parameter `d`.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Number of truly random bits this function consumes (for the §2.2
+    /// shared-randomness cost model): `d` coefficients of `61` bits each.
+    pub fn random_bits(&self) -> u64 {
+        self.coeffs.len() as u64 * 61
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    #[inline]
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = M61::new(x);
+        let mut acc = M61::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc.mul(x).add(c);
+        }
+        acc.value()
+    }
+
+    /// Evaluates and reduces to `[0, m)`.
+    #[inline]
+    pub fn eval_mod(&self, x: u64, m: u64) -> u64 {
+        debug_assert!(m > 0 && m < P);
+        self.eval(x) % m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_polynomial_is_constant() {
+        let h = PolyHash::from_coeffs(vec![17]);
+        assert_eq!(h.eval(0), 17);
+        assert_eq!(h.eval(12345), 17);
+    }
+
+    #[test]
+    fn linear_polynomial_matches_reference() {
+        // h(x) = 3 + 5x mod p.
+        let h = PolyHash::from_coeffs(vec![3, 5]);
+        assert_eq!(h.eval(0), 3);
+        assert_eq!(h.eval(1), 8);
+        assert_eq!(h.eval(10), 53);
+        let x = P - 1;
+        let expect = (3u128 + 5u128 * x as u128) % P as u128;
+        assert_eq!(h.eval(x) as u128, expect);
+    }
+
+    #[test]
+    fn derived_functions_are_deterministic_and_distinct() {
+        let prf = Prf::new(7);
+        let h1 = PolyHash::from_prf(&prf, 0, 8);
+        let h1b = PolyHash::from_prf(&prf, 0, 8);
+        let h2 = PolyHash::from_prf(&prf, 1, 8);
+        for x in 0..32u64 {
+            assert_eq!(h1.eval(x), h1b.eval(x));
+        }
+        assert!((0..32u64).any(|x| h1.eval(x) != h2.eval(x)));
+    }
+
+    #[test]
+    fn pairwise_statistics_look_uniform() {
+        // Chi-square-ish sanity: bucket 20k evaluations of a 4-wise function
+        // into 16 buckets; each should be near 1/16.
+        let prf = Prf::new(99);
+        let h = PolyHash::from_prf(&prf, 3, 4);
+        let m = 16u64;
+        let trials = 20_000u64;
+        let mut counts = vec![0u64; m as usize];
+        for x in 0..trials {
+            counts[h.eval_mod(x, m) as usize] += 1;
+        }
+        let expect = (trials / m) as f64;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() < 0.2 * expect);
+        }
+    }
+
+    #[test]
+    fn random_bits_accounting() {
+        let prf = Prf::new(1);
+        let h = PolyHash::from_prf(&prf, 0, 20);
+        assert_eq!(h.independence(), 20);
+        assert_eq!(h.random_bits(), 20 * 61);
+    }
+}

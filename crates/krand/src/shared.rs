@@ -1,0 +1,202 @@
+//! Shared randomness: agreement + distribution-cost model (paper §2.2).
+//!
+//! In the paper, machine `M1` draws `ℓ = Θ~(n/k)` private random bits and
+//! distributes them to all machines in `O~(n/k²)` rounds (send `k-1` bits out,
+//! each recipient broadcasts its bit — two rounds per `k-1` bits). All
+//! machines then construct identical d-wise independent hash functions.
+//!
+//! In this implementation every machine derives hash functions from a common
+//! 64-bit master seed, so *agreement* needs no protocol. The *cost* of the
+//! paper's distribution step is still modelled: [`SharedRandomness`] tracks
+//! how many truly-random bits each constructed function would consume, and
+//! [`SharedRandomness::distribution_rounds`] converts that to the §2.2 round
+//! count so the simulator can charge it (the `charge_shared_randomness`
+//! config in `kconn`). Experiment E15 quantifies the difference.
+
+use crate::poly::PolyHash;
+use crate::prf::Prf;
+
+/// Domain separation tags for the different hash-function uses.
+/// Keeping them centralized guarantees no accidental reuse across uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Use {
+    /// Proxy machine selection for component labels.
+    Proxy {
+        /// Borůvka phase.
+        phase: u32,
+        /// Routing iteration within the phase.
+        iteration: u32,
+    },
+    /// DRR rank of a component label in a phase.
+    Rank {
+        /// Borůvka phase.
+        phase: u32,
+    },
+    /// Sketch level hash.
+    SketchLevel {
+        /// Borůvka phase (or phase·64 + elimination iteration).
+        phase: u32,
+        /// Sketch repetition index.
+        rep: u32,
+    },
+    /// Sketch fingerprint key.
+    SketchFingerprint {
+        /// Borůvka phase (or phase·64 + elimination iteration).
+        phase: u32,
+        /// Sketch repetition index.
+        rep: u32,
+        /// Sketch level (kept for domain separation; keys are per-rep).
+        level: u32,
+    },
+    /// Edge sampling for min-cut probes.
+    MinCutSample {
+        /// Probe index (sampling probability `2^-probe`).
+        probe: u32,
+    },
+    /// MST elimination iteration randomness.
+    MstElimination {
+        /// Borůvka phase.
+        phase: u32,
+        /// Elimination iteration.
+        iteration: u32,
+    },
+    /// Phase-0 fast path: uniform incident-edge sampling for singleton
+    /// components (the paper's "each node is the proxy of its own
+    /// component" setup makes phase-0 sketches local; the sample they would
+    /// produce is a uniform incident edge).
+    Phase0Sample,
+}
+
+impl Use {
+    fn domain(self) -> u64 {
+        // Pack the variant and its parameters into disjoint 64-bit domains.
+        match self {
+            Use::Proxy { phase, iteration } => {
+                0x1_0000_0000_0000 | ((phase as u64) << 20) | iteration as u64
+            }
+            Use::Rank { phase } => 0x2_0000_0000_0000 | phase as u64,
+            Use::SketchLevel { phase, rep } => {
+                0x3_0000_0000_0000 | ((phase as u64) << 20) | rep as u64
+            }
+            Use::SketchFingerprint { phase, rep, level } => {
+                0x4_0000_0000_0000
+                    | ((phase as u64) << 28)
+                    | ((rep as u64) << 14)
+                    | level as u64
+            }
+            Use::MinCutSample { probe } => 0x5_0000_0000_0000 | probe as u64,
+            Use::MstElimination { phase, iteration } => {
+                0x6_0000_0000_0000 | ((phase as u64) << 20) | iteration as u64
+            }
+            Use::Phase0Sample => 0x7_0000_0000_0000,
+        }
+    }
+}
+
+/// The shared-randomness source every machine holds.
+///
+/// Cloning is cheap; all clones agree on every derived function.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedRandomness {
+    prf: Prf,
+}
+
+impl SharedRandomness {
+    /// Creates the source from the experiment's master seed.
+    pub fn new(master_seed: u64) -> Self {
+        SharedRandomness {
+            prf: Prf::new(master_seed).derive(0x5EED),
+        }
+    }
+
+    /// The PRF for a given use (proxy selection, ranks, ...).
+    pub fn prf(&self, u: Use) -> Prf {
+        self.prf.derive(u.domain())
+    }
+
+    /// A d-wise independent polynomial hash for a given use.
+    pub fn poly(&self, u: Use, d: usize) -> PolyHash {
+        PolyHash::from_prf(&self.prf, u.domain(), d)
+    }
+
+    /// Rounds needed to distribute `bits` of true randomness from `M1` to all
+    /// machines under the §2.2 protocol: `k-1` bits leave `M1` per odd round
+    /// and are re-broadcast in the following round, so `ceil(bits/(k-1)) * 2`
+    /// rounds when the per-link budget is one bit. With `w` bits per link per
+    /// round the pipeline carries `(k-1)*w` bits every two rounds.
+    pub fn distribution_rounds(bits: u64, k: usize, link_bits_per_round: u64) -> u64 {
+        assert!(k >= 2);
+        let w = link_bits_per_round.max(1);
+        let per_two_rounds = (k as u64 - 1) * w;
+        2 * bits.div_ceil(per_two_rounds)
+    }
+
+    /// The §2.2 budget of shared bits for one run: `ℓ = Θ~(n/k)` — we charge
+    /// `(n / k + 1) * ceil(log2 n)^2` bits, matching the paper's
+    /// `n·polylog(n)/k` seed requirement for a Θ~(n/k)-wise independent
+    /// proxy hash plus the Θ(log² n) sketch seeds.
+    pub fn paper_shared_bits(n: usize, k: usize) -> u64 {
+        let log = (usize::BITS - n.max(2).leading_zeros()) as u64;
+        (n as u64 / k as u64 + 1) * log * log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_agree_on_everything() {
+        let a = SharedRandomness::new(7);
+        let b = a;
+        let u = Use::Rank { phase: 3 };
+        assert_eq!(a.prf(u).eval(0, 42), b.prf(u).eval(0, 42));
+        let p1 = a.poly(Use::SketchLevel { phase: 1, rep: 0 }, 6);
+        let p2 = b.poly(Use::SketchLevel { phase: 1, rep: 0 }, 6);
+        for x in 0..64 {
+            assert_eq!(p1.eval(x), p2.eval(x));
+        }
+    }
+
+    #[test]
+    fn different_uses_get_different_functions() {
+        let s = SharedRandomness::new(1);
+        let r1 = s.prf(Use::Rank { phase: 0 }).eval(0, 5);
+        let r2 = s.prf(Use::Rank { phase: 1 }).eval(0, 5);
+        let r3 = s
+            .prf(Use::Proxy { phase: 0, iteration: 0 })
+            .eval(0, 5);
+        assert_ne!(r1, r2);
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn fingerprint_domains_do_not_collide_across_parameters() {
+        // The bit-packing must keep (phase, rep, level) injective.
+        let a = Use::SketchFingerprint { phase: 1, rep: 0, level: 0 }.domain();
+        let b = Use::SketchFingerprint { phase: 0, rep: 1, level: 0 }.domain();
+        let c = Use::SketchFingerprint { phase: 0, rep: 0, level: 1 }.domain();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distribution_rounds_matches_hand_computation() {
+        // 100 bits, k=11 machines, 1 bit/link/round: 10 bits per 2 rounds
+        // => ceil(100/10)*2 = 20 rounds.
+        assert_eq!(SharedRandomness::distribution_rounds(100, 11, 1), 20);
+        // Wider links shrink it proportionally.
+        assert_eq!(SharedRandomness::distribution_rounds(100, 11, 10), 2);
+        // Always at least one 2-round pulse for nonzero bits.
+        assert_eq!(SharedRandomness::distribution_rounds(1, 2, 64), 2);
+    }
+
+    #[test]
+    fn paper_shared_bits_scales_like_n_over_k() {
+        let b1 = SharedRandomness::paper_shared_bits(1 << 16, 4);
+        let b2 = SharedRandomness::paper_shared_bits(1 << 16, 8);
+        assert!(b1 > b2, "more machines need fewer shared bits per §2.2");
+        assert!(b1 / b2 >= 1 && b1 / b2 <= 3);
+    }
+}

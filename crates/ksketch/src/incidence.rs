@@ -1,0 +1,70 @@
+//! Edge ↔ index encoding for incidence vectors.
+//!
+//! The incidence-vector coordinate of the (canonical, `u < v`) edge `(u,v)`
+//! is `u · n + v`, giving an index domain of size `n²`. The domain is sparse
+//! (only `u < v` pairs are valid), which is harmless: samplers only ever
+//! decode indices that passed the fingerprint test, and decoded pairs are
+//! additionally validated by the caller against real adjacency.
+
+/// Encodes canonical edge `(u, v)` with `u < v` into its vector index.
+#[inline]
+pub fn encode_edge(u: u32, v: u32, n: usize) -> u64 {
+    debug_assert!(u < v, "edge must be canonical (u < v)");
+    debug_assert!((v as usize) < n);
+    u as u64 * n as u64 + v as u64
+}
+
+/// Decodes a vector index back into `(u, v)`; `None` if the index is not a
+/// valid canonical pair.
+#[inline]
+pub fn decode_edge(e: u64, n: usize) -> Option<(u32, u32)> {
+    let u = e / n as u64;
+    let v = e % n as u64;
+    if u < v && (v as usize) < n && u < n as u64 {
+        Some((u as u32, v as u32))
+    } else {
+        None
+    }
+}
+
+/// The index-domain size for an `n`-vertex graph.
+#[inline]
+pub fn domain(n: usize) -> u64 {
+    n as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_pairs_small_n() {
+        let n = 23;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                let e = encode_edge(u, v, n);
+                assert_eq!(decode_edge(e, n), Some((u, v)));
+                assert!(e < domain(n));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_indices_decode_to_none() {
+        let n = 10;
+        assert_eq!(decode_edge(0, n), None); // (0,0) is a self-loop
+        assert_eq!(decode_edge(5 * 10 + 3, n), None); // u > v
+        assert_eq!(decode_edge(domain(n) + 1, n), None);
+    }
+
+    #[test]
+    fn distinct_edges_get_distinct_indices() {
+        let n = 50;
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                assert!(seen.insert(encode_edge(u, v, n)));
+            }
+        }
+    }
+}

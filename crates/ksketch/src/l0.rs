@@ -1,0 +1,513 @@
+//! The linear ℓ₀-sketch: geometric levels × repetitions of 1-sparse cells.
+
+use crate::incidence::{decode_edge, domain, encode_edge};
+use crate::onesparse::Cell;
+use krand::m61::M61;
+use krand::poly::PolyHash;
+use krand::shared::{SharedRandomness, Use};
+
+/// Shape parameters of a sketch. All sketches that are merged together must
+/// share the same parameters *and* the same [`SketchFns`] (same phase).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchParams {
+    /// Number of vertices of the underlying graph (fixes the index domain).
+    pub n: usize,
+    /// Geometric levels; level `ℓ` keeps an index with probability `2^-ℓ`.
+    pub levels: u32,
+    /// Independent repetitions (drives the failure probability down
+    /// exponentially).
+    pub reps: u32,
+    /// Independence parameter `d` of the level hash (Θ(log n)-wise,
+    /// Cormode–Firmani).
+    pub independence: usize,
+}
+
+impl SketchParams {
+    /// Standard parameters for an `n`-vertex graph: enough levels to span
+    /// the `n²` index domain plus slack, `Θ(log n)`-wise independent level
+    /// hashing.
+    pub fn for_graph(n: usize, reps: u32) -> Self {
+        let log = ceil_log2(n.max(2));
+        SketchParams {
+            n,
+            levels: (2 * log + 2).min(61),
+            reps: reps.max(1),
+            independence: (log as usize).max(8),
+        }
+    }
+
+    /// Total number of cells.
+    pub fn cells(&self) -> usize {
+        self.levels as usize * self.reps as usize
+    }
+
+    /// Wire size of one sketch in bits.
+    ///
+    /// Each cell costs `64 + 64 + 61` bits: the value sum and index sum are
+    /// transmitted mod `2^64` (wrapping addition is linear, and when the
+    /// true cell content is 1-sparse the true values are small enough that
+    /// the wrapped representatives are exact — a non-1-sparse cell is
+    /// rejected by the fingerprint regardless of wrapping), and the
+    /// fingerprint is one `F_{2^61−1}` element. This is `O(log² n)` bits per
+    /// sketch, matching the paper's `polylog(n)` budget.
+    pub fn wire_bits(&self) -> u64 {
+        self.cells() as u64 * (64 + 64 + 61) + 32
+    }
+}
+
+fn ceil_log2(x: usize) -> u32 {
+    (usize::BITS - (x - 1).leading_zeros()).min(usize::BITS)
+}
+
+/// The shared hash functions of one phase: all machines derive identical
+/// [`SketchFns`] from [`SharedRandomness`], so sketches built on different
+/// machines are summable.
+#[derive(Clone, Debug)]
+pub struct SketchFns {
+    params: SketchParams,
+    /// Per repetition: the d-wise independent level hash.
+    level_hash: Vec<PolyHash>,
+    /// Per repetition: the fingerprint key `z` (shared across that
+    /// repetition's levels; soundness is per-cell polynomial identity
+    /// testing and does not need per-level keys).
+    z: Vec<M61>,
+    /// Per repetition: `lo[v] = z^v` for `v < n` — with [`Self::hi`] this
+    /// turns the per-insertion exponentiation `z^(u·n+v)` into one field
+    /// multiplication.
+    lo: Vec<Vec<M61>>,
+    /// Per repetition: `hi[u] = z^(u·n)` for `u < n`.
+    hi: Vec<Vec<M61>>,
+}
+
+impl SketchFns {
+    /// Derives the phase-`phase` sketch functions.
+    pub fn new(shared: &SharedRandomness, phase: u32, params: SketchParams) -> Self {
+        let level_hash = (0..params.reps)
+            .map(|rep| shared.poly(Use::SketchLevel { phase, rep }, params.independence))
+            .collect();
+        let z: Vec<M61> = (0..params.reps)
+            .map(|rep| {
+                let raw = shared
+                    .prf(Use::SketchFingerprint { phase, rep, level: 0 })
+                    .eval(0, 0);
+                // Avoid the degenerate keys 0 and 1.
+                M61::new(raw % (krand::m61::P - 2) + 2)
+            })
+            .collect();
+        let n = params.n;
+        let mut lo = Vec::with_capacity(z.len());
+        let mut hi = Vec::with_capacity(z.len());
+        for &zr in &z {
+            let mut lo_r = Vec::with_capacity(n);
+            let mut acc = M61::ONE;
+            for _ in 0..n {
+                lo_r.push(acc);
+                acc = acc.mul(zr);
+            }
+            let zn = zr.pow(n as u64);
+            let mut hi_r = Vec::with_capacity(n);
+            let mut acc = M61::ONE;
+            for _ in 0..n {
+                hi_r.push(acc);
+                acc = acc.mul(zn);
+            }
+            lo.push(lo_r);
+            hi.push(hi_r);
+        }
+        SketchFns {
+            params,
+            level_hash,
+            z,
+            lo,
+            hi,
+        }
+    }
+
+    /// The sketch shape these functions serve.
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Geometric depth of index `e` under repetition `rep`:
+    /// `P(depth ≥ ℓ) ≈ 2^−ℓ` via trailing zeros of the hash value.
+    #[inline]
+    fn depth(&self, rep: usize, e: u64) -> u32 {
+        let h = self.level_hash[rep].eval(e);
+        h.trailing_zeros().min(self.params.levels - 1)
+    }
+
+    /// True random bits these functions consume (for the §2.2 shared
+    /// randomness cost model).
+    pub fn random_bits(&self) -> u64 {
+        let poly: u64 = self.level_hash.iter().map(|h| h.random_bits()).sum();
+        poly + self.z.len() as u64 * 61
+    }
+}
+
+/// A linear sketch of a ±1 incidence vector (or of any signed sum of such
+/// vectors — in particular of a component part or a whole component).
+///
+/// ```
+/// use ksketch::{L0Sketch, SketchFns, SketchParams};
+/// use krand::shared::SharedRandomness;
+///
+/// let params = SketchParams::for_graph(64, 5);
+/// let fns = SketchFns::new(&SharedRandomness::new(1), 0, params);
+/// // Sketch vertex 3 with neighbors {7, 9}, and vertex 7 with neighbor {3}.
+/// let mut s3 = L0Sketch::new(params);
+/// s3.add_incident_edge(&fns, 3, 7);
+/// s3.add_incident_edge(&fns, 3, 9);
+/// let mut s7 = L0Sketch::new(params);
+/// s7.add_incident_edge(&fns, 7, 3);
+/// // Merging cancels the shared edge (3,7): only (3,9) can be sampled.
+/// s3.merge(&s7);
+/// assert_eq!(s3.query(&fns), Some((3, 9)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct L0Sketch {
+    params: SketchParams,
+    cells: Vec<Cell>,
+}
+
+impl L0Sketch {
+    /// The all-zero sketch.
+    pub fn new(params: SketchParams) -> Self {
+        L0Sketch {
+            params,
+            cells: vec![Cell::default(); params.cells()],
+        }
+    }
+
+    /// The shape of this sketch.
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Adds the incidence-vector entry of the edge `{vertex, neighbor}` as
+    /// seen from `vertex` (`+1` if `vertex` is the smaller endpoint, `−1`
+    /// otherwise). Building `s_u` means calling this for every neighbor.
+    pub fn add_incident_edge(&mut self, fns: &SketchFns, vertex: u32, neighbor: u32) {
+        debug_assert_eq!(fns.params, self.params);
+        let (a, b, sign) = if vertex < neighbor {
+            (vertex, neighbor, 1i8)
+        } else {
+            (neighbor, vertex, -1i8)
+        };
+        let e = encode_edge(a, b, self.params.n);
+        let levels = self.params.levels as usize;
+        for rep in 0..self.params.reps as usize {
+            // z^(a·n+b) = hi[a] · lo[b]: one multiplication per (edge, rep).
+            let z_pow = fns.hi[rep][a as usize].mul(fns.lo[rep][b as usize]);
+            let depth = fns.depth(rep, e) as usize;
+            let base = rep * levels;
+            for cell in &mut self.cells[base..=base + depth] {
+                cell.add(e, sign, z_pow);
+            }
+        }
+    }
+
+    /// Merges another sketch (vector addition). Panics on shape mismatch —
+    /// sketches from different phases must never be mixed.
+    pub fn merge(&mut self, other: &L0Sketch) {
+        assert_eq!(
+            self.params, other.params,
+            "cannot merge sketches of different shapes/phases"
+        );
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.merge(b);
+        }
+    }
+
+    /// Whether every cell is identically zero (empty support, w.h.p.).
+    pub fn is_zero(&self) -> bool {
+        self.cells.iter().all(Cell::is_zero)
+    }
+
+    /// Samples one edge from the support: scans each repetition from the
+    /// sparsest level down and returns the first recoverable entry, decoded
+    /// into a vertex pair. `None` when no cell is 1-sparse (either the
+    /// support is empty or this phase's hashing was unlucky — the
+    /// Monte-Carlo contract of the paper).
+    pub fn query(&self, fns: &SketchFns) -> Option<(u32, u32)> {
+        debug_assert_eq!(fns.params, self.params);
+        let dom = domain(self.params.n);
+        let levels = self.params.levels as usize;
+        for rep in 0..self.params.reps as usize {
+            let z = fns.z[rep];
+            let base = rep * levels;
+            for l in (0..levels).rev() {
+                if let Some((e, _sign)) = self.cells[base + l].recover(z, dom) {
+                    if let Some((u, v)) = decode_edge(e, self.params.n) {
+                        return Some((u, v));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Wire size in bits (see [`SketchParams::wire_bits`]).
+    pub fn wire_bits(&self) -> u64 {
+        self.params.wire_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> SharedRandomness {
+        SharedRandomness::new(0xDECAF)
+    }
+
+    fn params(n: usize) -> SketchParams {
+        SketchParams::for_graph(n, 6)
+    }
+
+    /// Builds the sketch of a single vertex from its neighbor list.
+    fn vertex_sketch(fns: &SketchFns, v: u32, neighbors: &[u32]) -> L0Sketch {
+        let mut s = L0Sketch::new(fns.params());
+        for &nb in neighbors {
+            s.add_incident_edge(fns, v, nb);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_sketch_queries_none() {
+        let p = params(64);
+        let fns = SketchFns::new(&shared(), 0, p);
+        let s = L0Sketch::new(p);
+        assert!(s.is_zero());
+        assert_eq!(s.query(&fns), None);
+    }
+
+    #[test]
+    fn single_edge_is_recovered_exactly() {
+        let p = params(64);
+        let fns = SketchFns::new(&shared(), 1, p);
+        let s = vertex_sketch(&fns, 5, &[9]);
+        assert_eq!(s.query(&fns), Some((5, 9)));
+        // And from the other endpoint's perspective (negative sign).
+        let s2 = vertex_sketch(&fns, 9, &[5]);
+        assert_eq!(s2.query(&fns), Some((5, 9)));
+    }
+
+    #[test]
+    fn query_returns_a_real_incident_edge() {
+        let p = params(128);
+        let fns = SketchFns::new(&shared(), 2, p);
+        let neighbors: Vec<u32> = vec![3, 17, 42, 99, 100, 101, 120];
+        let s = vertex_sketch(&fns, 64, &neighbors);
+        let (u, v) = s.query(&fns).expect("nonempty support must sample");
+        assert!(u == 64 || v == 64);
+        let other = if u == 64 { v } else { u };
+        assert!(neighbors.contains(&other));
+    }
+
+    #[test]
+    fn linearity_cancels_the_shared_edge() {
+        // Vertices 10 and 20 joined by an edge, each with one extra edge.
+        // s_10 + s_20 must never sample (10,20); it must sample a cut edge.
+        let p = params(64);
+        let fns = SketchFns::new(&shared(), 3, p);
+        let mut s = vertex_sketch(&fns, 10, &[20, 30]);
+        let s20 = vertex_sketch(&fns, 20, &[10, 40]);
+        s.merge(&s20);
+        for _ in 0..3 {
+            let (u, v) = s.query(&fns).expect("two cut edges remain");
+            assert_ne!((u, v), (10, 20), "intra-component edge must cancel");
+            assert!((u, v) == (10, 30) || (u, v) == (20, 40));
+        }
+    }
+
+    #[test]
+    fn full_component_cancellation_leaves_zero() {
+        // A triangle is a whole component: summing all three vertex sketches
+        // cancels every edge.
+        let p = params(64);
+        let fns = SketchFns::new(&shared(), 4, p);
+        let mut s = vertex_sketch(&fns, 0, &[1, 2]);
+        s.merge(&vertex_sketch(&fns, 1, &[0, 2]));
+        s.merge(&vertex_sketch(&fns, 2, &[0, 1]));
+        assert!(s.is_zero());
+        assert_eq!(s.query(&fns), None);
+    }
+
+    #[test]
+    fn component_with_one_outgoing_edge_samples_it() {
+        // Component {0,1,2} (triangle) plus outgoing edge (2,50).
+        let p = params(64);
+        let fns = SketchFns::new(&shared(), 5, p);
+        let mut s = vertex_sketch(&fns, 0, &[1, 2]);
+        s.merge(&vertex_sketch(&fns, 1, &[0, 2]));
+        s.merge(&vertex_sketch(&fns, 2, &[0, 1, 50]));
+        assert_eq!(s.query(&fns), Some((2, 50)));
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let p = params(256);
+        let fns = SketchFns::new(&shared(), 6, p);
+        let parts: Vec<L0Sketch> = (0..8u32)
+            .map(|v| vertex_sketch(&fns, v, &[v + 100, v + 101]))
+            .collect();
+        let mut fwd = L0Sketch::new(p);
+        for s in &parts {
+            fwd.merge(s);
+        }
+        let mut rev = L0Sketch::new(p);
+        for s in parts.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd.cells, rev.cells);
+    }
+
+    #[test]
+    fn samples_cover_the_support_across_phases() {
+        // Rebuilding with fresh phase randomness must eventually sample
+        // every outgoing edge (near-uniformity smoke test).
+        let n = 128;
+        let p = params(n);
+        let outgoing: Vec<u32> = vec![40, 41, 42, 43];
+        let mut seen = std::collections::HashSet::new();
+        for phase in 0..40u32 {
+            let fns = SketchFns::new(&shared(), phase, p);
+            let s = vertex_sketch(&fns, 7, &outgoing);
+            if let Some((u, v)) = s.query(&fns) {
+                let other = if u == 7 { v } else { u };
+                seen.insert(other);
+            }
+        }
+        assert_eq!(seen.len(), outgoing.len(), "all edges should be sampled");
+    }
+
+    #[test]
+    fn query_failure_rate_is_low() {
+        // Across many (phase, support) combinations the sampler should
+        // almost always succeed with 6 repetitions.
+        let n = 256;
+        let p = params(n);
+        let mut fail = 0;
+        let mut total = 0;
+        for phase in 0..60u32 {
+            let fns = SketchFns::new(&shared(), phase, p);
+            let deg = 1 + (phase as usize * 7) % 40;
+            let neighbors: Vec<u32> = (0..deg as u32).map(|i| 100 + i).collect();
+            let s = vertex_sketch(&fns, 3, &neighbors);
+            total += 1;
+            if s.query(&fns).is_none() {
+                fail += 1;
+            }
+        }
+        assert!(fail * 20 < total, "failure rate {fail}/{total} too high");
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merging_mismatched_shapes_panics() {
+        let a = L0Sketch::new(SketchParams::for_graph(64, 3));
+        let mut b = L0Sketch::new(SketchParams::for_graph(128, 3));
+        b.merge(&a);
+    }
+
+    #[test]
+    fn wire_bits_are_polylog() {
+        let p = SketchParams::for_graph(1 << 20, 4);
+        // 42 levels * 4 reps * 189 bits + header: well under 2^16 bits.
+        assert!(p.wire_bits() < 1 << 16);
+        assert_eq!(L0Sketch::new(p).wire_bits(), p.wire_bits());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> SketchParams {
+        SketchParams::for_graph(256, 4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merging is commutative and associative (sketches form a group
+        /// under cell-wise addition — the heart of §2.3's linearity).
+        #[test]
+        fn merge_is_commutative_and_associative(
+            edges_a in prop::collection::vec((0u32..255, 0u32..255), 0..20),
+            edges_b in prop::collection::vec((0u32..255, 0u32..255), 0..20),
+            edges_c in prop::collection::vec((0u32..255, 0u32..255), 0..20),
+            phase in 0u32..50,
+        ) {
+            let p = params();
+            let fns = SketchFns::new(&SharedRandomness::new(9), phase, p);
+            let build = |list: &[(u32, u32)]| {
+                let mut s = L0Sketch::new(p);
+                for &(a, b) in list {
+                    if a != b {
+                        s.add_incident_edge(&fns, a, b);
+                    }
+                }
+                s
+            };
+            let (a, b, c) = (build(&edges_a), build(&edges_b), build(&edges_c));
+            // a + b == b + a
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab.cells, &ba.cells);
+            // (a + b) + c == a + (b + c)
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(&ab_c.cells, &a_bc.cells);
+        }
+
+        /// A vertex's sketch plus the same edges from the other endpoints'
+        /// perspective cancels to zero (pairwise +1/−1 cancellation).
+        #[test]
+        fn opposite_perspectives_cancel(
+            nbrs in prop::collection::hash_set(0u32..255, 1..20),
+            phase in 0u32..50,
+        ) {
+            let p = params();
+            let fns = SketchFns::new(&SharedRandomness::new(11), phase, p);
+            let v = 255u32; // distinct from all neighbors by range
+            let mut s = L0Sketch::new(p);
+            for &nb in &nbrs {
+                s.add_incident_edge(&fns, v, nb);
+            }
+            for &nb in &nbrs {
+                s.add_incident_edge(&fns, nb, v);
+            }
+            prop_assert!(s.is_zero());
+            prop_assert_eq!(s.query(&fns), None);
+        }
+
+        /// Whatever query returns is always an edge that was inserted (and
+        /// not cancelled) — never a fabricated pair.
+        #[test]
+        fn query_never_fabricates_edges(
+            nbrs in prop::collection::hash_set(0u32..254, 1..30),
+            phase in 0u32..50,
+        ) {
+            let p = params();
+            let fns = SketchFns::new(&SharedRandomness::new(13), phase, p);
+            let v = 255u32;
+            let mut s = L0Sketch::new(p);
+            for &nb in &nbrs {
+                s.add_incident_edge(&fns, v, nb);
+            }
+            if let Some((a, b)) = s.query(&fns) {
+                prop_assert_eq!(b, v, "canonical order: v is the larger id");
+                prop_assert!(nbrs.contains(&a), "({a},{b}) was never inserted");
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Linear graph sketches (ℓ₀-samplers) — paper §2.3.
+//!
+//! A sketch `s_u` of a vertex `u` is a `polylog(n)`-bit linear projection of
+//! `u`'s incidence vector `a_u ∈ {−1,0,1}^(n choose 2)`:
+//!
+//! * `a_u[(x,y)] = +1` if `u = x < y` and `(x,y) ∈ E`,
+//! * `a_u[(x,y)] = −1` if `x < y = u` and `(x,y) ∈ E`,
+//! * `0` otherwise.
+//!
+//! Because the projection is linear, `s_u + s_v` is a sketch of `a_u + a_v`,
+//! in which the shared edge `(u,v)` cancels. Summing the sketches of all
+//! vertices of a component therefore yields a sketch of exactly the
+//! component's *outgoing* edges — the property the connectivity algorithm
+//! exploits to find inter-component edges without inspecting edge states.
+//!
+//! The construction is the standard ℓ₀-sampler (Jowhari–Saglam–Tardos /
+//! Cormode–Firmani): `L` geometric levels × `r` repetitions of 1-sparse
+//! recovery cells, with `Θ(log n)`-wise independent level hashing over the
+//! Mersenne-61 field and polynomial-identity fingerprints.
+
+pub mod incidence;
+pub mod l0;
+pub mod onesparse;
+
+pub use incidence::{decode_edge, encode_edge};
+pub use l0::{L0Sketch, SketchFns, SketchParams};
+pub use onesparse::Cell;

@@ -1,0 +1,216 @@
+//! `kmm` — command-line front end for the k-machine algorithms.
+//!
+//! ```text
+//! kmm conn    --input graph.txt --k 16 [--seed 42]
+//! kmm mst     --input graph.txt --k 16 [--both-endpoints]
+//! kmm st      --input graph.txt --k 16
+//! kmm mincut  --input graph.txt --k 16
+//! kmm stcon   --input graph.txt --k 16 --s 0 --t 5
+//! kmm bipart  --input graph.txt --k 16
+//! kmm gen     --family gnm --n 1000 --m 4000 --out graph.txt
+//! ```
+//!
+//! Graphs are read/written in the `kgraph::io` edge-list format
+//! (`n m` header, one `u v [w]` per line, `#` comments).
+
+use kmm::algo::verify;
+use kmm::prelude::*;
+use std::process::ExitCode;
+
+/// Minimal argument parser: `--key value` pairs plus boolean `--flag`s.
+struct Args {
+    cmd: String,
+    kv: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut it = std::env::args().skip(1);
+        let cmd = it.next()?;
+        let mut kv = Vec::new();
+        let mut flags = Vec::new();
+        let rest: Vec<String> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let a = rest[i].strip_prefix("--")?.to_string();
+            if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                kv.push((a, rest[i + 1].clone()));
+                i += 2;
+            } else {
+                flags.push(a);
+                i += 1;
+            }
+        }
+        Some(Args { cmd, kv, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.kv
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.get(key)?.parse().ok()
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kmm <conn|mst|st|mincut|stcon|bipart|gen> [--input FILE] [--k K] [--seed S] ...\n\
+         \n\
+         conn    connected components (O~(n/k^2), Theorem 1)\n\
+         mst     minimum spanning tree (Theorem 2; --both-endpoints for criterion (b))\n\
+         st      spanning forest (no weight-elimination overhead)\n\
+         mincut  O(log n)-approximate min cut (Theorem 3)\n\
+         stcon   s-t connectivity (--s S --t T; Theorem 4)\n\
+         bipart  bipartiteness via the double cover (Theorem 4)\n\
+         gen     generate a graph (--family gnm|gnp|path|cycle|grid|star --n N [--m M] [--p P] [--out FILE])"
+    );
+    ExitCode::from(2)
+}
+
+fn load_graph(args: &Args) -> Result<Graph, String> {
+    let path = args.get("input").ok_or("missing --input")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    kmm::graph::io::from_edge_list(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let Some(args) = Args::parse() else {
+        return usage();
+    };
+    let k: usize = args.get_num("k").unwrap_or(8);
+    let seed: u64 = args.get_num("seed").unwrap_or(42);
+    match args.cmd.as_str() {
+        "conn" => {
+            let g = match load_graph(&args) {
+                Ok(g) => g,
+                Err(e) => return fail(&e),
+            };
+            let out = connected_components(&g, k, seed, &ConnectivityConfig::default());
+            println!("components: {}", out.component_count());
+            println!("rounds:     {}", out.stats.rounds);
+            println!("phases:     {}", out.phases);
+            println!("total bits: {}", out.stats.total_bits);
+        }
+        "mst" => {
+            let g = match load_graph(&args) {
+                Ok(g) => g,
+                Err(e) => return fail(&e),
+            };
+            let cfg = MstConfig {
+                criterion: if args.flag("both-endpoints") {
+                    OutputCriterion::BothEndpoints
+                } else {
+                    OutputCriterion::AnyMachine
+                },
+                ..MstConfig::default()
+            };
+            let out = minimum_spanning_tree(&g, k, seed, &cfg);
+            println!("forest edges: {}", out.edges.len());
+            println!("total weight: {}", out.total_weight);
+            println!("rounds:       {}", out.stats.rounds);
+            if args.flag("print-edges") {
+                for e in &out.edges {
+                    println!("{} {} {}", e.u, e.v, e.w);
+                }
+            }
+        }
+        "st" => {
+            let g = match load_graph(&args) {
+                Ok(g) => g,
+                Err(e) => return fail(&e),
+            };
+            let out = kmm::algo::spanning_forest(&g, k, seed, &MstConfig::default());
+            println!("forest edges: {}", out.edges.len());
+            println!("rounds:       {}", out.stats.rounds);
+        }
+        "mincut" => {
+            let g = match load_graph(&args) {
+                Ok(g) => g,
+                Err(e) => return fail(&e),
+            };
+            let out = approx_min_cut(&g, k, seed, &MinCutConfig::default());
+            println!("estimate: {}", out.estimate);
+            println!("probes:   {}", out.probes);
+            println!("rounds:   {}", out.stats.rounds);
+        }
+        "stcon" => {
+            let g = match load_graph(&args) {
+                Ok(g) => g,
+                Err(e) => return fail(&e),
+            };
+            let (Some(s), Some(t)) = (args.get_num::<u32>("s"), args.get_num::<u32>("t")) else {
+                return fail("stcon needs --s and --t");
+            };
+            if s as usize >= g.n() || t as usize >= g.n() {
+                return fail("--s/--t out of range");
+            }
+            let v = verify::st_connectivity(&g, s, t, k, seed, &ConnectivityConfig::default());
+            println!("connected: {}", v.holds);
+            println!("rounds:    {}", v.stats.rounds);
+        }
+        "bipart" => {
+            let g = match load_graph(&args) {
+                Ok(g) => g,
+                Err(e) => return fail(&e),
+            };
+            let v = verify::bipartiteness(&g, k, seed, &ConnectivityConfig::default());
+            println!("bipartite: {}", v.holds);
+            println!("rounds:    {}", v.stats.rounds);
+        }
+        "gen" => {
+            let n: usize = match args.get_num("n") {
+                Some(n) => n,
+                None => return fail("gen needs --n"),
+            };
+            let g = match args.get("family").unwrap_or("gnm") {
+                "gnm" => {
+                    let m = args.get_num("m").unwrap_or(4 * n);
+                    generators::gnm(n, m, seed)
+                }
+                "gnp" => {
+                    let p: f64 = args.get_num("p").unwrap_or(0.01);
+                    generators::gnp(n, p, seed)
+                }
+                "path" => generators::path(n),
+                "cycle" => generators::cycle(n.max(3)),
+                "grid" => {
+                    let side = (n as f64).sqrt().ceil() as usize;
+                    generators::grid(side, side)
+                }
+                "star" => generators::star(n.max(2)),
+                other => return fail(&format!("unknown family {other}")),
+            };
+            let g = if let Some(w) = args.get_num::<u64>("max-weight") {
+                generators::randomize_weights(&g, w, seed ^ 1)
+            } else {
+                g
+            };
+            let text = kmm::graph::io::to_edge_list(&g);
+            match args.get("out") {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, text) {
+                        return fail(&format!("write {path}: {e}"));
+                    }
+                    println!("wrote n={} m={} to {path}", g.n(), g.m());
+                }
+                None => print!("{text}"),
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # kmm — the k-machine model, connectivity & MST in large graphs
+//!
+//! Umbrella crate for the reproduction of Pandurangan, Robinson and
+//! Scquizzato, *Fast Distributed Algorithms for Connectivity and MST in
+//! Large Graphs* (SPAA 2016).
+//!
+//! Re-exports the workspace crates:
+//!
+//! * [`graph`] — input graphs, generators, partitions, sequential references.
+//! * [`machine`] — the k-machine model simulator (rounds, bandwidth, metrics).
+//! * [`sketch`] — linear graph sketches (ℓ₀-samplers).
+//! * [`randomness`] — hash families and shared-randomness modelling.
+//! * [`algo`] — the paper's distributed algorithms, baselines, and the
+//!   lower-bound harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kmm::prelude::*;
+//!
+//! // A graph with two planted components, distributed over k = 4 machines.
+//! let g = kmm::graph::generators::planted_components(200, 2, 3, 7);
+//! let cfg = ConnectivityConfig::default();
+//! let out = connected_components(&g, 4, 7, &cfg);
+//! assert_eq!(out.component_count(), 2);
+//! // Rounds and communication are fully accounted:
+//! assert!(out.stats.rounds > 0);
+//! ```
+
+pub use kconn as algo;
+pub use kgraph as graph;
+pub use kmachine as machine;
+pub use krand as randomness;
+pub use ksketch as sketch;
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use kconn::connectivity::{connected_components, ConnectivityConfig, ConnectivityOutput};
+    pub use kconn::mincut::{approx_min_cut, MinCutConfig};
+    pub use kconn::mst::{minimum_spanning_tree, MstConfig, OutputCriterion};
+    pub use kconn::st::spanning_forest;
+    pub use kconn::verify;
+    pub use kgraph::{generators, refalgo, Graph, Partition, PartitionKind};
+    pub use kmachine::metrics::CommStats;
+    pub use kmachine::{Bandwidth, CostModel};
+}

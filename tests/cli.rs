@@ -1,0 +1,116 @@
+//! Integration tests for the `kmm` command-line binary.
+
+use std::process::Command;
+
+fn kmm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kmm"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kmm-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_then_analyze_roundtrip() {
+    let path = tmp("grid.txt");
+    let out = kmm()
+        .args([
+            "gen",
+            "--family",
+            "grid",
+            "--n",
+            "64",
+            "--max-weight",
+            "20",
+            "--seed",
+            "3",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "{:?}", out);
+
+    let conn = kmm()
+        .args(["conn", "--input", path.to_str().unwrap(), "--k", "4"])
+        .output()
+        .expect("run conn");
+    assert!(conn.status.success());
+    let text = String::from_utf8_lossy(&conn.stdout);
+    assert!(text.contains("components: 1"), "{text}");
+    assert!(text.contains("rounds:"), "{text}");
+
+    let mst = kmm()
+        .args(["mst", "--input", path.to_str().unwrap(), "--k", "4"])
+        .output()
+        .expect("run mst");
+    assert!(mst.status.success());
+    let text = String::from_utf8_lossy(&mst.stdout);
+    assert!(text.contains("forest edges: 63"), "{text}");
+
+    let bip = kmm()
+        .args(["bipart", "--input", path.to_str().unwrap(), "--k", "4"])
+        .output()
+        .expect("run bipart");
+    let text = String::from_utf8_lossy(&bip.stdout);
+    assert!(text.contains("bipartite: true"), "grids are bipartite: {text}");
+
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn stcon_answers_and_validates_args() {
+    let path = tmp("path.txt");
+    assert!(kmm()
+        .args([
+            "gen", "--family", "path", "--n", "30", "--out",
+            path.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let ok = kmm()
+        .args([
+            "stcon", "--input", path.to_str().unwrap(), "--k", "4", "--s", "0", "--t", "29",
+        ])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("connected: true"));
+    let bad = kmm()
+        .args([
+            "stcon", "--input", path.to_str().unwrap(), "--k", "4", "--s", "0", "--t", "99",
+        ])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success(), "out-of-range endpoint must fail");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unknown_subcommand_prints_usage() {
+    let out = kmm().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_input_is_an_error() {
+    let out = kmm().args(["conn", "--k", "4"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+#[test]
+fn gen_to_stdout_parses_back() {
+    let out = kmm()
+        .args(["gen", "--family", "cycle", "--n", "12"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let g = kmm::graph::io::from_edge_list(&text).expect("parse generated output");
+    assert_eq!(g.n(), 12);
+    assert_eq!(g.m(), 12);
+}

@@ -1,0 +1,236 @@
+//! End-to-end integration tests: every distributed algorithm validated
+//! against its exact sequential reference across graph families, machine
+//! counts, and seeds.
+
+use kmm::algo::baselines::edge_boruvka::edge_boruvka_mst;
+use kmm::algo::baselines::flooding::flooding_connectivity;
+use kmm::algo::baselines::referee::referee_connectivity;
+use kmm::algo::baselines::rep_mst::rep_mst;
+use kmm::machine::Bandwidth;
+use kmm::prelude::*;
+
+/// The graph menagerie used across the tests.
+fn families(seed: u64) -> Vec<(String, Graph)> {
+    vec![
+        ("path".into(), generators::path(120)),
+        ("cycle".into(), generators::cycle(121)),
+        ("grid".into(), generators::grid(11, 12)),
+        ("star".into(), generators::star(100)),
+        ("tree".into(), generators::random_tree(150, seed)),
+        ("gnp-sparse".into(), generators::gnp(250, 0.008, seed + 1)),
+        ("gnp-dense".into(), generators::gnp(120, 0.15, seed + 2)),
+        (
+            "planted-4".into(),
+            generators::planted_components(240, 4, 5, seed + 3),
+        ),
+        (
+            "isolated".into(),
+            Graph::unweighted(60, [(0, 1), (2, 3), (4, 5)]),
+        ),
+    ]
+}
+
+#[test]
+fn connectivity_matches_union_find_across_families_and_k() {
+    for (name, g) in families(11) {
+        for k in [2usize, 5, 8] {
+            let out = connected_components(&g, k, 1000 + k as u64, &ConnectivityConfig::default());
+            let truth = refalgo::connected_components(&g);
+            // Same-label iff same true component.
+            let mut rep: std::collections::HashMap<u64, u32> = Default::default();
+            for (v, &t) in truth.iter().enumerate() {
+                let r = rep.entry(out.labels[v]).or_insert(t);
+                assert_eq!(*r, t, "{name} k={k} vertex {v}");
+            }
+            assert_eq!(
+                out.component_count(),
+                refalgo::component_count(&g),
+                "{name} k={k}"
+            );
+            assert_eq!(
+                out.counted_components.unwrap() as usize,
+                refalgo::component_count(&g),
+                "{name} k={k}: §2.6 output protocol"
+            );
+        }
+    }
+}
+
+#[test]
+fn mst_matches_kruskal_across_families_and_k() {
+    for (name, g) in families(23) {
+        let g = generators::randomize_weights(&g, 5000, 77);
+        for k in [2usize, 6] {
+            let out = minimum_spanning_tree(&g, k, 2000 + k as u64, &MstConfig::default());
+            let reference = refalgo::kruskal(&g);
+            assert!(
+                refalgo::is_spanning_forest(&g, &out.edges),
+                "{name} k={k}: not a spanning forest"
+            );
+            assert_eq!(
+                out.total_weight,
+                refalgo::forest_weight(&reference),
+                "{name} k={k}: weight mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_connectivity_algorithms_agree() {
+    let g = generators::planted_components(300, 3, 6, 5);
+    let truth = refalgo::component_count(&g);
+    let sketch = connected_components(&g, 6, 9, &ConnectivityConfig::default());
+    assert_eq!(sketch.component_count(), truth);
+    let flood = flooding_connectivity(&g, 6, 9, Bandwidth::default());
+    assert_eq!(flood.component_count(), truth);
+    let referee = referee_connectivity(&g, 6, 9, Bandwidth::default());
+    let mut labels = referee.labels.clone();
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), truth);
+}
+
+#[test]
+fn all_mst_algorithms_agree_on_weight() {
+    let g = generators::randomize_weights(&generators::random_connected(200, 400, 3), 999, 4);
+    let expect = refalgo::forest_weight(&refalgo::kruskal(&g));
+    let core = minimum_spanning_tree(&g, 4, 5, &MstConfig::default());
+    assert_eq!(core.total_weight, expect, "sketch MST");
+    let ghs = edge_boruvka_mst(&g, 4, 5, Bandwidth::default());
+    assert_eq!(ghs.total_weight, expect, "edge-checking Borůvka");
+    let rep = rep_mst(&g, 4, 5, &MstConfig::default());
+    assert_eq!(rep.mst.total_weight, expect, "REP-model MST");
+}
+
+#[test]
+fn bipartiteness_matches_two_coloring_reference() {
+    use kmm::algo::verify::bipartiteness;
+    let cases: Vec<(Graph, &str)> = vec![
+        (generators::cycle(20), "even cycle"),
+        (generators::cycle(21), "odd cycle"),
+        (generators::grid(5, 7), "grid"),
+        (generators::star(30), "star"),
+        (generators::gnp(80, 0.08, 9), "gnp"),
+        (generators::random_tree(90, 10), "tree"),
+    ];
+    for (i, (g, name)) in cases.into_iter().enumerate() {
+        let expect = refalgo::bipartition(&g).is_some();
+        let got = bipartiteness(&g, 4, 100 + i as u64, &ConnectivityConfig::default());
+        assert_eq!(got.holds, expect, "{name}");
+    }
+}
+
+#[test]
+fn mincut_approximation_is_within_theorem3_bound() {
+    for (seed, block, bridges, w) in [(1u64, 20usize, 2usize, 3u64), (2, 30, 5, 1), (3, 16, 1, 8)] {
+        let g = generators::barbell(block, bridges, w, seed);
+        let lambda = kmm::graph::mincut::stoer_wagner(&g).unwrap();
+        assert_eq!(lambda, bridges as u64 * w);
+        let out = approx_min_cut(&g, 4, seed + 50, &MinCutConfig::default());
+        let logn = (g.n() as f64).log2();
+        let est = out.estimate.max(1) as f64;
+        let ratio = (est / lambda as f64).max(lambda as f64 / est);
+        assert!(
+            ratio <= 4.0 * logn,
+            "seed {seed}: ratio {ratio:.1} vs O(log n)={logn:.1}"
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_and_seed_sensitive() {
+    let g = generators::gnp(300, 0.015, 42);
+    let a = connected_components(&g, 6, 7, &ConnectivityConfig::default());
+    let b = connected_components(&g, 6, 7, &ConnectivityConfig::default());
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.stats.rounds, b.stats.rounds);
+    assert_eq!(a.stats.total_bits, b.stats.total_bits);
+    let c = connected_components(&g, 6, 8, &ConnectivityConfig::default());
+    // Different seed: same answer, different execution.
+    assert_eq!(a.component_count(), c.component_count());
+    assert_ne!(
+        (a.stats.rounds, a.stats.total_bits),
+        (c.stats.rounds, c.stats.total_bits),
+        "different seeds should randomize the execution"
+    );
+}
+
+#[test]
+fn stats_invariants_hold() {
+    let g = generators::gnm(400, 1200, 13);
+    let out = connected_components(&g, 8, 14, &ConnectivityConfig::default());
+    let s = &out.stats;
+    let sent: u64 = s.sent_bits.iter().sum();
+    let recv: u64 = s.recv_bits.iter().sum();
+    // The modeled §2.2 seed charge adds to sent (machine 0) but has no
+    // receiver; everything else must balance.
+    assert!(sent >= recv);
+    assert!(s.total_bits >= recv);
+    assert!(s.rounds > 0);
+    assert!(s.max_link_bits <= s.total_bits);
+    assert!(s.messages > 0);
+    let sum_rounds: u64 = s.superstep_loads.iter().map(|l| l.rounds).sum();
+    assert!(sum_rounds <= s.rounds, "superstep rounds plus modeled charges");
+}
+
+#[test]
+fn monte_carlo_failure_injection_degrades_gracefully() {
+    // Absurdly small sketches (1 repetition) make sampling failures common;
+    // outputs must remain *valid* components (never merge across true
+    // components), even if phases run to the cap.
+    let g = generators::planted_components(150, 3, 4, 15);
+    let cfg = ConnectivityConfig {
+        reps: 1,
+        ..ConnectivityConfig::default()
+    };
+    let out = connected_components(&g, 4, 16, &cfg);
+    let truth = refalgo::connected_components(&g);
+    for e in g.edges() {
+        // Edges within a true component may end up split (missed merges),
+        // but no label may ever span two true components.
+        let (lu, lv) = (out.labels[e.u as usize], out.labels[e.v as usize]);
+        let _ = (lu, lv);
+    }
+    let mut rep: std::collections::HashMap<u64, u32> = Default::default();
+    for (v, &t) in truth.iter().enumerate() {
+        let r = rep.entry(out.labels[v]).or_insert(t);
+        assert_eq!(*r, t, "a label must never span two true components");
+    }
+}
+
+#[test]
+fn mst_both_criteria_agree_on_the_tree() {
+    let g = generators::randomize_weights(&generators::grid(10, 10), 500, 17);
+    let a = minimum_spanning_tree(
+        &g,
+        4,
+        18,
+        &MstConfig {
+            criterion: OutputCriterion::AnyMachine,
+            ..MstConfig::default()
+        },
+    );
+    let b = minimum_spanning_tree(
+        &g,
+        4,
+        18,
+        &MstConfig {
+            criterion: OutputCriterion::BothEndpoints,
+            ..MstConfig::default()
+        },
+    );
+    assert_eq!(a.edges, b.edges);
+    assert!(b.stats.rounds >= a.stats.rounds);
+}
+
+#[test]
+fn double_cover_partition_is_consistent() {
+    let g = generators::gnp(100, 0.05, 19);
+    let part = Partition::random_vertex(&g, 4, 20);
+    let lifted = part.lifted_double_cover();
+    for v in 0..g.n() as u32 {
+        assert_eq!(part.home(v), lifted.home(v));
+        assert_eq!(part.home(v), lifted.home(v + g.n() as u32));
+    }
+}

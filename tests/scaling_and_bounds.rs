@@ -1,0 +1,189 @@
+//! Quantitative checks of the paper's bounds at small-but-meaningful scale:
+//! Lemma 6 (DRR depth), Lemma 7 (phase count), Lemma 1 (proxy load
+//! balance), Theorem 1 (superlinear k-scaling), and the Theorem 2(b)
+//! bottleneck.
+
+use kmm::machine::Bandwidth;
+use kmm::prelude::*;
+
+#[test]
+fn lemma7_phase_count_is_logarithmic() {
+    for (n, seed) in [(512usize, 1u64), (1024, 2), (2048, 3)] {
+        let g = generators::random_connected(n, n, seed);
+        let out = connected_components(&g, 8, seed + 10, &ConnectivityConfig::default());
+        let log = (n as f64).log2();
+        assert!(
+            (out.phases as f64) <= 2.5 * log,
+            "n={n}: {} phases vs 12 log n = {}",
+            out.phases,
+            12.0 * log
+        );
+        // Component counts must be non-increasing across phases.
+        for w in out.phase_components.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+}
+
+#[test]
+fn lemma6_drr_depth_is_logarithmic() {
+    // Adversarially chain-able workload: a long path.
+    let g = generators::path(4096);
+    let out = connected_components(&g, 8, 5, &ConnectivityConfig::default());
+    let bound = 6.0 * (4096f64 + 1.0).log2();
+    for (i, &d) in out.drr_depths.iter().enumerate() {
+        assert!(
+            (d as f64) <= bound,
+            "phase {i}: DRR depth {d} above the Lemma 6 bound {bound:.0}"
+        );
+    }
+}
+
+#[test]
+fn lemma1_proxy_routing_is_balanced() {
+    // On a big superstep the max link load must be within a polylog factor
+    // of the mean (Lemma 1's w.h.p. guarantee).
+    let g = generators::gnm(4000, 10_000, 7);
+    let k = 8;
+    let out = connected_components(&g, k, 8, &ConnectivityConfig::default());
+    let links = (k * (k - 1)) as u64;
+    // Only supersteps moving at least one sketch per link on average.
+    let imbalance = out.stats.link_imbalance(links, 100_000);
+    assert!(
+        imbalance < 4.0,
+        "proxy routing imbalance {imbalance:.2} should be O(polylog)/mean"
+    );
+}
+
+#[test]
+fn theorem1_rounds_scale_superlinearly_in_k() {
+    let g = generators::gnm(6000, 18_000, 9);
+    let cfg = ConnectivityConfig::default();
+    let rounds: Vec<u64> = [4usize, 8, 16]
+        .iter()
+        .map(|&k| connected_components(&g, k, 10, &cfg).stats.rounds)
+        .collect();
+    // Doubling k must beat halving (superlinear).
+    assert!(
+        rounds[0] as f64 / rounds[1] as f64 > 2.0,
+        "k: 4→8 gave only {:.2}x",
+        rounds[0] as f64 / rounds[1] as f64
+    );
+    assert!(
+        rounds[1] as f64 / rounds[2] as f64 > 2.0,
+        "k: 8→16 gave only {:.2}x",
+        rounds[1] as f64 / rounds[2] as f64
+    );
+}
+
+#[test]
+fn theorem2b_star_bottleneck_appears() {
+    // On a star, the criterion-(b) routing stage must concentrate Θ(n)
+    // receive bits at the hub's home machine while the average machine
+    // receives only Θ(n/k): the Ω~(n/k) bottleneck of [22].
+    let g = generators::randomize_weights(&generators::star(2000), 100, 11);
+    let k = 8;
+    let b = minimum_spanning_tree(
+        &g,
+        k,
+        12,
+        &MstConfig {
+            criterion: OutputCriterion::BothEndpoints,
+            ..MstConfig::default()
+        },
+    );
+    let routing = b.endpoint_routing.expect("criterion (b) ran");
+    let max = routing.max_machine_recv_bits() as f64;
+    let mean =
+        routing.recv_bits.iter().sum::<u64>() as f64 / routing.recv_bits.len() as f64;
+    assert!(
+        max > (k as f64 / 4.0) * mean,
+        "hub machine should receive ~k/2 times the mean: max={max}, mean={mean}"
+    );
+    // Sanity: on a path the same stage stays balanced.
+    let p = generators::randomize_weights(&generators::path(2000), 100, 13);
+    let bp = minimum_spanning_tree(
+        &p,
+        k,
+        14,
+        &MstConfig {
+            criterion: OutputCriterion::BothEndpoints,
+            ..MstConfig::default()
+        },
+    );
+    let routing_p = bp.endpoint_routing.expect("criterion (b) ran");
+    let max_p = routing_p.max_machine_recv_bits() as f64;
+    let mean_p =
+        routing_p.recv_bits.iter().sum::<u64>() as f64 / routing_p.recv_bits.len() as f64;
+    assert!(
+        max_p < 2.0 * mean_p,
+        "path routing should stay balanced: max={max_p}, mean={mean_p}"
+    );
+}
+
+#[test]
+fn flooding_beats_sketches_only_on_low_diameter() {
+    use kmm::algo::baselines::flooding::flooding_connectivity;
+    let k = 16;
+    // Low diameter: flooding wins.
+    let low_d = generators::planted_components(3000, 6, 400, 13);
+    let s1 = connected_components(&low_d, k, 14, &ConnectivityConfig::default());
+    let f1 = flooding_connectivity(&low_d, k, 14, Bandwidth::default());
+    assert!(f1.stats.rounds < s1.stats.rounds, "low-D: flooding should win");
+    // High diameter: sketches win.
+    let high_d = generators::path(3000);
+    let s2 = connected_components(&high_d, k, 15, &ConnectivityConfig::default());
+    let f2 = flooding_connectivity(&high_d, k, 15, Bandwidth::default());
+    assert!(
+        s2.stats.rounds < f2.stats.rounds,
+        "high-D: sketches should win ({} vs {})",
+        s2.stats.rounds,
+        f2.stats.rounds
+    );
+}
+
+#[test]
+fn shared_randomness_charge_is_visible_and_ablatable() {
+    let g = generators::gnm(2000, 6000, 17);
+    let with = connected_components(
+        &g,
+        8,
+        18,
+        &ConnectivityConfig {
+            charge_shared_randomness: true,
+            ..ConnectivityConfig::default()
+        },
+    );
+    let without = connected_components(
+        &g,
+        8,
+        18,
+        &ConnectivityConfig {
+            charge_shared_randomness: false,
+            ..ConnectivityConfig::default()
+        },
+    );
+    assert_eq!(with.labels, without.labels, "charging must not change outputs");
+    assert!(
+        with.stats.rounds > without.stats.rounds,
+        "the §2.2 distribution cost must be visible in rounds"
+    );
+}
+
+#[test]
+fn rep_model_pays_the_n_over_k_routing() {
+    use kmm::algo::baselines::rep_mst::rep_mst;
+    let g = generators::randomize_weights(&generators::gnm(3000, 9000, 19), 777, 20);
+    let cfg = MstConfig::default();
+    let rvp = minimum_spanning_tree(&g, 16, 21, &cfg);
+    let rep = rep_mst(&g, 16, 21, &cfg);
+    assert_eq!(rep.mst.total_weight, rvp.total_weight);
+    // REP total includes the Θ~(n/k) conversion; at k=16 it should clearly
+    // exceed the RVP run on the (already filtered, smaller) graph.
+    assert!(
+        rep.mst.stats.rounds > rvp.stats.rounds / 4,
+        "REP should not be mysteriously cheap: {} vs {}",
+        rep.mst.stats.rounds,
+        rvp.stats.rounds
+    );
+}
