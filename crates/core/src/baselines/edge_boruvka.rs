@@ -69,12 +69,7 @@ struct Comp {
 }
 
 /// Runs edge-checking Borůvka over `k` machines with [`CheckMode::BatchedPush`].
-pub fn edge_boruvka_mst(
-    g: &Graph,
-    k: usize,
-    seed: u64,
-    bandwidth: Bandwidth,
-) -> EdgeBoruvkaOutput {
+pub fn edge_boruvka_mst(g: &Graph, k: usize, seed: u64, bandwidth: Bandwidth) -> EdgeBoruvkaOutput {
     edge_boruvka_mst_mode(g, k, seed, bandwidth, CheckMode::BatchedPush)
 }
 

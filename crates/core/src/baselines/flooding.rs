@@ -51,7 +51,11 @@ pub fn flooding_connectivity(
 
 /// Runs flooding with an explicit partition.
 #[allow(clippy::needless_range_loop)] // machine ids index several parallel structures
-pub fn flooding_with_partition(g: &Graph, part: &Partition, bandwidth: Bandwidth) -> FloodingOutput {
+pub fn flooding_with_partition(
+    g: &Graph,
+    part: &Partition,
+    bandwidth: Bandwidth,
+) -> FloodingOutput {
     let k = part.k();
     let n = g.n();
     let l = id_bits(n);
@@ -222,11 +226,7 @@ impl kmachine::program::Program<Payload> for FloodMachine<'_> {
 /// Event-driven flooding on the fine-grained network. Produces the same
 /// labels as [`flooding_with_partition`]; rounds may differ (pipelining vs
 /// batching) but stay in the same `Θ(n/k + D)` regime.
-pub fn flooding_event_driven(
-    g: &Graph,
-    part: &Partition,
-    bandwidth: Bandwidth,
-) -> FloodingOutput {
+pub fn flooding_event_driven(g: &Graph, part: &Partition, bandwidth: Bandwidth) -> FloodingOutput {
     let k = part.k();
     let n = g.n();
     let l = id_bits(n);

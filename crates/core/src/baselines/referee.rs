@@ -20,12 +20,7 @@ pub struct RefereeOutput {
 }
 
 /// Collects all edges at machine 0 and solves connectivity there.
-pub fn referee_connectivity(
-    g: &Graph,
-    k: usize,
-    seed: u64,
-    bandwidth: Bandwidth,
-) -> RefereeOutput {
+pub fn referee_connectivity(g: &Graph, k: usize, seed: u64, bandwidth: Bandwidth) -> RefereeOutput {
     let part = Partition::random_vertex(g, k, seed);
     let n = g.n();
     let l = id_bits(n);
@@ -65,10 +60,7 @@ mod tests {
     fn referee_answers_correctly_and_pays_collection() {
         let g = generators::gnm(400, 2000, 1);
         let out = referee_connectivity(&g, 8, 2, Bandwidth::Bits(256));
-        assert_eq!(
-            out.labels,
-            kgraph::refalgo::connected_components(&g)
-        );
+        assert_eq!(out.labels, kgraph::refalgo::connected_components(&g));
         // Machine 0 receives ~all edges over 7 links.
         assert!(out.stats.recv_bits[0] > 0);
         assert_eq!(out.stats.recv_bits[0], out.stats.total_bits);

@@ -293,8 +293,7 @@ impl<'g> Engine<'g> {
         if self.cfg.charge_shared_randomness {
             // §2.2: M1 distributes Θ~(n/k) shared bits before phase 1.
             let bits = SharedRandomness::paper_shared_bits(self.n, self.k);
-            let rounds =
-                SharedRandomness::distribution_rounds(bits, self.k, self.bsp.link_bits());
+            let rounds = SharedRandomness::distribution_rounds(bits, self.k, self.bsp.link_bits());
             self.bsp.charge_modeled_rounds(rounds, bits, 0);
         }
         let max_phases = self
@@ -349,9 +348,7 @@ impl<'g> Engine<'g> {
     fn run_phase(&mut self, p: u32) -> bool {
         self.select_outgoing(p);
         // Phase-progress flag: any component with a resolved outgoing edge?
-        let progressed = self.aggregate_flag(|st| {
-            st.proxied.values().any(|c| c.chosen.is_some())
-        });
+        let progressed = self.aggregate_flag(|st| st.proxied.values().any(|c| c.chosen.is_some()));
         if !progressed {
             return false;
         }
@@ -396,9 +393,7 @@ impl<'g> Engine<'g> {
                     finalize_candidate(c);
                 }
             });
-            let active = self.aggregate_flag(|st| {
-                st.proxied.values().any(|c| !c.elim_done)
-            });
+            let active = self.aggregate_flag(|st| st.proxied.values().any(|c| !c.elim_done));
             if !active || iter >= max_iters {
                 break;
             }
@@ -510,8 +505,7 @@ impl<'g> Engine<'g> {
                     sketch: Box::new(sk),
                 };
                 let bits = payload.wire_bits(l);
-                st.outbox
-                    .push(Envelope::with_bits(id, dst, payload, bits));
+                st.outbox.push(Envelope::with_bits(id, dst, payload, bits));
             }
         });
         self.machines = machines;
@@ -670,9 +664,7 @@ impl<'g> Engine<'g> {
             for (&label, c) in st.proxied.iter_mut() {
                 let connects = |other: Label| match merge {
                     MergeStrategy::Drr => scheme.connects(p, label, other),
-                    MergeStrategy::CoinFlip => {
-                        !scheme.coin(p, label) && scheme.coin(p, other)
-                    }
+                    MergeStrategy::CoinFlip => !scheme.coin(p, label) && scheme.coin(p, other),
                 };
                 c.parent = match (c.chosen, c.other_label) {
                     (Some(_), Some(other)) if connects(other) => Some(other),

@@ -49,7 +49,10 @@ pub fn simulate_scs_two_party(
     seed: u64,
     cfg: &ConnectivityConfig,
 ) -> TwoPartyReport {
-    assert!(k >= 2 && k.is_multiple_of(2), "need an even machine count to split");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "need an even machine count to split"
+    );
     let (g, h_edges) = scs_gadget(inst);
     let h = g.edge_subgraph(&h_edges);
     let part = Partition::random_vertex(&g, k, seed);

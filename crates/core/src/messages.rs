@@ -170,7 +170,10 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_id_width() {
-        let q = Payload::PtrQuery { asker: 1, target: 2 };
+        let q = Payload::PtrQuery {
+            asker: 1,
+            target: 2,
+        };
         assert_eq!(q.wire_bits(10), 16 + 20);
         assert_eq!(q.wire_bits(20), 16 + 40);
     }
@@ -207,7 +210,10 @@ mod tests {
             label: 5,
             key: Some((9, 1, 2)),
         };
-        let none = Payload::Threshold { label: 5, key: None };
+        let none = Payload::Threshold {
+            label: 5,
+            key: None,
+        };
         assert!(some.wire_bits(16) > none.wire_bits(16));
     }
 

@@ -83,21 +83,25 @@ pub fn approx_min_cut(g: &Graph, k: usize, seed: u64, cfg: &MinCutConfig) -> Min
     };
     let mut stats = CommStats::new(k);
     // Probe i = 0 is p = 1 (the input graph itself).
-    let max_probe = 2 + 64 - g
-        .edges()
-        .iter()
-        .map(|e| e.w)
-        .max()
-        .unwrap_or(1)
-        .leading_zeros()
+    let max_probe = 2 + 64
+        - g.edges()
+            .iter()
+            .map(|e| e.w)
+            .max()
+            .unwrap_or(1)
+            .leading_zeros()
         + kmachine::bandwidth::ceil_log2(g.n().max(2));
     let mut disconnecting = None;
     let mut probes = 0;
     for i in 0..max_probe {
         probes += 1;
         let sampled = sample_subgraph(g, &shared, i);
-        let out =
-            connected_components_with_partition(&sampled, &part, seed ^ (i as u64) << 32, &conn_cfg);
+        let out = connected_components_with_partition(
+            &sampled,
+            &part,
+            seed ^ (i as u64) << 32,
+            &conn_cfg,
+        );
         stats.absorb(&out.stats);
         if out.component_count() > 1 {
             disconnecting = Some(i);
@@ -163,7 +167,10 @@ mod tests {
         let m1 = sample_subgraph(&g, &shared, 1).m() as f64;
         let m2 = sample_subgraph(&g, &shared, 2).m() as f64;
         assert!((m1 / g.m() as f64 - 0.5).abs() < 0.1, "p=1/2 keeps ~half");
-        assert!((m2 / g.m() as f64 - 0.25).abs() < 0.1, "p=1/4 keeps ~quarter");
+        assert!(
+            (m2 / g.m() as f64 - 0.25).abs() < 0.1,
+            "p=1/4 keeps ~quarter"
+        );
     }
 
     #[test]

@@ -196,10 +196,7 @@ mod tests {
 
     #[test]
     fn tiny_weighted_square() {
-        let g = Graph::from_edges(
-            4,
-            [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 10)],
-        );
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 10)]);
         let out = check(&g, 2, 3);
         assert_eq!(out.edges.len(), 3);
         assert_eq!(out.total_weight, 6);
@@ -219,7 +216,8 @@ mod tests {
 
     #[test]
     fn disconnected_graph_yields_spanning_forest() {
-        let g = generators::randomize_weights(&generators::planted_components(120, 3, 5, 10), 99, 11);
+        let g =
+            generators::randomize_weights(&generators::planted_components(120, 3, 5, 10), 99, 11);
         let out = check(&g, 4, 12);
         assert_eq!(out.edges.len(), 120 - 3);
     }

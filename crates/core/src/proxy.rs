@@ -99,7 +99,10 @@ mod tests {
             assert!(p < 8);
             seen[p] = true;
         }
-        assert!(seen.iter().all(|&b| b), "all machines should proxy something");
+        assert!(
+            seen.iter().all(|&b| b),
+            "all machines should proxy something"
+        );
     }
 
     #[test]

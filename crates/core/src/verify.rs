@@ -15,9 +15,7 @@
 //! Every function returns the verdict plus the combined communication
 //! statistics, so the E11 experiments can report rounds per problem.
 
-use crate::connectivity::{
-    connected_components_with_partition, ConnectivityConfig,
-};
+use crate::connectivity::{connected_components_with_partition, ConnectivityConfig};
 use kgraph::{Graph, Partition};
 use kmachine::metrics::CommStats;
 use rustc_hash::FxHashSet;
@@ -235,10 +233,7 @@ mod tests {
     }
 
     fn edge_set(edges: &[(u32, u32)]) -> FxHashSet<(u32, u32)> {
-        edges
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect()
+        edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect()
     }
 
     #[test]
@@ -278,8 +273,12 @@ mod tests {
         let g = generators::planted_components(80, 2, 3, 8);
         let labels = kgraph::refalgo::connected_components(&g);
         let s = 0u32;
-        let same = (1..80u32).find(|&v| labels[v as usize] == labels[0]).unwrap();
-        let diff = (1..80u32).find(|&v| labels[v as usize] != labels[0]).unwrap();
+        let same = (1..80u32)
+            .find(|&v| labels[v as usize] == labels[0])
+            .unwrap();
+        let diff = (1..80u32)
+            .find(|&v| labels[v as usize] != labels[0])
+            .unwrap();
         assert!(st_connectivity(&g, s, same, 4, 9, &cfg()).holds);
         assert!(!st_connectivity(&g, s, diff, 4, 10, &cfg()).holds);
     }

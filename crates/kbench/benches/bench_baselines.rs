@@ -85,7 +85,12 @@ fn bench_mst_baselines(c: &mut Criterion) {
         })
     });
     group.bench_function("rep_filtering", |b| {
-        b.iter(|| rep_mst(black_box(&g), 8, 5, &MstConfig::default()).mst.stats.rounds)
+        b.iter(|| {
+            rep_mst(black_box(&g), 8, 5, &MstConfig::default())
+                .mst
+                .stats
+                .rounds
+        })
     });
     group.finish();
 }

@@ -15,15 +15,9 @@ fn bench_mincut(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4));
     for bridges in [1usize, 4, 16] {
         let g = generators::barbell(64, bridges, 1, 7);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(bridges),
-            &bridges,
-            |b, _| {
-                b.iter(|| {
-                    approx_min_cut(black_box(&g), 8, 9, &MinCutConfig::default()).estimate
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(bridges), &bridges, |b, _| {
+            b.iter(|| approx_min_cut(black_box(&g), 8, 9, &MinCutConfig::default()).estimate)
+        });
     }
     group.finish();
 }

@@ -45,7 +45,11 @@ fn bench_mst_output_criteria(c: &mut Criterion) {
             ..MstConfig::default()
         };
         group.bench_function(name, |b| {
-            b.iter(|| minimum_spanning_tree(black_box(&g), 8, 82, &cfg).stats.rounds)
+            b.iter(|| {
+                minimum_spanning_tree(black_box(&g), 8, 82, &cfg)
+                    .stats
+                    .rounds
+            })
         });
     }
     group.finish();

@@ -44,7 +44,7 @@ fn main() {
     }
 
     std::fs::create_dir_all("results").expect("create results dir");
-    let json = serde_json::to_string_pretty(&all_records).expect("serialize");
+    let json = kbench::experiments::records_to_json(&all_records);
     std::fs::write("results/experiments.json", json).expect("write results");
     println!(
         "\nwrote {} records to results/experiments.json in {:.1?}",

@@ -18,13 +18,12 @@ use kconn::{
 use kgraph::{generators, mincut, refalgo, Graph};
 use kmachine::bandwidth::Bandwidth;
 use rustc_hash::FxHashSet;
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 use crate::table::Table;
 
 /// One measured data point, serialized into `results/experiments.json`.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentRecord {
     /// Experiment id (E1..E16).
     pub experiment: String,
@@ -47,6 +46,62 @@ fn record(
         label: label.into(),
         params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    }
+}
+
+impl ExperimentRecord {
+    /// Serializes the record as a JSON object (hand-rolled: the build
+    /// environment has no crates.io access, so no serde).
+    pub fn to_json(&self) -> String {
+        let map_json = |m: &BTreeMap<String, f64>| {
+            let fields: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("{}: {}", json_string(k), json_number(*v)))
+                .collect();
+            format!("{{{}}}", fields.join(", "))
+        };
+        format!(
+            "{{\"experiment\": {}, \"label\": {}, \"params\": {}, \"metrics\": {}}}",
+            json_string(&self.experiment),
+            json_string(&self.label),
+            map_json(&self.params),
+            map_json(&self.metrics)
+        )
+    }
+}
+
+/// Serializes records as a pretty-printed JSON array (one record per line).
+pub fn records_to_json(records: &[ExperimentRecord]) -> String {
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; null keeps consumers honest.
+        "null".to_string()
     }
 }
 
@@ -141,10 +196,18 @@ fn e2(quick: bool) -> ExperimentOutput {
     let n = if quick { 2048 } else { 8192 };
     let k = 16;
     let cases: Vec<(&str, Graph, usize)> = vec![
-        ("planted communities (D≈3)", generators::planted_components(n, 8, 200, 21), 8),
+        (
+            "planted communities (D≈3)",
+            generators::planted_components(n, 8, 200, 21),
+            8,
+        ),
         ("path (D=n−1)", generators::path(n), 1),
         ("cycle (D=n/2)", generators::cycle(n), 1),
-        ("grid (D≈2√n)", generators::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize), 1),
+        (
+            "grid (D≈2√n)",
+            generators::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize),
+            1,
+        ),
     ];
     let mut t = Table::new(&["workload", "sketch rounds", "flooding rounds", "winner"]);
     let mut records = Vec::new();
@@ -240,7 +303,10 @@ fn e4(quick: bool) -> ExperimentOutput {
     // Heavy supersteps = sketch aggregation (Lemma 1's regime).
     let heavy = out.stats.link_imbalance(links, 200_000);
     let all = out.stats.link_imbalance(links, 1_000);
-    t.row(vec!["sketch aggregation (heavy)".into(), format!("{heavy:.2}")]);
+    t.row(vec![
+        "sketch aggregation (heavy)".into(),
+        format!("{heavy:.2}"),
+    ]);
     t.row(vec!["all supersteps".into(), format!("{all:.2}")]);
     let md = format!(
         "### E4 — Lemma 1: proxy routing load balance (n = {n}, k = {k})\n\n{}\n\
@@ -369,10 +435,7 @@ fn e8(quick: bool) -> ExperimentOutput {
         "concentration",
     ]);
     let mut records = Vec::new();
-    for (name, g) in [
-        ("star", generators::star(n)),
-        ("path", generators::path(n)),
-    ] {
+    for (name, g) in [("star", generators::star(n)), ("path", generators::path(n))] {
         let g = generators::randomize_weights(&g, 1000, 81);
         let out = minimum_spanning_tree(
             &g,
@@ -487,7 +550,12 @@ fn e10(quick: bool) -> ExperimentOutput {
     let k = 8;
     let mut t = Table::new(&["λ (exact)", "estimate", "ratio", "probes", "rounds"]);
     let mut records = Vec::new();
-    for (bridges, w, seed) in [(1usize, 1u64, 101u64), (2, 4, 102), (8, 2, 103), (16, 1, 104)] {
+    for (bridges, w, seed) in [
+        (1usize, 1u64, 101u64),
+        (2, 4, 102),
+        (8, 2, 103),
+        (16, 1, 104),
+    ] {
         let g = generators::barbell(block, bridges, w, seed);
         let exact = mincut::stoer_wagner(&g).expect("connected");
         let out = approx_min_cut(&g, k, seed + 10, &MinCutConfig::default());
@@ -503,7 +571,11 @@ fn e10(quick: bool) -> ExperimentOutput {
         records.push(record(
             "E10",
             &format!("lambda={exact}"),
-            &[("n", (2 * block) as f64), ("k", k as f64), ("lambda", exact as f64)],
+            &[
+                ("n", (2 * block) as f64),
+                ("k", k as f64),
+                ("lambda", exact as f64),
+            ],
             &[
                 ("estimate", out.estimate as f64),
                 ("ratio", ratio),
@@ -552,7 +624,12 @@ fn e11(quick: bool) -> ExperimentOutput {
         ));
     };
     let v = verify::spanning_connected_subgraph(&g, &all, k, 113, &cfg);
-    push("spanning connected subgraph", v.holds, v.stats.rounds, &mut records);
+    push(
+        "spanning connected subgraph",
+        v.holds,
+        v.stats.rounds,
+        &mut records,
+    );
     let v = verify::cycle_containment(&g, &all, k, 114, &cfg);
     push("cycle containment", v.holds, v.stats.rounds, &mut records);
     let v = verify::e_cycle_containment(&g, &all, (some_edge.u, some_edge.v), k, 115, &cfg);
@@ -563,7 +640,15 @@ fn e11(quick: bool) -> ExperimentOutput {
     cut.insert((some_edge.u, some_edge.v));
     let v = verify::cut_verification(&g, &cut, k, 117, &cfg);
     push("cut", v.holds, v.stats.rounds, &mut records);
-    let v = verify::edge_on_all_paths(&g, (some_edge.u, some_edge.v), some_edge.u, some_edge.v, k, 118, &cfg);
+    let v = verify::edge_on_all_paths(
+        &g,
+        (some_edge.u, some_edge.v),
+        some_edge.u,
+        some_edge.v,
+        k,
+        118,
+        &cfg,
+    );
     push("edge on all paths", v.holds, v.stats.rounds, &mut records);
     let v = verify::st_cut_verification(&g, &cut, 0, (n - 1) as u32, k, 119, &cfg);
     push("s-t cut", v.holds, v.stats.rounds, &mut records);
@@ -660,7 +745,14 @@ fn e13(quick: bool) -> ExperimentOutput {
     } else {
         &[256, 512, 1024, 2048, 4096]
     };
-    let mut t = Table::new(&["b", "n", "cut bits", "rounds", "T·k²·W budget", "verdict ok"]);
+    let mut t = Table::new(&[
+        "b",
+        "n",
+        "cut bits",
+        "rounds",
+        "T·k²·W budget",
+        "verdict ok",
+    ]);
     let mut records = Vec::new();
     let mut pts = Vec::new();
     for &b in bs {
@@ -786,8 +878,14 @@ fn e16(quick: bool) -> ExperimentOutput {
     );
     let extra = with.stats.rounds - without.stats.rounds;
     let mut t = Table::new(&["metric", "value"]);
-    t.row(vec!["components (protocol)".into(), with.counted_components.unwrap().to_string()]);
-    t.row(vec!["components (truth)".into(), refalgo::component_count(&g).to_string()]);
+    t.row(vec![
+        "components (protocol)".into(),
+        with.counted_components.unwrap().to_string(),
+    ]);
+    t.row(vec![
+        "components (truth)".into(),
+        refalgo::component_count(&g).to_string(),
+    ]);
     t.row(vec!["extra rounds for counting".into(), extra.to_string()]);
     t.row(vec!["total rounds".into(), with.stats.rounds.to_string()]);
     let md = format!(
@@ -816,20 +914,16 @@ fn e17(quick: bool) -> ExperimentOutput {
     use kconn::engine::MergeStrategy;
     let n = if quick { 4096 } else { 16384 };
     let k = 16;
-    let mut t = Table::new(&[
-        "workload",
-        "strategy",
-        "rounds",
-        "phases",
-        "max DRR depth",
-    ]);
+    let mut t = Table::new(&["workload", "strategy", "rounds", "phases", "max DRR depth"]);
     let mut records = Vec::new();
     for (name, g) in [
         ("gnm m=4n", generators::gnm(n, 4 * n, 171)),
         ("path", generators::path(n)),
     ] {
-        for (sname, merge) in [("DRR", MergeStrategy::Drr), ("coin-flip", MergeStrategy::CoinFlip)]
-        {
+        for (sname, merge) in [
+            ("DRR", MergeStrategy::Drr),
+            ("coin-flip", MergeStrategy::CoinFlip),
+        ] {
             let cfg = ConnectivityConfig {
                 merge,
                 ..ConnectivityConfig::default()

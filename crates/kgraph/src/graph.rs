@@ -61,11 +61,17 @@ pub struct Graph {
 impl Graph {
     /// Builds a graph from an edge list. Duplicate edges (same endpoints)
     /// are rejected; self-loops are rejected by [`Edge::new`].
-    pub fn from_edges(n: usize, list: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+    pub fn from_edges(
+        n: usize,
+        list: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
         let mut edges: Vec<Edge> = Vec::new();
         let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
         for (a, b, w) in list {
-            assert!((a as usize) < n && (b as usize) < n, "endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "endpoint out of range"
+            );
             let e = Edge::new(a, b, w);
             assert!(seen.insert((e.u, e.v)), "duplicate edge ({}, {})", e.u, e.v);
             edges.push(e);
@@ -302,6 +308,9 @@ mod tests {
                 }
             }
         }
-        assert!(!seen[4], "v0 and v1 copies must be disconnected for bipartite G");
+        assert!(
+            !seen[4],
+            "v0 and v1 copies must be disconnected for bipartite G"
+        );
     }
 }

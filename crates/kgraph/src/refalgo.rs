@@ -235,10 +235,7 @@ mod tests {
     #[test]
     fn kruskal_on_weighted_square() {
         // Square with one heavy diagonal: MST must avoid the heaviest edge.
-        let g = Graph::from_edges(
-            4,
-            [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 10)],
-        );
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 10)]);
         let mst = kruskal(&g);
         assert_eq!(mst.len(), 3);
         assert_eq!(forest_weight(&mst), 6);

@@ -70,7 +70,11 @@ impl UnionFind {
         (0..n as u32)
             .map(|v| {
                 let r = self.parent[v as usize]; // already halved to root by find above? not guaranteed
-                let r = if self.parent[r as usize] == r { r } else { self.find_readonly(v) };
+                let r = if self.parent[r as usize] == r {
+                    r
+                } else {
+                    self.find_readonly(v)
+                };
                 min_of_root[r as usize]
             })
             .collect()

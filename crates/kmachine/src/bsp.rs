@@ -85,13 +85,18 @@ impl<M> Bsp<M> {
         let mut total = 0u64;
         let mut messages = 0u64;
         for env in outgoing {
-            assert!(env.src < self.cfg.k && env.dst < self.cfg.k, "bad machine id");
+            assert!(
+                env.src < self.cfg.k && env.dst < self.cfg.k,
+                "bad machine id"
+            );
             if env.is_local() {
                 self.inboxes[env.dst].push(env);
                 continue;
             }
             let bits = env.bits.max(1);
-            *link_bits.entry((env.src as u32, env.dst as u32)).or_insert(0) += bits;
+            *link_bits
+                .entry((env.src as u32, env.dst as u32))
+                .or_insert(0) += bits;
             machine_out[env.src] += bits;
             machine_in[env.dst] += bits;
             total += bits;
@@ -142,7 +147,9 @@ impl<M> Bsp<M> {
     /// Takes all inboxes at once (indexed by machine).
     pub fn take_all_inboxes(&mut self) -> Vec<Vec<Envelope<M>>> {
         let k = self.cfg.k;
-        (0..k).map(|i| std::mem::take(&mut self.inboxes[i])).collect()
+        (0..k)
+            .map(|i| std::mem::take(&mut self.inboxes[i]))
+            .collect()
     }
 
     /// Charges extra rounds for a modeled sub-protocol that is not executed

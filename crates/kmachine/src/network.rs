@@ -74,7 +74,10 @@ impl<M> Network<M> {
     /// immediately by the caller and never touch a link; passing one here
     /// is a bug.
     pub fn send(&mut self, env: Envelope<M>) {
-        assert!(env.src < self.cfg.k && env.dst < self.cfg.k, "bad machine id");
+        assert!(
+            env.src < self.cfg.k && env.dst < self.cfg.k,
+            "bad machine id"
+        );
         assert!(!env.is_local(), "local messages do not use links");
         self.stats.messages += 1;
         self.stats.total_bits += env.bits;

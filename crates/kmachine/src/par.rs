@@ -33,22 +33,32 @@ where
     }
     let mut out: Vec<Option<T>> = (0..k).map(|_| None).collect();
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
-        out.iter_mut().map(parking_lot::Mutex::new).collect();
     std::thread::scope(|scope| {
-        for _ in 0..nw {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= k {
-                    break;
-                }
-                let v = f(i);
-                **slots[i].lock() = Some(v);
-            });
+        let handles: Vec<_> = (0..nw)
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= k {
+                            break;
+                        }
+                        produced.push((i, f(i)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("worker panicked") {
+                out[i] = Some(v);
+            }
         }
     });
-    drop(slots);
-    out.into_iter().map(|v| v.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all slots filled"))
+        .collect()
 }
 
 /// Like [`par_map_machines`] but mutates per-machine state slices in
@@ -69,17 +79,18 @@ where
         }
         return;
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut S>> =
-        states.iter_mut().map(parking_lot::Mutex::new).collect();
+    // Contiguous chunks give each worker a disjoint `&mut` slice — no
+    // locking needed; machine workloads are near-uniform, so static
+    // chunking balances well enough.
+    let chunk = k.div_ceil(nw);
     std::thread::scope(|scope| {
-        for _ in 0..nw {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= k {
-                    break;
+        for (ci, block) in states.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let base = ci * chunk;
+            scope.spawn(move || {
+                for (j, s) in block.iter_mut().enumerate() {
+                    f(base + j, s);
                 }
-                f(i, &mut slots[i].lock());
             });
         }
     });

@@ -116,7 +116,12 @@ mod tests {
     }
 
     impl Program<Token> for RingHop {
-        fn round(&mut self, _round: u64, inbox: Vec<Envelope<Token>>, out: &mut Vec<Envelope<Token>>) {
+        fn round(
+            &mut self,
+            _round: u64,
+            inbox: Vec<Envelope<Token>>,
+            out: &mut Vec<Envelope<Token>>,
+        ) {
             for env in inbox {
                 self.seen += 1;
                 if env.payload.0 > 0 {

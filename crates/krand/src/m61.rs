@@ -188,7 +188,10 @@ mod tests {
         let x: u128 = (P as u128 - 1) * (P as u128 - 1);
         let expect = (x % P as u128) as u64;
         assert_eq!(M61::from_u128(x).value(), expect);
-        assert_eq!(M61::from_u128(u128::MAX).value(), (u128::MAX % P as u128) as u64);
+        assert_eq!(
+            M61::from_u128(u128::MAX).value(),
+            (u128::MAX % P as u128) as u64
+        );
     }
 
     #[test]

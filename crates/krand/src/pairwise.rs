@@ -30,10 +30,7 @@ impl PairwiseHash {
     pub fn new(a: u64, b: u64) -> Self {
         let a = M61::new(a);
         assert!(a.value() != 0, "slope must be nonzero");
-        PairwiseHash {
-            a,
-            b: M61::new(b),
-        }
+        PairwiseHash { a, b: M61::new(b) }
     }
 
     /// Evaluates `h(x)` in `[0, p)`.

@@ -79,10 +79,7 @@ impl Use {
                 0x3_0000_0000_0000 | ((phase as u64) << 20) | rep as u64
             }
             Use::SketchFingerprint { phase, rep, level } => {
-                0x4_0000_0000_0000
-                    | ((phase as u64) << 28)
-                    | ((rep as u64) << 14)
-                    | level as u64
+                0x4_0000_0000_0000 | ((phase as u64) << 28) | ((rep as u64) << 14) | level as u64
             }
             Use::MinCutSample { probe } => 0x5_0000_0000_0000 | probe as u64,
             Use::MstElimination { phase, iteration } => {
@@ -164,7 +161,10 @@ mod tests {
         let r1 = s.prf(Use::Rank { phase: 0 }).eval(0, 5);
         let r2 = s.prf(Use::Rank { phase: 1 }).eval(0, 5);
         let r3 = s
-            .prf(Use::Proxy { phase: 0, iteration: 0 })
+            .prf(Use::Proxy {
+                phase: 0,
+                iteration: 0,
+            })
             .eval(0, 5);
         assert_ne!(r1, r2);
         assert_ne!(r1, r3);
@@ -173,9 +173,24 @@ mod tests {
     #[test]
     fn fingerprint_domains_do_not_collide_across_parameters() {
         // The bit-packing must keep (phase, rep, level) injective.
-        let a = Use::SketchFingerprint { phase: 1, rep: 0, level: 0 }.domain();
-        let b = Use::SketchFingerprint { phase: 0, rep: 1, level: 0 }.domain();
-        let c = Use::SketchFingerprint { phase: 0, rep: 0, level: 1 }.domain();
+        let a = Use::SketchFingerprint {
+            phase: 1,
+            rep: 0,
+            level: 0,
+        }
+        .domain();
+        let b = Use::SketchFingerprint {
+            phase: 0,
+            rep: 1,
+            level: 0,
+        }
+        .domain();
+        let c = Use::SketchFingerprint {
+            phase: 0,
+            rep: 0,
+            level: 1,
+        }
+        .domain();
         assert_ne!(a, b);
         assert_ne!(b, c);
         assert_ne!(a, c);

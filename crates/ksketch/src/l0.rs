@@ -88,7 +88,11 @@ impl SketchFns {
         let z: Vec<M61> = (0..params.reps)
             .map(|rep| {
                 let raw = shared
-                    .prf(Use::SketchFingerprint { phase, rep, level: 0 })
+                    .prf(Use::SketchFingerprint {
+                        phase,
+                        rep,
+                        level: 0,
+                    })
                     .eval(0, 0);
                 // Avoid the degenerate keys 0 and 1.
                 M61::new(raw % (krand::m61::P - 2) + 2)

@@ -31,9 +31,7 @@ fn main() {
     // The random input partition: each player sees ~half the other's bits.
     let reveals = RandomInputPartition::random(64, 3);
     let alice_extra = reveals.y_to_alice.iter().filter(|&&b| b).count();
-    println!(
-        "\nrandom input partition: Alice additionally sees {alice_extra}/64 of Bob's bits\n"
-    );
+    println!("\nrandom input partition: Alice additionally sees {alice_extra}/64 of Bob's bits\n");
 
     println!("Cut traffic vs instance size (Lemma 8 forces Ω(b) bits):\n");
     println!(

@@ -46,8 +46,14 @@ fn main() {
     assert!(refalgo::is_spanning_forest(&g, &a.edges));
     println!("validated: spanning + minimum ✓\n");
 
-    println!("output criterion (a) AnyMachine:    {} rounds", a.stats.rounds);
-    println!("output criterion (b) BothEndpoints: {} rounds", b.stats.rounds);
+    println!(
+        "output criterion (a) AnyMachine:    {} rounds",
+        a.stats.rounds
+    );
+    println!(
+        "output criterion (b) BothEndpoints: {} rounds",
+        b.stats.rounds
+    );
     println!(
         "(b) pays the Theorem-2(b) endpoint routing: +{} rounds",
         b.stats.rounds - a.stats.rounds

@@ -24,10 +24,7 @@ fn main() {
     println!("Borůvka phases:         {}", out.phases);
     println!("rounds:                 {}", out.stats.rounds);
     println!("total bits on links:    {}", out.stats.total_bits);
-    println!(
-        "max bits over any link:  {}",
-        out.stats.max_link_bits
-    );
+    println!("max bits over any link:  {}", out.stats.max_link_bits);
     println!(
         "DRR tree depths by phase: {:?} (Lemma 6 predicts O(log n))",
         out.drr_depths

@@ -88,6 +88,9 @@ fn main() -> ExitCode {
     };
     let k: usize = args.get_num("k").unwrap_or(8);
     let seed: u64 = args.get_num("seed").unwrap_or(42);
+    if args.cmd != "gen" && k < 2 {
+        return fail("the k-machine model requires --k >= 2");
+    }
     match args.cmd.as_str() {
         "conn" => {
             let g = match load_graph(&args) {

@@ -1,0 +1,584 @@
+//! Differential conformance: every distributed algorithm — the four
+//! headliners (connectivity, MST, min cut, verification) and the four
+//! baselines (flooding, edge-checking Borůvka, referee, REP MST) — is
+//! driven through the shared scenario matrix (`tests/common/`) and pinned
+//! against exact sequential oracles from `kgraph::refalgo` /
+//! `kgraph::mincut`, with the model-accounting invariants checked on every
+//! single run. All seeds are fixed: a green run is reproducibly green.
+
+mod common;
+
+use common::{
+    assert_labels_match_reference, assert_stats_sane, bandwidths, graph_families, matrix,
+    sub_matrix, KS, SEEDS,
+};
+use kmm::algo::baselines::edge_boruvka::{edge_boruvka_mst_mode, CheckMode};
+use kmm::algo::baselines::flooding::flooding_connectivity;
+use kmm::algo::baselines::referee::referee_connectivity;
+use kmm::algo::baselines::rep_mst::rep_mst;
+use kmm::algo::verify;
+use kmm::machine::bsp::Bsp;
+use kmm::machine::message::{Envelope, WireSize};
+use kmm::machine::network::{Network, NetworkConfig};
+use kmm::prelude::*;
+use rustc_hash::FxHashSet;
+
+// ---------------------------------------------------------------------
+// Headliner 1: connected components (Theorem 1) — full matrix.
+// ---------------------------------------------------------------------
+
+#[test]
+fn connectivity_conforms_on_full_matrix() {
+    for s in matrix() {
+        let out = connected_components(&s.g, s.k, s.seed, &s.conn_cfg());
+        assert_eq!(
+            out.component_count(),
+            refalgo::component_count(&s.g),
+            "{}: component count",
+            s.id
+        );
+        assert_labels_match_reference(&s.id, &out.labels, &s.g);
+        if let Some(counted) = out.counted_components {
+            assert_eq!(
+                counted as usize,
+                refalgo::component_count(&s.g),
+                "{}: §2.6 output protocol count",
+                s.id
+            );
+        }
+        assert!(out.phases > 0, "{}: at least one phase", s.id);
+        assert_stats_sane(&s.id, &out.stats, s.k);
+        assert!(out.stats.rounds > 0, "{}: rounds must be charged", s.id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headliner 2: MST (Theorem 2) — both output criteria.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mst_conforms_against_kruskal() {
+    for s in sub_matrix(2, 0) {
+        let out = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg());
+        assert!(
+            refalgo::is_spanning_forest(&s.g, &out.edges),
+            "{}: output must span",
+            s.id
+        );
+        assert_eq!(
+            out.total_weight,
+            refalgo::forest_weight(&refalgo::kruskal(&s.g)),
+            "{}: MST weight",
+            s.id
+        );
+        assert_eq!(
+            out.total_weight,
+            refalgo::forest_weight(&out.edges),
+            "{}: reported weight matches reported edges",
+            s.id
+        );
+        assert_stats_sane(&s.id, &out.stats, s.k);
+    }
+}
+
+#[test]
+fn mst_both_endpoints_criterion_conforms() {
+    for s in sub_matrix(5, 1) {
+        let cfg = MstConfig {
+            criterion: OutputCriterion::BothEndpoints,
+            ..s.mst_cfg()
+        };
+        let out = minimum_spanning_tree(&s.g, s.k, s.seed, &cfg);
+        assert_eq!(
+            out.total_weight,
+            refalgo::forest_weight(&refalgo::kruskal(&s.g)),
+            "{}: criterion (b) weight",
+            s.id
+        );
+        assert_stats_sane(&s.id, &out.stats, s.k);
+    }
+}
+
+#[test]
+fn spanning_forest_conforms() {
+    for s in sub_matrix(4, 2) {
+        let out = spanning_forest(&s.g, s.k, s.seed, &s.mst_cfg());
+        assert!(
+            refalgo::is_spanning_forest(&s.g, &out.edges),
+            "{}: forest must span",
+            s.id
+        );
+        assert_eq!(
+            out.edges.len(),
+            s.g.n() - refalgo::component_count(&s.g),
+            "{}: forest size = n - #components",
+            s.id
+        );
+        assert_stats_sane(&s.id, &out.stats, s.k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headliner 3: approximate min cut (Theorem 3) — connected cells only.
+// ---------------------------------------------------------------------
+
+#[test]
+fn mincut_estimate_brackets_stoer_wagner() {
+    for s in sub_matrix(3, 0) {
+        if !refalgo::is_connected(&s.g) {
+            continue;
+        }
+        let lambda = kmm::graph::mincut::stoer_wagner(&s.g).expect("connected graph has a cut");
+        let out = approx_min_cut(&s.g, s.k, s.seed, &s.mincut_cfg());
+        let logn = (s.g.n() as f64).log2();
+        let est = out.estimate.max(1) as f64;
+        let ratio = (est / lambda as f64).max(lambda as f64 / est);
+        assert!(
+            ratio <= 4.0 * logn,
+            "{}: estimate {} vs λ={lambda} (ratio {ratio:.1}, O(log n)={logn:.1})",
+            s.id,
+            out.estimate
+        );
+        assert!(out.probes > 0, "{}: must probe", s.id);
+        assert_stats_sane(&s.id, &out.stats, s.k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headliner 4: the Theorem 4 verification problems, all eight, against
+// sequential predicates. Derived H-subgraphs make both answers appear.
+// ---------------------------------------------------------------------
+
+fn edge_set(edges: &[kmm::graph::graph::Edge]) -> FxHashSet<(u32, u32)> {
+    edges.iter().map(|e| (e.u, e.v)).collect()
+}
+
+#[test]
+fn verification_problems_conform() {
+    for s in sub_matrix(4, 3) {
+        let cfg = s.conn_cfg();
+        let g = &s.g;
+        let connected = refalgo::is_connected(g);
+
+        // spanning connected subgraph: the full edge set is one iff G is
+        // connected; dropping a spanning-forest edge always breaks it.
+        let all = edge_set(g.edges());
+        let v = verify::spanning_connected_subgraph(g, &all, s.k, s.seed, &cfg);
+        assert_eq!(v.holds, connected, "{}: scs(full)", s.id);
+        assert_stats_sane(&s.id, &v.stats, s.k);
+        let forest = refalgo::kruskal(g);
+        if let Some(drop) = forest.first() {
+            let mut pruned = all.clone();
+            pruned.remove(&(drop.u, drop.v));
+            let v = verify::spanning_connected_subgraph(g, &pruned, s.k, s.seed, &cfg);
+            let hg = g.edge_subgraph(&pruned);
+            assert_eq!(v.holds, refalgo::is_connected(&hg), "{}: scs(pruned)", s.id);
+        }
+
+        // cycle containment: a spanning forest has none; the full graph has
+        // one iff m > n - #components.
+        let vf = verify::cycle_containment(g, &edge_set(&forest), s.k, s.seed, &cfg);
+        assert!(!vf.holds, "{}: forests are acyclic", s.id);
+        let vg = verify::cycle_containment(g, &all, s.k, s.seed, &cfg);
+        assert_eq!(vg.holds, refalgo::has_cycle(g), "{}: cycle(full)", s.id);
+        assert_stats_sane(&s.id, &vg.stats, s.k);
+
+        // e-cycle containment for the first graph edge.
+        if let Some(e) = g.edges().first() {
+            let ve = verify::e_cycle_containment(g, &all, (e.u, e.v), s.k, s.seed, &cfg);
+            assert_eq!(
+                ve.holds,
+                refalgo::edge_on_cycle(g, e.u, e.v),
+                "{}: e-cycle({},{})",
+                s.id,
+                e.u,
+                e.v
+            );
+            assert_stats_sane(&s.id, &ve.stats, s.k);
+        }
+
+        // s-t connectivity: endpoints of an edge are connected; vertices in
+        // different reference components are not.
+        let labels = refalgo::connected_components(g);
+        let (s0, t_conn) = match g.edges().first() {
+            Some(e) => (e.u, e.v),
+            None => (0, 0),
+        };
+        if g.m() > 0 {
+            let v = verify::st_connectivity(g, s0, t_conn, s.k, s.seed, &cfg);
+            assert!(v.holds, "{}: edge endpoints are connected", s.id);
+            assert_stats_sane(&s.id, &v.stats, s.k);
+        }
+        if let Some(t_far) = (0..g.n() as u32).find(|&v| labels[v as usize] != labels[s0 as usize])
+        {
+            let v = verify::st_connectivity(g, s0, t_far, s.k, s.seed, &cfg);
+            assert!(
+                !v.holds,
+                "{}: cross-component pair must be disconnected",
+                s.id
+            );
+        }
+
+        // cut verification: all edges incident to vertex 0 form a cut iff
+        // removing them disconnects 0 from something still present.
+        if g.degree(0) > 0 {
+            let cut: FxHashSet<(u32, u32)> =
+                g.neighbors(0).iter().map(|&(nb, _)| (0, nb)).collect();
+            let v = verify::cut_verification(g, &cut, s.k, s.seed, &cfg);
+            let reduced = g.without_edges(&cut);
+            let expect = refalgo::component_count(&reduced) > refalgo::component_count(g);
+            assert_eq!(v.holds, expect, "{}: cut(vertex 0 star)", s.id);
+            assert_stats_sane(&s.id, &v.stats, s.k);
+        }
+
+        // edge on all s-t paths: a spanning-forest edge of a connected pair.
+        if let Some(e) = forest.first() {
+            let v = verify::edge_on_all_paths(g, (e.u, e.v), e.u, e.v, s.k, s.seed, &cfg);
+            let expect = !refalgo::edge_on_cycle(g, e.u, e.v);
+            assert_eq!(v.holds, expect, "{}: edge-on-all-paths", s.id);
+            assert_stats_sane(&s.id, &v.stats, s.k);
+        }
+
+        // s-t cut verification: the full edge set always cuts a connected
+        // pair; the empty set never does.
+        if g.m() > 0 {
+            let v = verify::st_cut_verification(g, &all, s0, t_conn, s.k, s.seed, &cfg);
+            assert!(v.holds, "{}: removing all edges cuts any edge pair", s.id);
+            let none = FxHashSet::default();
+            let v = verify::st_cut_verification(g, &none, s0, t_conn, s.k, s.seed, &cfg);
+            assert!(!v.holds, "{}: the empty set cuts nothing connected", s.id);
+            assert_stats_sane(&s.id, &v.stats, s.k);
+        }
+
+        // bipartiteness against two-coloring.
+        let v = verify::bipartiteness(g, s.k, s.seed, &cfg);
+        assert_eq!(
+            v.holds,
+            refalgo::bipartition(g).is_some(),
+            "{}: bipartiteness",
+            s.id
+        );
+        assert_stats_sane(&s.id, &v.stats, s.k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baselines 1–2: flooding and referee connectivity.
+// ---------------------------------------------------------------------
+
+/// Max over vertices reachable from `src` of the minimum number of
+/// *inter-machine* edges on any path from `src` (0-1 BFS). Flooding
+/// relaxes labels within a machine for free, so this — not the graph
+/// eccentricity — is the causal lower bound on its graph-rounds.
+fn machine_hop_eccentricity(g: &Graph, part: &Partition, src: u32) -> u32 {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut dq = std::collections::VecDeque::new();
+    dist[src as usize] = 0;
+    dq.push_back(src);
+    let mut ecc = 0;
+    while let Some(u) = dq.pop_front() {
+        let du = dist[u as usize];
+        ecc = ecc.max(du);
+        for &(v, _) in g.neighbors(u) {
+            let cost = u32::from(part.home(u) != part.home(v));
+            if du + cost < dist[v as usize] {
+                dist[v as usize] = du + cost;
+                if cost == 0 {
+                    dq.push_front(v);
+                } else {
+                    dq.push_back(v);
+                }
+            }
+        }
+    }
+    ecc
+}
+
+#[test]
+fn flooding_conforms_on_matrix() {
+    for s in sub_matrix(2, 1) {
+        let out = flooding_connectivity(&s.g, s.k, s.seed, s.bandwidth);
+        assert_labels_match_reference(&s.id, &out.labels, &s.g);
+        // Label 0 starts at vertex 0 and must cross every inter-machine
+        // edge on some causal path, one per graph-round; flooding uses the
+        // same (g, k, seed) partition reconstructed here.
+        let part = Partition::random_vertex(&s.g, s.k, s.seed);
+        let bound = machine_hop_eccentricity(&s.g, &part, 0).max(1);
+        assert!(
+            out.graph_rounds >= bound,
+            "{}: flooding needs ≥ {bound} graph-rounds (machine-hop ecc), took {}",
+            s.id,
+            out.graph_rounds
+        );
+        assert_stats_sane(&s.id, &out.stats, s.k);
+    }
+}
+
+#[test]
+fn referee_conforms_on_matrix() {
+    for s in sub_matrix(2, 0) {
+        let out = referee_connectivity(&s.g, s.k, s.seed, s.bandwidth);
+        assert_labels_match_reference(&s.id, &out.labels, &s.g);
+        assert_stats_sane(&s.id, &out.stats, s.k);
+        // The referee hoards everything: every transmitted bit lands on
+        // machine 0. (On e.g. a star whose center is homed at machine 0,
+        // all edges can be referee-local and nothing is transmitted.)
+        assert_eq!(
+            out.stats.recv_bits[0], out.stats.total_bits,
+            "{}: all transmitted bits must land on the referee",
+            s.id
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baselines 3–4: edge-checking Borůvka (both check modes) and REP MST.
+// ---------------------------------------------------------------------
+
+#[test]
+fn edge_boruvka_conforms_in_both_check_modes() {
+    for s in sub_matrix(4, 1) {
+        let want = refalgo::forest_weight(&refalgo::kruskal(&s.g));
+        for mode in [CheckMode::BatchedPush, CheckMode::PerEdgeTest] {
+            let out = edge_boruvka_mst_mode(&s.g, s.k, s.seed, s.bandwidth, mode);
+            assert!(
+                refalgo::is_spanning_forest(&s.g, &out.edges),
+                "{}/{mode:?}: spans",
+                s.id
+            );
+            assert_eq!(out.total_weight, want, "{}/{mode:?}: weight", s.id);
+            assert_stats_sane(&s.id, &out.stats, s.k);
+        }
+    }
+}
+
+#[test]
+fn rep_mst_conforms_under_edge_partition() {
+    for s in sub_matrix(4, 0) {
+        let out = rep_mst(&s.g, s.k, s.seed, &s.mst_cfg());
+        assert!(
+            refalgo::is_spanning_forest(&s.g, &out.mst.edges),
+            "{}: spans",
+            s.id
+        );
+        assert_eq!(
+            out.mst.total_weight,
+            refalgo::forest_weight(&refalgo::kruskal(&s.g)),
+            "{}: weight under REP",
+            s.id
+        );
+        assert!(
+            out.filtered_edges <= s.g.m(),
+            "{}: filtering cannot invent edges",
+            s.id
+        );
+        assert!(
+            out.filtered_edges >= s.g.n() - refalgo::component_count(&s.g),
+            "{}: filtering must keep a spanning structure",
+            s.id
+        );
+        assert_stats_sane(&s.id, &out.mst.stats, s.k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-algorithm agreement: independent implementations of the same
+// problem agree cell by cell.
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_connectivity_algorithms_agree() {
+    for s in sub_matrix(5, 2) {
+        let want = refalgo::component_count(&s.g);
+        let a = connected_components(&s.g, s.k, s.seed, &s.conn_cfg()).component_count();
+        let b = flooding_connectivity(&s.g, s.k, s.seed, s.bandwidth).component_count();
+        let c = {
+            let mut l = referee_connectivity(&s.g, s.k, s.seed, s.bandwidth).labels;
+            l.sort_unstable();
+            l.dedup();
+            l.len()
+        };
+        assert!(
+            a == want && b == want && c == want,
+            "{}: sketches={a} flooding={b} referee={c} reference={want}",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn all_mst_algorithms_agree() {
+    for s in sub_matrix(6, 4) {
+        let want = refalgo::forest_weight(&refalgo::kruskal(&s.g));
+        let a = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg()).total_weight;
+        let b = edge_boruvka_mst_mode(&s.g, s.k, s.seed, s.bandwidth, CheckMode::BatchedPush)
+            .total_weight;
+        let c = rep_mst(&s.g, s.k, s.seed, &s.mst_cfg()).mst.total_weight;
+        assert!(
+            a == want && b == want && c == want,
+            "{}: sketch={a} boruvka={b} rep={c} kruskal={want}",
+            s.id
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: reruns of a cell are bit-identical; the partition axis
+// (RVP vs REP) and the seed axis actually matter.
+// ---------------------------------------------------------------------
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    for s in sub_matrix(7, 3) {
+        let a = connected_components(&s.g, s.k, s.seed, &s.conn_cfg());
+        let b = connected_components(&s.g, s.k, s.seed, &s.conn_cfg());
+        assert_eq!(a.labels, b.labels, "{}: labels identical", s.id);
+        assert_eq!(a.stats.rounds, b.stats.rounds, "{}: rounds identical", s.id);
+        assert_eq!(
+            a.stats.total_bits, b.stats.total_bits,
+            "{}: bits identical",
+            s.id
+        );
+        let m = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg());
+        let m2 = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg());
+        assert_eq!(m.edges, m2.edges, "{}: MST edges identical", s.id);
+    }
+}
+
+#[test]
+fn partition_models_are_distinct_but_agree_on_answers() {
+    let g = generators::randomize_weights(&generators::gnm(120, 300, 5), 500, 6);
+    for &k in &KS {
+        for &seed in &SEEDS {
+            let id = format!("partition-axis/k{k}/seed{seed}");
+            let rvp = Partition::random_vertex(&g, k, seed);
+            let rep = Partition::random_edge(&g, k, seed);
+            assert_eq!(rvp.kind(), PartitionKind::Rvp, "{id}");
+            assert_eq!(rep.kind(), PartitionKind::Rep, "{id}");
+            let covered: usize = (0..k).map(|i| rep.edges_of(&g, i).len()).sum();
+            assert_eq!(covered, g.m(), "{id}: REP covers each edge exactly once");
+            // Same answer through both models' MST paths.
+            let want = refalgo::forest_weight(&refalgo::kruskal(&g));
+            let a = minimum_spanning_tree(&g, k, seed, &MstConfig::default()).total_weight;
+            let b = rep_mst(&g, k, seed, &MstConfig::default()).mst.total_weight;
+            assert!(a == want && b == want, "{id}: rvp={a} rep={b} want={want}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// BSP vs fine-grained network: the analytic round charge of the superstep
+// layer equals the drain time of the per-round FIFO simulation for the
+// same batch, across the matrix's bandwidth and k axes.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Blob(u64);
+
+impl WireSize for Blob {
+    fn wire_bits(&self) -> u64 {
+        self.0
+    }
+}
+
+#[test]
+fn bsp_round_charge_matches_fine_grained_network() {
+    for &k in &KS {
+        for &bandwidth in &bandwidths() {
+            for &seed in &SEEDS {
+                let id = format!("bsp-parity/k{k}/{bandwidth:?}/seed{seed}");
+                // A deterministic pseudo-random batch from the cell seed.
+                let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ k as u64;
+                let mut step = || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                let msgs: Vec<(usize, usize, u64)> = (0..60)
+                    .map(|_| {
+                        let s = (step() % k as u64) as usize;
+                        let mut d = (step() % k as u64) as usize;
+                        if d == s {
+                            d = (d + 1) % k;
+                        }
+                        (s, d, 1 + step() % 300)
+                    })
+                    .collect();
+                let cfg = NetworkConfig::new(k, bandwidth, 256);
+                let mut bsp: Bsp<Blob> = Bsp::new(cfg);
+                bsp.superstep(
+                    msgs.iter()
+                        .map(|&(s, d, b)| Envelope::new(s, d, Blob(b)))
+                        .collect(),
+                );
+                let mut net: Network<Blob> = Network::new(cfg);
+                for &(s, d, b) in &msgs {
+                    net.send(Envelope::new(s, d, Blob(b)));
+                }
+                net.drain();
+                assert_eq!(bsp.stats().rounds, net.round(), "{id}: round parity");
+                assert_eq!(
+                    bsp.stats().total_bits,
+                    net.stats().total_bits,
+                    "{id}: bit parity"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The matrix itself is wide enough for the acceptance criteria and fully
+// deterministic (guards against accidental narrowing or nondeterminism).
+// ---------------------------------------------------------------------
+
+#[test]
+fn matrix_shape_meets_acceptance_floor() {
+    let cells = matrix();
+    let families: std::collections::BTreeSet<&str> = cells.iter().map(|s| s.family).collect();
+    let ks: std::collections::BTreeSet<usize> = cells.iter().map(|s| s.k).collect();
+    assert!(
+        families.len() >= 4,
+        "matrix must span ≥ 4 graph families, has {families:?}"
+    );
+    assert!(
+        ks.len() >= 3,
+        "matrix must span ≥ 3 machine counts, has {ks:?}"
+    );
+    assert!(cells.len() >= families.len() * ks.len());
+    // Scenario ids are unique (so failures identify a single cell) and
+    // graphs are seed-deterministic across materializations.
+    let ids: std::collections::BTreeSet<&str> = cells.iter().map(|s| s.id.as_str()).collect();
+    assert_eq!(ids.len(), cells.len(), "scenario ids must be unique");
+    for (a, b) in matrix().iter().zip(cells.iter()) {
+        assert_eq!(a.g.edges(), b.g.edges(), "{}: generator determinism", a.id);
+    }
+    // Every scenario graph is non-trivial for k-machine purposes.
+    for s in &cells {
+        assert!(s.k >= 2, "{}: model needs k ≥ 2", s.id);
+        assert!(s.g.n() >= 2, "{}: degenerate graph", s.id);
+    }
+    // Subsampling keeps every axis value represented.
+    for (stride, phase) in [(2usize, 0usize), (2, 1), (3, 0), (4, 1), (5, 2)] {
+        let sub = sub_matrix(stride, phase);
+        let sub_ks: std::collections::BTreeSet<usize> = sub.iter().map(|s| s.k).collect();
+        let sub_fams: std::collections::BTreeSet<&str> = sub.iter().map(|s| s.family).collect();
+        assert!(
+            sub_ks.len() >= 3,
+            "sub-matrix({stride},{phase}) lost k coverage: {sub_ks:?}"
+        );
+        assert!(
+            sub_fams.len() >= 4,
+            "sub-matrix({stride},{phase}) lost family coverage: {sub_fams:?}"
+        );
+    }
+    // The family menagerie includes both connected and disconnected, and
+    // both bipartite and odd-cycle inputs — the verification problems need
+    // both answers to occur.
+    let fams = graph_families(SEEDS[0]);
+    assert!(fams.iter().any(|(_, g)| refalgo::is_connected(g)));
+    assert!(fams.iter().any(|(_, g)| !refalgo::is_connected(g)));
+    assert!(fams.iter().any(|(_, g)| refalgo::bipartition(g).is_some()));
+    assert!(fams.iter().any(|(_, g)| refalgo::bipartition(g).is_none()));
+}

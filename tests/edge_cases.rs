@@ -86,7 +86,10 @@ fn cost_models_agree_on_outputs_and_order() {
     };
     let link = connected_components(&g, 8, 14, &mk(CostModel::PerLink));
     let machine = connected_components(&g, 8, 14, &mk(CostModel::PerMachine));
-    assert_eq!(link.labels, machine.labels, "cost model must not change outputs");
+    assert_eq!(
+        link.labels, machine.labels,
+        "cost model must not change outputs"
+    );
     assert!(
         machine.stats.rounds <= link.stats.rounds,
         "per-machine charging can only be cheaper: {} vs {}",
@@ -133,7 +136,11 @@ fn coin_flip_merging_is_correct_end_to_end() {
     let out = connected_components(&g, 4, 19, &cfg);
     assert_eq!(out.component_count(), 3);
     // Coin-flip trees are stars: recorded depths never exceed 1.
-    assert!(out.drr_depths.iter().all(|&d| d <= 1), "{:?}", out.drr_depths);
+    assert!(
+        out.drr_depths.iter().all(|&d| d <= 1),
+        "{:?}",
+        out.drr_depths
+    );
 }
 
 #[test]

@@ -9,25 +9,12 @@ use kmm::algo::baselines::rep_mst::rep_mst;
 use kmm::machine::Bandwidth;
 use kmm::prelude::*;
 
-/// The graph menagerie used across the tests.
-fn families(seed: u64) -> Vec<(String, Graph)> {
-    vec![
-        ("path".into(), generators::path(120)),
-        ("cycle".into(), generators::cycle(121)),
-        ("grid".into(), generators::grid(11, 12)),
-        ("star".into(), generators::star(100)),
-        ("tree".into(), generators::random_tree(150, seed)),
-        ("gnp-sparse".into(), generators::gnp(250, 0.008, seed + 1)),
-        ("gnp-dense".into(), generators::gnp(120, 0.15, seed + 2)),
-        (
-            "planted-4".into(),
-            generators::planted_components(240, 4, 5, seed + 3),
-        ),
-        (
-            "isolated".into(),
-            Graph::unweighted(60, [(0, 1), (2, 3), (4, 5)]),
-        ),
-    ]
+mod common;
+
+/// The shared graph menagerie (tests/common/, also driven cell-by-cell by
+/// the conformance suite).
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    common::graph_families(seed)
 }
 
 #[test]
@@ -171,7 +158,10 @@ fn stats_invariants_hold() {
     assert!(s.max_link_bits <= s.total_bits);
     assert!(s.messages > 0);
     let sum_rounds: u64 = s.superstep_loads.iter().map(|l| l.rounds).sum();
-    assert!(sum_rounds <= s.rounds, "superstep rounds plus modeled charges");
+    assert!(
+        sum_rounds <= s.rounds,
+        "superstep rounds plus modeled charges"
+    );
 }
 
 #[test]

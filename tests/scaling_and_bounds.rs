@@ -94,8 +94,7 @@ fn theorem2b_star_bottleneck_appears() {
     );
     let routing = b.endpoint_routing.expect("criterion (b) ran");
     let max = routing.max_machine_recv_bits() as f64;
-    let mean =
-        routing.recv_bits.iter().sum::<u64>() as f64 / routing.recv_bits.len() as f64;
+    let mean = routing.recv_bits.iter().sum::<u64>() as f64 / routing.recv_bits.len() as f64;
     assert!(
         max > (k as f64 / 4.0) * mean,
         "hub machine should receive ~k/2 times the mean: max={max}, mean={mean}"
@@ -113,8 +112,7 @@ fn theorem2b_star_bottleneck_appears() {
     );
     let routing_p = bp.endpoint_routing.expect("criterion (b) ran");
     let max_p = routing_p.max_machine_recv_bits() as f64;
-    let mean_p =
-        routing_p.recv_bits.iter().sum::<u64>() as f64 / routing_p.recv_bits.len() as f64;
+    let mean_p = routing_p.recv_bits.iter().sum::<u64>() as f64 / routing_p.recv_bits.len() as f64;
     assert!(
         max_p < 2.0 * mean_p,
         "path routing should stay balanced: max={max_p}, mean={mean_p}"
@@ -129,7 +127,10 @@ fn flooding_beats_sketches_only_on_low_diameter() {
     let low_d = generators::planted_components(3000, 6, 400, 13);
     let s1 = connected_components(&low_d, k, 14, &ConnectivityConfig::default());
     let f1 = flooding_connectivity(&low_d, k, 14, Bandwidth::default());
-    assert!(f1.stats.rounds < s1.stats.rounds, "low-D: flooding should win");
+    assert!(
+        f1.stats.rounds < s1.stats.rounds,
+        "low-D: flooding should win"
+    );
     // High diameter: sketches win.
     let high_d = generators::path(3000);
     let s2 = connected_components(&high_d, k, 15, &ConnectivityConfig::default());
@@ -163,7 +164,10 @@ fn shared_randomness_charge_is_visible_and_ablatable() {
             ..ConnectivityConfig::default()
         },
     );
-    assert_eq!(with.labels, without.labels, "charging must not change outputs");
+    assert_eq!(
+        with.labels, without.labels,
+        "charging must not change outputs"
+    );
     assert!(
         with.stats.rounds > without.stats.rounds,
         "the §2.2 distribution cost must be visible in rounds"

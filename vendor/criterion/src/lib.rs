@@ -1,0 +1,219 @@
+#![warn(missing_docs)]
+//! API-compatible shim for the subset of `criterion` the benches use.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! its external dependencies. This shim keeps the bench sources unchanged
+//! (`criterion_group!` / `criterion_main!` / groups / `BenchmarkId`) and
+//! implements an honest but simple timer: each benchmark closure is warmed
+//! up once, then run `sample_size` times (default 10, `KBENCH_SAMPLES`
+//! overrides), and min/mean wall-clock times are printed. There is no
+//! statistical analysis, HTML report, or saved baseline — for those, run
+//! the real criterion once network access to crates.io is available; the
+//! sources need no changes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let default_samples = std::env::var("KBENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { default_samples }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.default_samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.default_samples,
+            _c: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("KBENCH_SAMPLES").is_err() {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with one run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed sample count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.samples, &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<D: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.samples, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`group/name/parameter` in output).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new<D: Display>(name: &str, parameter: D) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    samples: usize,
+    min: Duration,
+    total: Duration,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            self.min = self.min.min(dt);
+            self.total += dt;
+            self.runs += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        min: Duration::MAX,
+        total: Duration::ZERO,
+        runs: 0,
+    };
+    f(&mut b);
+    if b.runs > 0 {
+        let mean = b.total / b.runs;
+        println!(
+            "bench {name:<48} min {:>12?}  mean {:>12?}  ({} runs)",
+            b.min, mean, b.runs
+        );
+    } else {
+        println!("bench {name:<48} (no iterations)");
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, payload);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

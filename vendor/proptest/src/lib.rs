@@ -1,0 +1,412 @@
+#![warn(missing_docs)]
+//! API-compatible shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! its external dependencies. This shim keeps the `proptest!` surface the
+//! tests are written against — range/tuple strategies, `prop::collection`,
+//! `prop_assert!`/`prop_assert_eq!`, `ProptestConfig::with_cases` — and
+//! runs each property over a deterministic seeded case stream (no
+//! shrinking; a failure report prints the case index, the seed, and the
+//! generated inputs, which is enough to reproduce: case streams depend
+//! only on the test name and case index).
+//!
+//! The case count honours the `PROPTEST_CASES` environment variable as an
+//! upper bound, exactly like the real crate: CI sets a small value to keep
+//! `cargo test -q` fast, while local runs default to each test's
+//! configured count (and may crank `PROPTEST_CASES` up for soak runs).
+
+use std::fmt;
+
+/// Runner configuration (subset: case count).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run for each property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The configured count, capped by `PROPTEST_CASES` if set.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+}
+
+/// A failed property case (what `prop_assert!` returns early with).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The deterministic per-case generator handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for case `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking: the
+/// strategy just produces a value per case from the seeded stream.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                lo + rng.below((hi - lo) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// `bool` strategy: a fair coin, written `any::<bool>()` in real proptest;
+/// here the unit range-free strategy is the type itself via [`Just`]-like
+/// helpers — the workspace only uses ranges, tuples and collections, but
+/// `bool()` is provided for completeness.
+pub fn bool_strategy() -> impl Strategy<Value = bool> {
+    (0u8..2).map_gen(|b| b == 1)
+}
+
+/// Adapter returned by [`StrategyExt::map_gen`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for MapStrategy<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Combinators over strategies (subset: `map`, named `map_gen` to avoid
+/// clashing with iterator-style inference in user code).
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`.
+    fn map_gen<T, F: Fn(Self::Value) -> T>(self, f: F) -> MapStrategy<Self, F> {
+        MapStrategy { inner: self, f }
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// The `prop` namespace (`prop::collection::{vec, hash_set}`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::collections::HashSet;
+        use std::hash::Hash;
+        use std::ops::Range;
+
+        /// A `Vec` of `count` elements drawn from `element`, with `count`
+        /// uniform in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.clone().generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A `HashSet` of distinct elements; the target size is uniform in
+        /// `size`, shrunk if the element domain is too small to reach it.
+        pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy { element, size }
+        }
+
+        /// Strategy returned by [`hash_set`].
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            type Value = HashSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.clone().generate(rng);
+                let mut out = HashSet::new();
+                // Cap draws so a small element domain cannot loop forever.
+                let mut budget = 64 * (target + 1);
+                while out.len() < target && budget > 0 {
+                    out.insert(self.element.generate(rng));
+                    budget -= 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        StrategyExt, TestCaseError,
+    };
+}
+
+/// Defines deterministic property tests over seeded case streams.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// docs…
+///     #[test]
+///     fn name(a in 0u64..10, b in prop::collection::vec(0u32..5, 0..9)) { … }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default())
+            $($(#[$meta])* fn $name($($args)*) $body)*);
+    };
+    (@impl ($config:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __cases = __config.effective_cases();
+                for __case in 0..__cases as u64 {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), __case, __cases, e, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Fails the enclosing property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds; tuples and vecs compose.
+        #[test]
+        fn strategies_compose(
+            a in 3u64..9,
+            pair in (0u32..4, 10usize..=12),
+            items in prop::collection::vec(1u8..5, 0..6),
+            set in prop::collection::hash_set(0u32..100, 1..8),
+        ) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..=12).contains(&pair.1));
+            prop_assert!(items.len() < 6);
+            prop_assert!(items.iter().all(|&x| (1..5).contains(&x)));
+            prop_assert!(!set.is_empty() && set.len() < 8);
+        }
+    }
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        let draw = |case| {
+            let mut rng = crate::TestRng::for_case("x", case);
+            (0u64..1000).generate(&mut rng)
+        };
+        assert_eq!(draw(5), draw(5));
+    }
+
+    #[test]
+    fn env_caps_cases() {
+        // Not set in the test env by default: configured count wins.
+        let cfg = ProptestConfig::with_cases(77);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cfg.effective_cases(), 77);
+        } else {
+            assert!(cfg.effective_cases() <= 77);
+        }
+    }
+}
