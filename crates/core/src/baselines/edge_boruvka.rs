@@ -1,6 +1,6 @@
 //! Edge-checking Borůvka: the GHS-style baseline (paper §1.2, §1.3).
 //!
-//! Classical MST algorithms ([14]) determine outgoing edges by *checking
+//! Classical MST algorithms (\[14\]) determine outgoing edges by *checking
 //! edge states*: every machine caches the component label of every remote
 //! neighbor of its vertices, and after each merge the new labels are pushed
 //! to all neighboring machines. That notification traffic is `Θ(m)` bits
@@ -18,7 +18,7 @@
 use crate::messages::{id_bits, EdgeKey, Label, Payload};
 use crate::proxy::ProxyScheme;
 use kgraph::graph::Edge;
-use kgraph::{Graph, Partition};
+use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
 use kmachine::message::Envelope;
@@ -82,7 +82,20 @@ pub fn edge_boruvka_mst_mode(
     mode: CheckMode,
 ) -> EdgeBoruvkaOutput {
     let part = Partition::random_vertex(g, k, seed);
-    let n = g.n();
+    let sg = ShardedGraph::from_graph(g, &part);
+    edge_boruvka_sharded(&sg, seed, bandwidth, mode)
+}
+
+/// Runs edge-checking Borůvka directly on sharded storage.
+pub fn edge_boruvka_sharded(
+    sg: &ShardedGraph,
+    seed: u64,
+    bandwidth: Bandwidth,
+    mode: CheckMode,
+) -> EdgeBoruvkaOutput {
+    let part = sg.partition();
+    let k = sg.k();
+    let n = sg.n();
     let l = id_bits(n);
     let shared = SharedRandomness::new(seed);
     let scheme = ProxyScheme::new(shared, k);
@@ -92,15 +105,17 @@ pub fn edge_boruvka_mst_mode(
     // phase 0 every label is the vertex id, which hashing makes public.
     let mut mst: Vec<Edge> = Vec::new();
     let mut notification_bits = 0u64;
-    // PerEdgeTest: precompute how many cross-machine edges each ordered
-    // machine pair shares (the per-phase test traffic is data-independent).
+    // PerEdgeTest: each machine counts its shard's cross-machine edges per
+    // ordered machine pair (the per-phase test traffic is data-independent).
     let mut cross: FxHashMap<(usize, usize), u64> = FxHashMap::default();
     if mode == CheckMode::PerEdgeTest {
-        for e in g.edges() {
-            let (hu, hv) = (part.home(e.u), part.home(e.v));
-            if hu != hv {
-                *cross.entry((hu, hv)).or_insert(0) += 1;
-                *cross.entry((hv, hu)).or_insert(0) += 1;
+        for m in 0..k {
+            for e in sg.view(m).local_edges() {
+                let (hu, hv) = (part.home(e.u), part.home(e.v));
+                if hu != hv {
+                    *cross.entry((hu, hv)).or_insert(0) += 1;
+                    *cross.entry((hv, hu)).or_insert(0) += 1;
+                }
             }
         }
     }
@@ -132,10 +147,11 @@ pub fn edge_boruvka_mst_mode(
             (0..k).map(|_| FxHashMap::default()).collect();
         let mut out = Vec::new();
         for m in 0..k {
+            let view = sg.view(m);
             let mut local_best: FxHashMap<Label, (EdgeKey, Label)> = FxHashMap::default();
-            for &v in &part.vertices_of(m) {
+            for &v in view.verts() {
                 let lv = labels[v as usize];
-                for &(nb, w) in g.neighbors(v) {
+                for &(nb, w) in view.neighbors(v) {
                     let lnb = labels[nb as usize]; // cache is exact each phase
                     if lnb != lv {
                         let (a, b) = if v < nb { (v, nb) } else { (nb, v) };
@@ -148,7 +164,7 @@ pub fn edge_boruvka_mst_mode(
                 }
             }
             for (label, (key, to_label)) in local_best {
-                let dst = scheme.proxy_of(&part, p, 0, label);
+                let dst = scheme.proxy_of(part, p, 0, label);
                 let payload = Payload::Candidate {
                     label,
                     key,
@@ -223,7 +239,7 @@ pub fn edge_boruvka_mst_mode(
                         let bits = payload.wire_bits(l);
                         queries.push(Envelope::with_bits(
                             m,
-                            scheme.proxy_of(&part, p, 0, c.ptr),
+                            scheme.proxy_of(part, p, 0, c.ptr),
                             payload,
                             bits,
                         ));
@@ -290,21 +306,23 @@ pub fn edge_boruvka_mst_mode(
         //     changed vertex label once per neighboring machine (keeps
         //     every cache exact for the next phase). ---
         let mut notify: FxHashMap<(usize, usize), Vec<(u32, Label)>> = FxHashMap::default();
-        for v in 0..n as u32 {
-            let old = labels[v as usize];
-            if let Some(&new) = map.get(&old) {
-                labels[v as usize] = new;
-                if mode == CheckMode::BatchedPush {
-                    let home = part.home(v);
-                    let mut dsts: FxHashSet<usize> = FxHashSet::default();
-                    for &(nb, _) in g.neighbors(v) {
-                        let h = part.home(nb);
-                        if h != home {
-                            dsts.insert(h);
+        for home in 0..k {
+            let view = sg.view(home);
+            for &v in view.verts() {
+                let old = labels[v as usize];
+                if let Some(&new) = map.get(&old) {
+                    labels[v as usize] = new;
+                    if mode == CheckMode::BatchedPush {
+                        let mut dsts: FxHashSet<usize> = FxHashSet::default();
+                        for &(nb, _) in view.neighbors(v) {
+                            let h = part.home(nb);
+                            if h != home {
+                                dsts.insert(h);
+                            }
                         }
-                    }
-                    for dst in dsts {
-                        notify.entry((home, dst)).or_default().push((v, new));
+                        for dst in dsts {
+                            notify.entry((home, dst)).or_default().push((v, new));
+                        }
                     }
                 }
             }

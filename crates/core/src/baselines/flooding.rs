@@ -6,10 +6,16 @@
 //! carrying every improved label across inter-machine edges (deduplicated
 //! per link), then a counted convergence check. The number of graph-rounds
 //! is the machine-quotient diameter ≤ D; congestion adds the `n/k` term
-//! the Conversion Theorem of [22] predicts.
+//! the Conversion Theorem of \[22\] predicts.
+//!
+//! Runs against [`kgraph::ShardedGraph`] views: a machine knows only its
+//! own vertices' adjacency. Applying a remote vertex's improved label needs
+//! the *local* neighbors of that remote vertex — which the machine derives
+//! from its own shard (a reverse index built once, for free, at start-up),
+//! never by peeking at remote adjacency.
 
 use crate::messages::{id_bits, Label, Payload};
-use kgraph::{Graph, Partition};
+use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
 use kmachine::message::Envelope;
@@ -38,6 +44,22 @@ impl FloodingOutput {
     }
 }
 
+/// Per-machine reverse index: remote vertex → local neighbors. Derived
+/// from the machine's own shard (its side of every cross edge).
+fn remote_in_index(sg: &ShardedGraph, m: usize) -> FxHashMap<u32, Vec<u32>> {
+    let view = sg.view(m);
+    let part = sg.partition();
+    let mut idx: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for &u in view.verts() {
+        for &(nb, _) in view.neighbors(u) {
+            if part.home(nb) != m {
+                idx.entry(nb).or_default().push(u);
+            }
+        }
+    }
+    idx
+}
+
 /// Runs flooding connectivity over `k` machines.
 pub fn flooding_connectivity(
     g: &Graph,
@@ -49,35 +71,44 @@ pub fn flooding_connectivity(
     flooding_with_partition(g, &part, bandwidth)
 }
 
-/// Runs flooding with an explicit partition.
-#[allow(clippy::needless_range_loop)] // machine ids index several parallel structures
+/// Runs flooding with an explicit partition (shards the graph first).
 pub fn flooding_with_partition(
     g: &Graph,
     part: &Partition,
     bandwidth: Bandwidth,
 ) -> FloodingOutput {
+    let sg = ShardedGraph::from_graph(g, part);
+    flooding_sharded(&sg, bandwidth)
+}
+
+/// Runs flooding directly on sharded storage.
+#[allow(clippy::needless_range_loop)] // machine ids index several parallel structures
+pub fn flooding_sharded(sg: &ShardedGraph, bandwidth: Bandwidth) -> FloodingOutput {
+    let part = sg.partition();
     let k = part.k();
-    let n = g.n();
+    let n = sg.n();
     let l = id_bits(n);
     let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig::new(k, bandwidth, n));
     let mut labels: Vec<Label> = (0..n as Label).collect();
+    let remote_in: Vec<FxHashMap<u32, Vec<u32>>> = (0..k).map(|m| remote_in_index(sg, m)).collect();
     // Per machine: the frontier of vertices whose labels changed.
     let mut frontier: Vec<Vec<u32>> = vec![Vec::new(); k];
-    for v in 0..n as u32 {
-        frontier[part.home(v)].push(v);
+    for m in 0..k {
+        frontier[m].extend_from_slice(sg.view(m).verts());
     }
     let mut graph_rounds = 0;
     loop {
         graph_rounds += 1;
         // Intra-machine fixpoint over each machine's frontier (free).
         for m in 0..k {
+            let view = sg.view(m);
             let mut queue = std::mem::take(&mut frontier[m]);
             let mut pos = 0;
             while pos < queue.len() {
                 let v = queue[pos];
                 pos += 1;
                 let lv = labels[v as usize];
-                for &(nb, _) in g.neighbors(v) {
+                for &(nb, _) in view.neighbors(v) {
                     if part.home(nb) == m && labels[nb as usize] > lv {
                         labels[nb as usize] = lv;
                         queue.push(nb);
@@ -92,6 +123,7 @@ pub fn flooding_with_partition(
         let mut out = Vec::new();
         let mut any_remote = false;
         for m in 0..k {
+            let view = sg.view(m);
             let mut per_dst: FxHashMap<usize, FxHashMap<u32, Label>> = FxHashMap::default();
             let mut seen: FxHashSet<u32> = FxHashSet::default();
             for &v in &frontier[m] {
@@ -99,7 +131,7 @@ pub fn flooding_with_partition(
                     continue;
                 }
                 let lv = labels[v as usize];
-                for &(nb, _) in g.neighbors(v) {
+                for &(nb, _) in view.neighbors(v) {
                     let h = part.home(nb);
                     if h != m {
                         per_dst.entry(h).or_default().insert(v, lv);
@@ -128,11 +160,14 @@ pub fn flooding_with_partition(
             for env in inbox {
                 if let Payload::FloodLabels { updates } = env.payload {
                     for (v, lab) in updates {
-                        // Apply to the *neighbors* of v that live here.
-                        for &(nb, _) in g.neighbors(v) {
-                            if part.home(nb) == m && labels[nb as usize] > lab {
-                                labels[nb as usize] = lab;
-                                frontier[m].push(nb);
+                        // Apply to the local neighbors of the remote vertex
+                        // `v`, found through this machine's reverse index.
+                        if let Some(locals) = remote_in[m].get(&v) {
+                            for &nb in locals {
+                                if labels[nb as usize] > lab {
+                                    labels[nb as usize] = lab;
+                                    frontier[m].push(nb);
+                                }
                             }
                         }
                     }
@@ -152,30 +187,46 @@ pub fn flooding_with_partition(
 /// One machine of the event-driven flooding variant (runs on the
 /// fine-grained [`kmachine::program::Runner`] instead of BSP supersteps).
 /// Labels pipeline through the network as soon as they improve, so the
-/// event-driven execution can beat the graph-round batching.
+/// event-driven execution can beat the graph-round batching. Holds only
+/// its own shard view plus the reverse index over its side of the cut.
 struct FloodMachine<'g> {
     id: usize,
-    g: &'g Graph,
-    part: &'g Partition,
+    sg: &'g ShardedGraph,
     l: u64,
     labels: FxHashMap<u32, Label>,
+    remote_in: FxHashMap<u32, Vec<u32>>,
     /// Local vertices whose labels changed and have not been announced.
     frontier: Vec<u32>,
 }
 
 impl FloodMachine<'_> {
-    /// Applies an improved label to `v`'s local neighbors and propagates
-    /// the intra-machine fixpoint (free local computation).
-    fn absorb(&mut self, v: u32, label: Label) {
-        let mut queue = vec![(v, label)];
-        while let Some((x, lx)) = queue.pop() {
-            for &(nb, _) in self.g.neighbors(x) {
-                if self.part.home(nb) == self.id {
+    /// Improves local vertex `x` to `lx` (if smaller) and propagates the
+    /// intra-machine fixpoint (free local computation).
+    fn improve(&mut self, x: u32, lx: Label) {
+        {
+            let cur = self.labels.get_mut(&x).expect("local vertex");
+            if *cur <= lx {
+                return;
+            }
+            *cur = lx;
+        }
+        self.frontier.push(x);
+        self.propagate(x);
+    }
+
+    /// Pushes `x`'s current label outward through local edges.
+    fn propagate(&mut self, x: u32) {
+        let view = self.sg.view(self.id);
+        let part = self.sg.partition();
+        let mut queue = vec![(x, self.labels[&x])];
+        while let Some((y, ly)) = queue.pop() {
+            for &(nb, _) in view.neighbors(y) {
+                if part.home(nb) == self.id {
                     let cur = self.labels.get_mut(&nb).expect("local vertex");
-                    if *cur > lx {
-                        *cur = lx;
+                    if *cur > ly {
+                        *cur = ly;
                         self.frontier.push(nb);
-                        queue.push((nb, lx));
+                        queue.push((nb, ly));
                     }
                 }
             }
@@ -193,17 +244,25 @@ impl kmachine::program::Program<Payload> for FloodMachine<'_> {
         for env in inbox {
             if let Payload::FloodLabels { updates } = env.payload {
                 for (v, lab) in updates {
-                    self.absorb(v, lab);
+                    // `v` is remote: route the improvement through the
+                    // reverse index to the local endpoints of its edges.
+                    if let Some(locals) = self.remote_in.get(&v) {
+                        for nb in locals.clone() {
+                            self.improve(nb, lab);
+                        }
+                    }
                 }
             }
         }
         // Announce the frontier: one batch per destination machine.
         let frontier = std::mem::take(&mut self.frontier);
+        let view = self.sg.view(self.id);
+        let part = self.sg.partition();
         let mut per_dst: FxHashMap<usize, FxHashMap<u32, Label>> = FxHashMap::default();
         for v in frontier {
             let lv = self.labels[&v];
-            for &(nb, _) in self.g.neighbors(v) {
-                let h = self.part.home(nb);
+            for &(nb, _) in view.neighbors(v) {
+                let h = part.home(nb);
                 if h != self.id {
                     per_dst.entry(h).or_default().insert(v, lv);
                 }
@@ -227,27 +286,26 @@ impl kmachine::program::Program<Payload> for FloodMachine<'_> {
 /// labels as [`flooding_with_partition`]; rounds may differ (pipelining vs
 /// batching) but stay in the same `Θ(n/k + D)` regime.
 pub fn flooding_event_driven(g: &Graph, part: &Partition, bandwidth: Bandwidth) -> FloodingOutput {
+    let sg = ShardedGraph::from_graph(g, part);
     let k = part.k();
-    let n = g.n();
+    let n = sg.n();
     let l = id_bits(n);
     let machines: Vec<FloodMachine> = (0..k)
         .map(|id| {
-            let verts = part.vertices_of(id);
+            let verts = sg.view(id).verts();
             let mut m = FloodMachine {
                 id,
-                g,
-                part,
+                sg: &sg,
                 l,
                 labels: verts.iter().map(|&v| (v, v as Label)).collect(),
+                remote_in: remote_in_index(&sg, id),
                 frontier: Vec::new(),
             };
             // Initial frontier: every vertex announces its own id, after a
             // free local fixpoint.
-            let verts2 = m.labels.keys().copied().collect::<Vec<_>>();
-            for v in verts2 {
-                let lv = m.labels[&v];
-                m.absorb(v, lv);
+            for &v in verts {
                 m.frontier.push(v);
+                m.propagate(v);
             }
             m
         })
@@ -314,6 +372,21 @@ mod tests {
     fn flooding_matches_reference_on_random_graphs() {
         check(&generators::gnp(300, 0.015, 3), 6, 4);
         check(&generators::planted_components(200, 4, 3, 5), 4, 6);
+    }
+
+    #[test]
+    fn flooding_runs_directly_from_a_stream() {
+        // End-to-end streamed ingestion: no materialized Graph anywhere on
+        // the flooding path.
+        let sg = ShardedGraph::from_stream(generators::random_connected_stream(500, 400, 7), 5, 8);
+        let out = flooding_sharded(&sg, Bandwidth::default());
+        assert_eq!(out.component_count(), 1);
+        // Cross-check against the materialized oracle.
+        let g = generators::random_connected(500, 400, 7);
+        let truth = refalgo::connected_components(&g);
+        for (v, &t) in truth.iter().enumerate() {
+            assert_eq!(out.labels[v], t as Label, "vertex {v}");
+        }
     }
 
     #[test]

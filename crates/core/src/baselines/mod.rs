@@ -1,7 +1,7 @@
 //! The comparison algorithms every experiment reports against.
 //!
 //! * [`flooding`] — the `Θ(n/k + D)`-round label-propagation connectivity
-//!   baseline (§1.2 warm-up; implemented in Giraph variants [43]).
+//!   baseline (§1.2 warm-up; implemented in Giraph variants \[43\]).
 //! * [`referee`] — collect the whole graph at one machine: `Ω(m/k)` rounds
 //!   (§2 warm-up).
 //! * [`edge_boruvka`] — GHS-style Borůvka that explicitly checks edge

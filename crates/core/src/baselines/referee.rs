@@ -1,9 +1,14 @@
 //! The referee baseline (paper §2 warm-up): ship the whole graph to one
 //! machine and solve locally. The referee has `k−1` incident links, so
 //! collection costs `Ω(m/k)` rounds — the bound the fast algorithms beat.
+//!
+//! Each machine ships exactly the edges its shard *owns* (smaller endpoint
+//! homed there, so no edge is sent twice); the referee reassembles a local
+//! graph from what it received plus its own shard and solves for free.
 
 use crate::messages::{id_bits, Payload};
-use kgraph::{refalgo, Graph, Partition};
+use kgraph::graph::Edge;
+use kgraph::{refalgo, Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
 use kmachine::message::Envelope;
@@ -22,29 +27,39 @@ pub struct RefereeOutput {
 /// Collects all edges at machine 0 and solves connectivity there.
 pub fn referee_connectivity(g: &Graph, k: usize, seed: u64, bandwidth: Bandwidth) -> RefereeOutput {
     let part = Partition::random_vertex(g, k, seed);
-    let n = g.n();
+    let sg = ShardedGraph::from_graph(g, &part);
+    referee_sharded(&sg, bandwidth)
+}
+
+/// Referee collection directly on sharded storage.
+pub fn referee_sharded(sg: &ShardedGraph, bandwidth: Bandwidth) -> RefereeOutput {
+    let k = sg.k();
+    let n = sg.n();
     let l = id_bits(n);
     let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig::new(k, bandwidth, n));
-    // Each machine batches its local vertices' edges (each edge shipped by
-    // the smaller endpoint's home to avoid duplicates).
+    // Each machine batches the edges its shard owns; the referee's own
+    // slice stays local (free).
+    let mut collected: Vec<Edge> = sg.view(0).local_edges().collect();
     let mut out = Vec::new();
-    for m in 0..k {
-        let edges: Vec<(u32, u32, u64)> = g
-            .edges()
-            .iter()
-            .filter(|e| part.home(e.u) == m)
-            .map(|e| (e.u, e.v, e.w))
-            .collect();
-        if m != 0 && !edges.is_empty() {
+    for m in 1..k {
+        let edges: Vec<(u32, u32, u64)> =
+            sg.view(m).local_edges().map(|e| (e.u, e.v, e.w)).collect();
+        if !edges.is_empty() {
             let payload = Payload::EdgeList { edges };
             let bits = payload.wire_bits(l);
             out.push(Envelope::with_bits(m, 0, payload, bits));
         }
     }
     bsp.superstep(out);
-    let _ = bsp.take_all_inboxes();
+    let inboxes = bsp.take_all_inboxes();
+    for env in inboxes.into_iter().flatten() {
+        if let Payload::EdgeList { edges } = env.payload {
+            collected.extend(edges.into_iter().map(|(u, v, w)| Edge::new(u, v, w)));
+        }
+    }
     // Local solve at the referee is free in the model.
-    let labels = refalgo::connected_components(g);
+    let assembled = Graph::from_dedup_edges(n, collected);
+    let labels = refalgo::connected_components(&assembled);
     RefereeOutput {
         labels,
         stats: bsp.into_stats(),

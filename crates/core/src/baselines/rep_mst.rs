@@ -42,14 +42,20 @@ pub fn rep_mst(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> RepMstOutput 
     let rep = Partition::random_edge(g, k, seed);
     let n = g.n();
     let l = id_bits(n);
+    // Step 0 (ingestion): one streaming pass over the edge list routes each
+    // edge to its REP owner — the per-machine edge shards of the §1.3
+    // model; no machine ever sees the full edge set.
+    let mut local: Vec<Vec<Edge>> = vec![Vec::new(); k];
+    for (i, e) in g.edges().iter().enumerate() {
+        local[rep.edge_owner(i)].push(*e);
+    }
     // Step 1: local cycle-property filtering (free local computation).
     let mut kept: Vec<Vec<Edge>> = Vec::with_capacity(k);
-    for m in 0..k {
-        let mut local = rep.edges_of(g, m);
-        local.sort_unstable_by_key(Graph::edge_key);
+    for mut shard in local {
+        shard.sort_unstable_by_key(Graph::edge_key);
         let mut uf = UnionFind::new(n);
         let mut keep = Vec::new();
-        for e in local {
+        for e in shard {
             if uf.union(e.u, e.v) {
                 keep.push(e);
             }

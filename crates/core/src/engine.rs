@@ -1,5 +1,11 @@
 //! The shared Borůvka-style engine behind connectivity (§2) and MST (§3.1).
 //!
+//! The engine runs against [`kgraph::ShardedGraph`] — each simulated
+//! machine touches only its own [`kgraph::ShardView`] (its home vertices
+//! and their incident edges), exactly the information the k-machine model
+//! grants it. No machine ever holds a reference to a central `Graph`; the
+//! orchestrator merely schedules the per-machine steps and moves messages.
+//!
 //! One phase of the engine (paper §2.1):
 //!
 //! 1. **Outgoing-edge selection** (§2.3–§2.4). Every machine groups its
@@ -25,12 +31,26 @@
 //! (MST: the minimum-key incident edge), which the home machine computes
 //! directly.
 //!
+//! **Incremental sketch reuse** (DESIGN.md §3.7): the iteration-0 sketch
+//! functions are re-derived only once per *epoch* of
+//! [`EngineConfig::sketch_reuse_period`] phases, so a part whose component
+//! label did not change since its sketch was built resends its cached
+//! sketch instead of re-hashing every incident edge. Relabels invalidate
+//! exactly the parts they touch; epoch rollover invalidates everything
+//! (fresh randomness bounds any correlation between a failed sample and
+//! later phases). Sketches themselves are still *sent* every phase at full
+//! wire cost; what is amortized is the local rebuild work (the hot path)
+//! **and** the §2.2 `Θ(log² n)`-bit function-seed distribution charge,
+//! which is paid once per epoch — reused functions need no redistribution.
+//! Set [`EngineConfig::sketch_reuse_period`] to `0` to recover the
+//! per-phase charging and rebuilds of the pre-sharding design.
+//!
 //! All communication flows through [`kmachine::Bsp`], so every round and
 //! bit is accounted exactly as in the paper's Lemma-1 analysis.
 
 use crate::messages::{id_bits, EdgeKey, Label, Payload};
 use crate::proxy::ProxyScheme;
-use kgraph::{Graph, Partition};
+use kgraph::ShardedGraph;
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
 use kmachine::message::Envelope;
@@ -70,6 +90,9 @@ pub enum MergeStrategy {
     CoinFlip,
 }
 
+/// Default epoch length (in phases) for iteration-0 sketch-function reuse.
+pub const DEFAULT_SKETCH_REUSE_PERIOD: u32 = 4;
+
 /// Engine configuration shared by connectivity and MST.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -87,6 +110,11 @@ pub struct EngineConfig {
     pub merge: MergeStrategy,
     /// Which §1.1 communication restriction to charge rounds under.
     pub cost_model: kmachine::bandwidth::CostModel,
+    /// How many phases share one set of iteration-0 sketch functions, so
+    /// unchanged parts can reuse their cached sketches. `0` disables reuse
+    /// (fresh functions and full rebuilds every phase — the pre-sharding
+    /// behaviour, kept as an ablation).
+    pub sketch_reuse_period: u32,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +127,7 @@ impl Default for EngineConfig {
             max_phases: None,
             merge: MergeStrategy::Drr,
             cost_model: Default::default(),
+            sketch_reuse_period: DEFAULT_SKETCH_REUSE_PERIOD,
         }
     }
 }
@@ -123,6 +152,10 @@ pub struct EngineResult {
     pub mst_edges_per_machine: Vec<usize>,
     /// Component count from the §2.6 output protocol, if run.
     pub counted_components: Option<u64>,
+    /// Part sketches built from scratch (local hashing work).
+    pub sketch_builds: u64,
+    /// Part sketches served from the incremental cache.
+    pub sketch_cache_hits: u64,
 }
 
 impl EngineResult {
@@ -208,14 +241,22 @@ struct MachineState {
     /// `Some(key)` bounds the rebuild, `None` means rebuild unfiltered
     /// (the component is retrying after a failed first sample).
     thresholds: FxHashMap<Label, Option<EdgeKey>>,
+    /// Incremental cache: the unfiltered iteration-0 sketch of each local
+    /// part, valid for the current sketch-function epoch. Invalidated per
+    /// label on relabel, wholesale on epoch rollover.
+    part_cache: FxHashMap<Label, L0Sketch>,
+    /// Part sketches this machine built from scratch.
+    sketch_builds: u64,
+    /// Part sketches this machine served from `part_cache`.
+    sketch_cache_hits: u64,
     /// Scratch flag used by convergence aggregation.
     flag: bool,
 }
 
-/// The engine itself. Borrows the input graph and partition for the run.
+/// The engine itself. Borrows the sharded input graph (which carries the
+/// partition) for the run.
 pub struct Engine<'g> {
-    g: &'g Graph,
-    part: &'g Partition,
+    g: &'g ShardedGraph,
     mode: Mode,
     cfg: EngineConfig,
     k: usize,
@@ -226,20 +267,18 @@ pub struct Engine<'g> {
     bsp: Bsp<Payload>,
     machines: Vec<MachineState>,
     params: SketchParams,
+    /// The iteration-0 sketch functions of the current epoch, keyed by tag.
+    cached_fns: Option<(u32, SketchFns)>,
+    /// Bumped by the termination guard to force fresh epoch functions.
+    epoch_salt: u32,
     phase_components: Vec<usize>,
     drr_depths: Vec<u32>,
 }
 
 impl<'g> Engine<'g> {
     /// Builds an engine for one run. `seed` drives all randomness.
-    pub fn new(
-        g: &'g Graph,
-        part: &'g Partition,
-        mode: Mode,
-        seed: u64,
-        cfg: EngineConfig,
-    ) -> Self {
-        let k = part.k();
+    pub fn new(g: &'g ShardedGraph, mode: Mode, seed: u64, cfg: EngineConfig) -> Self {
+        let k = g.k();
         let n = g.n();
         let shared = SharedRandomness::new(seed);
         let net = NetworkConfig {
@@ -250,7 +289,7 @@ impl<'g> Engine<'g> {
         };
         let machines = (0..k)
             .map(|id| {
-                let verts = part.vertices_of(id);
+                let verts = g.view(id).verts().to_vec();
                 let labels = verts.iter().map(|&v| (v, v as Label)).collect();
                 MachineState {
                     id,
@@ -261,13 +300,15 @@ impl<'g> Engine<'g> {
                     outbox: Vec::new(),
                     mst_out: Vec::new(),
                     thresholds: FxHashMap::default(),
+                    part_cache: FxHashMap::default(),
+                    sketch_builds: 0,
+                    sketch_cache_hits: 0,
                     flag: false,
                 }
             })
             .collect();
         Engine {
             g,
-            part,
             mode,
             cfg,
             k,
@@ -278,6 +319,8 @@ impl<'g> Engine<'g> {
             bsp: Bsp::new(net),
             machines,
             params: SketchParams::for_graph(n, cfg.reps),
+            cached_fns: None,
+            epoch_salt: 0,
             phase_components: Vec::new(),
             drr_depths: Vec::new(),
         }
@@ -306,6 +349,23 @@ impl<'g> Engine<'g> {
             let progressed = self.run_phase(p);
             phases = p + 1;
             if !progressed {
+                // Termination guard (reuse epochs only): with cached
+                // iteration-0 functions a failed Monte-Carlo sample would
+                // repeat identically next phase, so "no outgoing edge
+                // anywhere" must be confirmed once with fresh functions
+                // before the run may stop.
+                if p >= 1 && self.cfg.sketch_reuse_period != 0 {
+                    self.epoch_salt += 1;
+                    self.cached_fns = None;
+                    for st in &mut self.machines {
+                        st.part_cache.clear();
+                        st.proxied.clear();
+                        st.thresholds.clear();
+                    }
+                    if self.run_phase(p) {
+                        continue;
+                    }
+                }
                 break;
             }
         }
@@ -328,6 +388,8 @@ impl<'g> Engine<'g> {
             .iter()
             .flat_map(|st| st.mst_out.iter().copied())
             .collect();
+        let sketch_builds = self.machines.iter().map(|st| st.sketch_builds).sum();
+        let sketch_cache_hits = self.machines.iter().map(|st| st.sketch_cache_hits).sum();
         EngineResult {
             labels,
             stats: self.bsp.into_stats(),
@@ -337,6 +399,8 @@ impl<'g> Engine<'g> {
             mst_edges,
             mst_edges_per_machine,
             counted_components: counted,
+            sketch_builds,
+            sketch_cache_hits,
         }
     }
 
@@ -365,12 +429,15 @@ impl<'g> Engine<'g> {
             self.phase0_local_select();
             return;
         }
-        // Fresh sketch functions for (phase, elimination-iteration 0).
+        // Iteration-0 sketch functions: reused within the current epoch so
+        // unchanged parts can serve their cached sketches.
         let mut iter = 0u32;
-        let fns = self.sketch_fns(p, iter);
-        self.charge_fns_distribution(&fns);
-        self.build_and_send_sketches(p, &fns, /*only_thresholded=*/ false);
+        let fns = self.iter0_fns(p);
+        self.build_and_send_sketches(
+            p, &fns, /*only_thresholded=*/ false, /*cacheable=*/ true,
+        );
         self.proxy_merge_sketches(p, &fns);
+        self.cached_fns = Some((self.iter0_tag(p), fns));
         self.probe_candidates(p);
         if self.mode != Mode::Mst {
             // Single sample: the verified candidate is the chosen edge.
@@ -399,9 +466,14 @@ impl<'g> Engine<'g> {
             }
             iter += 1;
             self.broadcast_thresholds(p);
+            // Elimination iterations always use fresh per-(phase, iteration)
+            // functions: their sketches are threshold-filtered and never
+            // cacheable.
             let fns = self.sketch_fns(p, iter);
             self.charge_fns_distribution(&fns);
-            self.build_and_send_sketches(p, &fns, /*only_thresholded=*/ true);
+            self.build_and_send_sketches(
+                p, &fns, /*only_thresholded=*/ true, /*cacheable=*/ false,
+            );
             self.proxy_merge_sketches(p, &fns);
             self.probe_candidates(p);
         }
@@ -420,8 +492,9 @@ impl<'g> Engine<'g> {
         let mode = self.mode;
         let prf = self.shared.prf(Use::Phase0Sample);
         par_for_each_state(&mut self.machines, |id, st| {
+            let view = g.view(id);
             for &v in &st.verts {
-                let nbrs = g.neighbors(v);
+                let nbrs = view.neighbors(v);
                 let mut comp = ProxyComp::new(v as Label);
                 comp.parts = vec![id as u16];
                 if !nbrs.is_empty() {
@@ -450,9 +523,42 @@ impl<'g> Engine<'g> {
 
     /// Derives the sketch functions for `(phase, elimination iteration)`.
     fn sketch_fns(&self, p: u32, iter: u32) -> SketchFns {
-        // Distinct tag per (phase, iteration): phases are < 2^26 and
-        // iterations < 64 in practice.
+        // Distinct tag per (phase, iteration): phases are < 2^24 and
+        // iterations < 64 in practice, so these tags never collide with the
+        // `EPOCH_TAG_BASE` range of the iteration-0 epoch functions.
         SketchFns::new(&self.shared, p * 64 + iter, self.params)
+    }
+
+    /// Tag of the iteration-0 sketch functions for phase `p ≥ 1`: one tag
+    /// per (reuse epoch, termination-guard salt), or the per-phase tag when
+    /// reuse is disabled.
+    fn iter0_tag(&self, p: u32) -> u32 {
+        /// Disjoint from every `p * 64 + iter` elimination tag.
+        const EPOCH_TAG_BASE: u32 = 1 << 30;
+        match self.cfg.sketch_reuse_period {
+            0 => p * 64,
+            period => EPOCH_TAG_BASE + ((p - 1) / period) * 1024 + self.epoch_salt,
+        }
+    }
+
+    /// The iteration-0 sketch functions for phase `p`, reusing the cached
+    /// epoch functions when the tag matches. On epoch rollover (or with
+    /// reuse disabled) derives fresh functions, charges their §2.2
+    /// distribution cost, and drops every cached part sketch — stale
+    /// sketches from old functions must never be merged with new ones.
+    fn iter0_fns(&mut self, p: u32) -> SketchFns {
+        let tag = self.iter0_tag(p);
+        if let Some((t, fns)) = self.cached_fns.take() {
+            if t == tag {
+                return fns;
+            }
+        }
+        let fns = SketchFns::new(&self.shared, tag, self.params);
+        self.charge_fns_distribution(&fns);
+        for st in &mut self.machines {
+            st.part_cache.clear();
+        }
+        fns
     }
 
     /// §2.3 "without shared randomness": Θ(log² n) seed bits per phase are
@@ -468,14 +574,24 @@ impl<'g> Engine<'g> {
     /// Builds part sketches and sends them to proxies. With
     /// `only_thresholded`, only parts that received an elimination threshold
     /// participate, and their sketches keep only edges strictly below it.
-    fn build_and_send_sketches(&mut self, p: u32, fns: &SketchFns, only_thresholded: bool) {
+    /// With `cacheable` (the iteration-0 epoch-function path), unfiltered
+    /// part sketches are served from / inserted into the per-machine cache.
+    fn build_and_send_sketches(
+        &mut self,
+        p: u32,
+        fns: &SketchFns,
+        only_thresholded: bool,
+        cacheable: bool,
+    ) {
         let g = self.g;
-        let part = self.part;
+        let part = self.g.partition();
         let scheme = &self.scheme;
         let l = self.l;
         let params = self.params;
+        let use_cache = cacheable && self.cfg.sketch_reuse_period != 0;
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
+            let view = g.view(id);
             // Group local vertices by label.
             let mut groups: FxHashMap<Label, Vec<u32>> = FxHashMap::default();
             for &v in &st.verts {
@@ -487,18 +603,34 @@ impl<'g> Engine<'g> {
                     continue;
                 }
                 let thr = active.flatten();
-                let mut sk = L0Sketch::new(params);
-                for &v in &vs {
-                    for &(nb, w) in g.neighbors(v) {
-                        if let Some(t) = thr {
-                            let (a, b) = if v < nb { (v, nb) } else { (nb, v) };
-                            if (w, a, b) >= t {
-                                continue;
+                let build = |st: &mut MachineState| {
+                    st.sketch_builds += 1;
+                    let mut sk = L0Sketch::new(params);
+                    for &v in &vs {
+                        for &(nb, w) in view.neighbors(v) {
+                            if let Some(t) = thr {
+                                let (a, b) = if v < nb { (v, nb) } else { (nb, v) };
+                                if (w, a, b) >= t {
+                                    continue;
+                                }
                             }
+                            sk.add_incident_edge(fns, v, nb);
                         }
-                        sk.add_incident_edge(fns, v, nb);
                     }
-                }
+                    sk
+                };
+                let sk = if use_cache && thr.is_none() {
+                    if let Some(cached) = st.part_cache.get(&label) {
+                        st.sketch_cache_hits += 1;
+                        cached.clone()
+                    } else {
+                        let sk = build(st);
+                        st.part_cache.insert(label, sk.clone());
+                        sk
+                    }
+                } else {
+                    build(st)
+                };
                 let dst = scheme.proxy_of(part, p, 0, label);
                 let payload = Payload::PartSketch {
                     label,
@@ -550,7 +682,7 @@ impl<'g> Engine<'g> {
     /// Probe the candidate edges: proxy asks both endpoints' home machines
     /// for current label, existence, and weight (two supersteps).
     fn probe_candidates(&mut self, _p: u32) {
-        let part = self.part;
+        let part = self.g.partition();
         let l = self.l;
         // Superstep A: queries out.
         let mut machines = std::mem::take(&mut self.machines);
@@ -573,15 +705,17 @@ impl<'g> Engine<'g> {
         });
         self.machines = machines;
         self.flush();
-        // Superstep B: homes answer from their authoritative label map.
+        // Superstep B: homes answer from their authoritative label map and
+        // their local shard adjacency (`ask` is homed here by construction).
         let g = self.g;
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
+            let view = g.view(id);
             let inbox = std::mem::take(&mut st.inbox);
             for env in inbox {
                 if let Payload::EdgeProbe { comp, ask, other } = env.payload {
                     let label = *st.labels.get(&ask).expect("probe reached home machine");
-                    let weight = g.edge_weight(ask, other);
+                    let weight = view.edge_weight(ask, other);
                     let payload = Payload::EdgeProbeReply {
                         comp,
                         vertex: ask,
@@ -695,7 +829,7 @@ impl<'g> Engine<'g> {
             if !self.aggregate_flag(|st| st.proxied.values().any(|c| !c.ptr_done)) {
                 break;
             }
-            let part = self.part;
+            let part = self.g.partition();
             let scheme = &self.scheme;
             let l = self.l;
             // Queries out.
@@ -801,6 +935,13 @@ impl<'g> Engine<'g> {
                 }
             }
             if !map.is_empty() {
+                // Cache invalidation: the relabeled part dissolves into the
+                // target part, so both sketches are stale. Parts this map
+                // does not touch keep serving their cached sketches.
+                for (&old, &new) in &map {
+                    st.part_cache.remove(&old);
+                    st.part_cache.remove(&new);
+                }
                 for lab in st.labels.values_mut() {
                     if let Some(&nl) = map.get(lab) {
                         *lab = nl;
@@ -883,7 +1024,7 @@ impl<'g> Engine<'g> {
     /// to M1 (machine 0 here). Returns the global component count.
     fn output_protocol(&mut self, after_phase: u32) -> u64 {
         let p = after_phase.max(1); // never the phase-0 identity proxy map
-        let part = self.part;
+        let part = self.g.partition();
         let scheme = &self.scheme;
         let l = self.l;
         let mut machines = std::mem::take(&mut self.machines);

@@ -1,6 +1,12 @@
 #![warn(missing_docs)]
 //! The paper's algorithms in the k-machine model.
 //!
+//! All algorithms run against [`kgraph::ShardedGraph`] views — each
+//! simulated machine holds only its `~n/k` home vertices and their
+//! incident edges, never a copy of the graph (DESIGN.md §3.7). The
+//! `&Graph` front ends shard first; the `*_sharded` entry points accept
+//! streamed shards directly.
+//!
 //! * [`connectivity`] — the headline `O~(n/k²)`-round connected-components
 //!   algorithm (§2): linear sketches + randomized proxies + distributed
 //!   random ranking.

@@ -88,7 +88,7 @@ impl RandomInputPartition {
 
     /// In the reduction, vertex `u_i` is placed by Alice iff Bob was *not*
     /// given `X[i]` (and symmetrically for `v_i`); this accessor mirrors
-    /// the paper's "if Alice received X[i]" phrasing.
+    /// the paper's "if Alice received X\[i\]" phrasing.
     pub fn alice_places_u(&self, i: usize) -> bool {
         !self.x_to_bob[i]
     }

@@ -56,6 +56,7 @@ pub fn simulate_scs_two_party(
     let (g, h_edges) = scs_gadget(inst);
     let h = g.edge_subgraph(&h_edges);
     let part = Partition::random_vertex(&g, k, seed);
+    let sh = kgraph::ShardedGraph::from_graph(&h, &part);
     let engine_cfg = EngineConfig {
         bandwidth: cfg.bandwidth,
         reps: cfg.reps,
@@ -64,8 +65,9 @@ pub fn simulate_scs_two_party(
         max_phases: cfg.max_phases,
         merge: cfg.merge,
         cost_model: cfg.cost_model,
+        sketch_reuse_period: cfg.sketch_reuse_period,
     };
-    let mut engine = Engine::new(&h, &part, Mode::Connectivity, seed, engine_cfg);
+    let mut engine = Engine::new(&sh, Mode::Connectivity, seed, engine_cfg);
     engine.set_cut((0..k).map(|m| m < k / 2).collect());
     let result = engine.run();
     let verdict = result.component_count() == 1;

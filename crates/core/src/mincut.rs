@@ -1,20 +1,21 @@
 //! `O(log n)`-approximate minimum cut (paper §3.2, Theorem 3).
 //!
-//! Karger random-sampling probes [18], as proposed for the CONGEST model in
-//! Ghaffari–Kuhn [15], with our fast connectivity algorithm as the
+//! Karger random-sampling probes \[18\], as proposed for the CONGEST model in
+//! Ghaffari–Kuhn \[15\], with our fast connectivity algorithm as the
 //! connectivity tester: sample every edge independently with geometrically
 //! decreasing probabilities `p_i = 2^{-i}`; the first probe whose sampled
 //! subgraph disconnects localizes the min cut weight λ within an `O(log n)`
 //! factor (a cut of weight λ survives sampling w.h.p. while `p·λ ≳ log n`).
 //!
 //! Sampling uses shared randomness keyed by the canonical edge, so both
-//! endpoint home machines make identical decisions with zero communication.
-//! Integer weights are treated as edge multiplicities: an edge of weight `w`
+//! endpoint home machines make identical decisions with zero communication
+//! — each probe's subsampled graph is materialized *per shard*
+//! ([`kgraph::ShardedGraph::filter_edges`]), never centrally. Integer
+//! weights are treated as edge multiplicities: an edge of weight `w`
 //! survives with probability `1 − (1−p)^w`.
 
-use crate::connectivity::{connected_components_with_partition, ConnectivityConfig};
-use kgraph::graph::Edge;
-use kgraph::{Graph, Partition};
+use crate::connectivity::{connected_components_sharded, ConnectivityConfig};
+use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::metrics::CommStats;
 use krand::shared::{SharedRandomness, Use};
@@ -71,37 +72,42 @@ pub struct MinCutOutput {
 /// ```
 pub fn approx_min_cut(g: &Graph, k: usize, seed: u64, cfg: &MinCutConfig) -> MinCutOutput {
     let part = Partition::random_vertex(g, k, seed);
+    let sg = ShardedGraph::from_graph(g, &part);
+    approx_min_cut_sharded(&sg, seed, cfg)
+}
+
+/// Approximates the min cut directly on sharded storage (the streaming
+/// ingestion path; see [`approx_min_cut`] for semantics).
+pub fn approx_min_cut_sharded(sg: &ShardedGraph, seed: u64, cfg: &MinCutConfig) -> MinCutOutput {
+    let k = sg.k();
     let shared = SharedRandomness::new(seed ^ 0xC07);
     let conn_cfg = ConnectivityConfig {
         bandwidth: cfg.bandwidth,
         reps: cfg.reps,
         charge_shared_randomness: cfg.charge_shared_randomness,
         run_output_protocol: true,
-        max_phases: None,
-        merge: Default::default(),
-        cost_model: Default::default(),
+        ..ConnectivityConfig::default()
     };
     let mut stats = CommStats::new(k);
-    // Probe i = 0 is p = 1 (the input graph itself).
-    let max_probe = 2 + 64
-        - g.edges()
-            .iter()
-            .map(|e| e.w)
-            .max()
-            .unwrap_or(1)
-            .leading_zeros()
-        + kmachine::bandwidth::ceil_log2(g.n().max(2));
+    // Probe i = 0 is p = 1 (the input graph itself). Each machine knows its
+    // local maximum weight; the global max is free to aggregate in-model.
+    let max_w = (0..k)
+        .flat_map(|i| {
+            let view = sg.view(i);
+            view.verts()
+                .iter()
+                .flat_map(move |&v| view.neighbors(v).iter().map(|&(_, w)| w))
+                .max()
+        })
+        .max()
+        .unwrap_or(1);
+    let max_probe = 2 + 64 - max_w.leading_zeros() + kmachine::bandwidth::ceil_log2(sg.n().max(2));
     let mut disconnecting = None;
     let mut probes = 0;
     for i in 0..max_probe {
         probes += 1;
-        let sampled = sample_subgraph(g, &shared, i);
-        let out = connected_components_with_partition(
-            &sampled,
-            &part,
-            seed ^ (i as u64) << 32,
-            &conn_cfg,
-        );
+        let sampled = sample_sharded(sg, &shared, i);
+        let out = connected_components_sharded(&sampled, seed ^ (i as u64) << 32, &conn_cfg);
         stats.absorb(&out.stats);
         if out.component_count() > 1 {
             disconnecting = Some(i);
@@ -121,30 +127,29 @@ pub fn approx_min_cut(g: &Graph, k: usize, seed: u64, cfg: &MinCutConfig) -> Min
     }
 }
 
-/// The sampled subgraph of probe `i` (`p = 2^{-i}`): shared-randomness
-/// decision per edge, identical on every machine.
-fn sample_subgraph(g: &Graph, shared: &SharedRandomness, probe: u32) -> Graph {
+/// The sampled sharded subgraph of probe `i` (`p = 2^{-i}`): a
+/// shared-randomness decision per canonical edge, so both endpoint home
+/// shards keep or drop it identically with zero communication.
+fn sample_sharded(sg: &ShardedGraph, shared: &SharedRandomness, probe: u32) -> ShardedGraph {
     if probe == 0 {
-        return g.clone();
+        return sg.clone();
     }
     let prf = shared.prf(Use::MinCutSample { probe });
-    let n = g.n();
-    let keep = |e: &Edge| -> bool {
+    let n = sg.n();
+    sg.filter_edges(|u, v, w| {
         // Keep with probability 1 − (1−p)^w: simulate w Bernoulli(p) coins
         // via one PRF stream per unit of weight (w is small in practice;
         // cap the loop at 64 units — beyond that survival is certain for
         // any p ≥ 2^-32 we ever probe... keep exact with the cap noted).
-        let id = e.u as u64 * n as u64 + e.v as u64;
-        let units = e.w.min(64);
+        let id = u as u64 * n as u64 + v as u64;
+        let units = w.min(64);
         (0..units).any(|t| {
             let h = prf.eval(id, t);
             // Keep this unit with probability 2^{-probe}: all `probe`
             // leading bits zero.
             probe >= 64 || h >> (64 - probe) == 0
         })
-    };
-    let edges: Vec<Edge> = g.edges().iter().filter(|e| keep(e)).cloned().collect();
-    Graph::from_dedup_edges(n, edges)
+    })
 }
 
 #[cfg(test)]
@@ -152,11 +157,15 @@ mod tests {
     use super::*;
     use kgraph::{generators, mincut, refalgo};
 
+    fn shard(g: &Graph, k: usize, seed: u64) -> ShardedGraph {
+        ShardedGraph::from_graph(g, &Partition::random_vertex(g, k, seed))
+    }
+
     #[test]
     fn sampling_probe0_is_identity() {
         let g = generators::gnm(50, 120, 1);
         let shared = SharedRandomness::new(2);
-        let s = sample_subgraph(&g, &shared, 0);
+        let s = sample_sharded(&shard(&g, 4, 1), &shared, 0);
         assert_eq!(s.m(), g.m());
     }
 
@@ -164,8 +173,9 @@ mod tests {
     fn sampling_rate_halves_per_probe() {
         let g = generators::gnm(200, 4000, 3);
         let shared = SharedRandomness::new(4);
-        let m1 = sample_subgraph(&g, &shared, 1).m() as f64;
-        let m2 = sample_subgraph(&g, &shared, 2).m() as f64;
+        let sg = shard(&g, 4, 3);
+        let m1 = sample_sharded(&sg, &shared, 1).m() as f64;
+        let m2 = sample_sharded(&sg, &shared, 2).m() as f64;
         assert!((m1 / g.m() as f64 - 0.5).abs() < 0.1, "p=1/2 keeps ~half");
         assert!(
             (m2 / g.m() as f64 - 0.25).abs() < 0.1,
@@ -180,7 +190,7 @@ mod tests {
         let g = Graph::from_edges(n, edges);
         let shared = SharedRandomness::new(5);
         // p = 1/2 with w = 16: survival 1 - 2^-16 each.
-        let s = sample_subgraph(&g, &shared, 1);
+        let s = sample_sharded(&shard(&g, 4, 5), &shared, 1);
         assert!(s.m() as f64 > 0.99 * g.m() as f64);
     }
 

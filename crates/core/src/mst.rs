@@ -11,14 +11,14 @@
 //!   (the proxy that chose it). `O~(n/k²)` rounds.
 //! * **(b) `BothEndpoints`** — every MST edge is additionally routed to the
 //!   home machines of both endpoints. This is the regime with the
-//!   `Ω~(n/k)` lower bound of [22] (a machine hosting a high-degree vertex
+//!   `Ω~(n/k)` lower bound of \[22\] (a machine hosting a high-degree vertex
 //!   must receive the status of all its edges); the extra routing step
 //!   reproduces exactly that bottleneck on star-like graphs (E8).
 
 use crate::engine::{Engine, EngineConfig, EngineResult, Mode};
 use crate::messages::{id_bits, Payload};
 use kgraph::graph::Edge;
-use kgraph::{Graph, Partition};
+use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
 use kmachine::message::Envelope;
@@ -77,7 +77,7 @@ pub struct MstOutput {
     /// The isolated cost of the Theorem 2(b) endpoint-routing stage
     /// (`None` under criterion (a)). On star-like inputs this stage
     /// concentrates Θ(n) receive bits at one machine — the Ω~(n/k)
-    /// bottleneck of [22] (experiment E8).
+    /// bottleneck of \[22\] (experiment E8).
     pub endpoint_routing: Option<CommStats>,
 }
 
@@ -98,13 +98,21 @@ pub fn minimum_spanning_tree(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) ->
     minimum_spanning_tree_with_partition(g, &part, seed, cfg)
 }
 
-/// Runs the MST algorithm with an explicit partition.
+/// Runs the MST algorithm with an explicit partition (shards first — the
+/// engine only ever sees per-machine views).
 pub fn minimum_spanning_tree_with_partition(
     g: &Graph,
     part: &Partition,
     seed: u64,
     cfg: &MstConfig,
 ) -> MstOutput {
+    let sg = ShardedGraph::from_graph(g, part);
+    minimum_spanning_tree_sharded(&sg, seed, cfg)
+}
+
+/// Runs the MST algorithm directly on sharded storage (the streaming
+/// ingestion path).
+pub fn minimum_spanning_tree_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConfig) -> MstOutput {
     let engine_cfg = EngineConfig {
         bandwidth: cfg.bandwidth,
         reps: cfg.reps,
@@ -113,12 +121,13 @@ pub fn minimum_spanning_tree_with_partition(
         max_phases: cfg.max_phases,
         merge: Default::default(),
         cost_model: Default::default(),
+        ..EngineConfig::default()
     };
-    let result = Engine::new(g, part, Mode::Mst, seed, engine_cfg).run();
+    let result = Engine::new(sg, Mode::Mst, seed, engine_cfg).run();
     let mut stats = result.stats.clone();
     let mut endpoint_routing = None;
     if cfg.criterion == OutputCriterion::BothEndpoints {
-        let routing = route_to_endpoints(g, part, &result, cfg);
+        let routing = route_to_endpoints(sg, &result, cfg);
         stats.absorb(&routing);
         endpoint_routing = Some(routing);
     }
@@ -143,15 +152,11 @@ pub fn minimum_spanning_tree_with_partition(
 /// Theorem 2(b): route every chosen edge to both endpoint home machines.
 /// The per-machine receive load is Θ(deg) edge records — on a star this is
 /// the Ω~(n/k) bottleneck the paper proves unavoidable.
-fn route_to_endpoints(
-    g: &Graph,
-    part: &Partition,
-    result: &EngineResult,
-    cfg: &MstConfig,
-) -> CommStats {
-    let net = NetworkConfig::new(part.k(), cfg.bandwidth, g.n());
+fn route_to_endpoints(sg: &ShardedGraph, result: &EngineResult, cfg: &MstConfig) -> CommStats {
+    let part = sg.partition();
+    let net = NetworkConfig::new(part.k(), cfg.bandwidth, sg.n());
     let mut bsp: Bsp<Payload> = Bsp::new(net);
-    let l = id_bits(g.n());
+    let l = id_bits(sg.n());
     // Reconstruct which machine output each edge (machine order matches the
     // flattening in EngineResult).
     let mut out = Vec::new();

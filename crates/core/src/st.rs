@@ -11,7 +11,7 @@
 use crate::engine::{Engine, EngineConfig, Mode};
 use crate::mst::MstConfig;
 use kgraph::graph::Edge;
-use kgraph::{Graph, Partition};
+use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::metrics::CommStats;
 
 /// The result of a spanning-forest run.
@@ -45,10 +45,21 @@ pub fn spanning_forest(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> Spann
     spanning_forest_with_partition(g, &part, seed, cfg)
 }
 
-/// Computes a spanning forest with an explicit partition.
+/// Computes a spanning forest with an explicit partition (shards first).
 pub fn spanning_forest_with_partition(
     g: &Graph,
     part: &Partition,
+    seed: u64,
+    cfg: &MstConfig,
+) -> SpanningForestOutput {
+    let sg = ShardedGraph::from_graph(g, part);
+    spanning_forest_sharded(&sg, seed, cfg)
+}
+
+/// Computes a spanning forest directly on sharded storage (the streaming
+/// ingestion path).
+pub fn spanning_forest_sharded(
+    sg: &ShardedGraph,
     seed: u64,
     cfg: &MstConfig,
 ) -> SpanningForestOutput {
@@ -58,10 +69,9 @@ pub fn spanning_forest_with_partition(
         charge_shared_randomness: cfg.charge_shared_randomness,
         run_output_protocol: false,
         max_phases: cfg.max_phases,
-        merge: Default::default(),
-        cost_model: Default::default(),
+        ..EngineConfig::default()
     };
-    let result = Engine::new(g, part, Mode::SpanningForest, seed, engine_cfg).run();
+    let result = Engine::new(sg, Mode::SpanningForest, seed, engine_cfg).run();
     let mut edges: Vec<Edge> = result
         .mst_edges
         .iter()

@@ -10,7 +10,7 @@
 //! * **bipartiteness** — the AGM reduction: `G` is bipartite iff its
 //!   bipartite double cover has exactly `2·cc(G)` components;
 //! * **spanning connected subgraph / cycle containment / e-cycle
-//!   containment** — the reductions of [11] via component counting.
+//!   containment** — the reductions of \[11\] via component counting.
 //!
 //! Every function returns the verdict plus the combined communication
 //! statistics, so the E11 experiments can report rounds per problem.
@@ -205,7 +205,7 @@ pub fn st_cut_verification(
     }
 }
 
-/// Bipartiteness (AGM reduction, §3.3 of [2]): `G` is bipartite iff its
+/// Bipartiteness (AGM reduction, §3.3 of \[2\]): `G` is bipartite iff its
 /// bipartite double cover `D(G)` has exactly `2·cc(G)` components. The
 /// cover is built locally (vertex `v` lifts to `v` and `v + n` on the same
 /// home machine — no communication); both connectivity runs are counted.

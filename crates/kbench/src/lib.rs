@@ -4,7 +4,9 @@
 //! DESIGN.md §4) and the Criterion benches.
 
 pub mod experiments;
+pub mod large;
 pub mod table;
 
 pub use experiments::{run_all, run_experiment, ExperimentRecord};
+pub use large::LargeScenario;
 pub use table::Table;

@@ -1,11 +1,27 @@
 //! Seeded synthetic graph generators for every workload in DESIGN.md §4.
 //!
 //! All generators are deterministic in their seed, so experiments and tests
-//! are exactly reproducible. The Figure-1 lower-bound gadget lives in
-//! `kconn::lowerbound::figure1` (it also needs the subgraph H); everything
-//! else is here.
+//! are exactly reproducible. Every family comes in two forms:
+//!
+//! * a `*_stream` variant returning a [`DynEdgeStream`] — the ingestion
+//!   path for [`crate::sharded::ShardedGraph::from_stream`], which routes
+//!   each edge to its endpoint home shards without a central `Vec<Edge>`;
+//! * the classic materialized `Graph` constructor, *defined as* collecting
+//!   the stream ([`stream::materialize`]), so the two paths are
+//!   bit-identical by construction (property-tested in
+//!   `tests/streaming.rs`).
+//!
+//! The scalable families (`gnp`, `gnm`, `path`, `cycle`, `grid`, `star`,
+//! `complete`, `random_tree`, `random_connected`, and the
+//! [`weighted_stream`] wrapper) stream lazily in O(1) memory per edge
+//! (`gnm` holds its chosen index set, O(m) words). The small structured
+//! test families (`planted_components`, `barbell`) are inherently
+//! two-pass and stream from an internal buffer. The Figure-1 lower-bound
+//! gadget lives in `kconn::lowerbound::figure1` (it also needs the
+//! subgraph H); everything else is here.
 
 use crate::graph::{Edge, Graph, VertexId, Weight};
+use crate::stream::{self, DynEdgeStream, EdgeStream, VecStream};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rustc_hash::FxHashSet;
@@ -14,34 +30,42 @@ fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
-/// Erdős–Rényi `G(n, p)`: every pair independently with probability `p`.
-/// Uses geometric skipping, so the cost is O(m), not O(n²).
-pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+/// Erdős–Rényi `G(n, p)`: every pair independently with probability `p`,
+/// streamed with geometric skipping — O(1) state, O(m) total work.
+pub fn gnp_stream(n: usize, p: f64, seed: u64) -> DynEdgeStream {
     assert!((0.0..=1.0).contains(&p));
-    let mut r = rng(seed);
-    let mut edges = Vec::new();
     if p <= 0.0 || n < 2 {
-        return Graph::from_dedup_edges(n, edges);
+        return Box::new(VecStream::new(n, Vec::new()));
     }
     if p >= 1.0 {
-        return complete(n);
+        return complete_stream(n);
     }
+    let mut r = rng(seed);
     // Iterate pair indices 0..n(n-1)/2 with geometric jumps.
     let total: u64 = n as u64 * (n as u64 - 1) / 2;
     let log1p = (1.0 - p).ln();
     let mut i: u64 = 0;
-    loop {
+    let mut done = false;
+    Box::new(stream::from_fn(n, move || {
+        if done {
+            return None;
+        }
         let u: f64 = r.gen_range(f64::EPSILON..1.0);
         let skip = (u.ln() / log1p).floor() as u64;
         i = i.saturating_add(skip);
         if i >= total {
-            break;
+            done = true;
+            return None;
         }
         let (a, b) = pair_from_index(i, n as u64);
-        edges.push(Edge::new(a, b, 1));
         i += 1;
-    }
-    Graph::from_dedup_edges(n, edges)
+        Some(Edge::new(a, b, 1))
+    }))
+}
+
+/// Erdős–Rényi `G(n, p)`, materialized.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    stream::materialize(gnp_stream(n, p, seed))
 }
 
 /// Maps a linear index in `[0, n(n-1)/2)` to the lexicographic pair `(a, b)`.
@@ -68,8 +92,9 @@ fn pair_from_index(idx: u64, n: u64) -> (VertexId, VertexId) {
     (a as VertexId, b as VertexId)
 }
 
-/// Uniform `G(n, m)`: exactly `m` distinct edges chosen uniformly.
-pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+/// Uniform `G(n, m)`: exactly `m` distinct edges chosen uniformly. Streams
+/// from the chosen index set (O(m) words of state, no `Vec<Edge>`).
+pub fn gnm_stream(n: usize, m: usize, seed: u64) -> DynEdgeStream {
     let total = n as u64 * (n as u64 - 1) / 2;
     assert!(m as u64 <= total, "too many edges requested");
     let mut r = rng(seed);
@@ -77,110 +102,201 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     while chosen.len() < m {
         chosen.insert(r.gen_range(0..total));
     }
-    let edges = chosen
-        .into_iter()
-        .map(|i| {
+    let mut iter = chosen.into_iter();
+    Box::new(stream::from_fn(n, move || {
+        iter.next().map(|i| {
             let (a, b) = pair_from_index(i, n as u64);
             Edge::new(a, b, 1)
         })
-        .collect();
-    Graph::from_dedup_edges(n, edges)
+    }))
 }
 
-/// Simple path `0 - 1 - ... - (n-1)` (diameter `n-1`).
+/// Uniform `G(n, m)`, materialized.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    stream::materialize(gnm_stream(n, m, seed))
+}
+
+/// Simple path `0 - 1 - ... - (n-1)` (diameter `n-1`), streamed.
+pub fn path_stream(n: usize) -> DynEdgeStream {
+    let mut i = 0u32;
+    let last = n.saturating_sub(1) as u32;
+    Box::new(stream::from_fn(n, move || {
+        if i < last {
+            i += 1;
+            Some(Edge::new(i - 1, i, 1))
+        } else {
+            None
+        }
+    }))
+}
+
+/// Simple path, materialized.
 pub fn path(n: usize) -> Graph {
-    let edges = (0..n.saturating_sub(1) as u32)
-        .map(|i| Edge::new(i, i + 1, 1))
-        .collect();
-    Graph::from_dedup_edges(n, edges)
+    stream::materialize(path_stream(n))
 }
 
-/// Cycle on `n >= 3` vertices.
-pub fn cycle(n: usize) -> Graph {
+/// Cycle on `n >= 3` vertices, streamed.
+pub fn cycle_stream(n: usize) -> DynEdgeStream {
     assert!(n >= 3);
-    let mut edges: Vec<Edge> = (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 1)).collect();
-    edges.push(Edge::new(n as u32 - 1, 0, 1));
-    Graph::from_dedup_edges(n, edges)
+    let mut i = 0usize;
+    Box::new(stream::from_fn(n, move || {
+        i += 1;
+        if i < n {
+            Some(Edge::new(i as u32 - 1, i as u32, 1))
+        } else if i == n {
+            Some(Edge::new(n as u32 - 1, 0, 1))
+        } else {
+            None
+        }
+    }))
 }
 
-/// `rows x cols` grid (diameter `rows + cols - 2`).
-pub fn grid(rows: usize, cols: usize) -> Graph {
+/// Cycle, materialized.
+pub fn cycle(n: usize) -> Graph {
+    stream::materialize(cycle_stream(n))
+}
+
+/// `rows x cols` grid (diameter `rows + cols - 2`), streamed: per cell the
+/// rightward edge, then the downward edge.
+pub fn grid_stream(rows: usize, cols: usize) -> DynEdgeStream {
     let n = rows * cols;
-    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
-    let mut edges = Vec::new();
-    for r in 0..rows {
-        for c in 0..cols {
+    let id = move |r: usize, c: usize| (r * cols + c) as VertexId;
+    let (mut r, mut c, mut down) = (0usize, 0usize, false);
+    Box::new(stream::from_fn(n, move || loop {
+        if r >= rows {
+            return None;
+        }
+        if !down {
+            down = true;
             if c + 1 < cols {
-                edges.push(Edge::new(id(r, c), id(r, c + 1), 1));
+                return Some(Edge::new(id(r, c), id(r, c + 1), 1));
             }
-            if r + 1 < rows {
-                edges.push(Edge::new(id(r, c), id(r + 1, c), 1));
+        } else {
+            let (cr, cc) = (r, c);
+            down = false;
+            c += 1;
+            if c >= cols {
+                c = 0;
+                r += 1;
+            }
+            if cr + 1 < rows {
+                return Some(Edge::new(id(cr, cc), id(cr + 1, cc), 1));
             }
         }
-    }
-    Graph::from_dedup_edges(n, edges)
+    }))
 }
 
-/// Star: vertex 0 joined to all others. The Theorem 2(b) worst case — one
-/// home machine must learn the status of `n-1` edges.
-pub fn star(n: usize) -> Graph {
+/// Grid, materialized.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    stream::materialize(grid_stream(rows, cols))
+}
+
+/// Star: vertex 0 joined to all others, streamed. The Theorem 2(b) worst
+/// case — one home machine must learn the status of `n-1` edges.
+pub fn star_stream(n: usize) -> DynEdgeStream {
     assert!(n >= 2);
-    let edges = (1..n as u32).map(|v| Edge::new(0, v, 1)).collect();
-    Graph::from_dedup_edges(n, edges)
-}
-
-/// Complete graph `K_n`.
-pub fn complete(n: usize) -> Graph {
-    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
-    for a in 0..n as u32 {
-        for b in (a + 1)..n as u32 {
-            edges.push(Edge::new(a, b, 1));
+    let mut v = 1u32;
+    Box::new(stream::from_fn(n, move || {
+        if (v as usize) < n {
+            v += 1;
+            Some(Edge::new(0, v - 1, 1))
+        } else {
+            None
         }
-    }
-    Graph::from_dedup_edges(n, edges)
+    }))
 }
 
-/// Uniform random labelled tree via a Prüfer-like attachment: vertex `i`
-/// attaches to a uniform vertex in `[0, i)`. Connected, `n - 1` edges.
-pub fn random_tree(n: usize, seed: u64) -> Graph {
+/// Star, materialized.
+pub fn star(n: usize) -> Graph {
+    stream::materialize(star_stream(n))
+}
+
+/// Complete graph `K_n`, streamed.
+pub fn complete_stream(n: usize) -> DynEdgeStream {
+    let (mut a, mut b) = (0u32, 0u32);
+    Box::new(stream::from_fn(n, move || {
+        b += 1;
+        if b as usize >= n {
+            a += 1;
+            b = a + 1;
+        }
+        if (a as usize) < n.saturating_sub(1) && (b as usize) < n {
+            Some(Edge::new(a, b, 1))
+        } else {
+            None
+        }
+    }))
+}
+
+/// Complete graph, materialized.
+pub fn complete(n: usize) -> Graph {
+    stream::materialize(complete_stream(n))
+}
+
+/// Uniform random labelled tree via a Prüfer-like attachment, streamed:
+/// vertex `i` attaches to a uniform vertex in `[0, i)`. Connected, `n - 1`
+/// edges.
+pub fn random_tree_stream(n: usize, seed: u64) -> DynEdgeStream {
     let mut r = rng(seed);
-    let edges = (1..n as u32)
-        .map(|v| Edge::new(v, r.gen_range(0..v), 1))
-        .collect();
-    Graph::from_dedup_edges(n, edges)
+    let mut v = 1u32;
+    Box::new(stream::from_fn(n, move || {
+        if (v as usize) < n {
+            let e = Edge::new(v, r.gen_range(0..v), 1);
+            v += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }))
 }
 
-/// A connected graph: random tree plus `extra` random non-tree edges.
-pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+/// Random tree, materialized.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    stream::materialize(random_tree_stream(n, seed))
+}
+
+/// A connected graph, streamed: random tree plus `extra` random non-tree
+/// edges (rejection-sampled against the O(m)-word seen set).
+pub fn random_connected_stream(n: usize, extra: usize, seed: u64) -> DynEdgeStream {
     let mut r = rng(seed);
     let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
-    let mut edges: Vec<Edge> = (1..n as u32)
-        .map(|v| {
-            let u = r.gen_range(0..v);
-            seen.insert((u.min(v), u.max(v)));
-            Edge::new(v, u, 1)
-        })
-        .collect();
     let total = n as u64 * (n as u64 - 1) / 2;
     let budget = (total - (n as u64 - 1)).min(extra as u64);
-    while (edges.len() as u64) < n as u64 - 1 + budget {
-        let a = r.gen_range(0..n as u32);
-        let b = r.gen_range(0..n as u32);
-        if a == b {
-            continue;
+    let mut v = 1u32;
+    let mut extras = 0u64;
+    Box::new(stream::from_fn(n, move || {
+        if (v as usize) < n {
+            let u = r.gen_range(0..v);
+            seen.insert((u.min(v), u.max(v)));
+            let e = Edge::new(v, u, 1);
+            v += 1;
+            return Some(e);
         }
-        let key = (a.min(b), a.max(b));
-        if seen.insert(key) {
-            edges.push(Edge::new(a, b, 1));
+        while extras < budget {
+            let a = r.gen_range(0..n as u32);
+            let b = r.gen_range(0..n as u32);
+            if a == b {
+                continue;
+            }
+            if seen.insert((a.min(b), a.max(b))) {
+                extras += 1;
+                return Some(Edge::new(a, b, 1));
+            }
         }
-    }
-    Graph::from_dedup_edges(n, edges)
+        None
+    }))
+}
+
+/// A connected graph, materialized.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    stream::materialize(random_connected_stream(n, extra, seed))
 }
 
 /// Planted components: `parts` disjoint random-connected blocks of (roughly)
 /// equal size. Vertex ids are shuffled so components do not align with
-/// machine hashing. Ground truth component count == `parts`.
-pub fn planted_components(n: usize, parts: usize, extra_per_part: usize, seed: u64) -> Graph {
+/// machine hashing. Ground truth component count == `parts`. Two-pass
+/// construction; streams from an internal buffer.
+fn planted_components_edges(n: usize, parts: usize, extra_per_part: usize, seed: u64) -> Vec<Edge> {
     assert!(parts >= 1 && parts <= n);
     let mut r = rng(seed);
     // Shuffled vertex ids.
@@ -222,14 +338,31 @@ pub fn planted_components(n: usize, parts: usize, extra_per_part: usize, seed: u
             }
         }
     }
-    Graph::from_dedup_edges(n, edges)
+    edges
+}
+
+/// Planted components, streamed (buffered: the block shuffle is two-pass).
+pub fn planted_components_stream(
+    n: usize,
+    parts: usize,
+    extra_per_part: usize,
+    seed: u64,
+) -> DynEdgeStream {
+    Box::new(VecStream::new(
+        n,
+        planted_components_edges(n, parts, extra_per_part, seed),
+    ))
+}
+
+/// Planted components, materialized.
+pub fn planted_components(n: usize, parts: usize, extra_per_part: usize, seed: u64) -> Graph {
+    stream::materialize(planted_components_stream(n, parts, extra_per_part, seed))
 }
 
 /// Barbell: two random-connected dense blocks joined by `bridge_w`-weighted
 /// bridges. Known min cut = sum of bridge weights (when blocks are denser).
-pub fn barbell(block: usize, bridges: usize, bridge_w: Weight, seed: u64) -> Graph {
+fn barbell_edges(block: usize, bridges: usize, bridge_w: Weight, seed: u64) -> Vec<Edge> {
     assert!(block >= 2 && bridges >= 1 && bridges <= block);
-    let n = 2 * block;
     let g1 = random_connected(block, block, seed ^ 1);
     let g2 = random_connected(block, block, seed ^ 2);
     let mut edges: Vec<Edge> = Vec::new();
@@ -246,7 +379,37 @@ pub fn barbell(block: usize, bridges: usize, bridge_w: Weight, seed: u64) -> Gra
     for i in 0..bridges as u32 {
         edges.push(Edge::new(i, i + block as u32, bridge_w));
     }
-    Graph::from_dedup_edges(n, edges)
+    edges
+}
+
+/// Barbell, streamed (buffered: built from two block graphs).
+pub fn barbell_stream(block: usize, bridges: usize, bridge_w: Weight, seed: u64) -> DynEdgeStream {
+    Box::new(VecStream::new(
+        2 * block,
+        barbell_edges(block, bridges, bridge_w, seed),
+    ))
+}
+
+/// Barbell, materialized.
+pub fn barbell(block: usize, bridges: usize, bridge_w: Weight, seed: u64) -> Graph {
+    stream::materialize(barbell_stream(block, bridges, bridge_w, seed))
+}
+
+/// Re-weights an edge stream with random weights in `[1, max_w]` — the
+/// streaming counterpart of [`randomize_weights`]; the two agree edge for
+/// edge on the same seed because weights are drawn in stream order.
+pub fn weighted_stream(
+    mut inner: impl EdgeStream + 'static,
+    max_w: Weight,
+    seed: u64,
+) -> DynEdgeStream {
+    let mut r = rng(seed);
+    let n = inner.n();
+    Box::new(stream::from_fn(n, move || {
+        inner
+            .next()
+            .map(|e| Edge::new(e.u, e.v, r.gen_range(1..=max_w)))
+    }))
 }
 
 /// Assigns distinct-looking random weights in `[1, max_w]` to a graph's
@@ -261,10 +424,16 @@ pub fn randomize_weights(g: &Graph, max_w: Weight, seed: u64) -> Graph {
     Graph::from_dedup_edges(g.n(), edges)
 }
 
-/// An even cycle (bipartite) or odd cycle (not) — verification workloads.
-pub fn parity_cycle(n: usize, odd: bool) -> Graph {
+/// An even cycle (bipartite) or odd cycle (not), streamed — verification
+/// workloads.
+pub fn parity_cycle_stream(n: usize, odd: bool) -> DynEdgeStream {
     let n = if (n % 2 == 1) == odd { n } else { n + 1 };
-    cycle(n.max(3))
+    cycle_stream(n.max(3))
+}
+
+/// Parity cycle, materialized.
+pub fn parity_cycle(n: usize, odd: bool) -> Graph {
+    stream::materialize(parity_cycle_stream(n, odd))
 }
 
 #[cfg(test)]
@@ -320,6 +489,15 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_sizes_stream_cleanly() {
+        assert_eq!(path(0).m(), 0);
+        assert_eq!(path(1).m(), 0);
+        assert_eq!(grid(1, 1).m(), 0);
+        assert_eq!(complete(1).m(), 0);
+        assert_eq!(complete(2).m(), 1);
+    }
+
+    #[test]
     fn random_tree_is_connected_acyclic() {
         let g = random_tree(200, 11);
         assert_eq!(g.m(), 199);
@@ -362,6 +540,13 @@ mod tests {
     }
 
     #[test]
+    fn weighted_stream_matches_randomize_weights() {
+        let g = randomize_weights(&gnm(80, 200, 5), 777, 9);
+        let s = stream::materialize(weighted_stream(gnm_stream(80, 200, 5), 777, 9));
+        assert_eq!(g.edges(), s.edges());
+    }
+
+    #[test]
     fn parity_cycle_parities() {
         assert!(crate::refalgo::bipartition(&parity_cycle(10, false)).is_some());
         assert!(crate::refalgo::bipartition(&parity_cycle(10, true)).is_none());
@@ -376,5 +561,13 @@ mod tests {
         let c = gnm(200, 400, 5);
         let d = gnm(200, 400, 5);
         assert_eq!(c.edges(), d.edges());
+    }
+
+    #[test]
+    fn streams_are_exhausted_and_fused() {
+        let mut s = star_stream(4);
+        assert_eq!(s.by_ref().count(), 3);
+        assert_eq!(s.next(), None);
+        assert_eq!(s.next(), None);
     }
 }

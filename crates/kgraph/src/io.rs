@@ -30,8 +30,11 @@ pub enum ParseError {
         /// Edges actually present in the body.
         found: usize,
     },
-    /// An endpoint id is outside `[0, n)` (line number, 1-based).
+    /// An endpoint id is outside `[0, n)`, or a self-loop (line number,
+    /// 1-based).
     OutOfRange(usize),
+    /// An edge repeats an earlier endpoint pair (line number, 1-based).
+    DuplicateEdge(usize),
 }
 
 impl std::fmt::Display for ParseError {
@@ -43,6 +46,7 @@ impl std::fmt::Display for ParseError {
                 write!(f, "header declared {expected} edges but found {found}")
             }
             ParseError::OutOfRange(l) => write!(f, "endpoint out of range on line {l}"),
+            ParseError::DuplicateEdge(l) => write!(f, "duplicate edge on line {l}"),
         }
     }
 }
@@ -66,7 +70,11 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
         .next()
         .and_then(|t| t.parse().ok())
         .ok_or(ParseError::BadHeader)?;
-    let mut edges = Vec::with_capacity(m);
+    // A hostile header (`m` in the exabytes) must produce CountMismatch,
+    // not an allocation abort — cap the pre-allocation by what the text
+    // could possibly hold (≥ 4 bytes per edge line).
+    let mut edges = Vec::with_capacity(m.min(text.len() / 4 + 1));
+    let mut seen: rustc_hash::FxHashSet<(u32, u32)> = rustc_hash::FxHashSet::default();
     for (lineno, line) in lines {
         let mut t = line.split_whitespace();
         let u: u32 = t
@@ -83,6 +91,9 @@ pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
         };
         if u as usize >= n || v as usize >= n || u == v {
             return Err(ParseError::OutOfRange(lineno));
+        }
+        if !seen.insert((u.min(v), u.max(v))) {
+            return Err(ParseError::DuplicateEdge(lineno));
         }
         edges.push(Edge::new(u, v, w));
     }
@@ -134,6 +145,28 @@ mod tests {
             from_edge_list("3 2\n0 1\n").unwrap_err(),
             ParseError::CountMismatch {
                 expected: 2,
+                found: 1
+            }
+        );
+        assert_eq!(
+            from_edge_list("3 2\n0 1\n1 0 9\n").unwrap_err(),
+            ParseError::DuplicateEdge(3)
+        );
+        assert_eq!(
+            from_edge_list("3 1\n1 1\n").unwrap_err(),
+            ParseError::OutOfRange(2)
+        );
+    }
+
+    #[test]
+    fn hostile_header_does_not_preallocate() {
+        // An absurd declared edge count must fail cleanly (CountMismatch),
+        // not abort on a multi-exabyte Vec::with_capacity.
+        let err = from_edge_list("4 123456789012345678\n0 1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::CountMismatch {
+                expected: 123_456_789_012_345_678,
                 found: 1
             }
         );

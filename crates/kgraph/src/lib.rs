@@ -1,7 +1,10 @@
 #![warn(missing_docs)]
 //! Graph substrate for the k-machine reproduction.
 //!
-//! Provides the input-graph representation shared by all algorithms, seeded
+//! Provides the input-graph representations shared by all algorithms — the
+//! materialized [`Graph`] used by the sequential oracles and the
+//! per-machine [`ShardedGraph`] the distributed algorithms actually run
+//! against (DESIGN.md §3.7) — plus streaming ingestion ([`stream`]), seeded
 //! synthetic generators for every workload in the experiment index
 //! (DESIGN.md §4), the random vertex / random edge partition models of the
 //! paper (§1.1, §1.3), and exact sequential reference algorithms used as
@@ -15,8 +18,12 @@ pub mod io;
 pub mod mincut;
 pub mod partition;
 pub mod refalgo;
+pub mod sharded;
+pub mod stream;
 pub mod unionfind;
 
 pub use graph::{Graph, VertexId, Weight};
 pub use partition::{Partition, PartitionKind};
+pub use sharded::{ShardView, ShardedGraph};
+pub use stream::{DynEdgeStream, EdgeStream};
 pub use unionfind::UnionFind;

@@ -36,9 +36,16 @@ impl Partition {
     /// of a vertex is a public hash of its id, so any machine can compute
     /// any vertex's home locally.
     pub fn random_vertex(g: &Graph, k: usize, seed: u64) -> Self {
+        Self::random_vertex_n(g.n(), k, seed)
+    }
+
+    /// Hash-based RVP over a bare vertex universe `0..n` — the streaming
+    /// ingestion path ([`crate::sharded::ShardedGraph::from_stream`]) needs
+    /// a partition before any graph exists.
+    pub fn random_vertex_n(n: usize, k: usize, seed: u64) -> Self {
         assert!(k >= 2, "the model requires k >= 2");
         let prf = Prf::new(seed).derive(0x9A57);
-        let home = (0..g.n() as u64)
+        let home = (0..n as u64)
             .map(|v| prf.eval_mod(0, v, k as u64) as u16)
             .collect();
         Partition {

@@ -1,0 +1,381 @@
+//! Sharded graph storage: the per-machine input layout of the model.
+//!
+//! The k-machine model (paper §1.1) gives each machine only its `~n/k` home
+//! vertices and their incident edges — never a copy of the whole graph.
+//! [`ShardedGraph`] realizes exactly that: `k` [`Shard`]s, each a local CSR
+//! over that machine's vertices, built by consuming an
+//! [`EdgeStream`] one edge at a time. No central
+//! `Vec<Edge>` or global adjacency is ever materialized; the per-shard
+//! storage is `O(m/k + Δ)` half-edges w.h.p. (each edge is stored at both
+//! endpoint homes, as the RVP model prescribes).
+//!
+//! Algorithms access a machine's slice through [`ShardView`], which exposes
+//! only what that machine legitimately knows: its own vertices, their
+//! adjacency, and — because home hashing is public — the home machine of
+//! any vertex id.
+
+use crate::graph::{Edge, Graph, VertexId, Weight};
+use crate::partition::Partition;
+use crate::stream::{EdgeStream, GraphStream};
+
+/// One machine's slice of the input: its home vertices and their full
+/// adjacency, in CSR form.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Sorted local vertex ids.
+    verts: Vec<VertexId>,
+    /// CSR offsets parallel to `verts` (`len == verts.len() + 1`).
+    adj_off: Vec<u32>,
+    /// Concatenated `(neighbor, weight)` lists.
+    adj: Vec<(VertexId, Weight)>,
+}
+
+impl Shard {
+    /// Index of `v` in `verts`, if local.
+    #[inline]
+    fn index_of(&self, v: VertexId) -> Option<usize> {
+        self.verts.binary_search(&v).ok()
+    }
+}
+
+/// The input graph, stored only as per-machine shards plus the public
+/// vertex partition.
+#[derive(Clone, Debug)]
+pub struct ShardedGraph {
+    n: usize,
+    m: usize,
+    part: Partition,
+    shards: Vec<Shard>,
+}
+
+impl ShardedGraph {
+    /// Ingests an edge stream under a fresh hash-based random vertex
+    /// partition over `k` machines. Each edge is routed to its two endpoint
+    /// home shards as it is produced; nothing global is kept.
+    pub fn from_stream(stream: impl EdgeStream, k: usize, seed: u64) -> Self {
+        let part = Partition::random_vertex_n(stream.n(), k, seed);
+        Self::from_stream_with_partition(stream, part)
+    }
+
+    /// Ingests an edge stream under an explicit partition (the harness
+    /// paths — double-cover lifts, the §4 cut simulation — carry their own).
+    pub fn from_stream_with_partition(mut stream: impl EdgeStream, part: Partition) -> Self {
+        let n = stream.n();
+        let k = part.k();
+        // Route half-edges to their owner's shard as they arrive.
+        let mut half: Vec<Vec<(VertexId, VertexId, Weight)>> = vec![Vec::new(); k];
+        let mut m = 0usize;
+        for e in stream.by_ref() {
+            assert!(
+                (e.u as usize) < n && (e.v as usize) < n,
+                "streamed endpoint out of range"
+            );
+            m += 1;
+            half[part.home(e.u)].push((e.u, e.v, e.w));
+            half[part.home(e.v)].push((e.v, e.u, e.w));
+        }
+        // Local vertex lists (one O(n) pass; includes isolated vertices).
+        let mut verts: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        for v in 0..n as u32 {
+            verts[part.home(v)].push(v);
+        }
+        // Per-shard CSR. The sort is stable on the owner only, so each
+        // vertex's neighbors keep stream order — identical to the adjacency
+        // order `Graph::from_dedup_edges` produces for the same edges.
+        let shards = verts
+            .into_iter()
+            .zip(half)
+            .map(|(verts, mut half)| {
+                half.sort_by_key(|&(owner, _, _)| owner);
+                let mut adj_off = Vec::with_capacity(verts.len() + 1);
+                let mut adj = Vec::with_capacity(half.len());
+                let mut pos = 0usize;
+                adj_off.push(0);
+                for &v in &verts {
+                    while pos < half.len() && half[pos].0 == v {
+                        adj.push((half[pos].1, half[pos].2));
+                        pos += 1;
+                    }
+                    adj_off.push(adj.len() as u32);
+                }
+                debug_assert_eq!(pos, half.len(), "every half-edge has a local owner");
+                Shard {
+                    verts,
+                    adj_off,
+                    adj,
+                }
+            })
+            .collect();
+        ShardedGraph { n, m, part, shards }
+    }
+
+    /// Shards an already-materialized graph (the compatibility path for the
+    /// `&Graph` front ends and the oracle-driven test harness).
+    pub fn from_graph(g: &Graph, part: &Partition) -> Self {
+        Self::from_stream_with_partition(GraphStream::new(g), part.clone())
+    }
+
+    /// Number of vertices `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges `m` (each undirected edge counted once).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of machines `k`.
+    pub fn k(&self) -> usize {
+        self.part.k()
+    }
+
+    /// The public vertex partition (home hashing).
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// Machine `i`'s view of its shard.
+    pub fn view(&self, i: usize) -> ShardView<'_> {
+        ShardView {
+            shard: &self.shards[i],
+        }
+    }
+
+    /// A new sharded graph keeping only edges accepted by `keep` (called
+    /// with the canonical `(u, v, w)`; deterministic predicates — e.g.
+    /// shared-randomness sampling — make both endpoint shards agree with
+    /// zero communication, which is how the §3.2 min-cut probes subsample).
+    pub fn filter_edges(&self, keep: impl Fn(VertexId, VertexId, Weight) -> bool) -> ShardedGraph {
+        let mut m = 0usize;
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut adj_off = Vec::with_capacity(s.verts.len() + 1);
+                let mut adj = Vec::with_capacity(s.adj.len());
+                adj_off.push(0);
+                for (vi, &v) in s.verts.iter().enumerate() {
+                    let (lo, hi) = (s.adj_off[vi] as usize, s.adj_off[vi + 1] as usize);
+                    for &(nb, w) in &s.adj[lo..hi] {
+                        let (a, b) = if v < nb { (v, nb) } else { (nb, v) };
+                        if keep(a, b, w) {
+                            adj.push((nb, w));
+                            if v < nb {
+                                m += 1; // counted once, at the smaller endpoint
+                            }
+                        }
+                    }
+                    adj_off.push(adj.len() as u32);
+                }
+                Shard {
+                    verts: s.verts.clone(),
+                    adj_off,
+                    adj,
+                }
+            })
+            .collect();
+        // Cross-shard edges were counted at the smaller endpoint only, but
+        // intra-shard edges also exactly once (the smaller endpoint is local
+        // too) — so `m` is already the undirected count.
+        ShardedGraph {
+            n: self.n,
+            m,
+            part: self.part.clone(),
+            shards,
+        }
+    }
+
+    /// Total half-edges stored across all shards (diagnostics; `= 2m`).
+    pub fn total_half_edges(&self) -> usize {
+        self.shards.iter().map(|s| s.adj.len()).sum()
+    }
+
+    /// Per-shard half-edge loads (balance diagnostics; `O(m/k + Δ)` w.h.p.).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.adj.len()).collect()
+    }
+
+    /// Maximum degree over all vertices (diagnostics).
+    pub fn max_degree(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.adj_off.windows(2).map(|w| (w[1] - w[0]) as usize))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// What one machine can see of a [`ShardedGraph`]: its own vertices and
+/// their adjacency. All accessors panic (in debug) or return nothing for
+/// vertices homed elsewhere — algorithm code that compiles against this
+/// view provably never peeks at remote state.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardView<'g> {
+    shard: &'g Shard,
+}
+
+impl<'g> ShardView<'g> {
+    /// The vertices homed at this machine, ascending.
+    pub fn verts(&self) -> &'g [VertexId] {
+        &self.shard.verts
+    }
+
+    /// The `(neighbor, weight)` adjacency of local vertex `v`.
+    ///
+    /// Panics if `v` is not homed here — remote adjacency is exactly what
+    /// the model says a machine does not have.
+    pub fn neighbors(&self, v: VertexId) -> &'g [(VertexId, Weight)] {
+        let vi = self
+            .shard
+            .index_of(v)
+            .expect("neighbors() queried for a vertex homed on another machine");
+        let lo = self.shard.adj_off[vi] as usize;
+        let hi = self.shard.adj_off[vi + 1] as usize;
+        &self.shard.adj[lo..hi]
+    }
+
+    /// Degree of local vertex `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// The weight of edge `(a, b)` where `a` is local, if the edge exists.
+    pub fn edge_weight(&self, a: VertexId, b: VertexId) -> Option<Weight> {
+        self.neighbors(a)
+            .iter()
+            .find(|&&(nb, _)| nb == b)
+            .map(|&(_, w)| w)
+    }
+
+    /// The canonical edges *owned* by this shard: those whose smaller
+    /// endpoint is homed here. Across all shards every edge appears exactly
+    /// once (how the referee baseline ships its slice, and how orchestrator
+    /// code reassembles a graph without double counting).
+    pub fn local_edges(&self) -> impl Iterator<Item = Edge> + 'g {
+        let shard = self.shard;
+        shard.verts.iter().enumerate().flat_map(move |(vi, &v)| {
+            let lo = shard.adj_off[vi] as usize;
+            let hi = shard.adj_off[vi + 1] as usize;
+            shard.adj[lo..hi]
+                .iter()
+                .filter(move |&&(nb, _)| v < nb)
+                .map(move |&(nb, w)| Edge::new(v, nb, w))
+        })
+    }
+
+    /// Half-edges stored in this shard (`Σ_local deg`).
+    pub fn half_edges(&self) -> usize {
+        self.shard.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn shard_of(g: &Graph, k: usize, seed: u64) -> ShardedGraph {
+        let part = Partition::random_vertex(g, k, seed);
+        ShardedGraph::from_graph(g, &part)
+    }
+
+    #[test]
+    fn shards_cover_every_vertex_once() {
+        let g = generators::gnm(300, 800, 3);
+        let sg = shard_of(&g, 5, 7);
+        let mut seen = vec![false; 300];
+        for i in 0..5 {
+            for &v in sg.view(i).verts() {
+                assert!(!seen[v as usize], "vertex {v} in two shards");
+                seen[v as usize] = true;
+                assert_eq!(sg.partition().home(v), i);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every vertex must be homed");
+    }
+
+    #[test]
+    fn adjacency_matches_central_graph() {
+        let g = generators::randomize_weights(&generators::gnm(150, 400, 5), 99, 6);
+        let part = Partition::random_vertex(&g, 4, 11);
+        let sg = ShardedGraph::from_graph(&g, &part);
+        for v in 0..g.n() as u32 {
+            let view = sg.view(part.home(v));
+            assert_eq!(view.neighbors(v), g.neighbors(v), "vertex {v}");
+            assert_eq!(view.degree(v), g.degree(v));
+        }
+        assert_eq!(sg.n(), g.n());
+        assert_eq!(sg.m(), g.m());
+        assert_eq!(sg.total_half_edges(), 2 * g.m());
+    }
+
+    #[test]
+    fn local_edges_partition_the_edge_set() {
+        let g = generators::gnm(120, 500, 9);
+        let sg = shard_of(&g, 6, 13);
+        let mut collected: Vec<Edge> = (0..6).flat_map(|i| sg.view(i).local_edges()).collect();
+        collected.sort_unstable_by_key(|e| (e.u, e.v));
+        let mut want: Vec<Edge> = g.edges().to_vec();
+        want.sort_unstable_by_key(|e| (e.u, e.v));
+        assert_eq!(collected, want);
+    }
+
+    #[test]
+    fn stream_and_graph_ingestion_agree() {
+        let part = Partition::random_vertex_n(200, 4, 21);
+        let a = ShardedGraph::from_stream_with_partition(
+            generators::gnm_stream(200, 600, 17),
+            part.clone(),
+        );
+        let g = generators::gnm(200, 600, 17);
+        let b = ShardedGraph::from_graph(&g, &part);
+        for i in 0..4 {
+            assert_eq!(a.view(i).verts(), b.view(i).verts(), "shard {i} verts");
+            for &v in a.view(i).verts() {
+                assert_eq!(
+                    a.view(i).neighbors(v),
+                    b.view(i).neighbors(v),
+                    "adjacency of {v}"
+                );
+            }
+        }
+        assert_eq!(a.m(), b.m());
+    }
+
+    #[test]
+    fn filter_edges_is_consistent_across_shards() {
+        let g = generators::randomize_weights(&generators::gnm(100, 300, 23), 50, 24);
+        let sg = shard_of(&g, 4, 25);
+        let filtered = sg.filter_edges(|u, v, _| (u + v) % 3 == 0);
+        let want = g.edges().iter().filter(|e| (e.u + e.v) % 3 == 0).count();
+        assert_eq!(filtered.m(), want);
+        assert_eq!(filtered.total_half_edges(), 2 * want);
+        // Both endpoint shards agree on every surviving edge.
+        for e in g.edges().iter().filter(|e| (e.u + e.v) % 3 == 0) {
+            let hu = filtered.partition().home(e.u);
+            assert_eq!(filtered.view(hu).edge_weight(e.u, e.v), Some(e.w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "another machine")]
+    fn remote_adjacency_is_inaccessible() {
+        let g = generators::path(50);
+        let part = Partition::random_vertex(&g, 4, 3);
+        let sg = ShardedGraph::from_graph(&g, &part);
+        let v = 7u32;
+        let wrong = (part.home(v) + 1) % 4;
+        let _ = sg.view(wrong).neighbors(v);
+    }
+
+    #[test]
+    fn isolated_vertices_are_present_with_empty_adjacency() {
+        let g = Graph::unweighted(20, [(0, 1)]);
+        let sg = shard_of(&g, 3, 31);
+        let part = sg.partition();
+        for v in 2..20u32 {
+            assert_eq!(sg.view(part.home(v)).degree(v), 0);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Streaming edge ingestion: the [`EdgeStream`] trait.
+//!
+//! The k-machine model never has a central copy of the input graph: each
+//! machine receives only the edges incident to its `~n/k` home vertices.
+//! [`EdgeStream`] is the ingestion-side contract that makes this real in
+//! the simulator — a producer of canonical edges that
+//! [`crate::sharded::ShardedGraph::from_stream`] consumes one edge at a
+//! time, routing each to its endpoint home shards *without ever building a
+//! `Vec<Edge>` of the whole graph*.
+//!
+//! Every generator in [`crate::generators`] has a `*_stream` variant, and
+//! the materialized `Graph` constructors are defined as collecting those
+//! streams, so both paths are bit-identical by construction (property
+//! tested in `tests/streaming.rs`).
+
+use crate::graph::{Edge, Graph};
+
+/// A producer of canonical (`u < v`, duplicate-free) edges on a fixed
+/// vertex set `0..n`.
+///
+/// The trait extends [`Iterator`] so streams compose with the standard
+/// adapter vocabulary; the extra [`EdgeStream::n`] accessor carries the
+/// vertex-universe size that a bare edge iterator cannot know (isolated
+/// vertices produce no edges but still need a home machine).
+pub trait EdgeStream: Iterator<Item = Edge> {
+    /// Number of vertices of the underlying graph.
+    fn n(&self) -> usize;
+}
+
+impl<S: EdgeStream + ?Sized> EdgeStream for Box<S> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+}
+
+/// A heap-allocated stream with an erased concrete type (what the
+/// generator front ends and the CLI hand around).
+pub type DynEdgeStream = Box<dyn EdgeStream>;
+
+/// A lazy stream driven by a stateful closure (the scalable generator
+/// families are written this way: O(1) memory per edge produced).
+pub struct FnStream<F> {
+    n: usize,
+    next: F,
+}
+
+impl<F: FnMut() -> Option<Edge>> Iterator for FnStream<F> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        (self.next)()
+    }
+}
+
+impl<F: FnMut() -> Option<Edge>> EdgeStream for FnStream<F> {
+    fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builds a lazy stream from a stateful closure.
+pub fn from_fn<F: FnMut() -> Option<Edge>>(n: usize, next: F) -> FnStream<F> {
+    FnStream { n, next }
+}
+
+/// A stream over an already-materialized edge list (used by the small
+/// structured test families whose construction is inherently two-pass,
+/// e.g. planted components; still duplicate-free and canonical).
+pub struct VecStream {
+    n: usize,
+    iter: std::vec::IntoIter<Edge>,
+}
+
+impl VecStream {
+    /// Wraps a canonical, duplicate-free edge list.
+    pub fn new(n: usize, edges: Vec<Edge>) -> Self {
+        VecStream {
+            n,
+            iter: edges.into_iter(),
+        }
+    }
+}
+
+impl Iterator for VecStream {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        self.iter.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+impl EdgeStream for VecStream {
+    fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// A borrowed stream over an existing graph's edge list (how a
+/// [`crate::sharded::ShardedGraph`] is built from a `Graph` + partition).
+pub struct GraphStream<'g> {
+    g: &'g Graph,
+    pos: usize,
+}
+
+impl<'g> GraphStream<'g> {
+    /// Streams `g.edges()` in order.
+    pub fn new(g: &'g Graph) -> Self {
+        GraphStream { g, pos: 0 }
+    }
+}
+
+impl Iterator for GraphStream<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        let e = self.g.edges().get(self.pos).copied();
+        self.pos += 1;
+        e
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.g.m() - self.pos.min(self.g.m());
+        (rem, Some(rem))
+    }
+}
+
+impl EdgeStream for GraphStream<'_> {
+    fn n(&self) -> usize {
+        self.g.n()
+    }
+}
+
+/// Collects a stream into a materialized [`Graph`]. This is the bridge the
+/// generator front ends use: `gnp(…) == materialize(gnp_stream(…))`, so the
+/// streaming and materialized paths cannot drift apart.
+pub fn materialize(stream: impl EdgeStream) -> Graph {
+    let n = stream.n();
+    let edges: Vec<Edge> = stream.collect();
+    Graph::from_dedup_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_stream_yields_until_exhausted() {
+        let mut i = 0u32;
+        let s = from_fn(5, move || {
+            if i < 4 {
+                i += 1;
+                Some(Edge::new(i - 1, i, 1))
+            } else {
+                None
+            }
+        });
+        assert_eq!(s.n(), 5);
+        let g = materialize(s);
+        assert_eq!((g.n(), g.m()), (5, 4));
+    }
+
+    #[test]
+    fn graph_stream_round_trips() {
+        let g = crate::generators::gnm(40, 90, 3);
+        let h = materialize(GraphStream::new(&g));
+        assert_eq!(g.edges(), h.edges());
+        assert_eq!(g.n(), h.n());
+    }
+
+    #[test]
+    fn vec_stream_preserves_order() {
+        let edges = vec![Edge::new(0, 1, 7), Edge::new(2, 3, 9)];
+        let g = materialize(VecStream::new(4, edges.clone()));
+        assert_eq!(g.edges(), &edges[..]);
+    }
+
+    #[test]
+    fn boxed_streams_still_report_n() {
+        let s: DynEdgeStream = Box::new(VecStream::new(9, vec![]));
+        assert_eq!(s.n(), 9);
+        assert_eq!(materialize(s).n(), 9);
+    }
+}

@@ -12,7 +12,7 @@
 /// *machine* budget — each machine may send/receive at most `W·(k−1)` bits
 /// per round in total, however distributed over its links. The two differ
 /// by at most a `k−1` factor in either direction and are interchangeable
-/// for the asymptotic results ([22], Theorem 4.1); experiment E19 measures
+/// for the asymptotic results (\[22\], Theorem 4.1); experiment E19 measures
 /// the actual gap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CostModel {

@@ -1,9 +1,15 @@
 //! Parallel execution of per-machine local computation.
 //!
 //! Local computation is free in the model but real in wall-clock time; the
-//! simulator runs each machine's local step on OS threads (scoped, no
-//! unsafe). Machines are chunked over the available hardware threads:
-//! spawning one thread per machine would oversubscribe for k ≫ cores.
+//! simulator runs each machine's local step concurrently on
+//! `std::thread::scope` workers — plain standard-library scoped threads,
+//! no locking crates and no `unsafe`. [`par_map_machines`] hands out
+//! machine indices through one shared atomic counter (work stealing for
+//! uneven loads); [`par_for_each_state`] splits the per-machine state
+//! slice into disjoint `&mut` chunks (machine workloads are near-uniform
+//! there, so static chunking balances well). Both cap the worker count at
+//! the available hardware threads: one thread per machine would
+//! oversubscribe for k ≫ cores.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -3,7 +3,7 @@
 //! A uniformly random polynomial of degree `d-1` evaluated at distinct points
 //! is a d-wise independent family (the classical Carter–Wegman / Joffe
 //! construction, used by the paper through [Alon–Babai–Itai] and Theorem 2.1
-//! of [5]). The linear-sketch level hashes need `Θ(log n)`-wise independence
+//! of \[5\]). The linear-sketch level hashes need `Θ(log n)`-wise independence
 //! (Cormode–Firmani), which this provides with `d = Θ(log n)` coefficients.
 
 use crate::m61::{M61, P};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! kmm conn    --input graph.txt --k 16 [--seed 42]
+//! kmm conn    --gen gnm --n 100000 --m 400000 --k 32     # streamed, no file
 //! kmm mst     --input graph.txt --k 16 [--both-endpoints]
 //! kmm st      --input graph.txt --k 16
 //! kmm mincut  --input graph.txt --k 16
@@ -10,10 +11,16 @@
 //! kmm gen     --family gnm --n 1000 --m 4000 --out graph.txt
 //! ```
 //!
-//! Graphs are read/written in the `kgraph::io` edge-list format
-//! (`n m` header, one `u v [w]` per line, `#` comments).
+//! `conn`, `mst`, `st` and `mincut` accept either `--input FILE` (the
+//! `kgraph::io` edge-list format: `n m` header, one `u v [w]` per line, `#`
+//! comments) or `--gen FAMILY` — a synthetic workload streamed straight
+//! into per-machine sharded storage, so graphs far larger than a single
+//! edge list fit comfortably. Either way the algorithms run against
+//! `ShardedGraph` views, never a central graph copy.
 
 use kmm::algo::verify;
+use kmm::graph::stream::DynEdgeStream;
+use kmm::graph::ShardedGraph;
 use kmm::prelude::*;
 use std::process::ExitCode;
 
@@ -63,7 +70,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: kmm <conn|mst|st|mincut|stcon|bipart|gen> [--input FILE] [--k K] [--seed S] ...\n\
+        "usage: kmm <conn|mst|st|mincut|stcon|bipart|gen> [--input FILE | --gen FAMILY] [--k K] [--seed S] ...\n\
          \n\
          conn    connected components (O~(n/k^2), Theorem 1)\n\
          mst     minimum spanning tree (Theorem 2; --both-endpoints for criterion (b))\n\
@@ -71,15 +78,88 @@ fn usage() -> ExitCode {
          mincut  O(log n)-approximate min cut (Theorem 3)\n\
          stcon   s-t connectivity (--s S --t T; Theorem 4)\n\
          bipart  bipartiteness via the double cover (Theorem 4)\n\
-         gen     generate a graph (--family gnm|gnp|path|cycle|grid|star --n N [--m M] [--p P] [--out FILE])"
+         gen     generate a graph file (--family ... --n N [--m M] [--p P] [--out FILE])\n\
+         \n\
+         input:  --input FILE            edge-list file (n m header, `u v [w]` lines)\n\
+                 --gen FAMILY            streamed synthetic workload, no file; families:\n\
+                                         gnm|gnp|path|cycle|grid|star|tree|connected\n\
+                 --n N --m M --p P       family size parameters\n\
+                 --extra E               extra non-tree edges for `connected`\n\
+                 --max-weight W          random weights in [1, W]"
     );
     ExitCode::from(2)
 }
 
 fn load_graph(args: &Args) -> Result<Graph, String> {
-    let path = args.get("input").ok_or("missing --input")?;
+    let path = args
+        .get("input")
+        .ok_or("missing --input (or --gen FAMILY for a streamed synthetic input)")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     kmm::graph::io::from_edge_list(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// A lazy edge stream for `--gen FAMILY` runs. Validates the family
+/// parameters up front: every bad value is a clean error, never a panic.
+fn stream_from_args(args: &Args, seed: u64) -> Result<DynEdgeStream, String> {
+    let family = args.get("gen").expect("caller checked --gen");
+    let n: usize = args.get_num("n").ok_or("--gen needs --n")?;
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    let s = match family {
+        "gnm" => {
+            let m: usize = args.get_num("m").unwrap_or(4 * n);
+            let max = n as u64 * (n as u64 - 1) / 2;
+            if m as u64 > max {
+                return Err(format!(
+                    "--m {m} exceeds the {max} possible edges on {n} vertices"
+                ));
+            }
+            generators::gnm_stream(n, m, seed)
+        }
+        "gnp" => {
+            let p: f64 = args.get_num("p").unwrap_or(0.01);
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("--p {p} must lie in [0, 1]"));
+            }
+            generators::gnp_stream(n, p, seed)
+        }
+        "path" => generators::path_stream(n),
+        "cycle" => generators::cycle_stream(n.max(3)),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            generators::grid_stream(side, side)
+        }
+        "star" => generators::star_stream(n.max(2)),
+        "tree" => generators::random_tree_stream(n, seed),
+        "connected" => {
+            generators::random_connected_stream(n, args.get_num("extra").unwrap_or(n), seed)
+        }
+        other => return Err(format!("unknown --gen family {other}")),
+    };
+    match args.get_num::<u64>("max-weight") {
+        Some(0) => Err("--max-weight must be at least 1".into()),
+        Some(w) => Ok(generators::weighted_stream(s, w, seed ^ 1)),
+        None => Ok(s),
+    }
+}
+
+/// The sharded input every algorithm command runs against: either a parsed
+/// edge-list file (sharded after parsing) or a `--gen` workload streamed
+/// directly into per-machine shards. Streamed runs print the *effective*
+/// graph size — families like `grid`, `cycle` and `star` round `--n` up to
+/// the nearest shape that exists.
+fn load_sharded(args: &Args, k: usize, seed: u64) -> Result<ShardedGraph, String> {
+    if args.get("gen").is_some() {
+        let stream = stream_from_args(args, seed)?;
+        let sg = ShardedGraph::from_stream(stream, k, seed);
+        println!("streamed input: n={} m={} k={k}", sg.n(), sg.m());
+        Ok(sg)
+    } else {
+        let g = load_graph(args)?;
+        let part = Partition::random_vertex(&g, k, seed);
+        Ok(ShardedGraph::from_graph(&g, &part))
+    }
 }
 
 fn main() -> ExitCode {
@@ -93,19 +173,23 @@ fn main() -> ExitCode {
     }
     match args.cmd.as_str() {
         "conn" => {
-            let g = match load_graph(&args) {
-                Ok(g) => g,
+            let sg = match load_sharded(&args, k, seed) {
+                Ok(sg) => sg,
                 Err(e) => return fail(&e),
             };
-            let out = connected_components(&g, k, seed, &ConnectivityConfig::default());
+            let out = kmm::algo::connectivity::connected_components_sharded(
+                &sg,
+                seed,
+                &ConnectivityConfig::default(),
+            );
             println!("components: {}", out.component_count());
             println!("rounds:     {}", out.stats.rounds);
             println!("phases:     {}", out.phases);
             println!("total bits: {}", out.stats.total_bits);
         }
         "mst" => {
-            let g = match load_graph(&args) {
-                Ok(g) => g,
+            let sg = match load_sharded(&args, k, seed) {
+                Ok(sg) => sg,
                 Err(e) => return fail(&e),
             };
             let cfg = MstConfig {
@@ -116,7 +200,7 @@ fn main() -> ExitCode {
                 },
                 ..MstConfig::default()
             };
-            let out = minimum_spanning_tree(&g, k, seed, &cfg);
+            let out = kmm::algo::mst::minimum_spanning_tree_sharded(&sg, seed, &cfg);
             println!("forest edges: {}", out.edges.len());
             println!("total weight: {}", out.total_weight);
             println!("rounds:       {}", out.stats.rounds);
@@ -127,20 +211,21 @@ fn main() -> ExitCode {
             }
         }
         "st" => {
-            let g = match load_graph(&args) {
-                Ok(g) => g,
+            let sg = match load_sharded(&args, k, seed) {
+                Ok(sg) => sg,
                 Err(e) => return fail(&e),
             };
-            let out = kmm::algo::spanning_forest(&g, k, seed, &MstConfig::default());
+            let out = kmm::algo::st::spanning_forest_sharded(&sg, seed, &MstConfig::default());
             println!("forest edges: {}", out.edges.len());
             println!("rounds:       {}", out.stats.rounds);
         }
         "mincut" => {
-            let g = match load_graph(&args) {
-                Ok(g) => g,
+            let sg = match load_sharded(&args, k, seed) {
+                Ok(sg) => sg,
                 Err(e) => return fail(&e),
             };
-            let out = approx_min_cut(&g, k, seed, &MinCutConfig::default());
+            let out =
+                kmm::algo::mincut::approx_min_cut_sharded(&sg, seed, &MinCutConfig::default());
             println!("estimate: {}", out.estimate);
             println!("probes:   {}", out.probes);
             println!("rounds:   {}", out.stats.rounds);

@@ -27,6 +27,23 @@
 //! // Rounds and communication are fully accounted:
 //! assert!(out.stats.rounds > 0);
 //! ```
+//!
+//! ## Streaming ingestion at scale
+//!
+//! Large inputs never need a central edge list: a lazy
+//! [`graph::stream::EdgeStream`] feeds [`graph::ShardedGraph`] directly,
+//! and every algorithm has a `*_sharded` entry point over the per-machine
+//! views (DESIGN.md §3.7).
+//!
+//! ```
+//! use kmm::prelude::*;
+//!
+//! // Stream a connected workload straight into 8 per-machine shards.
+//! let stream = kmm::graph::generators::random_connected_stream(2_000, 1_500, 5);
+//! let sg = ShardedGraph::from_stream(stream, 8, 5);
+//! let out = connected_components_sharded(&sg, 5, &ConnectivityConfig::default());
+//! assert_eq!(out.component_count(), 1);
+//! ```
 
 pub use kconn as algo;
 pub use kgraph as graph;
@@ -36,12 +53,17 @@ pub use ksketch as sketch;
 
 /// Common imports for examples and downstream users.
 pub mod prelude {
-    pub use kconn::connectivity::{connected_components, ConnectivityConfig, ConnectivityOutput};
-    pub use kconn::mincut::{approx_min_cut, MinCutConfig};
-    pub use kconn::mst::{minimum_spanning_tree, MstConfig, OutputCriterion};
-    pub use kconn::st::spanning_forest;
+    pub use kconn::connectivity::{
+        connected_components, connected_components_sharded, ConnectivityConfig, ConnectivityOutput,
+    };
+    pub use kconn::mincut::{approx_min_cut, approx_min_cut_sharded, MinCutConfig};
+    pub use kconn::mst::{
+        minimum_spanning_tree, minimum_spanning_tree_sharded, MstConfig, OutputCriterion,
+    };
+    pub use kconn::st::{spanning_forest, spanning_forest_sharded};
     pub use kconn::verify;
-    pub use kgraph::{generators, refalgo, Graph, Partition, PartitionKind};
+    pub use kgraph::stream::{DynEdgeStream, EdgeStream};
+    pub use kgraph::{generators, refalgo, Graph, Partition, PartitionKind, ShardedGraph};
     pub use kmachine::metrics::CommStats;
     pub use kmachine::{Bandwidth, CostModel};
 }

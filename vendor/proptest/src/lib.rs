@@ -136,7 +136,7 @@ impl Strategy for std::ops::Range<f64> {
 }
 
 /// `bool` strategy: a fair coin, written `any::<bool>()` in real proptest;
-/// here the unit range-free strategy is the type itself via [`Just`]-like
+/// here the unit range-free strategy is the type itself via `Just`-like
 /// helpers — the workspace only uses ranges, tuples and collections, but
 /// `bool()` is provided for completeness.
 pub fn bool_strategy() -> impl Strategy<Value = bool> {
@@ -200,7 +200,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,
