@@ -18,7 +18,7 @@
 use crate::messages::{id_bits, EdgeKey, Label, Payload};
 use crate::proxy::ProxyScheme;
 use kgraph::graph::Edge;
-use kgraph::{Graph, Partition, ShardedGraph};
+use kgraph::{Graph, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
 use kmachine::message::Envelope;
@@ -69,11 +69,18 @@ struct Comp {
 }
 
 /// Runs edge-checking Borůvka over `k` machines with [`CheckMode::BatchedPush`].
+///
+/// Deprecated-in-place: a thin shim over the session API
+/// ([`crate::session::EdgeBoruvka`]); bit-identical to the session path.
 pub fn edge_boruvka_mst(g: &Graph, k: usize, seed: u64, bandwidth: Bandwidth) -> EdgeBoruvkaOutput {
     edge_boruvka_mst_mode(g, k, seed, bandwidth, CheckMode::BatchedPush)
 }
 
 /// Runs edge-checking Borůvka over `k` machines in the given mode.
+///
+/// Deprecated-in-place: a thin shim over the session API
+/// ([`crate::session::EdgeBoruvka`]); bit-identical to running on a
+/// [`crate::session::Cluster`] built with the same `(k, seed)`.
 pub fn edge_boruvka_mst_mode(
     g: &Graph,
     k: usize,
@@ -81,9 +88,12 @@ pub fn edge_boruvka_mst_mode(
     bandwidth: Bandwidth,
     mode: CheckMode,
 ) -> EdgeBoruvkaOutput {
-    let part = Partition::random_vertex(g, k, seed);
-    let sg = ShardedGraph::from_graph(g, &part);
-    edge_boruvka_sharded(&sg, seed, bandwidth, mode)
+    use crate::session::{Cluster, EdgeBoruvka, EdgeBoruvkaConfig, Problem};
+    Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(g)
+        .run(EdgeBoruvka::with(EdgeBoruvkaConfig { bandwidth, mode }))
+        .output
 }
 
 /// Runs edge-checking Borůvka directly on sharded storage.

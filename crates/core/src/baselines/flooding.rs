@@ -61,17 +61,26 @@ fn remote_in_index(sg: &ShardedGraph, m: usize) -> FxHashMap<u32, Vec<u32>> {
 }
 
 /// Runs flooding connectivity over `k` machines.
+///
+/// Deprecated-in-place: a thin shim over the session API
+/// ([`crate::session::Flooding`]); bit-identical to running on a
+/// [`crate::session::Cluster`] built with the same `(k, seed)`.
 pub fn flooding_connectivity(
     g: &Graph,
     k: usize,
     seed: u64,
     bandwidth: Bandwidth,
 ) -> FloodingOutput {
-    let part = Partition::random_vertex(g, k, seed);
-    flooding_with_partition(g, &part, bandwidth)
+    use crate::session::{Cluster, Flooding, Problem};
+    Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(g)
+        .run(Flooding::with(bandwidth))
+        .output
 }
 
-/// Runs flooding with an explicit partition (shards the graph first).
+/// Runs flooding with an explicit partition — the harness path; everyone
+/// else goes through [`crate::session::Cluster`].
 pub fn flooding_with_partition(
     g: &Graph,
     part: &Partition,

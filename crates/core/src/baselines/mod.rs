@@ -10,6 +10,12 @@
 //! * [`rep_mst`] — the §1.3 / footnote-5 random-edge-partition MST: local
 //!   cycle-property filtering, REP→RVP routing in `O~(n/k)` rounds, then
 //!   the fast RVP algorithm.
+//!
+//! Every baseline is also a [`crate::session::Problem`]
+//! ([`crate::session::Flooding`], [`crate::session::Referee`],
+//! [`crate::session::EdgeBoruvka`], [`crate::session::RepMst`]), so a
+//! [`crate::session::Cluster`] ingested once can run headliners and
+//! baselines side by side on the same shards.
 
 pub mod edge_boruvka;
 pub mod flooding;

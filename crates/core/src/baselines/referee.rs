@@ -8,7 +8,7 @@
 
 use crate::messages::{id_bits, Payload};
 use kgraph::graph::Edge;
-use kgraph::{refalgo, Graph, Partition, ShardedGraph};
+use kgraph::{refalgo, Graph, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
 use kmachine::message::Envelope;
@@ -25,10 +25,17 @@ pub struct RefereeOutput {
 }
 
 /// Collects all edges at machine 0 and solves connectivity there.
+///
+/// Deprecated-in-place: a thin shim over the session API
+/// ([`crate::session::Referee`]); bit-identical to running on a
+/// [`crate::session::Cluster`] built with the same `(k, seed)`.
 pub fn referee_connectivity(g: &Graph, k: usize, seed: u64, bandwidth: Bandwidth) -> RefereeOutput {
-    let part = Partition::random_vertex(g, k, seed);
-    let sg = ShardedGraph::from_graph(g, &part);
-    referee_sharded(&sg, bandwidth)
+    use crate::session::{Cluster, Problem, Referee};
+    Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(g)
+        .run(Referee::with(bandwidth))
+        .output
 }
 
 /// Referee collection directly on sharded storage.

@@ -11,6 +11,13 @@
 //!    spread over `k` links — `O~(n/k)` rounds. This is the dominant term.
 //! 3. **Finish.** Run the fast RVP MST algorithm on the filtered union.
 //!
+//! Like the other baselines, the real entry point is the sharded one
+//! ([`rep_mst_sharded`], also reachable as the session problem
+//! [`crate::session::RepMst`]): REP edge ownership is a public hash of the
+//! canonical edge key, so each machine re-routes the edges its RVP shard
+//! owns to their REP owners without any global edge list. The `&Graph`
+//! front end shards first and is bit-identical.
+//!
 //! Experiment E12 contrasts the measured `Θ~(n/k)` here with the RVP
 //! model's `Θ~(n/k²)`.
 
@@ -18,7 +25,7 @@ use crate::messages::{id_bits, Payload};
 use crate::mst::{minimum_spanning_tree_with_partition, MstConfig, MstOutput};
 use kgraph::graph::Edge;
 use kgraph::unionfind::UnionFind;
-use kgraph::{Graph, Partition};
+use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bsp::Bsp;
 use kmachine::message::Envelope;
 use kmachine::network::NetworkConfig;
@@ -38,16 +45,42 @@ pub struct RepMstOutput {
 }
 
 /// Runs the REP-model MST over `k` machines.
+///
+/// Deprecated-in-place: a thin shim over the session API
+/// ([`crate::session::RepMst`]); bit-identical to [`rep_mst_sharded`] on a
+/// [`crate::session::Cluster`] built with the same `(k, seed)`.
 pub fn rep_mst(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> RepMstOutput {
-    let rep = Partition::random_edge(g, k, seed);
-    let n = g.n();
+    use crate::session::{Cluster, Problem, RepMst};
+    Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(g)
+        .run(RepMst::with(*cfg))
+        .output
+}
+
+/// Runs the REP-model MST directly on sharded storage.
+///
+/// The model's random *edge* partition is realized by a public hash of the
+/// canonical edge key (streamed shards have no global edge index), so every
+/// machine can compute any edge's REP owner locally — the same
+/// shared-hashing device the RVP home partition uses.
+pub fn rep_mst_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConfig) -> RepMstOutput {
+    let rvp = sg.partition();
+    let k = sg.k();
+    let n = sg.n();
     let l = id_bits(n);
-    // Step 0 (ingestion): one streaming pass over the edge list routes each
-    // edge to its REP owner — the per-machine edge shards of the §1.3
-    // model; no machine ever sees the full edge set.
+    // Step 0 (ingestion): each RVP shard re-routes the edges it owns to
+    // their hashed REP owners — one pass over per-machine storage, no
+    // machine ever sees the full edge set. This models the §1.3 input
+    // assignment itself and is therefore not charged. Ownership is the
+    // same public hash `Partition::random_edge` uses, so the REP partition
+    // abstraction and this streamed path cannot drift apart.
+    let rep_prf = Partition::rep_owner_prf(seed);
     let mut local: Vec<Vec<Edge>> = vec![Vec::new(); k];
-    for (i, e) in g.edges().iter().enumerate() {
-        local[rep.edge_owner(i)].push(*e);
+    for m in 0..k {
+        for e in sg.view(m).local_edges() {
+            local[Partition::rep_edge_owner(&rep_prf, n, k, e.u, e.v)].push(e);
+        }
     }
     // Step 1: local cycle-property filtering (free local computation).
     let mut kept: Vec<Vec<Edge>> = Vec::with_capacity(k);
@@ -64,7 +97,6 @@ pub fn rep_mst(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> RepMstOutput 
     }
     // Step 2: route surviving edges to RVP homes (one superstep, counted).
     let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig::new(k, cfg.bandwidth, n));
-    let rvp = Partition::random_vertex(g, k, seed);
     let mut out = Vec::new();
     for (m, edges) in kept.iter().enumerate() {
         let mut per_dst: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); k];
@@ -87,7 +119,7 @@ pub fn rep_mst(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> RepMstOutput 
     let union: Vec<Edge> = kept.into_iter().flatten().collect();
     let filtered_edges = union.len();
     let filtered = Graph::from_dedup_edges(n, union);
-    let mut mst = minimum_spanning_tree_with_partition(&filtered, &rvp, seed ^ 0x9E9, cfg);
+    let mut mst = minimum_spanning_tree_with_partition(&filtered, rvp, seed ^ 0x9E9, cfg);
     let mut combined = routing.clone();
     combined.absorb(&mst.stats);
     mst.stats = combined;
@@ -127,5 +159,51 @@ mod tests {
         let out = rep_mst(&g, 4, 9, &MstConfig::default());
         assert_eq!(out.mst.edges.len(), 100 - 4);
         assert!(refalgo::is_spanning_forest(&g, &out.mst.edges));
+    }
+
+    #[test]
+    fn sharded_and_graph_front_ends_agree_bit_for_bit() {
+        let g = generators::randomize_weights(&generators::gnm(150, 600, 11), 400, 12);
+        let (k, seed) = (5, 13);
+        let a = rep_mst(&g, k, seed, &MstConfig::default());
+        let part = Partition::random_vertex(&g, k, seed);
+        let sg = ShardedGraph::from_graph(&g, &part);
+        let b = rep_mst_sharded(&sg, seed, &MstConfig::default());
+        assert_eq!(a.mst.edges, b.mst.edges);
+        assert_eq!(a.mst.stats.rounds, b.mst.stats.rounds);
+        assert_eq!(a.mst.stats.total_bits, b.mst.stats.total_bits);
+        assert_eq!(a.filtered_edges, b.filtered_edges);
+        assert_eq!(a.routing.rounds, b.routing.rounds);
+    }
+
+    #[test]
+    fn rep_ownership_covers_every_edge_exactly_once() {
+        // On a forest input no machine's local Kruskal can drop anything
+        // (there are no cycles to close), so the filtered union size equals
+        // m exactly iff the hashed REP assignment gave every edge exactly
+        // one owner: a dropped edge would shrink it, a double assignment
+        // would inflate it.
+        let g = generators::randomize_weights(&generators::random_tree(240, 15), 100, 16);
+        let out = rep_mst(&g, 4, 17, &MstConfig::default());
+        assert_eq!(
+            out.filtered_edges,
+            g.m(),
+            "every forest edge must reach exactly one REP owner"
+        );
+        assert!(refalgo::is_spanning_forest(&g, &out.mst.edges));
+        // And the ownership function agrees with the REP Partition
+        // abstraction edge for edge.
+        let (k, seed) = (4usize, 17u64);
+        let rep = Partition::random_edge(&g, k, seed);
+        let prf = Partition::rep_owner_prf(seed);
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(
+                rep.edge_owner(i),
+                Partition::rep_edge_owner(&prf, g.n(), k, e.u, e.v),
+                "edge ({}, {})",
+                e.u,
+                e.v
+            );
+        }
     }
 }

@@ -120,6 +120,12 @@ impl From<EngineResult> for ConnectivityOutput {
 /// Runs the connectivity algorithm on `g` over `k` machines under a random
 /// vertex partition derived from `seed`.
 ///
+/// Deprecated-in-place: a thin shim over the session API — it builds a
+/// single-use [`crate::session::Cluster`] and runs
+/// [`crate::session::Connectivity`] on it, so it is bit-identical to the
+/// session path. New code that runs more than one algorithm on the same
+/// input should build the cluster once and reuse it.
+///
 /// ```
 /// use kconn::connectivity::{connected_components, ConnectivityConfig};
 /// use kgraph::generators;
@@ -136,13 +142,19 @@ pub fn connected_components(
     seed: u64,
     cfg: &ConnectivityConfig,
 ) -> ConnectivityOutput {
-    let part = Partition::random_vertex(g, k, seed);
-    connected_components_with_partition(g, &part, seed, cfg)
+    use crate::session::{Cluster, Connectivity, Problem};
+    Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(g)
+        .run(Connectivity::with(*cfg))
+        .output
 }
 
-/// Runs the connectivity algorithm with an explicit partition (used by the
-/// bipartiteness double-cover reduction and the §4 harness). Shards the
-/// graph first — the engine itself only ever sees per-machine views.
+/// Runs the connectivity algorithm with an explicit partition — the
+/// harness path for callers that carry their own partition (the
+/// bipartiteness double-cover reduction, the §4 cut simulation); everyone
+/// else goes through [`crate::session::Cluster`]. Shards the graph first —
+/// the engine itself only ever sees per-machine views.
 pub fn connected_components_with_partition(
     g: &Graph,
     part: &Partition,

@@ -15,7 +15,7 @@
 //! survives with probability `1 − (1−p)^w`.
 
 use crate::connectivity::{connected_components_sharded, ConnectivityConfig};
-use kgraph::{Graph, Partition, ShardedGraph};
+use kgraph::{Graph, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::metrics::CommStats;
 use krand::shared::{SharedRandomness, Use};
@@ -59,6 +59,10 @@ pub struct MinCutOutput {
 /// Returns `estimate = 0` immediately (after one probe) if `g` is already
 /// disconnected.
 ///
+/// Deprecated-in-place: a thin shim over the session API
+/// ([`crate::session::MinCut`]); bit-identical to running on a
+/// [`crate::session::Cluster`] built with the same `(k, seed)`.
+///
 /// ```
 /// use kconn::mincut::{approx_min_cut, MinCutConfig};
 /// use kgraph::generators;
@@ -71,9 +75,12 @@ pub struct MinCutOutput {
 /// assert!(ratio <= 4.0 * (g.n() as f64).log2());
 /// ```
 pub fn approx_min_cut(g: &Graph, k: usize, seed: u64, cfg: &MinCutConfig) -> MinCutOutput {
-    let part = Partition::random_vertex(g, k, seed);
-    let sg = ShardedGraph::from_graph(g, &part);
-    approx_min_cut_sharded(&sg, seed, cfg)
+    use crate::session::{Cluster, MinCut, Problem};
+    Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(g)
+        .run(MinCut::with(*cfg))
+        .output
 }
 
 /// Approximates the min cut directly on sharded storage (the streaming
@@ -158,7 +165,7 @@ mod tests {
     use kgraph::{generators, mincut, refalgo};
 
     fn shard(g: &Graph, k: usize, seed: u64) -> ShardedGraph {
-        ShardedGraph::from_graph(g, &Partition::random_vertex(g, k, seed))
+        ShardedGraph::from_graph(g, &kgraph::Partition::random_vertex(g, k, seed))
     }
 
     #[test]

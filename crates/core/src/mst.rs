@@ -83,6 +83,10 @@ pub struct MstOutput {
 
 /// Runs the MST algorithm on a weighted graph over `k` machines.
 ///
+/// Deprecated-in-place: a thin shim over the session API
+/// ([`crate::session::Mst`]); bit-identical to running on a
+/// [`crate::session::Cluster`] built with the same `(k, seed)`.
+///
 /// ```
 /// use kconn::mst::{minimum_spanning_tree, MstConfig};
 /// use kgraph::{generators, refalgo};
@@ -94,12 +98,19 @@ pub struct MstOutput {
 /// assert_eq!(out.total_weight, refalgo::forest_weight(&kruskal));
 /// ```
 pub fn minimum_spanning_tree(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> MstOutput {
-    let part = Partition::random_vertex(g, k, seed);
-    minimum_spanning_tree_with_partition(g, &part, seed, cfg)
+    use crate::session::{Cluster, Mst, Problem};
+    Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(g)
+        .run(Mst::with(*cfg))
+        .output
 }
 
-/// Runs the MST algorithm with an explicit partition (shards first — the
-/// engine only ever sees per-machine views).
+/// Runs the MST algorithm with an explicit partition — the harness path
+/// for callers that carry their own partition (e.g. the REP baseline's
+/// post-filter core run); everyone else goes through
+/// [`crate::session::Cluster`]. Shards first — the engine only ever sees
+/// per-machine views.
 pub fn minimum_spanning_tree_with_partition(
     g: &Graph,
     part: &Partition,

@@ -1,0 +1,734 @@
+//! The session API: ingest a graph into a cluster once, run many
+//! algorithms on it.
+//!
+//! The k-machine model (paper §1.1) fixes a cluster — `k` machines, a
+//! per-link bandwidth budget, a random vertex partition — and then runs
+//! algorithms *on* that cluster. This module mirrors that shape in the
+//! API: a [`ClusterBuilder`] captures the model parameters and ingests any
+//! [`EdgeStream`] or `&Graph` into a reusable [`Cluster`] (the per-machine
+//! [`ShardedGraph`] shards plus the public partition), and every algorithm
+//! is a [`Problem`] value the cluster executes:
+//!
+//! ```
+//! use kconn::session::{Cluster, Connectivity, Mst, Problem, SpanningForest};
+//! use kconn::{ConnectivityConfig, MstConfig};
+//! use kgraph::generators;
+//!
+//! let g = generators::randomize_weights(&generators::grid(6, 7), 100, 3);
+//! // Ingest once: O(m/k) per machine, paid a single time …
+//! let cluster = Cluster::builder(4).seed(7).ingest_graph(&g);
+//! // … then run as many problems as needed on the same shards.
+//! let conn = cluster.run(Connectivity::with(ConnectivityConfig::default()));
+//! let mst = cluster.run(Mst::with(MstConfig::default()));
+//! let st = cluster.run(SpanningForest::with(MstConfig::default()));
+//! assert_eq!(conn.output.component_count(), 1);
+//! assert_eq!(st.output.edges.len(), g.n() - 1);
+//! assert!(mst.report.stats.rounds > st.report.stats.rounds);
+//! ```
+//!
+//! Every run returns its problem-typed output alongside a common
+//! [`RunReport`] (rounds, full [`CommStats`], sketch cache counters, wall
+//! time), so harness code — the CLI, the benchmark suite, the conformance
+//! tests — dispatches generically over `P: Problem` instead of hand-rolling
+//! one match arm per algorithm.
+//!
+//! **Determinism.** A cluster built with `(k, seed)` from a graph `g` holds
+//! exactly the shards the legacy one-shot entry points
+//! (e.g. [`crate::connectivity::connected_components`]) build internally,
+//! and `run` hands each problem the same `seed` — so running several
+//! algorithms against one ingested cluster is bit-identical to running each
+//! one-shot, which is property-tested across the scenario matrix in
+//! `tests/session.rs`. The one-shot free functions survive as thin shims
+//! over this module.
+
+use crate::baselines::edge_boruvka::{edge_boruvka_sharded, CheckMode, EdgeBoruvkaOutput};
+use crate::baselines::flooding::{flooding_sharded, FloodingOutput};
+use crate::baselines::referee::{referee_sharded, RefereeOutput};
+use crate::baselines::rep_mst::{rep_mst_sharded, RepMstOutput};
+use crate::connectivity::{connected_components_sharded, ConnectivityConfig, ConnectivityOutput};
+use crate::engine::EngineConfig;
+use crate::mincut::{approx_min_cut_sharded, MinCutConfig, MinCutOutput};
+use crate::mst::{minimum_spanning_tree_sharded, MstConfig, MstOutput, OutputCriterion};
+use crate::st::{spanning_forest_sharded, SpanningForestOutput};
+use kgraph::stream::EdgeStream;
+use kgraph::{Graph, Partition, ShardedGraph};
+use kmachine::bandwidth::{Bandwidth, CostModel};
+use kmachine::metrics::CommStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/// Builds a [`Cluster`]: the model parameters (`k`, seed, bandwidth and the
+/// other [`EngineConfig`] knobs) plus one ingestion call.
+///
+/// The knobs set here become the cluster's *defaults*, used by
+/// [`Cluster::run_default`]; a [`Problem`] constructed with an explicit
+/// config ([`Problem::with`]) carries its own settings and ignores them.
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    k: usize,
+    seed: u64,
+    defaults: EngineConfig,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for a `k`-machine cluster (the model needs
+    /// `k ≥ 2`). Seed defaults to `0`; set it with [`ClusterBuilder::seed`].
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "the k-machine model requires k >= 2");
+        ClusterBuilder {
+            k,
+            seed: 0,
+            defaults: EngineConfig::default(),
+        }
+    }
+
+    /// Master seed: drives the vertex partition, the shared randomness and
+    /// every Monte-Carlo choice, exactly as the one-shot entry points.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Default per-link bandwidth policy for [`Cluster::run_default`].
+    pub fn bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.defaults.bandwidth = bandwidth;
+        self
+    }
+
+    /// Default sketch repetitions.
+    pub fn reps(mut self, reps: u32) -> Self {
+        self.defaults.reps = reps;
+        self
+    }
+
+    /// Whether default configs charge the §2.2 shared-randomness cost.
+    pub fn charge_shared_randomness(mut self, charge: bool) -> Self {
+        self.defaults.charge_shared_randomness = charge;
+        self
+    }
+
+    /// Default §1.1 communication cost model.
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.defaults.cost_model = cost_model;
+        self
+    }
+
+    /// Default phases-per-epoch for incremental sketch reuse.
+    pub fn sketch_reuse_period(mut self, period: u32) -> Self {
+        self.defaults.sketch_reuse_period = period;
+        self
+    }
+
+    /// Replaces the whole default [`EngineConfig`] at once.
+    pub fn engine(mut self, defaults: EngineConfig) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// Ingests a materialized graph: shards it under the hash-based random
+    /// vertex partition derived from `(k, seed)` — the same partition every
+    /// legacy `&Graph` front end used, so results are bit-identical.
+    pub fn ingest_graph(&self, g: &Graph) -> Cluster {
+        let part = Partition::random_vertex(g, self.k, self.seed);
+        self.adopt(ShardedGraph::from_graph(g, &part))
+    }
+
+    /// Ingests a lazy edge stream straight into per-machine shards — the
+    /// scalable path: no central edge list is ever materialized.
+    pub fn ingest_stream(&self, stream: impl EdgeStream) -> Cluster {
+        self.adopt(ShardedGraph::from_stream(stream, self.k, self.seed))
+    }
+
+    /// Adopts pre-sharded storage (must match the builder's `k`). Useful
+    /// when shards were built elsewhere — e.g. by a subsampling pass.
+    pub fn adopt(&self, sg: ShardedGraph) -> Cluster {
+        assert_eq!(
+            sg.k(),
+            self.k,
+            "adopted shards were built for a different machine count"
+        );
+        Cluster {
+            sg,
+            seed: self.seed,
+            defaults: self.defaults,
+            runs: AtomicU64::new(0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------
+
+/// A fixed k-machine cluster with an ingested input: per-machine shards,
+/// the public vertex partition, the master seed and the default knobs.
+///
+/// Build one with [`Cluster::builder`], then [`Cluster::run`] any number of
+/// [`Problem`]s against it — ingestion is paid exactly once per cluster
+/// (pinned by the `kgraph::sharded::ingest_count` counter in
+/// `tests/session.rs`).
+#[derive(Debug)]
+pub struct Cluster {
+    sg: ShardedGraph,
+    seed: u64,
+    defaults: EngineConfig,
+    // Atomic (not Cell) so `&Cluster` stays shareable across threads — the
+    // counter is diagnostics, it must not cost the type its `Sync`.
+    runs: AtomicU64,
+}
+
+impl Clone for Cluster {
+    fn clone(&self) -> Self {
+        Cluster {
+            sg: self.sg.clone(),
+            seed: self.seed,
+            defaults: self.defaults,
+            runs: AtomicU64::new(self.runs()),
+        }
+    }
+}
+
+impl Cluster {
+    /// Starts a [`ClusterBuilder`] for `k` machines.
+    pub fn builder(k: usize) -> ClusterBuilder {
+        ClusterBuilder::new(k)
+    }
+
+    /// Runs `problem` on this cluster, returning its typed output plus the
+    /// common [`RunReport`]. Reusing a cluster is bit-identical to the
+    /// one-shot entry points: the shards, partition and seed are the same.
+    pub fn run<P: Problem>(&self, problem: P) -> Run<P::Output> {
+        let started = Instant::now();
+        let output = problem.solve(self);
+        let wall = started.elapsed();
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        let (sketch_builds, sketch_cache_hits) = P::sketch_counters(&output);
+        let report = RunReport {
+            problem: P::NAME,
+            stats: P::stats(&output).clone(),
+            phases: P::phases(&output),
+            sketch_builds,
+            sketch_cache_hits,
+            wall,
+        };
+        Run { output, report }
+    }
+
+    /// Runs `P` configured from the cluster defaults (the builder's
+    /// bandwidth / reps / cost-model knobs).
+    pub fn run_default<P: Problem>(&self) -> Run<P::Output> {
+        self.run(P::with(P::config_from(&self.defaults)))
+    }
+
+    /// Number of machines `k`.
+    pub fn k(&self) -> usize {
+        self.sg.k()
+    }
+
+    /// Number of vertices `n`.
+    pub fn n(&self) -> usize {
+        self.sg.n()
+    }
+
+    /// Number of edges `m`.
+    pub fn m(&self) -> usize {
+        self.sg.m()
+    }
+
+    /// The master seed every run is keyed by.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The ingested per-machine shards.
+    pub fn sharded(&self) -> &ShardedGraph {
+        &self.sg
+    }
+
+    /// The public vertex partition (home hashing).
+    pub fn partition(&self) -> &Partition {
+        self.sg.partition()
+    }
+
+    /// The default [`EngineConfig`] knobs set on the builder.
+    pub fn defaults(&self) -> &EngineConfig {
+        &self.defaults
+    }
+
+    /// How many problems have been run on this cluster so far.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------
+
+/// The common accounting every [`Cluster::run`] returns alongside the
+/// problem-typed output.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The problem's CLI/report name ([`Problem::NAME`]).
+    pub problem: &'static str,
+    /// Full communication accounting (rounds are the model's cost).
+    pub stats: CommStats,
+    /// Phase-like progress count: Borůvka phases for the engine problems,
+    /// probes for min cut, graph-rounds for flooding, `0` where the notion
+    /// does not apply (e.g. the referee's single collection).
+    pub phases: u32,
+    /// Part sketches built from scratch (`0` for sketch-free problems).
+    pub sketch_builds: u64,
+    /// Part sketches served from the incremental cache.
+    pub sketch_cache_hits: u64,
+    /// Wall-clock time of the simulated run (host-side, not a model cost).
+    pub wall: Duration,
+}
+
+/// One finished run: the problem's typed output plus its [`RunReport`].
+#[derive(Clone, Debug)]
+pub struct Run<O> {
+    /// The problem-specific output (labels, forest edges, estimate, …).
+    pub output: O,
+    /// The common accounting.
+    pub report: RunReport,
+}
+
+// ---------------------------------------------------------------------
+// The Problem trait
+// ---------------------------------------------------------------------
+
+/// An algorithm the cluster can execute: a typed config in, a typed output
+/// out, plus the hooks [`Cluster::run`] uses to fill the [`RunReport`].
+///
+/// Implemented by the four headliners ([`Connectivity`], [`Mst`],
+/// [`SpanningForest`], [`MinCut`]) and the four baselines ([`Flooding`],
+/// [`Referee`], [`EdgeBoruvka`], [`RepMst`]).
+pub trait Problem {
+    /// The problem's configuration type.
+    type Config: Clone;
+    /// The problem's output type.
+    type Output;
+    /// Name used by the CLI, reports and error messages.
+    const NAME: &'static str;
+
+    /// Constructs the problem with an explicit config.
+    fn with(cfg: Self::Config) -> Self
+    where
+        Self: Sized;
+
+    /// Derives a config from a cluster's default [`EngineConfig`] knobs
+    /// (used by [`Cluster::run_default`]).
+    fn config_from(defaults: &EngineConfig) -> Self::Config;
+
+    /// Executes the problem against the cluster's shards and seed.
+    fn solve(&self, cluster: &Cluster) -> Self::Output;
+
+    /// The run's communication statistics.
+    fn stats(output: &Self::Output) -> &CommStats;
+
+    /// The run's phase-like progress count (see [`RunReport::phases`]).
+    fn phases(_output: &Self::Output) -> u32 {
+        0
+    }
+
+    /// `(sketch_builds, sketch_cache_hits)` of the run, where applicable.
+    fn sketch_counters(_output: &Self::Output) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headliner problems
+// ---------------------------------------------------------------------
+
+/// Theorem 1: connected components in `O~(n/k²)` rounds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Connectivity {
+    /// The run configuration.
+    pub cfg: ConnectivityConfig,
+}
+
+impl Problem for Connectivity {
+    type Config = ConnectivityConfig;
+    type Output = ConnectivityOutput;
+    const NAME: &'static str = "conn";
+
+    fn with(cfg: ConnectivityConfig) -> Self {
+        Connectivity { cfg }
+    }
+
+    fn config_from(d: &EngineConfig) -> ConnectivityConfig {
+        ConnectivityConfig {
+            bandwidth: d.bandwidth,
+            reps: d.reps,
+            charge_shared_randomness: d.charge_shared_randomness,
+            run_output_protocol: d.run_output_protocol,
+            max_phases: d.max_phases,
+            merge: d.merge,
+            cost_model: d.cost_model,
+            sketch_reuse_period: d.sketch_reuse_period,
+        }
+    }
+
+    fn solve(&self, cluster: &Cluster) -> ConnectivityOutput {
+        connected_components_sharded(cluster.sharded(), cluster.seed(), &self.cfg)
+    }
+
+    fn stats(out: &ConnectivityOutput) -> &CommStats {
+        &out.stats
+    }
+
+    fn phases(out: &ConnectivityOutput) -> u32 {
+        out.phases
+    }
+
+    fn sketch_counters(out: &ConnectivityOutput) -> (u64, u64) {
+        (out.sketch_builds, out.sketch_cache_hits)
+    }
+}
+
+/// Theorem 2: minimum spanning tree (criterion (a) or (b)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mst {
+    /// The run configuration.
+    pub cfg: MstConfig,
+}
+
+impl Problem for Mst {
+    type Config = MstConfig;
+    type Output = MstOutput;
+    const NAME: &'static str = "mst";
+
+    fn with(cfg: MstConfig) -> Self {
+        Mst { cfg }
+    }
+
+    fn config_from(d: &EngineConfig) -> MstConfig {
+        MstConfig {
+            bandwidth: d.bandwidth,
+            reps: d.reps,
+            charge_shared_randomness: d.charge_shared_randomness,
+            criterion: OutputCriterion::AnyMachine,
+            max_phases: d.max_phases,
+        }
+    }
+
+    fn solve(&self, cluster: &Cluster) -> MstOutput {
+        minimum_spanning_tree_sharded(cluster.sharded(), cluster.seed(), &self.cfg)
+    }
+
+    fn stats(out: &MstOutput) -> &CommStats {
+        &out.stats
+    }
+
+    fn phases(out: &MstOutput) -> u32 {
+        out.phases
+    }
+}
+
+/// §3.1: a spanning forest without the MWOE elimination overhead.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanningForest {
+    /// The run configuration (shares [`MstConfig`]; the output criterion is
+    /// always Theorem 2(a)'s relaxed one).
+    pub cfg: MstConfig,
+}
+
+impl Problem for SpanningForest {
+    type Config = MstConfig;
+    type Output = SpanningForestOutput;
+    const NAME: &'static str = "st";
+
+    fn with(cfg: MstConfig) -> Self {
+        SpanningForest { cfg }
+    }
+
+    fn config_from(d: &EngineConfig) -> MstConfig {
+        Mst::config_from(d)
+    }
+
+    fn solve(&self, cluster: &Cluster) -> SpanningForestOutput {
+        spanning_forest_sharded(cluster.sharded(), cluster.seed(), &self.cfg)
+    }
+
+    fn stats(out: &SpanningForestOutput) -> &CommStats {
+        &out.stats
+    }
+
+    fn phases(out: &SpanningForestOutput) -> u32 {
+        out.phases
+    }
+}
+
+/// Theorem 3: `O(log n)`-approximate min cut via sampling probes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinCut {
+    /// The run configuration.
+    pub cfg: MinCutConfig,
+}
+
+impl Problem for MinCut {
+    type Config = MinCutConfig;
+    type Output = MinCutOutput;
+    const NAME: &'static str = "mincut";
+
+    fn with(cfg: MinCutConfig) -> Self {
+        MinCut { cfg }
+    }
+
+    fn config_from(d: &EngineConfig) -> MinCutConfig {
+        MinCutConfig {
+            bandwidth: d.bandwidth,
+            reps: d.reps,
+            charge_shared_randomness: d.charge_shared_randomness,
+        }
+    }
+
+    fn solve(&self, cluster: &Cluster) -> MinCutOutput {
+        approx_min_cut_sharded(cluster.sharded(), cluster.seed(), &self.cfg)
+    }
+
+    fn stats(out: &MinCutOutput) -> &CommStats {
+        &out.stats
+    }
+
+    fn phases(out: &MinCutOutput) -> u32 {
+        out.probes
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline problems
+// ---------------------------------------------------------------------
+
+/// §1.2 baseline: label-propagation flooding, `Θ(n/k + D)` rounds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Flooding {
+    /// Per-link bandwidth policy (flooding has no other knobs).
+    pub bandwidth: Bandwidth,
+}
+
+impl Problem for Flooding {
+    type Config = Bandwidth;
+    type Output = FloodingOutput;
+    const NAME: &'static str = "flooding";
+
+    fn with(bandwidth: Bandwidth) -> Self {
+        Flooding { bandwidth }
+    }
+
+    fn config_from(d: &EngineConfig) -> Bandwidth {
+        d.bandwidth
+    }
+
+    fn solve(&self, cluster: &Cluster) -> FloodingOutput {
+        flooding_sharded(cluster.sharded(), self.bandwidth)
+    }
+
+    fn stats(out: &FloodingOutput) -> &CommStats {
+        &out.stats
+    }
+
+    fn phases(out: &FloodingOutput) -> u32 {
+        out.graph_rounds
+    }
+}
+
+/// §2 warm-up baseline: collect the whole graph at one machine, `Ω(m/k)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Referee {
+    /// Per-link bandwidth policy.
+    pub bandwidth: Bandwidth,
+}
+
+impl Problem for Referee {
+    type Config = Bandwidth;
+    type Output = RefereeOutput;
+    const NAME: &'static str = "referee";
+
+    fn with(bandwidth: Bandwidth) -> Self {
+        Referee { bandwidth }
+    }
+
+    fn config_from(d: &EngineConfig) -> Bandwidth {
+        d.bandwidth
+    }
+
+    fn solve(&self, cluster: &Cluster) -> RefereeOutput {
+        referee_sharded(cluster.sharded(), self.bandwidth)
+    }
+
+    fn stats(out: &RefereeOutput) -> &CommStats {
+        &out.stats
+    }
+}
+
+/// Configuration of the [`EdgeBoruvka`] baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeBoruvkaConfig {
+    /// Per-link bandwidth policy.
+    pub bandwidth: Bandwidth,
+    /// How edge states are learned (batched pushes vs per-edge tests).
+    pub mode: CheckMode,
+}
+
+impl Default for EdgeBoruvkaConfig {
+    fn default() -> Self {
+        EdgeBoruvkaConfig {
+            bandwidth: Bandwidth::default(),
+            mode: CheckMode::BatchedPush,
+        }
+    }
+}
+
+/// §1.2 baseline: GHS-style edge-checking Borůvka MST.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EdgeBoruvka {
+    /// The run configuration.
+    pub cfg: EdgeBoruvkaConfig,
+}
+
+impl Problem for EdgeBoruvka {
+    type Config = EdgeBoruvkaConfig;
+    type Output = EdgeBoruvkaOutput;
+    const NAME: &'static str = "edge-boruvka";
+
+    fn with(cfg: EdgeBoruvkaConfig) -> Self {
+        EdgeBoruvka { cfg }
+    }
+
+    fn config_from(d: &EngineConfig) -> EdgeBoruvkaConfig {
+        EdgeBoruvkaConfig {
+            bandwidth: d.bandwidth,
+            mode: CheckMode::BatchedPush,
+        }
+    }
+
+    fn solve(&self, cluster: &Cluster) -> EdgeBoruvkaOutput {
+        edge_boruvka_sharded(
+            cluster.sharded(),
+            cluster.seed(),
+            self.cfg.bandwidth,
+            self.cfg.mode,
+        )
+    }
+
+    fn stats(out: &EdgeBoruvkaOutput) -> &CommStats {
+        &out.stats
+    }
+
+    fn phases(out: &EdgeBoruvkaOutput) -> u32 {
+        out.phases
+    }
+}
+
+/// §1.3 baseline: MST under the random *edge* partition (REP), `Θ~(n/k)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RepMst {
+    /// The run configuration (shares [`MstConfig`]).
+    pub cfg: MstConfig,
+}
+
+impl Problem for RepMst {
+    type Config = MstConfig;
+    type Output = RepMstOutput;
+    const NAME: &'static str = "rep-mst";
+
+    fn with(cfg: MstConfig) -> Self {
+        RepMst { cfg }
+    }
+
+    fn config_from(d: &EngineConfig) -> MstConfig {
+        Mst::config_from(d)
+    }
+
+    fn solve(&self, cluster: &Cluster) -> RepMstOutput {
+        rep_mst_sharded(cluster.sharded(), cluster.seed(), &self.cfg)
+    }
+
+    fn stats(out: &RepMstOutput) -> &CommStats {
+        &out.mst.stats
+    }
+
+    fn phases(out: &RepMstOutput) -> u32 {
+        out.mst.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgraph::{generators, refalgo};
+
+    #[test]
+    fn cluster_reuse_matches_one_shot_paths() {
+        let g = generators::randomize_weights(&generators::gnm(150, 400, 3), 500, 4);
+        let (k, seed) = (4, 9);
+        let cluster = Cluster::builder(k).seed(seed).ingest_graph(&g);
+        let conn = cluster.run(Connectivity::default());
+        let mst = cluster.run(Mst::default());
+        let one_shot_conn =
+            crate::connectivity::connected_components(&g, k, seed, &ConnectivityConfig::default());
+        let one_shot_mst = crate::mst::minimum_spanning_tree(&g, k, seed, &MstConfig::default());
+        assert_eq!(conn.output.labels, one_shot_conn.labels);
+        assert_eq!(conn.report.stats.rounds, one_shot_conn.stats.rounds);
+        assert_eq!(mst.output.edges, one_shot_mst.edges);
+        assert_eq!(mst.report.stats.total_bits, one_shot_mst.stats.total_bits);
+        assert_eq!(cluster.runs(), 2);
+    }
+
+    #[test]
+    fn stream_ingestion_matches_graph_ingestion() {
+        let (k, seed) = (5, 21);
+        let builder = Cluster::builder(k).seed(seed);
+        let a = builder.ingest_stream(generators::gnm_stream(300, 900, 17));
+        let b = builder.ingest_graph(&generators::gnm(300, 900, 17));
+        let ra = a.run(Connectivity::default());
+        let rb = b.run(Connectivity::default());
+        assert_eq!(ra.output.labels, rb.output.labels);
+        assert_eq!(ra.report.stats.rounds, rb.report.stats.rounds);
+    }
+
+    #[test]
+    fn run_default_uses_builder_knobs() {
+        let g = generators::cycle(48);
+        let cluster = Cluster::builder(3)
+            .seed(5)
+            .bandwidth(Bandwidth::Bits(64))
+            .ingest_graph(&g);
+        let by_default = cluster.run_default::<Connectivity>();
+        let explicit = cluster.run(Connectivity::with(ConnectivityConfig {
+            bandwidth: Bandwidth::Bits(64),
+            ..ConnectivityConfig::default()
+        }));
+        assert_eq!(by_default.output.labels, explicit.output.labels);
+        assert_eq!(by_default.report.stats.rounds, explicit.report.stats.rounds);
+    }
+
+    #[test]
+    fn report_carries_problem_metadata() {
+        let g = generators::planted_components(90, 3, 4, 7);
+        let cluster = Cluster::builder(3).seed(11).ingest_graph(&g);
+        let run = cluster.run(Connectivity::default());
+        assert_eq!(run.report.problem, "conn");
+        assert_eq!(run.report.phases, run.output.phases);
+        assert_eq!(run.report.sketch_builds, run.output.sketch_builds);
+        assert!(run.report.stats.rounds > 0);
+        let flood = cluster.run(Flooding::default());
+        assert_eq!(flood.report.problem, "flooding");
+        assert_eq!(flood.output.component_count(), refalgo::component_count(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine count")]
+    fn adopting_mismatched_shards_panics() {
+        let g = generators::path(20);
+        let sg = ShardedGraph::from_graph(&g, &Partition::random_vertex(&g, 4, 1));
+        let _ = Cluster::builder(3).adopt(sg);
+    }
+}

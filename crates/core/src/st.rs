@@ -30,6 +30,10 @@ pub struct SpanningForestOutput {
 /// Computes a spanning forest of `g` over `k` machines (one spanning tree
 /// per connected component).
 ///
+/// Deprecated-in-place: a thin shim over the session API
+/// ([`crate::session::SpanningForest`]); bit-identical to running on a
+/// [`crate::session::Cluster`] built with the same `(k, seed)`.
+///
 /// ```
 /// use kconn::st::spanning_forest;
 /// use kconn::mst::MstConfig;
@@ -41,11 +45,16 @@ pub struct SpanningForestOutput {
 /// assert!(refalgo::is_spanning_forest(&g, &out.edges));
 /// ```
 pub fn spanning_forest(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> SpanningForestOutput {
-    let part = Partition::random_vertex(g, k, seed);
-    spanning_forest_with_partition(g, &part, seed, cfg)
+    use crate::session::{Cluster, Problem, SpanningForest};
+    Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(g)
+        .run(SpanningForest::with(*cfg))
+        .output
 }
 
-/// Computes a spanning forest with an explicit partition (shards first).
+/// Computes a spanning forest with an explicit partition — the harness
+/// path; everyone else goes through [`crate::session::Cluster`].
 pub fn spanning_forest_with_partition(
     g: &Graph,
     part: &Partition,

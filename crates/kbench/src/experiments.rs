@@ -5,22 +5,28 @@
 //! writes the latter to `results/experiments.json`. EXPERIMENTS.md records
 //! paper-expectation vs measured output for each id.
 
-use kconn::baselines::edge_boruvka::edge_boruvka_mst;
-use kconn::baselines::flooding::flooding_connectivity;
-use kconn::baselines::referee::referee_connectivity;
-use kconn::baselines::rep_mst::rep_mst;
+use kconn::baselines::edge_boruvka::CheckMode;
 use kconn::lowerbound::{simulate_scs_two_party, DisjointnessInstance};
-use kconn::verify;
-use kconn::{
-    approx_min_cut, connected_components, minimum_spanning_tree, ConnectivityConfig, MinCutConfig,
-    MstConfig, OutputCriterion,
+use kconn::session::{
+    Cluster, Connectivity, EdgeBoruvka, EdgeBoruvkaConfig, Flooding, MinCut, Mst, Problem, Referee,
+    RepMst, SpanningForest,
 };
+use kconn::verify;
+use kconn::{ConnectivityConfig, MstConfig, OutputCriterion};
 use kgraph::{generators, mincut, refalgo, Graph};
 use kmachine::bandwidth::Bandwidth;
 use rustc_hash::FxHashSet;
 use std::collections::BTreeMap;
 
 use crate::table::Table;
+
+/// One ingested session cluster per `(g, k, seed)` triple. Experiments that
+/// compare algorithms run all of them against the same shards — ingestion
+/// is paid once, and results are bit-identical to the one-shot entry
+/// points.
+fn cluster(g: &Graph, k: usize, seed: u64) -> Cluster {
+    Cluster::builder(k).seed(seed).ingest_graph(g)
+}
 
 /// One measured data point, serialized into `results/experiments.json`.
 #[derive(Clone, Debug)]
@@ -147,7 +153,7 @@ fn e1(quick: bool) -> ExperimentOutput {
         let mut t = Table::new(&["k", "rounds", "total Mbits", "max-link Kbits", "phases"]);
         let mut pts = Vec::new();
         for &k in ks {
-            let out = connected_components(&g, k, 11, &cfg);
+            let out = cluster(&g, k, 11).run(Connectivity::with(cfg)).output;
             assert_eq!(out.component_count(), refalgo::component_count(&g));
             t.row(vec![
                 k.to_string(),
@@ -212,9 +218,10 @@ fn e2(quick: bool) -> ExperimentOutput {
     let mut t = Table::new(&["workload", "sketch rounds", "flooding rounds", "winner"]);
     let mut records = Vec::new();
     for (name, g, truth) in cases {
-        let ours = connected_components(&g, k, 22, &ConnectivityConfig::default());
+        let c = cluster(&g, k, 22);
+        let ours = c.run(Connectivity::default()).output;
         assert_eq!(ours.component_count(), truth);
-        let flood = flooding_connectivity(&g, k, 22, Bandwidth::default());
+        let flood = c.run(Flooding::default()).output;
         let winner = if ours.stats.rounds < flood.stats.rounds {
             "sketch"
         } else {
@@ -259,8 +266,9 @@ fn e3(quick: bool) -> ExperimentOutput {
     for mult in [2usize, 4, 8, 16] {
         let m = mult * n;
         let g = generators::gnm(n, m, 31);
-        let referee = referee_connectivity(&g, k, 32, Bandwidth::default());
-        let ours = connected_components(&g, k, 32, &ConnectivityConfig::default());
+        let c = cluster(&g, k, 32);
+        let referee = c.run(Referee::default()).output;
+        let ours = c.run(Connectivity::default()).output;
         t.row(vec![
             m.to_string(),
             referee.stats.rounds.to_string(),
@@ -297,7 +305,7 @@ fn e4(quick: bool) -> ExperimentOutput {
     let n = if quick { 4096 } else { 16384 };
     let k = 16;
     let g = generators::planted_components(n, 4, 8, 41);
-    let out = connected_components(&g, k, 42, &ConnectivityConfig::default());
+    let out = cluster(&g, k, 42).run(Connectivity::default()).output;
     let links = (k * (k - 1)) as u64;
     let mut t = Table::new(&["superstep class", "max-link / mean-link"]);
     // Heavy supersteps = sketch aggregation (Lemma 1's regime).
@@ -346,7 +354,7 @@ fn e5_e6(quick: bool) -> ExperimentOutput {
     for &n in ns {
         // A path is the adversarial workload for chain formation.
         let g = generators::path(n);
-        let out = connected_components(&g, k, 51, &ConnectivityConfig::default());
+        let out = cluster(&g, k, 51).run(Connectivity::default()).output;
         let depth = out.drr_depths.iter().copied().max().unwrap_or(0);
         let log2n = (n as f64).log2();
         t.row(vec![
@@ -390,7 +398,7 @@ fn e7(quick: bool) -> ExperimentOutput {
     let mut records = Vec::new();
     let mut pts = Vec::new();
     for &k in ks {
-        let out = minimum_spanning_tree(&g, k, 73, &MstConfig::default());
+        let out = cluster(&g, k, 73).run(Mst::default()).output;
         let exact = out.total_weight == expect;
         t.row(vec![
             k.to_string(),
@@ -437,15 +445,12 @@ fn e8(quick: bool) -> ExperimentOutput {
     let mut records = Vec::new();
     for (name, g) in [("star", generators::star(n)), ("path", generators::path(n))] {
         let g = generators::randomize_weights(&g, 1000, 81);
-        let out = minimum_spanning_tree(
-            &g,
-            k,
-            82,
-            &MstConfig {
+        let out = cluster(&g, k, 82)
+            .run(Mst::with(MstConfig {
                 criterion: OutputCriterion::BothEndpoints,
                 ..MstConfig::default()
-            },
-        );
+            }))
+            .output;
         let routing = out.endpoint_routing.expect("criterion (b)");
         let max = routing.max_machine_recv_bits() as f64;
         let mean = routing.recv_bits.iter().sum::<u64>() as f64 / k as f64;
@@ -478,7 +483,6 @@ fn e8(quick: bool) -> ExperimentOutput {
 // E9: sketches vs edge-checking Borůvka as density grows
 // ---------------------------------------------------------------------
 fn e9(quick: bool) -> ExperimentOutput {
-    use kconn::baselines::edge_boruvka::{edge_boruvka_mst_mode, CheckMode};
     let n = if quick { 1024 } else { 2048 };
     let k = 16;
     let mut t = Table::new(&[
@@ -496,10 +500,15 @@ fn e9(quick: bool) -> ExperimentOutput {
         let m = (mult * n).min(n * (n - 1) / 2);
         let g = generators::randomize_weights(&generators::gnm(n, m, 91), 1_000_000, 92);
         let expect = refalgo::forest_weight(&refalgo::kruskal(&g));
-        let ours = minimum_spanning_tree(&g, k, 93, &MstConfig::default());
-        let per_edge =
-            edge_boruvka_mst_mode(&g, k, 93, Bandwidth::default(), CheckMode::PerEdgeTest);
-        let batched = edge_boruvka_mst(&g, k, 93, Bandwidth::default());
+        let c = cluster(&g, k, 93);
+        let ours = c.run(Mst::default()).output;
+        let per_edge = c
+            .run(EdgeBoruvka::with(EdgeBoruvkaConfig {
+                bandwidth: Bandwidth::default(),
+                mode: CheckMode::PerEdgeTest,
+            }))
+            .output;
+        let batched = c.run(EdgeBoruvka::default()).output;
         t.row(vec![
             mult.to_string(),
             ours.stats.rounds.to_string(),
@@ -558,7 +567,7 @@ fn e10(quick: bool) -> ExperimentOutput {
     ] {
         let g = generators::barbell(block, bridges, w, seed);
         let exact = mincut::stoer_wagner(&g).expect("connected");
-        let out = approx_min_cut(&g, k, seed + 10, &MinCutConfig::default());
+        let out = cluster(&g, k, seed + 10).run(MinCut::default()).output;
         let est = out.estimate.max(1);
         let ratio = (est as f64 / exact as f64).max(exact as f64 / est as f64);
         t.row(vec![
@@ -604,7 +613,11 @@ fn e11(quick: bool) -> ExperimentOutput {
     let k = 8;
     let cfg = ConnectivityConfig::default();
     let g = generators::random_connected(n, n / 2, 111);
-    let conn_rounds = connected_components(&g, k, 112, &cfg).stats.rounds;
+    let conn_rounds = cluster(&g, k, 112)
+        .run(Connectivity::with(cfg))
+        .output
+        .stats
+        .rounds;
     let all: FxHashSet<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
     let some_edge = *g.edges().first().expect("nonempty");
     let mut t = Table::new(&["problem", "verdict", "rounds", "rounds / connectivity"]);
@@ -690,8 +703,9 @@ fn e12(quick: bool) -> ExperimentOutput {
     ]);
     let mut records = Vec::new();
     for &k in ks {
-        let rvp = minimum_spanning_tree(&g, k, 123, &cfg);
-        let rep = rep_mst(&g, k, 123, &cfg);
+        let c = cluster(&g, k, 123);
+        let rvp = c.run(Mst::with(cfg)).output;
+        let rep = c.run(RepMst::with(cfg)).output;
         assert_eq!(rep.mst.total_weight, rvp.total_weight);
         let routing = rep.routing.rounds;
         let core = rep.mst.stats.rounds - routing;
@@ -801,24 +815,19 @@ fn e15(quick: bool) -> ExperimentOutput {
     let mut t = Table::new(&["k", "rounds (charged)", "rounds (free)", "overhead"]);
     let mut records = Vec::new();
     for k in [8usize, 32] {
-        let with = connected_components(
-            &g,
-            k,
-            152,
-            &ConnectivityConfig {
+        let c = cluster(&g, k, 152);
+        let with = c
+            .run(Connectivity::with(ConnectivityConfig {
                 charge_shared_randomness: true,
                 ..ConnectivityConfig::default()
-            },
-        );
-        let without = connected_components(
-            &g,
-            k,
-            152,
-            &ConnectivityConfig {
+            }))
+            .output;
+        let without = c
+            .run(Connectivity::with(ConnectivityConfig {
                 charge_shared_randomness: false,
                 ..ConnectivityConfig::default()
-            },
-        );
+            }))
+            .output;
         t.row(vec![
             k.to_string(),
             with.stats.rounds.to_string(),
@@ -858,24 +867,19 @@ fn e16(quick: bool) -> ExperimentOutput {
     let n = if quick { 4096 } else { 16384 };
     let k = 16;
     let g = generators::planted_components(n, 12, 6, 161);
-    let with = connected_components(
-        &g,
-        k,
-        162,
-        &ConnectivityConfig {
+    let c = cluster(&g, k, 162);
+    let with = c
+        .run(Connectivity::with(ConnectivityConfig {
             run_output_protocol: true,
             ..ConnectivityConfig::default()
-        },
-    );
-    let without = connected_components(
-        &g,
-        k,
-        162,
-        &ConnectivityConfig {
+        }))
+        .output;
+    let without = c
+        .run(Connectivity::with(ConnectivityConfig {
             run_output_protocol: false,
             ..ConnectivityConfig::default()
-        },
-    );
+        }))
+        .output;
     let extra = with.stats.rounds - without.stats.rounds;
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec![
@@ -920,6 +924,7 @@ fn e17(quick: bool) -> ExperimentOutput {
         ("gnm m=4n", generators::gnm(n, 4 * n, 171)),
         ("path", generators::path(n)),
     ] {
+        let c = cluster(&g, k, 172);
         for (sname, merge) in [
             ("DRR", MergeStrategy::Drr),
             ("coin-flip", MergeStrategy::CoinFlip),
@@ -928,7 +933,7 @@ fn e17(quick: bool) -> ExperimentOutput {
                 merge,
                 ..ConnectivityConfig::default()
             };
-            let out = connected_components(&g, k, 172, &cfg);
+            let out = c.run(Connectivity::with(cfg)).output;
             assert_eq!(out.component_count(), refalgo::component_count(&g));
             let depth = out.drr_depths.iter().copied().max().unwrap_or(0);
             t.row(vec![
@@ -973,9 +978,10 @@ fn e18(quick: bool) -> ExperimentOutput {
     let g = generators::randomize_weights(&generators::gnm(n, m, 181), 1_000_000, 182);
     let k = 16;
     let cfg = MstConfig::default();
-    let st = kconn::spanning_forest(&g, k, 183, &cfg);
+    let c = cluster(&g, k, 183);
+    let st = c.run(SpanningForest::with(cfg)).output;
     assert!(refalgo::is_spanning_forest(&g, &st.edges));
-    let mst = minimum_spanning_tree(&g, k, 183, &cfg);
+    let mst = c.run(Mst::with(cfg)).output;
     let mut t = Table::new(&["output", "rounds", "phases", "weight-optimal"]);
     t.row(vec![
         "spanning forest".into(),
@@ -1022,16 +1028,13 @@ fn e19(quick: bool) -> ExperimentOutput {
     let mut t = Table::new(&["k", "per-link rounds", "per-machine rounds", "ratio"]);
     let mut records = Vec::new();
     for k in [8usize, 16, 32] {
+        let c = cluster(&g, k, 192);
         let run = |model: CostModel| {
-            connected_components(
-                &g,
-                k,
-                192,
-                &ConnectivityConfig {
-                    cost_model: model,
-                    ..ConnectivityConfig::default()
-                },
-            )
+            c.run(Connectivity::with(ConnectivityConfig {
+                cost_model: model,
+                ..ConnectivityConfig::default()
+            }))
+            .output
             .stats
             .rounds
         };
@@ -1084,19 +1087,16 @@ fn e20(quick: bool) -> ExperimentOutput {
     let mut records = Vec::new();
     for s in crate::large::family(quick) {
         let started = Instant::now();
-        let sg = s.shard();
+        let c = s.cluster();
         let ingest = started.elapsed();
+        let sg = c.sharded();
         assert_eq!(sg.total_half_edges(), 2 * s.m());
         let max_load = sg.shard_loads().into_iter().max().unwrap_or(0);
         let fair = 2 * s.m() / s.k;
         // The full headline algorithm only on the rungs where it is cheap
         // enough; the top rung reports the ingestion + balance side.
         let (rounds, components, hits) = if s.n <= 200_000 {
-            let out = kconn::connectivity::connected_components_sharded(
-                &sg,
-                s.seed,
-                &ConnectivityConfig::default(),
-            );
+            let out = c.run(Connectivity::default()).output;
             assert_eq!(out.component_count(), 1, "{}: connected input", s.id);
             (
                 out.stats.rounds.to_string(),
@@ -1104,7 +1104,7 @@ fn e20(quick: bool) -> ExperimentOutput {
                 out.sketch_cache_hits.to_string(),
             )
         } else {
-            let out = kconn::baselines::flooding::flooding_sharded(&sg, Bandwidth::default());
+            let out = c.run(Flooding::default()).output;
             assert_eq!(out.component_count(), 1, "{}: connected input", s.id);
             (
                 format!("{} (flooding)", out.stats.rounds),

@@ -8,6 +8,7 @@
 //! full family (E20); `tests/large_scale.rs` pins the 10^6-edge scenario
 //! in CI.
 
+use kconn::session::Cluster;
 use kgraph::stream::DynEdgeStream;
 use kgraph::{generators, ShardedGraph};
 
@@ -51,6 +52,16 @@ impl LargeScenario {
     /// Ingests the stream into sharded storage.
     pub fn shard(&self) -> ShardedGraph {
         ShardedGraph::from_stream(self.stream(), self.k, self.seed)
+    }
+
+    /// Ingests the stream into a reusable session [`Cluster`]: the shards
+    /// are built once and any number of algorithms run against them
+    /// (bit-identical to [`LargeScenario::shard`] + the `*_sharded` entry
+    /// points, since builder and scenario share `(k, seed)`).
+    pub fn cluster(&self) -> Cluster {
+        Cluster::builder(self.k)
+            .seed(self.seed)
+            .ingest_stream(self.stream())
     }
 }
 

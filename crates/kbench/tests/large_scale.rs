@@ -4,19 +4,20 @@
 //! distributed algorithm end to end — all inside the normal test budget.
 
 use kbench::large::{ci_scenario, family};
-use kconn::baselines::flooding::flooding_sharded;
-use kconn::connectivity::{connected_components_sharded, ConnectivityConfig};
+use kconn::session::{Connectivity, Flooding, Problem};
 use kmachine::bandwidth::Bandwidth;
 
-/// The streamed 10^6-edge scenario: ingest, balance, and a full distributed
-/// connectivity answer (flooding — exact and cheap at this scale) with no
-/// materialized `Graph` anywhere in the pipeline.
+/// The streamed 10^6-edge scenario: ingest into one session cluster,
+/// balance, and a full distributed connectivity answer (flooding — exact
+/// and cheap at this scale) with no materialized `Graph` anywhere in the
+/// pipeline.
 #[test]
 fn million_edge_scenario_streams_end_to_end() {
     let s = ci_scenario();
     assert!(s.m() >= 1_000_000, "scenario must carry ≥ 10^6 edges");
     assert_eq!(s.k, 64);
-    let sg = s.shard();
+    let cluster = s.cluster();
+    let sg = cluster.sharded();
     assert_eq!(sg.n(), s.n);
     assert_eq!(sg.m(), s.m());
     // Conservation: every edge stored at exactly its two endpoint homes.
@@ -33,22 +34,21 @@ fn million_edge_scenario_streams_end_to_end() {
     }
     // End to end: the input is connected by construction; a distributed
     // algorithm over the shards must agree.
-    let out = flooding_sharded(&sg, Bandwidth::default());
-    assert_eq!(out.component_count(), 1);
-    assert!(out.stats.rounds > 0);
+    let run = cluster.run(Flooding::with(Bandwidth::default()));
+    assert_eq!(run.output.component_count(), 1);
+    assert!(run.report.stats.rounds > 0);
 }
 
-/// The sketch-based headliner runs on a streamed shard too (mid-size rung
-/// so the debug-mode hashing work stays in budget).
+/// The sketch-based headliner runs on a streamed cluster too (mid-size
+/// rung so the debug-mode hashing work stays in budget).
 #[test]
-fn streamed_shard_drives_sketch_connectivity() {
+fn streamed_cluster_drives_sketch_connectivity() {
     let s = &family(true)[0]; // n = 50_000, k = 16
-    let sg = s.shard();
-    let out = connected_components_sharded(&sg, s.seed, &ConnectivityConfig::default());
-    assert_eq!(out.component_count(), 1, "{}: connected input", s.id);
-    assert!(out.stats.rounds > 0);
+    let run = s.cluster().run(Connectivity::default());
+    assert_eq!(run.output.component_count(), 1, "{}: connected input", s.id);
+    assert!(run.report.stats.rounds > 0);
     assert!(
-        out.sketch_cache_hits > 0,
+        run.report.sketch_cache_hits > 0,
         "large multi-phase runs must hit the part-sketch cache"
     );
 }

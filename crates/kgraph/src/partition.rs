@@ -57,17 +57,23 @@ impl Partition {
         }
     }
 
-    /// Random edge partition (REP): each edge lands on a uniform machine.
-    /// Vertex "homes" are still defined by hashing (needed to address
-    /// messages about vertices), but adjacency knowledge follows edges.
+    /// Random edge partition (REP): each edge lands on a uniform machine,
+    /// determined by [`Partition::rep_edge_owner`] — a public hash of the
+    /// canonical edge key, so any machine can recompute any edge's owner
+    /// locally. Vertex "homes" are still defined by hashing (needed to
+    /// address messages about vertices), but adjacency knowledge follows
+    /// edges.
     pub fn random_edge(g: &Graph, k: usize, seed: u64) -> Self {
         assert!(k >= 2);
         let prf = Prf::new(seed).derive(0x9A57);
         let home = (0..g.n() as u64)
             .map(|v| prf.eval_mod(0, v, k as u64) as u16)
             .collect();
-        let edge_home = (0..g.m() as u64)
-            .map(|e| prf.eval_mod(1, e, k as u64) as u16)
+        let rep_prf = Self::rep_owner_prf(seed);
+        let edge_home = g
+            .edges()
+            .iter()
+            .map(|e| Self::rep_edge_owner(&rep_prf, g.n(), k, e.u, e.v) as u16)
             .collect();
         Partition {
             kind: PartitionKind::Rep,
@@ -76,6 +82,22 @@ impl Partition {
             home,
             edge_home,
         }
+    }
+
+    /// The PRF behind REP edge ownership, derived from the master seed.
+    /// Public hashing, exactly like vertex homes: every machine derives the
+    /// same function with zero communication.
+    pub fn rep_owner_prf(seed: u64) -> Prf {
+        Prf::new(seed).derive(0x4EB)
+    }
+
+    /// REP owner of the canonical edge `(u, v)` on an `n`-vertex graph over
+    /// `k` machines — a hash of the edge *key*, not of any global edge
+    /// index, so the streamed sharded path (which never sees an indexed
+    /// edge list) computes exactly the same assignment as
+    /// [`Partition::random_edge`].
+    pub fn rep_edge_owner(prf: &Prf, n: usize, k: usize, u: VertexId, v: VertexId) -> usize {
+        prf.eval_mod(1, u as u64 * n as u64 + v as u64, k as u64) as usize
     }
 
     /// The partition model.

@@ -17,6 +17,22 @@
 use crate::graph::{Edge, Graph, VertexId, Weight};
 use crate::partition::Partition;
 use crate::stream::{EdgeStream, GraphStream};
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread count of shard builds (see [`ingest_count`]).
+    static INGESTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many times this thread has ingested an edge set into per-machine
+/// shards (every [`ShardedGraph::from_stream_with_partition`] call, which
+/// all other constructors funnel through). A diagnostics hook for the
+/// session layer: a reusable cluster must ingest exactly once however many
+/// algorithms run on it, and `tests/session.rs` pins that with this
+/// counter. Thread-local so concurrently running tests cannot interfere.
+pub fn ingest_count() -> u64 {
+    INGESTS.with(|c| c.get())
+}
 
 /// One machine's slice of the input: its home vertices and their full
 /// adjacency, in CSR form.
@@ -60,6 +76,7 @@ impl ShardedGraph {
     /// Ingests an edge stream under an explicit partition (the harness
     /// paths — double-cover lifts, the §4 cut simulation — carry their own).
     pub fn from_stream_with_partition(mut stream: impl EdgeStream, part: Partition) -> Self {
+        INGESTS.with(|c| c.set(c.get() + 1));
         let n = stream.n();
         let k = part.k();
         // Route half-edges to their owner's shard as they arrive.
@@ -109,8 +126,8 @@ impl ShardedGraph {
         ShardedGraph { n, m, part, shards }
     }
 
-    /// Shards an already-materialized graph (the compatibility path for the
-    /// `&Graph` front ends and the oracle-driven test harness).
+    /// Shards an already-materialized graph — the path session clusters
+    /// take when handed a `&Graph` (and the oracle-driven test harness).
     pub fn from_graph(g: &Graph, part: &Partition) -> Self {
         Self::from_stream_with_partition(GraphStream::new(g), part.clone())
     }

@@ -11,18 +11,24 @@
 //! kmm gen     --family gnm --n 1000 --m 4000 --out graph.txt
 //! ```
 //!
-//! `conn`, `mst`, `st` and `mincut` accept either `--input FILE` (the
-//! `kgraph::io` edge-list format: `n m` header, one `u v [w]` per line, `#`
-//! comments) or `--gen FAMILY` — a synthetic workload streamed straight
-//! into per-machine sharded storage, so graphs far larger than a single
-//! edge list fit comfortably. Either way the algorithms run against
-//! `ShardedGraph` views, never a central graph copy.
+//! The algorithm subcommands (`conn`, `mst`, `st`, `mincut`) all flow
+//! through one generic runner over the session API: the input — either
+//! `--input FILE` (the `kgraph::io` edge-list format) or `--gen FAMILY` (a
+//! synthetic workload streamed straight into per-machine shards) — is
+//! ingested exactly once into a `Cluster`, the selected `Problem` runs on
+//! it, and the common `RunReport` trailer (rounds, total bits, wall time)
+//! is printed after the problem-specific lines. Either way no central
+//! graph copy is ever handed to an algorithm.
 
+use kmm::algo::session::{Cluster, Connectivity, MinCut, Mst, Problem, SpanningForest};
 use kmm::algo::verify;
 use kmm::graph::stream::DynEdgeStream;
-use kmm::graph::ShardedGraph;
 use kmm::prelude::*;
 use std::process::ExitCode;
+
+/// The algorithm/utility subcommands, in help order (kept next to `usage`
+/// so unknown-subcommand errors can list exactly what exists).
+const SUBCOMMANDS: &[&str] = &["conn", "mst", "st", "mincut", "stcon", "bipart", "gen"];
 
 /// Minimal argument parser: `--key value` pairs plus boolean `--flag`s.
 struct Args {
@@ -70,7 +76,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: kmm <conn|mst|st|mincut|stcon|bipart|gen> [--input FILE | --gen FAMILY] [--k K] [--seed S] ...\n\
+        "usage: kmm <{}> [--input FILE | --gen FAMILY] [--k K] [--seed S] ...\n\
          \n\
          conn    connected components (O~(n/k^2), Theorem 1)\n\
          mst     minimum spanning tree (Theorem 2; --both-endpoints for criterion (b))\n\
@@ -85,7 +91,8 @@ fn usage() -> ExitCode {
                                          gnm|gnp|path|cycle|grid|star|tree|connected\n\
                  --n N --m M --p P       family size parameters\n\
                  --extra E               extra non-tree edges for `connected`\n\
-                 --max-weight W          random weights in [1, W]"
+                 --max-weight W          random weights in [1, W]",
+        SUBCOMMANDS.join("|")
     );
     ExitCode::from(2)
 }
@@ -144,22 +151,43 @@ fn stream_from_args(args: &Args, seed: u64) -> Result<DynEdgeStream, String> {
     }
 }
 
-/// The sharded input every algorithm command runs against: either a parsed
-/// edge-list file (sharded after parsing) or a `--gen` workload streamed
-/// directly into per-machine shards. Streamed runs print the *effective*
-/// graph size — families like `grid`, `cycle` and `star` round `--n` up to
-/// the nearest shape that exists.
-fn load_sharded(args: &Args, k: usize, seed: u64) -> Result<ShardedGraph, String> {
+/// The ingested cluster every algorithm subcommand runs against: either a
+/// parsed edge-list file or a `--gen` workload streamed directly into
+/// per-machine shards — one ingestion either way. Streamed runs print the
+/// *effective* graph size — families like `grid`, `cycle` and `star` round
+/// `--n` up to the nearest shape that exists.
+fn cluster_from_args(args: &Args, k: usize, seed: u64) -> Result<Cluster, String> {
+    let builder = Cluster::builder(k).seed(seed);
     if args.get("gen").is_some() {
         let stream = stream_from_args(args, seed)?;
-        let sg = ShardedGraph::from_stream(stream, k, seed);
-        println!("streamed input: n={} m={} k={k}", sg.n(), sg.m());
-        Ok(sg)
+        let cluster = builder.ingest_stream(stream);
+        println!("streamed input: n={} m={} k={k}", cluster.n(), cluster.m());
+        Ok(cluster)
     } else {
-        let g = load_graph(args)?;
-        let part = Partition::random_vertex(&g, k, seed);
-        Ok(ShardedGraph::from_graph(&g, &part))
+        Ok(builder.ingest_graph(&load_graph(args)?))
     }
+}
+
+/// The one generic algorithm runner behind `conn`/`mst`/`st`/`mincut`:
+/// ingest into a cluster, run the problem, print its specific lines via
+/// `print`, then the common report trailer.
+fn run_problem<P: Problem>(
+    args: &Args,
+    k: usize,
+    seed: u64,
+    problem: P,
+    print: impl FnOnce(&Args, &P::Output),
+) -> ExitCode {
+    let cluster = match cluster_from_args(args, k, seed) {
+        Ok(cluster) => cluster,
+        Err(e) => return fail(&e),
+    };
+    let run = cluster.run(problem);
+    print(args, &run.output);
+    println!("rounds:     {}", run.report.stats.rounds);
+    println!("total bits: {}", run.report.stats.total_bits);
+    println!("wall:       {:.1?}", run.report.wall);
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -172,26 +200,11 @@ fn main() -> ExitCode {
         return fail("the k-machine model requires --k >= 2");
     }
     match args.cmd.as_str() {
-        "conn" => {
-            let sg = match load_sharded(&args, k, seed) {
-                Ok(sg) => sg,
-                Err(e) => return fail(&e),
-            };
-            let out = kmm::algo::connectivity::connected_components_sharded(
-                &sg,
-                seed,
-                &ConnectivityConfig::default(),
-            );
+        "conn" => run_problem(&args, k, seed, Connectivity::default(), |_, out| {
             println!("components: {}", out.component_count());
-            println!("rounds:     {}", out.stats.rounds);
             println!("phases:     {}", out.phases);
-            println!("total bits: {}", out.stats.total_bits);
-        }
+        }),
         "mst" => {
-            let sg = match load_sharded(&args, k, seed) {
-                Ok(sg) => sg,
-                Err(e) => return fail(&e),
-            };
             let cfg = MstConfig {
                 criterion: if args.flag("both-endpoints") {
                     OutputCriterion::BothEndpoints
@@ -200,36 +213,23 @@ fn main() -> ExitCode {
                 },
                 ..MstConfig::default()
             };
-            let out = kmm::algo::mst::minimum_spanning_tree_sharded(&sg, seed, &cfg);
-            println!("forest edges: {}", out.edges.len());
-            println!("total weight: {}", out.total_weight);
-            println!("rounds:       {}", out.stats.rounds);
-            if args.flag("print-edges") {
-                for e in &out.edges {
-                    println!("{} {} {}", e.u, e.v, e.w);
+            run_problem(&args, k, seed, Mst::with(cfg), |args, out| {
+                println!("forest edges: {}", out.edges.len());
+                println!("total weight: {}", out.total_weight);
+                if args.flag("print-edges") {
+                    for e in &out.edges {
+                        println!("{} {} {}", e.u, e.v, e.w);
+                    }
                 }
-            }
+            })
         }
-        "st" => {
-            let sg = match load_sharded(&args, k, seed) {
-                Ok(sg) => sg,
-                Err(e) => return fail(&e),
-            };
-            let out = kmm::algo::st::spanning_forest_sharded(&sg, seed, &MstConfig::default());
+        "st" => run_problem(&args, k, seed, SpanningForest::default(), |_, out| {
             println!("forest edges: {}", out.edges.len());
-            println!("rounds:       {}", out.stats.rounds);
-        }
-        "mincut" => {
-            let sg = match load_sharded(&args, k, seed) {
-                Ok(sg) => sg,
-                Err(e) => return fail(&e),
-            };
-            let out =
-                kmm::algo::mincut::approx_min_cut_sharded(&sg, seed, &MinCutConfig::default());
+        }),
+        "mincut" => run_problem(&args, k, seed, MinCut::default(), |_, out| {
             println!("estimate: {}", out.estimate);
             println!("probes:   {}", out.probes);
-            println!("rounds:   {}", out.stats.rounds);
-        }
+        }),
         "stcon" => {
             let g = match load_graph(&args) {
                 Ok(g) => g,
@@ -244,6 +244,7 @@ fn main() -> ExitCode {
             let v = verify::st_connectivity(&g, s, t, k, seed, &ConnectivityConfig::default());
             println!("connected: {}", v.holds);
             println!("rounds:    {}", v.stats.rounds);
+            ExitCode::SUCCESS
         }
         "bipart" => {
             let g = match load_graph(&args) {
@@ -253,6 +254,7 @@ fn main() -> ExitCode {
             let v = verify::bipartiteness(&g, k, seed, &ConnectivityConfig::default());
             println!("bipartite: {}", v.holds);
             println!("rounds:    {}", v.stats.rounds);
+            ExitCode::SUCCESS
         }
         "gen" => {
             let n: usize = match args.get_num("n") {
@@ -292,10 +294,16 @@ fn main() -> ExitCode {
                 }
                 None => print!("{text}"),
             }
+            ExitCode::SUCCESS
         }
-        _ => return usage(),
+        other => {
+            eprintln!(
+                "error: unknown subcommand `{other}` (valid subcommands: {})",
+                SUBCOMMANDS.join(", ")
+            );
+            usage()
+        }
     }
-    ExitCode::SUCCESS
 }
 
 fn fail(msg: &str) -> ExitCode {

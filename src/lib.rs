@@ -14,34 +14,39 @@
 //! * [`algo`] — the paper's distributed algorithms, baselines, and the
 //!   lower-bound harness.
 //!
-//! ## Quickstart
+//! ## Quickstart: sessions
+//!
+//! The primary API mirrors the model: fix a cluster (k machines, seed,
+//! bandwidth), ingest the input once, then run any number of algorithms on
+//! it ([`algo::session`], DESIGN.md §3.8).
 //!
 //! ```
 //! use kmm::prelude::*;
 //!
-//! // A graph with two planted components, distributed over k = 4 machines.
+//! // A graph with two planted components, ingested over k = 4 machines.
 //! let g = kmm::graph::generators::planted_components(200, 2, 3, 7);
-//! let cfg = ConnectivityConfig::default();
-//! let out = connected_components(&g, 4, 7, &cfg);
-//! assert_eq!(out.component_count(), 2);
-//! // Rounds and communication are fully accounted:
-//! assert!(out.stats.rounds > 0);
+//! let cluster = Cluster::builder(4).seed(7).ingest_graph(&g);
+//! let conn = cluster.run(Connectivity::default());
+//! let st = cluster.run(SpanningForest::default());
+//! assert_eq!(conn.output.component_count(), 2);
+//! assert_eq!(st.output.edges.len(), 200 - 2);
+//! // Every run carries the common report; rounds are fully accounted:
+//! assert!(conn.report.stats.rounds > 0);
 //! ```
 //!
 //! ## Streaming ingestion at scale
 //!
 //! Large inputs never need a central edge list: a lazy
-//! [`graph::stream::EdgeStream`] feeds [`graph::ShardedGraph`] directly,
-//! and every algorithm has a `*_sharded` entry point over the per-machine
-//! views (DESIGN.md §3.7).
+//! [`graph::stream::EdgeStream`] feeds the cluster's per-machine
+//! [`graph::ShardedGraph`] shards directly (DESIGN.md §3.7).
 //!
 //! ```
 //! use kmm::prelude::*;
 //!
 //! // Stream a connected workload straight into 8 per-machine shards.
 //! let stream = kmm::graph::generators::random_connected_stream(2_000, 1_500, 5);
-//! let sg = ShardedGraph::from_stream(stream, 8, 5);
-//! let out = connected_components_sharded(&sg, 5, &ConnectivityConfig::default());
+//! let cluster = Cluster::builder(8).seed(5).ingest_stream(stream);
+//! let out = cluster.run(Connectivity::default()).output;
 //! assert_eq!(out.component_count(), 1);
 //! ```
 
@@ -59,6 +64,10 @@ pub mod prelude {
     pub use kconn::mincut::{approx_min_cut, approx_min_cut_sharded, MinCutConfig};
     pub use kconn::mst::{
         minimum_spanning_tree, minimum_spanning_tree_sharded, MstConfig, OutputCriterion,
+    };
+    pub use kconn::session::{
+        Cluster, ClusterBuilder, Connectivity, EdgeBoruvka, EdgeBoruvkaConfig, Flooding, MinCut,
+        Mst, Problem, Referee, RepMst, Run, RunReport, SpanningForest,
     };
     pub use kconn::st::{spanning_forest, spanning_forest_sharded};
     pub use kconn::verify;

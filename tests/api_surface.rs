@@ -1,0 +1,169 @@
+//! Public-API surface snapshot: a dependency-free pin of every `pub` item
+//! across the workspace crates, so PRs that change the API surface show the
+//! diff explicitly (in `tests/api_surface.txt`) instead of slipping it past
+//! review inside an implementation change.
+//!
+//! The extraction is deliberately simple text scanning — one line per
+//! `pub` item, first signature line only, file-prefixed and sorted. It is
+//! deterministic, which is all a snapshot needs. Scanning a file stops at
+//! its `#[cfg(test)]` module (by convention the last item in this
+//! workspace), so test helpers never leak into the surface.
+//!
+//! To accept an intentional API change, rerun with
+//! `KMM_UPDATE_API_SURFACE=1 cargo test --test api_surface` and commit the
+//! rewritten snapshot.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The source roots that make up the public workspace surface.
+const ROOTS: &[&str] = &["src", "crates"];
+
+const SNAPSHOT: &str = "tests/api_surface.txt";
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Crate sources only: skip build output, vendored deps, and
+            // per-crate test/bench trees (they are not API surface).
+            if ["target", "vendor", "tests", "benches", "examples"].contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts the `pub` item heads of one file (first signature line each),
+/// stopping at the conventional trailing `#[cfg(test)]` module.
+fn extract_items(rel: &str, text: &str, items: &mut Vec<String>) {
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("#[cfg(test)]") {
+            break;
+        }
+        let is_item = [
+            "pub fn ",
+            "pub struct ",
+            "pub enum ",
+            "pub trait ",
+            "pub type ",
+            "pub const ",
+            "pub mod ",
+            "pub use ",
+            "pub static ",
+        ]
+        .iter()
+        .any(|p| t.starts_with(p));
+        if !is_item {
+            continue;
+        }
+        // Normalize: drop an opening-brace/where tail so formatting churn
+        // does not count as an API change.
+        let head = t
+            .split(" where ")
+            .next()
+            .unwrap()
+            .trim_end_matches('{')
+            .trim_end();
+        items.push(format!("{rel}: {head}"));
+    }
+}
+
+fn current_surface() -> String {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for r in ROOTS {
+        collect_rs_files(&root.join(r), &mut files);
+    }
+    let mut items = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(f).unwrap_or_default();
+        extract_items(&rel, &text, &mut items);
+    }
+    items.sort();
+    items.dedup();
+    let mut out = String::new();
+    for i in &items {
+        writeln!(out, "{i}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn public_api_surface_matches_snapshot() {
+    let got = current_surface();
+    let snap_path = repo_root().join(SNAPSHOT);
+    if std::env::var("KMM_UPDATE_API_SURFACE").is_ok() {
+        fs::write(&snap_path, &got).expect("write snapshot");
+        return;
+    }
+    let want = fs::read_to_string(&snap_path).unwrap_or_default();
+    if got == want {
+        return;
+    }
+    let got_set: std::collections::BTreeSet<&str> = got.lines().collect();
+    let want_set: std::collections::BTreeSet<&str> = want.lines().collect();
+    let added: Vec<&&str> = got_set.difference(&want_set).collect();
+    let removed: Vec<&&str> = want_set.difference(&got_set).collect();
+    panic!(
+        "public API surface changed.\n\n  added ({}):\n{}\n\n  removed ({}):\n{}\n\n\
+         If intentional, refresh the pin:\n  KMM_UPDATE_API_SURFACE=1 cargo test --test api_surface\n",
+        added.len(),
+        added
+            .iter()
+            .map(|l| format!("    + {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        removed.len(),
+        removed
+            .iter()
+            .map(|l| format!("    - {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+}
+
+/// The snapshot itself must be present, non-trivial, and contain the
+/// session-layer anchors this PR introduced (guards against an empty or
+/// truncated pin silently passing).
+#[test]
+fn snapshot_pin_is_present_and_covers_the_session_layer() {
+    let want = fs::read_to_string(repo_root().join(SNAPSHOT)).expect("snapshot committed");
+    assert!(
+        want.lines().count() > 100,
+        "the workspace exposes far more than 100 public items"
+    );
+    for anchor in [
+        "pub struct Cluster",
+        "pub struct ClusterBuilder",
+        "pub trait Problem",
+        "pub struct RunReport",
+        "pub fn rep_mst_sharded",
+        "pub fn ingest_count",
+    ] {
+        assert!(
+            want.contains(anchor),
+            "snapshot must pin the session layer: missing {anchor:?}"
+        );
+    }
+}

@@ -116,7 +116,54 @@ fn stcon_answers_and_validates_args() {
 fn unknown_subcommand_prints_usage() {
     let out = kmm().arg("frobnicate").output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"));
+    // The error names the offending word and lists every valid subcommand.
+    assert!(err.contains("unknown subcommand `frobnicate`"), "{err}");
+    for sub in ["conn", "mst", "st", "mincut", "stcon", "bipart", "gen"] {
+        assert!(
+            err.contains(sub),
+            "valid subcommand {sub} must be listed: {err}"
+        );
+    }
+}
+
+#[test]
+fn algorithm_commands_share_the_report_trailer() {
+    // Every Problem subcommand flows through the same generic runner and
+    // prints the common RunReport trailer after its specific lines.
+    let path = tmp("trailer.txt");
+    assert!(kmm()
+        .args([
+            "gen",
+            "--family",
+            "gnm",
+            "--n",
+            "60",
+            "--m",
+            "140",
+            "--max-weight",
+            "9",
+            "--seed",
+            "4",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    for cmd in ["conn", "mst", "st", "mincut"] {
+        let out = kmm()
+            .args([cmd, "--input", path.to_str().unwrap(), "--k", "4"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{cmd}: {out:?}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        for needle in ["rounds:", "total bits:", "wall:"] {
+            assert!(text.contains(needle), "{cmd}: want {needle:?} in: {text}");
+        }
+    }
+    let _ = std::fs::remove_file(path);
 }
 
 #[test]

@@ -35,6 +35,16 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// A session [`Cluster`] for this cell: the scenario graph ingested
+    /// once under the cell's `(k, seed)`. Bit-identical to the one-shot
+    /// entry points, so conformance tests dispatch every algorithm through
+    /// it and may reuse one cluster across several algorithms.
+    pub fn cluster(&self) -> Cluster {
+        Cluster::builder(self.k)
+            .seed(self.seed)
+            .ingest_graph(&self.g)
+    }
+
     /// A `ConnectivityConfig` with this scenario's bandwidth.
     pub fn conn_cfg(&self) -> ConnectivityConfig {
         ConnectivityConfig {

@@ -5,6 +5,11 @@
 //! against exact sequential oracles from `kgraph::refalgo` /
 //! `kgraph::mincut`, with the model-accounting invariants checked on every
 //! single run. All seeds are fixed: a green run is reproducibly green.
+//!
+//! Every algorithm dispatches through the session API (`Scenario::cluster`
+//! → `Cluster::run`), which is bit-identical to the legacy one-shot entry
+//! points (pinned separately in `tests/session.rs`); tests that compare
+//! several algorithms on one cell reuse a single ingested cluster.
 
 mod common;
 
@@ -12,10 +17,7 @@ use common::{
     assert_labels_match_reference, assert_stats_sane, bandwidths, graph_families, matrix,
     sub_matrix, KS, SEEDS,
 };
-use kmm::algo::baselines::edge_boruvka::{edge_boruvka_mst_mode, CheckMode};
-use kmm::algo::baselines::flooding::flooding_connectivity;
-use kmm::algo::baselines::referee::referee_connectivity;
-use kmm::algo::baselines::rep_mst::rep_mst;
+use kmm::algo::baselines::edge_boruvka::CheckMode;
 use kmm::algo::verify;
 use kmm::machine::bsp::Bsp;
 use kmm::machine::message::{Envelope, WireSize};
@@ -30,7 +32,7 @@ use rustc_hash::FxHashSet;
 #[test]
 fn connectivity_conforms_on_full_matrix() {
     for s in matrix() {
-        let out = connected_components(&s.g, s.k, s.seed, &s.conn_cfg());
+        let out = s.cluster().run(Connectivity::with(s.conn_cfg())).output;
         assert_eq!(
             out.component_count(),
             refalgo::component_count(&s.g),
@@ -59,7 +61,7 @@ fn connectivity_conforms_on_full_matrix() {
 #[test]
 fn mst_conforms_against_kruskal() {
     for s in sub_matrix(2, 0) {
-        let out = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg());
+        let out = s.cluster().run(Mst::with(s.mst_cfg())).output;
         assert!(
             refalgo::is_spanning_forest(&s.g, &out.edges),
             "{}: output must span",
@@ -88,7 +90,7 @@ fn mst_both_endpoints_criterion_conforms() {
             criterion: OutputCriterion::BothEndpoints,
             ..s.mst_cfg()
         };
-        let out = minimum_spanning_tree(&s.g, s.k, s.seed, &cfg);
+        let out = s.cluster().run(Mst::with(cfg)).output;
         assert_eq!(
             out.total_weight,
             refalgo::forest_weight(&refalgo::kruskal(&s.g)),
@@ -102,7 +104,7 @@ fn mst_both_endpoints_criterion_conforms() {
 #[test]
 fn spanning_forest_conforms() {
     for s in sub_matrix(4, 2) {
-        let out = spanning_forest(&s.g, s.k, s.seed, &s.mst_cfg());
+        let out = s.cluster().run(SpanningForest::with(s.mst_cfg())).output;
         assert!(
             refalgo::is_spanning_forest(&s.g, &out.edges),
             "{}: forest must span",
@@ -129,7 +131,7 @@ fn mincut_estimate_brackets_stoer_wagner() {
             continue;
         }
         let lambda = kmm::graph::mincut::stoer_wagner(&s.g).expect("connected graph has a cut");
-        let out = approx_min_cut(&s.g, s.k, s.seed, &s.mincut_cfg());
+        let out = s.cluster().run(MinCut::with(s.mincut_cfg())).output;
         let logn = (s.g.n() as f64).log2();
         let est = out.estimate.max(1) as f64;
         let ratio = (est / lambda as f64).max(lambda as f64 / est);
@@ -297,7 +299,7 @@ fn machine_hop_eccentricity(g: &Graph, part: &Partition, src: u32) -> u32 {
 #[test]
 fn flooding_conforms_on_matrix() {
     for s in sub_matrix(2, 1) {
-        let out = flooding_connectivity(&s.g, s.k, s.seed, s.bandwidth);
+        let out = s.cluster().run(Flooding::with(s.bandwidth)).output;
         assert_labels_match_reference(&s.id, &out.labels, &s.g);
         // Label 0 starts at vertex 0 and must cross every inter-machine
         // edge on some causal path, one per graph-round; flooding uses the
@@ -317,7 +319,7 @@ fn flooding_conforms_on_matrix() {
 #[test]
 fn referee_conforms_on_matrix() {
     for s in sub_matrix(2, 0) {
-        let out = referee_connectivity(&s.g, s.k, s.seed, s.bandwidth);
+        let out = s.cluster().run(Referee::with(s.bandwidth)).output;
         assert_labels_match_reference(&s.id, &out.labels, &s.g);
         assert_stats_sane(&s.id, &out.stats, s.k);
         // The referee hoards everything: every transmitted bit lands on
@@ -339,8 +341,14 @@ fn referee_conforms_on_matrix() {
 fn edge_boruvka_conforms_in_both_check_modes() {
     for s in sub_matrix(4, 1) {
         let want = refalgo::forest_weight(&refalgo::kruskal(&s.g));
+        let c = s.cluster();
         for mode in [CheckMode::BatchedPush, CheckMode::PerEdgeTest] {
-            let out = edge_boruvka_mst_mode(&s.g, s.k, s.seed, s.bandwidth, mode);
+            let out = c
+                .run(EdgeBoruvka::with(EdgeBoruvkaConfig {
+                    bandwidth: s.bandwidth,
+                    mode,
+                }))
+                .output;
             assert!(
                 refalgo::is_spanning_forest(&s.g, &out.edges),
                 "{}/{mode:?}: spans",
@@ -355,7 +363,7 @@ fn edge_boruvka_conforms_in_both_check_modes() {
 #[test]
 fn rep_mst_conforms_under_edge_partition() {
     for s in sub_matrix(4, 0) {
-        let out = rep_mst(&s.g, s.k, s.seed, &s.mst_cfg());
+        let out = s.cluster().run(RepMst::with(s.mst_cfg())).output;
         assert!(
             refalgo::is_spanning_forest(&s.g, &out.mst.edges),
             "{}: spans",
@@ -390,10 +398,17 @@ fn rep_mst_conforms_under_edge_partition() {
 fn all_connectivity_algorithms_agree() {
     for s in sub_matrix(5, 2) {
         let want = refalgo::component_count(&s.g);
-        let a = connected_components(&s.g, s.k, s.seed, &s.conn_cfg()).component_count();
-        let b = flooding_connectivity(&s.g, s.k, s.seed, s.bandwidth).component_count();
+        // Three independent implementations of the same problem, one
+        // ingested cluster: the duplicated per-algorithm dispatch the
+        // session API exists to collapse.
+        let cl = s.cluster();
+        let a = cl
+            .run(Connectivity::with(s.conn_cfg()))
+            .output
+            .component_count();
+        let b = cl.run(Flooding::with(s.bandwidth)).output.component_count();
         let c = {
-            let mut l = referee_connectivity(&s.g, s.k, s.seed, s.bandwidth).labels;
+            let mut l = cl.run(Referee::with(s.bandwidth)).output.labels;
             l.sort_unstable();
             l.dedup();
             l.len()
@@ -410,10 +425,16 @@ fn all_connectivity_algorithms_agree() {
 fn all_mst_algorithms_agree() {
     for s in sub_matrix(6, 4) {
         let want = refalgo::forest_weight(&refalgo::kruskal(&s.g));
-        let a = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg()).total_weight;
-        let b = edge_boruvka_mst_mode(&s.g, s.k, s.seed, s.bandwidth, CheckMode::BatchedPush)
+        let cl = s.cluster();
+        let a = cl.run(Mst::with(s.mst_cfg())).output.total_weight;
+        let b = cl
+            .run(EdgeBoruvka::with(EdgeBoruvkaConfig {
+                bandwidth: s.bandwidth,
+                mode: CheckMode::BatchedPush,
+            }))
+            .output
             .total_weight;
-        let c = rep_mst(&s.g, s.k, s.seed, &s.mst_cfg()).mst.total_weight;
+        let c = cl.run(RepMst::with(s.mst_cfg())).output.mst.total_weight;
         assert!(
             a == want && b == want && c == want,
             "{}: sketch={a} boruvka={b} rep={c} kruskal={want}",
@@ -430,17 +451,22 @@ fn all_mst_algorithms_agree() {
 #[test]
 fn scenario_runs_are_deterministic() {
     for s in sub_matrix(7, 3) {
-        let a = connected_components(&s.g, s.k, s.seed, &s.conn_cfg());
-        let b = connected_components(&s.g, s.k, s.seed, &s.conn_cfg());
+        // Rerunning on the same cluster and on a freshly ingested one must
+        // both be bit-identical.
+        let cl = s.cluster();
+        let a = cl.run(Connectivity::with(s.conn_cfg())).output;
+        let b = cl.run(Connectivity::with(s.conn_cfg())).output;
+        let fresh = s.cluster().run(Connectivity::with(s.conn_cfg())).output;
         assert_eq!(a.labels, b.labels, "{}: labels identical", s.id);
+        assert_eq!(a.labels, fresh.labels, "{}: fresh-cluster labels", s.id);
         assert_eq!(a.stats.rounds, b.stats.rounds, "{}: rounds identical", s.id);
         assert_eq!(
             a.stats.total_bits, b.stats.total_bits,
             "{}: bits identical",
             s.id
         );
-        let m = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg());
-        let m2 = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg());
+        let m = cl.run(Mst::with(s.mst_cfg())).output;
+        let m2 = cl.run(Mst::with(s.mst_cfg())).output;
         assert_eq!(m.edges, m2.edges, "{}: MST edges identical", s.id);
     }
 }
@@ -457,10 +483,11 @@ fn partition_models_are_distinct_but_agree_on_answers() {
             assert_eq!(rep.kind(), PartitionKind::Rep, "{id}");
             let covered: usize = (0..k).map(|i| rep.edges_of(&g, i).len()).sum();
             assert_eq!(covered, g.m(), "{id}: REP covers each edge exactly once");
-            // Same answer through both models' MST paths.
+            // Same answer through both models' MST paths, one cluster.
             let want = refalgo::forest_weight(&refalgo::kruskal(&g));
-            let a = minimum_spanning_tree(&g, k, seed, &MstConfig::default()).total_weight;
-            let b = rep_mst(&g, k, seed, &MstConfig::default()).mst.total_weight;
+            let cl = Cluster::builder(k).seed(seed).ingest_graph(&g);
+            let a = cl.run(Mst::default()).output.total_weight;
+            let b = cl.run(RepMst::default()).output.mst.total_weight;
             assert!(a == want && b == want, "{id}: rvp={a} rep={b} want={want}");
         }
     }

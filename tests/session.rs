@@ -1,0 +1,205 @@
+//! The session API contract (ISSUE 3 acceptance):
+//!
+//! (a) **Cluster reuse is bit-identical to the one-shot entry points.**
+//!     Running connectivity, then MST, then spanning forest on *one*
+//!     ingested `Cluster` produces exactly the labels, edges, rounds and
+//!     bits of the legacy per-call entry points — and of the `*_sharded`
+//!     functions on independently built shards — on every graph family of
+//!     the scenario matrix (`sub_matrix` provably keeps every family, `k`,
+//!     bandwidth and seed represented).
+//!
+//! (b) **Shims and sessions agree on `RunReport` comm stats**, field by
+//!     field, not just on the answer.
+//!
+//! (c) **Ingestion happens exactly once per cluster**, however many
+//!     algorithms run on it — pinned via the thread-local shard-build
+//!     counter `kgraph::sharded::ingest_count`.
+
+mod common;
+
+use common::{assert_stats_sane, sub_matrix};
+use kmm::graph::sharded::ingest_count;
+use kmm::prelude::*;
+
+/// (a): one cluster, three algorithms, bit-for-bit against both the legacy
+/// one-shot front ends and the `*_sharded` entry points on shards built
+/// independently of the session layer.
+#[test]
+fn cluster_reuse_is_bit_identical_to_one_shot_paths() {
+    for s in sub_matrix(4, 1) {
+        let cluster = s.cluster();
+        let conn = cluster.run(Connectivity::with(s.conn_cfg()));
+        let mst = cluster.run(Mst::with(s.mst_cfg()));
+        let st = cluster.run(SpanningForest::with(s.mst_cfg()));
+        assert_eq!(cluster.runs(), 3, "{}: three runs recorded", s.id);
+
+        // The legacy one-shot front ends (each re-ingests internally).
+        let conn1 = connected_components(&s.g, s.k, s.seed, &s.conn_cfg());
+        let mst1 = minimum_spanning_tree(&s.g, s.k, s.seed, &s.mst_cfg());
+        let st1 = spanning_forest(&s.g, s.k, s.seed, &s.mst_cfg());
+        assert_eq!(conn.output.labels, conn1.labels, "{}: conn labels", s.id);
+        assert_eq!(
+            conn.output.stats.rounds, conn1.stats.rounds,
+            "{}: conn rounds",
+            s.id
+        );
+        assert_eq!(
+            conn.output.stats.total_bits, conn1.stats.total_bits,
+            "{}: conn bits",
+            s.id
+        );
+        assert_eq!(
+            (conn.output.sketch_builds, conn.output.sketch_cache_hits),
+            (conn1.sketch_builds, conn1.sketch_cache_hits),
+            "{}: conn sketch counters",
+            s.id
+        );
+        assert_eq!(mst.output.edges, mst1.edges, "{}: MST edges", s.id);
+        assert_eq!(
+            mst.output.stats.rounds, mst1.stats.rounds,
+            "{}: MST rounds",
+            s.id
+        );
+        assert_eq!(st.output.edges, st1.edges, "{}: forest edges", s.id);
+        assert_eq!(
+            st.output.stats.total_bits, st1.stats.total_bits,
+            "{}: forest bits",
+            s.id
+        );
+
+        // The sharded entry points on shards built without the session
+        // layer — the path that existed before this API.
+        let part = Partition::random_vertex(&s.g, s.k, s.seed);
+        let sg = ShardedGraph::from_graph(&s.g, &part);
+        let conn2 = connected_components_sharded(&sg, s.seed, &s.conn_cfg());
+        let mst2 = minimum_spanning_tree_sharded(&sg, s.seed, &s.mst_cfg());
+        assert_eq!(conn.output.labels, conn2.labels, "{}: sharded conn", s.id);
+        assert_eq!(mst.output.edges, mst2.edges, "{}: sharded MST", s.id);
+        assert_eq!(
+            mst.output.stats.rounds, mst2.stats.rounds,
+            "{}: sharded MST rounds",
+            s.id
+        );
+
+        // Every report passes the model-accounting invariants.
+        assert_stats_sane(&s.id, &conn.report.stats, s.k);
+        assert_stats_sane(&s.id, &mst.report.stats, s.k);
+        assert_stats_sane(&s.id, &st.report.stats, s.k);
+    }
+}
+
+/// (b): the shim output's stats and the session `RunReport` stats agree
+/// field by field (including the per-machine vectors), for a headliner and
+/// for a baseline.
+#[test]
+fn shims_and_session_agree_on_run_report_comm_stats() {
+    for s in sub_matrix(5, 2) {
+        let cluster = s.cluster();
+        let run = cluster.run(Connectivity::with(s.conn_cfg()));
+        let shim = connected_components(&s.g, s.k, s.seed, &s.conn_cfg());
+        let (a, b) = (&run.report.stats, &shim.stats);
+        assert_eq!(a.rounds, b.rounds, "{}: rounds", s.id);
+        assert_eq!(a.supersteps, b.supersteps, "{}: supersteps", s.id);
+        assert_eq!(a.messages, b.messages, "{}: messages", s.id);
+        assert_eq!(a.total_bits, b.total_bits, "{}: total bits", s.id);
+        assert_eq!(a.max_link_bits, b.max_link_bits, "{}: max link", s.id);
+        assert_eq!(a.sent_bits, b.sent_bits, "{}: per-machine sent", s.id);
+        assert_eq!(a.recv_bits, b.recv_bits, "{}: per-machine recv", s.id);
+        assert_eq!(run.report.problem, "conn", "{}: report name", s.id);
+        assert_eq!(run.report.phases, shim.phases, "{}: report phases", s.id);
+
+        let flood_run = cluster.run(Flooding::with(s.bandwidth));
+        let flood_shim =
+            kmm::algo::baselines::flooding::flooding_connectivity(&s.g, s.k, s.seed, s.bandwidth);
+        assert_eq!(
+            flood_run.report.stats.rounds, flood_shim.stats.rounds,
+            "{}: flooding rounds",
+            s.id
+        );
+        assert_eq!(
+            flood_run.report.stats.total_bits, flood_shim.stats.total_bits,
+            "{}: flooding bits",
+            s.id
+        );
+        assert_eq!(
+            flood_run.report.phases, flood_shim.graph_rounds,
+            "{}: flooding graph-rounds surface as report phases",
+            s.id
+        );
+    }
+}
+
+/// (c): the shard-build counter advances exactly once per cluster, however
+/// many problems run on it. (The counter is thread-local, so concurrently
+/// running tests in this binary cannot interfere.)
+#[test]
+fn cluster_ingests_exactly_once() {
+    let g = generators::randomize_weights(&generators::gnm(200, 600, 5), 100, 6);
+    let before = ingest_count();
+    let cluster = Cluster::builder(4).seed(9).ingest_graph(&g);
+    assert_eq!(
+        ingest_count(),
+        before + 1,
+        "building the cluster ingests once"
+    );
+    let _ = cluster.run(Connectivity::default());
+    let _ = cluster.run(Mst::default());
+    let _ = cluster.run(SpanningForest::default());
+    let _ = cluster.run(MinCut::default());
+    let _ = cluster.run(Flooding::default());
+    let _ = cluster.run(Referee::default());
+    let _ = cluster.run(EdgeBoruvka::default());
+    assert_eq!(
+        ingest_count(),
+        before + 1,
+        "running seven problems must not re-shard the input"
+    );
+    assert_eq!(cluster.runs(), 7);
+
+    // Contrast: each legacy one-shot call pays one ingestion.
+    let _ = connected_components(&g, 4, 9, &ConnectivityConfig::default());
+    let _ = minimum_spanning_tree(&g, 4, 9, &MstConfig::default());
+    assert_eq!(
+        ingest_count(),
+        before + 3,
+        "one-shot front ends re-ingest per call — the cost the session API amortizes"
+    );
+}
+
+/// Streamed and materialized ingestion build the same cluster: same shard
+/// contents, same downstream bits.
+#[test]
+fn streamed_and_materialized_clusters_agree() {
+    let (k, seed) = (5, 31);
+    let builder = Cluster::builder(k).seed(seed);
+    let streamed = builder.ingest_stream(generators::random_connected_stream(600, 400, 8));
+    let materialized = builder.ingest_graph(&generators::random_connected(600, 400, 8));
+    let a = streamed.run(Connectivity::default());
+    let b = materialized.run(Connectivity::default());
+    assert_eq!(a.output.labels, b.output.labels);
+    assert_eq!(a.report.stats.rounds, b.report.stats.rounds);
+    assert_eq!(a.report.stats.total_bits, b.report.stats.total_bits);
+    let ma = streamed.run(Mst::default());
+    let mb = materialized.run(Mst::default());
+    assert_eq!(ma.output.edges, mb.output.edges);
+}
+
+/// The REP baseline's new sharded path flows through the session too, and
+/// still matches the Kruskal oracle on a reused cluster.
+#[test]
+fn rep_mst_runs_on_a_reused_cluster() {
+    let g = generators::randomize_weights(&generators::gnm(180, 700, 13), 300, 14);
+    let cluster = Cluster::builder(6).seed(15).ingest_graph(&g);
+    let rvp = cluster.run(Mst::default());
+    let rep = cluster.run(RepMst::default());
+    let want = refalgo::forest_weight(&refalgo::kruskal(&g));
+    assert_eq!(rvp.output.total_weight as u128, want as u128);
+    assert_eq!(rep.output.mst.total_weight as u128, want as u128);
+    // The REP pipeline pays its Θ~(n/k) routing stage on top.
+    assert!(rep.output.routing.rounds > 0);
+    assert_eq!(rep.report.problem, "rep-mst");
+    // And the shim agrees bit for bit.
+    let shim = kmm::algo::baselines::rep_mst::rep_mst(&g, 6, 15, &MstConfig::default());
+    assert_eq!(shim.mst.edges, rep.output.mst.edges);
+    assert_eq!(shim.mst.stats.rounds, rep.output.mst.stats.rounds);
+}
