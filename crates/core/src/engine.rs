@@ -136,7 +136,14 @@ impl Default for EngineConfig {
 /// communication accounting and instrumentation for the experiments.
 #[derive(Clone, Debug)]
 pub struct EngineResult {
-    /// Final component label of every vertex (gathered from home machines).
+    /// Final component label of every vertex (gathered from home machines
+    /// and *canonicalized*: each component is labeled by the smallest
+    /// vertex id it contains). Canonical labels depend only on the
+    /// component partition — not on the merge trajectory — so two runs
+    /// that compute the same partition report bit-identical labels, which
+    /// is what lets the dynamic layer splice incremental re-solves against
+    /// fresh static runs. In a restricted run ([`Engine::restrict`])
+    /// entries for inactive vertices are left at `0` and must be ignored.
     pub labels: Vec<Label>,
     /// Communication statistics (rounds are the model's cost measure).
     pub stats: CommStats,
@@ -331,6 +338,45 @@ impl<'g> Engine<'g> {
         self.bsp.set_cut(side);
     }
 
+    /// Restricts the run to the vertices with `active[v] == true`: every
+    /// machine drops its inactive home vertices before phase 0, so the run
+    /// touches only the induced subgraph — the `core::dynamic` incremental
+    /// re-solve path, which re-runs only the components an update batch
+    /// touched. Because every per-component decision (phase-0 sampling,
+    /// sketch functions, proxies, DRR ranks, pointer jumping) is keyed by
+    /// vertex ids and labels — never by global state — the restricted
+    /// trajectory of an active component is identical to its trajectory in
+    /// an unrestricted run on the same shards, which is what makes spliced
+    /// answers bit-compatible with full fresh runs (`tests/dynamic.rs`).
+    ///
+    /// The caller must guarantee no edge joins an active and an inactive
+    /// vertex (the dynamic layer's touched-component closure does); such an
+    /// edge would appear as a never-cancelling outgoing edge. Must be
+    /// called before [`Engine::run`].
+    pub fn restrict(&mut self, active: &[bool]) {
+        assert_eq!(active.len(), self.n, "active mask must cover all vertices");
+        for st in &mut self.machines {
+            st.verts.retain(|&v| active[v as usize]);
+            st.labels.retain(|&v, _| active[v as usize]);
+        }
+        // The closure precondition, checked where it is cheap: every
+        // retained vertex's neighborhood must itself be active (each
+        // machine validates only its own shard adjacency).
+        #[cfg(debug_assertions)]
+        for st in &self.machines {
+            let view = self.g.view(st.id);
+            for &v in &st.verts {
+                for &(nb, _) in view.neighbors(v) {
+                    debug_assert!(
+                        active[nb as usize],
+                        "restrict: active vertex {v} has an edge to inactive {nb} — \
+                         the mask must be closed under adjacency"
+                    );
+                }
+            }
+        }
+    }
+
     /// Runs the algorithm to completion and returns outputs + accounting.
     pub fn run(mut self) -> EngineResult {
         if self.cfg.charge_shared_randomness {
@@ -374,11 +420,25 @@ impl<'g> Engine<'g> {
         } else {
             None
         };
-        // Gather outputs (instrumentation, not communication).
+        // Gather outputs (instrumentation, not communication), then
+        // canonicalize: relabel each component by its smallest member, so
+        // the reported labels are a pure function of the partition. The
+        // distributed state keeps its trajectory-dependent root labels;
+        // only the gathered output is normalized.
         let mut labels = vec![0 as Label; self.n];
+        let mut canon: FxHashMap<Label, Label> = FxHashMap::default();
         for st in &self.machines {
             for (&v, &lab) in &st.labels {
                 labels[v as usize] = lab;
+                canon
+                    .entry(lab)
+                    .and_modify(|m| *m = (*m).min(v as Label))
+                    .or_insert(v as Label);
+            }
+        }
+        for st in &self.machines {
+            for &v in st.labels.keys() {
+                labels[v as usize] = canon[&labels[v as usize]];
             }
         }
         let mst_edges_per_machine: Vec<usize> =

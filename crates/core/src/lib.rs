@@ -16,6 +16,10 @@
 //!
 //! * [`session`] — the cluster/problem session layer: ingest once, run
 //!   many algorithms, one report shape for all of them.
+//! * [`dynamic`] — the live-cluster update layer: batched edge
+//!   insertions/deletions with delta-logged shards, in-place incidence
+//!   sketch maintenance, and incremental re-solves spliced against the
+//!   surviving component structure.
 //! * [`connectivity`] — the headline `O~(n/k²)`-round connected-components
 //!   algorithm (§2): linear sketches + randomized proxies + distributed
 //!   random ranking.
@@ -33,6 +37,7 @@
 
 pub mod baselines;
 pub mod connectivity;
+pub mod dynamic;
 pub mod engine;
 pub mod lowerbound;
 pub mod messages;
@@ -44,6 +49,7 @@ pub mod st;
 pub mod verify;
 
 pub use connectivity::{connected_components, ConnectivityConfig, ConnectivityOutput};
+pub use dynamic::{DynConfig, DynamicCluster, UpdateBatch, UpdateError, UpdateOp};
 pub use mincut::{approx_min_cut, MinCutConfig, MinCutOutput};
 pub use mst::{minimum_spanning_tree, MstConfig, MstOutput, OutputCriterion};
 pub use session::{Cluster, ClusterBuilder, Problem, Run, RunReport};

@@ -127,6 +127,30 @@ pub enum Payload {
         /// Number of individual edge tests carried.
         count: u64,
     },
+    /// Dynamic update routed from the ingest coordinator to an endpoint's
+    /// home machine: the home XORs the edge contribution into (insert) or
+    /// out of (delete) the endpoint's incidence sketch and stages the
+    /// half-edge delta.
+    EdgeUpdate {
+        /// The endpoint homed at the destination machine.
+        vertex: u32,
+        /// The other endpoint of the updated edge.
+        other: u32,
+        /// The edge weight (0 for deletions).
+        weight: u64,
+        /// Insert (`true`) or delete (`false`).
+        insert: bool,
+    },
+    /// Dynamic certification: a machine's aggregated incidence sketch for
+    /// one of the component labels it hosts, sent to the label's referee
+    /// (the representative vertex's home). Linearity makes the per-label
+    /// sum cancel to exactly zero iff the label class has no outgoing edge.
+    CertSketch {
+        /// The component label being certified.
+        label: Label,
+        /// The sum of the machine's local vertex sketches for that label.
+        sketch: Box<L0Sketch>,
+    },
 }
 
 /// Flat per-message type tag cost.
@@ -154,6 +178,8 @@ impl Payload {
                 Payload::Candidate { .. } => 2 * l + (2 * l + W_BITS) + l,
                 Payload::StDone { .. } => 1,
                 Payload::TestBatch { count } => count * 3 * l,
+                Payload::EdgeUpdate { .. } => 2 * l + W_BITS + 1,
+                Payload::CertSketch { sketch, .. } => l + sketch.wire_bits(),
             }
     }
 }
@@ -215,6 +241,18 @@ mod tests {
             key: None,
         };
         assert!(some.wire_bits(16) > none.wire_bits(16));
+    }
+
+    #[test]
+    fn edge_update_costs_one_edge_record() {
+        let up = Payload::EdgeUpdate {
+            vertex: 3,
+            other: 9,
+            weight: 5,
+            insert: true,
+        };
+        // Two ids + weight + direction bit, plus the flat tag.
+        assert_eq!(up.wire_bits(12), 16 + 24 + 32 + 1);
     }
 
     #[test]

@@ -170,7 +170,10 @@ impl ClusterBuilder {
 /// Build one with [`Cluster::builder`], then [`Cluster::run`] any number of
 /// [`Problem`]s against it — ingestion is paid exactly once per cluster
 /// (pinned by the `kgraph::sharded::ingest_count` counter in
-/// `tests/session.rs`).
+/// `tests/session.rs`). A cluster's shards are immutable through this API;
+/// when the edge set itself evolves, wrap the cluster into a
+/// [`crate::dynamic::DynamicCluster`], which stages updates in place
+/// instead of re-ingesting snapshots.
 #[derive(Debug)]
 pub struct Cluster {
     sg: ShardedGraph,
@@ -213,6 +216,8 @@ impl Cluster {
             phases: P::phases(&output),
             sketch_builds,
             sketch_cache_hits,
+            update_rounds: 0,
+            update_bits: 0,
             wall,
         };
         Run { output, report }
@@ -247,6 +252,14 @@ impl Cluster {
     /// The ingested per-machine shards.
     pub fn sharded(&self) -> &ShardedGraph {
         &self.sg
+    }
+
+    /// Mutable shard access for the dynamic update layer
+    /// ([`crate::dynamic::DynamicCluster`]), which stages edge deltas and
+    /// compacts in place instead of re-ingesting. Crate-internal: a plain
+    /// session cluster's shards are immutable by contract.
+    pub(crate) fn sharded_mut(&mut self) -> &mut ShardedGraph {
+        &mut self.sg
     }
 
     /// The public vertex partition (home hashing).
@@ -285,6 +298,12 @@ pub struct RunReport {
     pub sketch_builds: u64,
     /// Part sketches served from the incremental cache.
     pub sketch_cache_hits: u64,
+    /// Rounds spent routing dynamic update batches since the previous
+    /// solve on the same [`crate::dynamic::DynamicCluster`] (`0` for static
+    /// runs — a plain `Cluster` has no update phase).
+    pub update_rounds: u64,
+    /// Bits moved by the update phase paired with `update_rounds`.
+    pub update_bits: u64,
     /// Wall-clock time of the simulated run (host-side, not a model cost).
     pub wall: Duration,
 }

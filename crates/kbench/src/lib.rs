@@ -3,10 +3,12 @@
 //! the `tables` binary (which regenerates every table/figure series of
 //! DESIGN.md §4) and the Criterion benches.
 
+pub mod dynamic;
 pub mod experiments;
 pub mod large;
 pub mod table;
 
+pub use dynamic::DynScenario;
 pub use experiments::{run_all, run_experiment, ExperimentRecord};
 pub use large::LargeScenario;
 pub use table::Table;

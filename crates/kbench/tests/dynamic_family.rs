@@ -1,0 +1,52 @@
+//! CI pin for the dynamic scenario family (DESIGN.md §4, E21): every
+//! update batch's incremental path must move measurably fewer bits than a
+//! full re-ingest + re-solve of the mutated edge set, and the measurements
+//! are written to `results/BENCH_PR4.json` so the bench trajectory of this
+//! PR is captured as an artifact.
+
+use kbench::dynamic::{family, measure};
+use kbench::experiments::records_to_json;
+use kconn::dynamic::RefreshKind;
+use std::path::PathBuf;
+
+/// The headline claim of the dynamic subsystem, asserted per batch, plus
+/// the perf snapshot the CI workflow uploads.
+#[test]
+fn incremental_updates_undercut_full_reingest_and_resolve() {
+    let mut records = Vec::new();
+    for s in family(true) {
+        let measurements = measure(&s);
+        assert!(!measurements.is_empty(), "{}: no batches measured", s.id);
+        for m in &measurements {
+            // The acceptance pin: a small batch's total communicated bits
+            // (update routing + incremental re-solve + certification) must
+            // sit strictly below re-shipping the graph and solving fresh.
+            assert!(
+                m.undercuts_full(),
+                "{} batch {}: incremental {} bits !< full {} bits",
+                s.id,
+                m.batch,
+                m.incremental_bits,
+                m.full_bits
+            );
+            // The incremental path must actually *be* incremental: after
+            // the warm base solve, batches take the restricted path (or
+            // the free cached path), never a cold full re-solve.
+            assert!(
+                !matches!(m.refresh, RefreshKind::Full),
+                "{} batch {}: fell back to a full refresh",
+                s.id,
+                m.batch
+            );
+            records.push(m.record("BENCH_PR4", &s));
+        }
+    }
+    // The snapshot lands in the repo-root results/ directory (the same
+    // place the tables binary writes experiments.json). results/ is
+    // gitignored, so it must be created on a fresh checkout.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let out = dir.join("BENCH_PR4.json");
+    std::fs::write(&out, records_to_json(&records))
+        .unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+}

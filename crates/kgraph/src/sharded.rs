@@ -13,6 +13,14 @@
 //! only what that machine legitimately knows: its own vertices, their
 //! adjacency, and — because home hashing is public — the home machine of
 //! any vertex id.
+//!
+//! **Mutation path.** Shards are live: edge insertions and deletions are
+//! *staged* into per-shard delta logs ([`ShardedGraph::stage_insert`],
+//! [`ShardedGraph::stage_delete`] — `O(1)` per endpoint home) and folded
+//! into the CSRs by [`ShardedGraph::compact`], which reproduces the layout
+//! fresh ingestion of the mutated edge sequence would build, bit for bit.
+//! Storage stays `O(m/k + Δ + pending)` per machine, with `pending`
+//! bounded by the caller's compaction threshold (`core::dynamic`).
 
 use crate::graph::{Edge, Graph, VertexId, Weight};
 use crate::partition::Partition;
@@ -34,8 +42,21 @@ pub fn ingest_count() -> u64 {
     INGESTS.with(|c| c.get())
 }
 
+/// One staged mutation, in half-edge form: `owner`'s adjacency gains or
+/// loses the neighbor `nb`. Every logical edge update produces two of
+/// these, one in each endpoint's home shard — the same double-entry layout
+/// ingestion uses.
+#[derive(Clone, Copy, Debug)]
+struct DeltaOp {
+    owner: VertexId,
+    nb: VertexId,
+    w: Weight,
+    insert: bool,
+}
+
 /// One machine's slice of the input: its home vertices and their full
-/// adjacency, in CSR form.
+/// adjacency, in CSR form, plus the shard's *delta log* of staged
+/// mutations awaiting compaction (the dynamic-update write path).
 #[derive(Clone, Debug)]
 pub struct Shard {
     /// Sorted local vertex ids.
@@ -44,6 +65,9 @@ pub struct Shard {
     adj_off: Vec<u32>,
     /// Concatenated `(neighbor, weight)` lists.
     adj: Vec<(VertexId, Weight)>,
+    /// Staged half-edge mutations, in arrival order. Readers of the CSR do
+    /// not see these until [`ShardedGraph::compact`] folds them in.
+    log: Vec<DeltaOp>,
 }
 
 impl Shard {
@@ -51,6 +75,62 @@ impl Shard {
     #[inline]
     fn index_of(&self, v: VertexId) -> Option<usize> {
         self.verts.binary_search(&v).ok()
+    }
+
+    /// Folds the delta log into the CSR, preserving fresh-ingest adjacency
+    /// order: surviving base entries keep their positions, inserts append
+    /// in log order — exactly the layout ingesting the mutated edge
+    /// sequence from scratch would produce.
+    fn compact(&mut self) {
+        if self.log.is_empty() {
+            return;
+        }
+        // Group ops by owner, preserving per-owner arrival order.
+        let mut by_owner: rustc_hash::FxHashMap<VertexId, Vec<usize>> =
+            rustc_hash::FxHashMap::default();
+        for (i, op) in self.log.iter().enumerate() {
+            by_owner.entry(op.owner).or_default().push(i);
+        }
+        let mut adj = Vec::with_capacity(self.adj.len());
+        let mut adj_off = Vec::with_capacity(self.verts.len() + 1);
+        adj_off.push(0u32);
+        for (vi, &v) in self.verts.iter().enumerate() {
+            let (lo, hi) = (self.adj_off[vi] as usize, self.adj_off[vi + 1] as usize);
+            match by_owner.get(&v) {
+                None => adj.extend_from_slice(&self.adj[lo..hi]),
+                Some(ops) => {
+                    // Sequential replay over the alive-entry list.
+                    let mut entries: Vec<(VertexId, Weight, bool)> = self.adj[lo..hi]
+                        .iter()
+                        .map(|&(nb, w)| (nb, w, true))
+                        .collect();
+                    for &i in ops {
+                        let op = self.log[i];
+                        if op.insert {
+                            entries.push((op.nb, op.w, true));
+                        } else if let Some(e) = entries
+                            .iter_mut()
+                            .find(|(nb, _, alive)| *alive && *nb == op.nb)
+                        {
+                            e.2 = false;
+                        }
+                        // A delete with no alive entry is a no-op at the
+                        // storage layer; `core::dynamic` validates batches
+                        // before staging, so it never reaches this point.
+                    }
+                    adj.extend(
+                        entries
+                            .into_iter()
+                            .filter(|&(_, _, alive)| alive)
+                            .map(|(nb, w, _)| (nb, w)),
+                    );
+                }
+            }
+            adj_off.push(adj.len() as u32);
+        }
+        self.adj = adj;
+        self.adj_off = adj_off;
+        self.log.clear();
     }
 }
 
@@ -120,6 +200,7 @@ impl ShardedGraph {
                     verts,
                     adj_off,
                     adj,
+                    log: Vec::new(),
                 }
             })
             .collect();
@@ -132,12 +213,115 @@ impl ShardedGraph {
         Self::from_stream_with_partition(GraphStream::new(g), part.clone())
     }
 
+    /// Stages an edge insertion: a half-edge delta is appended to each
+    /// endpoint's home-shard log, `O(1)` per shard — the CSR is untouched
+    /// until [`ShardedGraph::compact`]. Callers (the `core::dynamic` update
+    /// layer) are responsible for validating that `{u, v}` is not already
+    /// present; the storage layer only checks the model invariants.
+    pub fn stage_insert(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        self.stage(u, v, w, true);
+    }
+
+    /// Stages an edge deletion (the half-edge deltas tombstone the entry at
+    /// both endpoint homes on the next compaction). Deleting an absent edge
+    /// is a storage-layer no-op; callers validate first.
+    pub fn stage_delete(&mut self, u: VertexId, v: VertexId) {
+        self.stage(u, v, 0, false);
+    }
+
+    fn stage(&mut self, u: VertexId, v: VertexId, w: Weight, insert: bool) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "staged endpoint out of range"
+        );
+        assert_ne!(u, v, "self-loops are not part of the model");
+        self.shards[self.part.home(u)].log.push(DeltaOp {
+            owner: u,
+            nb: v,
+            w,
+            insert,
+        });
+        self.shards[self.part.home(v)].log.push(DeltaOp {
+            owner: v,
+            nb: u,
+            w,
+            insert,
+        });
+    }
+
+    /// Staged half-edge deltas not yet folded into the CSRs, summed over
+    /// shards (each logical edge update contributes two).
+    pub fn pending_half_ops(&self) -> usize {
+        self.shards.iter().map(|s| s.log.len()).sum()
+    }
+
+    /// The largest per-shard delta log — the quantity compaction policies
+    /// threshold on, since it bounds each machine's extra storage beyond
+    /// the `O(m/k + Δ)` CSR.
+    pub fn max_pending_per_shard(&self) -> usize {
+        self.shards.iter().map(|s| s.log.len()).max().unwrap_or(0)
+    }
+
+    /// The weight of edge `{u, v}` as of the *staged* state: the base CSR
+    /// overlaid with `u`'s home-shard log replayed in order. This is what
+    /// update validation reads — it sees mutations that compaction has not
+    /// materialized yet.
+    pub fn staged_edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let shard = &self.shards[self.part.home(u)];
+        let mut w = shard.index_of(u).and_then(|vi| {
+            let (lo, hi) = (shard.adj_off[vi] as usize, shard.adj_off[vi + 1] as usize);
+            shard.adj[lo..hi]
+                .iter()
+                .find(|&&(nb, _)| nb == v)
+                .map(|&(_, w)| w)
+        });
+        for op in &shard.log {
+            if op.owner == u && op.nb == v {
+                w = op.insert.then_some(op.w);
+            }
+        }
+        w
+    }
+
+    /// Folds every shard's delta log into its CSR and recounts `m`.
+    /// Per-machine local work, no communication; the resulting shards are
+    /// **bit-identical** to ingesting the mutated edge sequence from
+    /// scratch (surviving edges keep their stream positions, insertions
+    /// append in staging order) — property-tested in `tests/dynamic.rs`.
+    /// Returns the number of half-edge deltas applied.
+    pub fn compact(&mut self) -> usize {
+        let applied = self.pending_half_ops();
+        if applied == 0 {
+            return 0;
+        }
+        for shard in &mut self.shards {
+            shard.compact();
+        }
+        // Recount m: each edge exactly once, at its smaller endpoint's home.
+        self.m = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.verts
+                    .iter()
+                    .enumerate()
+                    .map(|(vi, &v)| {
+                        let (lo, hi) = (s.adj_off[vi] as usize, s.adj_off[vi + 1] as usize);
+                        s.adj[lo..hi].iter().filter(|&&(nb, _)| v < nb).count()
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        applied
+    }
+
     /// Number of vertices `n`.
     pub fn n(&self) -> usize {
         self.n
     }
 
-    /// Number of edges `m` (each undirected edge counted once).
+    /// Number of edges `m` (each undirected edge counted once; staged,
+    /// uncompacted deltas are not reflected until [`ShardedGraph::compact`]).
     pub fn m(&self) -> usize {
         self.m
     }
@@ -152,7 +336,9 @@ impl ShardedGraph {
         &self.part
     }
 
-    /// Machine `i`'s view of its shard.
+    /// Machine `i`'s view of its shard. Views read the compacted CSR only:
+    /// algorithms must not observe staged, un-compacted deltas (the dynamic
+    /// layer compacts before every solve).
     pub fn view(&self, i: usize) -> ShardView<'_> {
         ShardView {
             shard: &self.shards[i],
@@ -164,6 +350,11 @@ impl ShardedGraph {
     /// shared-randomness sampling — make both endpoint shards agree with
     /// zero communication, which is how the §3.2 min-cut probes subsample).
     pub fn filter_edges(&self, keep: impl Fn(VertexId, VertexId, Weight) -> bool) -> ShardedGraph {
+        debug_assert_eq!(
+            self.pending_half_ops(),
+            0,
+            "filter_edges reads the compacted CSR; compact() staged deltas first"
+        );
         let mut m = 0usize;
         let shards = self
             .shards
@@ -189,6 +380,7 @@ impl ShardedGraph {
                     verts: s.verts.clone(),
                     adj_off,
                     adj,
+                    log: Vec::new(),
                 }
             })
             .collect();
@@ -384,6 +576,153 @@ mod tests {
         let v = 7u32;
         let wrong = (part.home(v) + 1) % 4;
         let _ = sg.view(wrong).neighbors(v);
+    }
+
+    #[test]
+    #[should_panic(expected = "another machine")]
+    fn remote_degree_is_inaccessible() {
+        let g = generators::cycle(40);
+        let part = Partition::random_vertex(&g, 3, 5);
+        let sg = ShardedGraph::from_graph(&g, &part);
+        let v = 11u32;
+        let wrong = (part.home(v) + 1) % 3;
+        let _ = sg.view(wrong).degree(v);
+    }
+
+    #[test]
+    #[should_panic(expected = "another machine")]
+    fn remote_edge_weight_is_inaccessible() {
+        let g = generators::grid(6, 6);
+        let part = Partition::random_vertex(&g, 4, 9);
+        let sg = ShardedGraph::from_graph(&g, &part);
+        let e = g.edges()[0];
+        let wrong = (part.home(e.u) + 1) % 4;
+        let _ = sg.view(wrong).edge_weight(e.u, e.v);
+    }
+
+    #[test]
+    fn filter_edges_with_shared_randomness_is_deterministic_across_shardings() {
+        // The min-cut probes rely on this: a predicate derived from shared
+        // randomness must select the *same* edge subsample on every machine
+        // and under every partition — same seed ⇒ identical surviving edge
+        // set, different seed ⇒ (almost surely) a different one.
+        use krand::prf::Prf;
+        let g = generators::randomize_weights(&generators::gnm(140, 420, 31), 100, 32);
+        let survivors = |k: usize, part_seed: u64, prf_seed: u64| {
+            let part = Partition::random_vertex(&g, k, part_seed);
+            let sg = ShardedGraph::from_graph(&g, &part);
+            let prf = Prf::new(prf_seed);
+            let sub = sg.filter_edges(|u, v, _| {
+                prf.eval_mod(u as u64, v as u64, 2) == 0 // keep ~half
+            });
+            let mut edges: Vec<Edge> = (0..k).flat_map(|i| sub.view(i).local_edges()).collect();
+            edges.sort_unstable_by_key(|e| (e.u, e.v));
+            edges
+        };
+        let a = survivors(4, 7, 99);
+        let b = survivors(6, 21, 99); // different sharding, same shared seed
+        assert_eq!(a, b, "same seed must subsample identically across shards");
+        assert!(
+            !a.is_empty() && a.len() < g.m(),
+            "predicate must be nontrivial"
+        );
+        let c = survivors(4, 7, 100);
+        assert_ne!(a, c, "a fresh seed must (a.s.) pick a different subsample");
+    }
+
+    #[test]
+    fn staged_deltas_compact_to_fresh_ingestion() {
+        // Maintained shards after stage+compact must be bit-identical to
+        // ingesting the mutated edge sequence from scratch: surviving edges
+        // keep stream order, inserts append in staging order.
+        let g = generators::randomize_weights(&generators::gnm(80, 200, 41), 50, 42);
+        let part = Partition::random_vertex(&g, 4, 43);
+        let mut sg = ShardedGraph::from_graph(&g, &part);
+        let mut edges: Vec<Edge> = g.edges().to_vec();
+        // Delete every 5th edge, insert a batch of fresh ones.
+        let dels: Vec<Edge> = edges.iter().copied().step_by(5).collect();
+        for e in &dels {
+            sg.stage_delete(e.u, e.v);
+            edges.retain(|x| (x.u, x.v) != (e.u, e.v));
+        }
+        let mut fresh = Vec::new();
+        for i in 0..30u32 {
+            let (u, v) = (i % 79, 79 - (i % 40));
+            if u != v
+                && sg.staged_edge_weight(u, v).is_none()
+                && !fresh.contains(&(u.min(v), u.max(v)))
+            {
+                sg.stage_insert(u, v, 7 + i as u64);
+                fresh.push((u.min(v), u.max(v)));
+                edges.push(Edge::new(u, v, 7 + i as u64));
+            }
+        }
+        assert!(sg.pending_half_ops() > 0);
+        let applied = sg.compact();
+        assert_eq!(applied, 2 * (dels.len() + fresh.len()));
+        assert_eq!(sg.pending_half_ops(), 0);
+        let want = ShardedGraph::from_stream_with_partition(
+            crate::stream::VecStream::new(80, edges.clone()),
+            part.clone(),
+        );
+        assert_eq!(sg.m(), want.m());
+        for i in 0..4 {
+            assert_eq!(sg.view(i).verts(), want.view(i).verts(), "shard {i}");
+            for &v in sg.view(i).verts() {
+                assert_eq!(
+                    sg.view(i).neighbors(v),
+                    want.view(i).neighbors(v),
+                    "adjacency of {v} after compaction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staged_edge_weight_sees_uncompacted_deltas() {
+        let g = generators::path(20);
+        let part = Partition::random_vertex(&g, 3, 17);
+        let mut sg = ShardedGraph::from_graph(&g, &part);
+        assert_eq!(sg.staged_edge_weight(3, 4), Some(1));
+        sg.stage_delete(3, 4);
+        assert_eq!(
+            sg.staged_edge_weight(3, 4),
+            None,
+            "delete visible pre-compaction"
+        );
+        sg.stage_insert(3, 4, 9);
+        assert_eq!(sg.staged_edge_weight(3, 4), Some(9), "re-insert visible");
+        sg.stage_delete(3, 4);
+        sg.stage_insert(0, 5, 2);
+        assert_eq!(sg.staged_edge_weight(3, 4), None);
+        assert_eq!(sg.staged_edge_weight(0, 5), Some(2));
+        assert_eq!(sg.staged_edge_weight(5, 0), Some(2), "symmetric view");
+        sg.compact();
+        assert_eq!(sg.staged_edge_weight(3, 4), None);
+        assert_eq!(sg.staged_edge_weight(0, 5), Some(2));
+        assert_eq!(sg.m(), 19 - 1 + 1);
+    }
+
+    #[test]
+    fn compaction_preserves_the_storage_bound() {
+        // After heavy churn + compaction the per-shard loads must still sit
+        // within the O(m/k + Δ) envelope the ingest path guarantees.
+        let g = generators::gnm(400, 1600, 51);
+        let part = Partition::random_vertex(&g, 8, 52);
+        let mut sg = ShardedGraph::from_graph(&g, &part);
+        for e in g.edges().iter().step_by(2) {
+            sg.stage_delete(e.u, e.v);
+        }
+        sg.compact();
+        let fair = 2 * sg.m() / sg.k();
+        let delta = sg.max_degree();
+        for (i, load) in sg.shard_loads().into_iter().enumerate() {
+            assert!(
+                load <= 3 * fair + 2 * delta,
+                "shard {i}: {load} half-edges vs fair {fair} (Δ = {delta})"
+            );
+        }
+        assert_eq!(sg.total_half_edges(), 2 * sg.m());
     }
 
     #[test]

@@ -67,7 +67,16 @@ impl CommStats {
     /// `max_link_bits / (total_bits / links)`, counting only supersteps
     /// that moved at least `min_bits`. A value close to 1 means perfectly
     /// even link usage; Lemma 1 predicts O(polylog) for proxy routing.
+    ///
+    /// Returns `0.0` when the ratio is undefined: a degenerate `links == 0`
+    /// topology (division by zero otherwise), or when every superstep's
+    /// bits fall below `min_bits` (no qualifying sample — previously this
+    /// returned a fabricated "perfectly balanced" 1.0, which made empty
+    /// runs indistinguishable from genuinely balanced ones).
     pub fn link_imbalance(&self, links: u64, min_bits: u64) -> f64 {
+        if links == 0 {
+            return 0.0;
+        }
         let mut num = 0.0;
         let mut cnt = 0u64;
         for l in &self.superstep_loads {
@@ -78,7 +87,7 @@ impl CommStats {
             }
         }
         if cnt == 0 {
-            1.0
+            0.0
         } else {
             num / cnt as f64
         }
@@ -154,7 +163,49 @@ mod tests {
             messages: 1,
             rounds: 1,
         });
-        assert_eq!(s.link_imbalance(12, 100), 1.0);
+        // No superstep qualifies: the ratio is undefined, reported as 0.0.
+        assert_eq!(s.link_imbalance(12, 100), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_zero_links_is_zero_not_a_division() {
+        let mut s = CommStats::new(2);
+        s.superstep_loads.push(SuperstepLoad {
+            max_link_bits: 40,
+            total_bits: 40,
+            messages: 1,
+            rounds: 1,
+        });
+        let r = s.link_imbalance(0, 1);
+        assert_eq!(r, 0.0, "links == 0 must short-circuit, got {r}");
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn imbalance_of_empty_stats_is_zero() {
+        let s = CommStats::new(3);
+        assert_eq!(s.link_imbalance(6, 1), 0.0);
+    }
+
+    #[test]
+    fn imbalance_counts_only_qualifying_supersteps() {
+        let mut s = CommStats::new(4);
+        // Qualifying: ratio 2.0 (max 20 vs mean 120/12 = 10).
+        s.superstep_loads.push(SuperstepLoad {
+            max_link_bits: 20,
+            total_bits: 120,
+            messages: 12,
+            rounds: 1,
+        });
+        // Below min_bits: must not drag the mean.
+        s.superstep_loads.push(SuperstepLoad {
+            max_link_bits: 3,
+            total_bits: 3,
+            messages: 1,
+            rounds: 1,
+        });
+        let r = s.link_imbalance(12, 100);
+        assert!((r - 2.0).abs() < 1e-9, "got {r}");
     }
 
     #[test]

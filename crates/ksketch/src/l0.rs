@@ -210,6 +210,21 @@ impl L0Sketch {
         }
     }
 
+    /// Removes the incidence-vector entry of the edge `{vertex, neighbor}`
+    /// as seen from `vertex` — the group inverse of
+    /// [`L0Sketch::add_incident_edge`]. Because the sketch is a linear
+    /// projection, deleting an edge is just adding its contribution with
+    /// the opposite sign: a sketch maintained through any interleaving of
+    /// adds and removes equals the sketch built fresh from the surviving
+    /// edge set. This is what makes the sketches *dynamic* — the property
+    /// the incremental update layer (`core::dynamic`) builds on.
+    pub fn remove_incident_edge(&mut self, fns: &SketchFns, vertex: u32, neighbor: u32) {
+        // The negated contribution is exactly the edge as seen from the
+        // *other* endpoint (same cells and fingerprint power, opposite
+        // orientation sign), so removal is one add with swapped roles.
+        self.add_incident_edge(fns, neighbor, vertex);
+    }
+
     /// Merges another sketch (vector addition). Panics on shape mismatch —
     /// sketches from different phases must never be mixed.
     pub fn merge(&mut self, other: &L0Sketch) {
@@ -405,6 +420,49 @@ mod tests {
             }
         }
         assert!(fail * 20 < total, "failure rate {fail}/{total} too high");
+    }
+
+    #[test]
+    fn remove_is_the_inverse_of_add() {
+        let p = params(64);
+        let fns = SketchFns::new(&shared(), 7, p);
+        let mut s = vertex_sketch(&fns, 5, &[9, 11, 13]);
+        s.remove_incident_edge(&fns, 5, 11);
+        s.remove_incident_edge(&fns, 5, 9);
+        s.remove_incident_edge(&fns, 5, 13);
+        assert!(
+            s.is_zero(),
+            "removing every added edge must zero the sketch"
+        );
+        // And maintained-vs-fresh: interleaved adds/removes equal a fresh
+        // build of the surviving edge set.
+        let mut maintained = vertex_sketch(&fns, 5, &[9, 11]);
+        maintained.remove_incident_edge(&fns, 5, 9);
+        maintained.add_incident_edge(&fns, 5, 13);
+        let fresh = vertex_sketch(&fns, 5, &[11, 13]);
+        assert_eq!(maintained.cells, fresh.cells);
+    }
+
+    #[test]
+    fn remove_respects_orientation_signs() {
+        // Removing from the larger endpoint's perspective cancels the entry
+        // added from the smaller endpoint's perspective only pairwise: the
+        // ±1 orientation must be preserved through removal.
+        let p = params(64);
+        let fns = SketchFns::new(&shared(), 8, p);
+        let mut s = L0Sketch::new(p);
+        s.add_incident_edge(&fns, 3, 9); // +1 (3 < 9)
+        s.add_incident_edge(&fns, 9, 3); // −1
+        assert!(s.is_zero());
+        s.add_incident_edge(&fns, 3, 9);
+        s.remove_incident_edge(&fns, 3, 9);
+        assert!(s.is_zero());
+        s.add_incident_edge(&fns, 3, 9);
+        s.remove_incident_edge(&fns, 9, 3);
+        assert!(
+            !s.is_zero(),
+            "opposite-perspective removal must not cancel the +1 entry"
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ use std::process::ExitCode;
 
 /// The algorithm/utility subcommands, in help order (kept next to `usage`
 /// so unknown-subcommand errors can list exactly what exists).
-const SUBCOMMANDS: &[&str] = &["conn", "mst", "st", "mincut", "stcon", "bipart", "gen"];
+const SUBCOMMANDS: &[&str] = &[
+    "conn", "mst", "st", "mincut", "dyn", "stcon", "bipart", "gen",
+];
 
 /// Minimal argument parser: `--key value` pairs plus boolean `--flag`s.
 struct Args {
@@ -82,6 +84,8 @@ fn usage() -> ExitCode {
          mst     minimum spanning tree (Theorem 2; --both-endpoints for criterion (b))\n\
          st      spanning forest (no weight-elimination overhead)\n\
          mincut  O(log n)-approximate min cut (Theorem 3)\n\
+         dyn     replay an update trace on a live cluster (--trace FILE; `+ u v [w]`,\n\
+                 `- u v`, `---` batch boundary) with a per-batch report trailer\n\
          stcon   s-t connectivity (--s S --t T; Theorem 4)\n\
          bipart  bipartiteness via the double cover (Theorem 4)\n\
          gen     generate a graph file (--family ... --n N [--m M] [--p P] [--out FILE])\n\
@@ -91,7 +95,8 @@ fn usage() -> ExitCode {
                                          gnm|gnp|path|cycle|grid|star|tree|connected\n\
                  --n N --m M --p P       family size parameters\n\
                  --extra E               extra non-tree edges for `connected`\n\
-                 --max-weight W          random weights in [1, W]",
+                 --max-weight W          random weights in [1, W]\n\
+         output: --report json           machine-readable RunReport on stdout",
         SUBCOMMANDS.join("|")
     );
     ExitCode::from(2)
@@ -156,37 +161,183 @@ fn stream_from_args(args: &Args, seed: u64) -> Result<DynEdgeStream, String> {
 /// per-machine shards — one ingestion either way. Streamed runs print the
 /// *effective* graph size — families like `grid`, `cycle` and `star` round
 /// `--n` up to the nearest shape that exists.
-fn cluster_from_args(args: &Args, k: usize, seed: u64) -> Result<Cluster, String> {
+fn cluster_from_args(args: &Args, k: usize, seed: u64, verbose: bool) -> Result<Cluster, String> {
     let builder = Cluster::builder(k).seed(seed);
     if args.get("gen").is_some() {
         let stream = stream_from_args(args, seed)?;
         let cluster = builder.ingest_stream(stream);
-        println!("streamed input: n={} m={} k={k}", cluster.n(), cluster.m());
+        if verbose {
+            println!("streamed input: n={} m={} k={k}", cluster.n(), cluster.m());
+        }
         Ok(cluster)
     } else {
         Ok(builder.ingest_graph(&load_graph(args)?))
     }
 }
 
+/// Whether `--report json` asked for machine-readable output. Any other
+/// `--report` value is an error — silently falling back to the human
+/// trailer would break whatever is parsing stdout.
+fn json_mode(args: &Args) -> Result<bool, String> {
+    match args.get("report") {
+        None => Ok(false),
+        Some("json") => Ok(true),
+        Some(other) => Err(format!(
+            "unknown --report format `{other}` (supported: json)"
+        )),
+    }
+}
+
+/// Serializes a [`RunReport`] (plus caller-provided leading fields, already
+/// JSON-encoded) as one JSON object. Hand-rolled like kbench's records —
+/// the build environment has no serde.
+fn report_json(report: &kmm::algo::session::RunReport, head: &[(&str, String)]) -> String {
+    let mut fields: Vec<String> = head.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    let s = &report.stats;
+    for (k, v) in [
+        ("rounds", s.rounds),
+        ("supersteps", s.supersteps),
+        ("messages", s.messages),
+        ("total_bits", s.total_bits),
+        ("max_link_bits", s.max_link_bits),
+        ("max_machine_recv_bits", s.max_machine_recv_bits()),
+        ("phases", report.phases as u64),
+        ("sketch_builds", report.sketch_builds),
+        ("sketch_cache_hits", report.sketch_cache_hits),
+        ("update_rounds", report.update_rounds),
+        ("update_bits", report.update_bits),
+    ] {
+        fields.push(format!("\"{k}\": {v}"));
+    }
+    fields.insert(0, format!("\"problem\": \"{}\"", report.problem));
+    fields.push(format!(
+        "\"wall_ms\": {:.3}",
+        report.wall.as_secs_f64() * 1e3
+    ));
+    format!("{{{}}}", fields.join(", "))
+}
+
 /// The one generic algorithm runner behind `conn`/`mst`/`st`/`mincut`:
 /// ingest into a cluster, run the problem, print its specific lines via
-/// `print`, then the common report trailer.
+/// `print`, then the common report trailer — or, under `--report json`,
+/// exactly one machine-readable object carrying both the answer summary
+/// (`answer`'s key/value pairs, values already JSON-encoded) and the
+/// `RunReport`.
 fn run_problem<P: Problem>(
     args: &Args,
     k: usize,
     seed: u64,
     problem: P,
+    answer: impl FnOnce(&P::Output) -> Vec<(&'static str, String)>,
     print: impl FnOnce(&Args, &P::Output),
 ) -> ExitCode {
-    let cluster = match cluster_from_args(args, k, seed) {
+    let json = match json_mode(args) {
+        Ok(json) => json,
+        Err(e) => return fail(&e),
+    };
+    let cluster = match cluster_from_args(args, k, seed, !json) {
         Ok(cluster) => cluster,
         Err(e) => return fail(&e),
     };
     let run = cluster.run(problem);
-    print(args, &run.output);
-    println!("rounds:     {}", run.report.stats.rounds);
-    println!("total bits: {}", run.report.stats.total_bits);
-    println!("wall:       {:.1?}", run.report.wall);
+    if json {
+        println!("{}", report_json(&run.report, &answer(&run.output)));
+    } else {
+        print(args, &run.output);
+        println!("rounds:     {}", run.report.stats.rounds);
+        println!("total bits: {}", run.report.stats.total_bits);
+        println!("wall:       {:.1?}", run.report.wall);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `kmm dyn`: ingest, wrap into a `DynamicCluster`, replay the `--trace`
+/// batches, and print a per-batch trailer (components, forest size, solve
+/// and update-phase costs) — JSON lines under `--report json`.
+fn run_dyn(args: &Args, k: usize, seed: u64) -> ExitCode {
+    let Some(path) = args.get("trace") else {
+        return fail("dyn needs --trace FILE (`+ u v [w]` / `- u v` / `---` per line)");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("read {path}: {e}")),
+    };
+    let batches = match UpdateBatch::parse_trace(&text) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("parse {path}: {e}")),
+    };
+    let json = match json_mode(args) {
+        Ok(json) => json,
+        Err(e) => return fail(&e),
+    };
+    let cluster = match cluster_from_args(args, k, seed, !json) {
+        Ok(cluster) => cluster,
+        Err(e) => return fail(&e),
+    };
+    let mut dc = DynamicCluster::wrap(cluster, DynConfig::default());
+    let conn_cfg = ConnectivityConfig::default();
+    let mst_cfg = MstConfig::default();
+    let emit = |batch: usize, up: Option<&UpdateReport>, dc: &mut DynamicCluster| {
+        let conn = dc.connectivity(&conn_cfg);
+        // Read the refresh kind now: the follow-up spanning-forest call is
+        // served from the structure the connectivity solve just refreshed.
+        let refresh = match dc.last_refresh() {
+            RefreshKind::Cached => "cached".to_string(),
+            RefreshKind::Incremental { active_vertices } => {
+                format!("incremental({active_vertices})")
+            }
+            RefreshKind::Full => "full".to_string(),
+        };
+        let st = dc.spanning_forest(&mst_cfg);
+        if json {
+            let mut head = vec![("batch", batch.to_string())];
+            if let Some(u) = up {
+                head.push(("ops", u.ops.to_string()));
+                head.push(("inserts", u.inserts.to_string()));
+                head.push(("deletes", u.deletes.to_string()));
+            }
+            head.push(("refresh", format!("\"{refresh}\"")));
+            head.push(("components", conn.output.component_count().to_string()));
+            head.push(("forest_edges", st.output.edges.len().to_string()));
+            println!("{}", report_json(&conn.report, &head));
+        } else {
+            match up {
+                None => println!("base solve:"),
+                Some(u) => println!(
+                    "batch {batch}: {} ops (+{}/-{}), update rounds {} bits {}{}",
+                    u.ops,
+                    u.inserts,
+                    u.deletes,
+                    conn.report.update_rounds,
+                    conn.report.update_bits,
+                    if u.compacted { ", compacted" } else { "" }
+                ),
+            }
+            println!("  refresh:      {refresh}");
+            println!("  components:   {}", conn.output.component_count());
+            println!("  forest edges: {}", st.output.edges.len());
+            println!("  rounds:       {}", conn.report.stats.rounds);
+            println!("  total bits:   {}", conn.report.stats.total_bits);
+            println!("  wall:         {:.1?}", conn.report.wall);
+        }
+    };
+    emit(0, None, &mut dc);
+    for (i, batch) in batches.iter().enumerate() {
+        match dc.apply(batch) {
+            Ok(up) => emit(i + 1, Some(&up), &mut dc),
+            Err(e) => return fail(&format!("batch {}: {e}", i + 1)),
+        }
+    }
+    if !json {
+        let (ins, del) = dc.ops_applied();
+        println!(
+            "replayed {} batches (+{ins}/-{del}), {} compactions, final n={} m={}",
+            batches.len(),
+            dc.compactions(),
+            dc.n(),
+            dc.m()
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -200,10 +351,17 @@ fn main() -> ExitCode {
         return fail("the k-machine model requires --k >= 2");
     }
     match args.cmd.as_str() {
-        "conn" => run_problem(&args, k, seed, Connectivity::default(), |_, out| {
-            println!("components: {}", out.component_count());
-            println!("phases:     {}", out.phases);
-        }),
+        "conn" => run_problem(
+            &args,
+            k,
+            seed,
+            Connectivity::default(),
+            |out| vec![("components", out.component_count().to_string())],
+            |_, out| {
+                println!("components: {}", out.component_count());
+                println!("phases:     {}", out.phases);
+            },
+        ),
         "mst" => {
             let cfg = MstConfig {
                 criterion: if args.flag("both-endpoints") {
@@ -213,23 +371,55 @@ fn main() -> ExitCode {
                 },
                 ..MstConfig::default()
             };
-            run_problem(&args, k, seed, Mst::with(cfg), |args, out| {
-                println!("forest edges: {}", out.edges.len());
-                println!("total weight: {}", out.total_weight);
-                if args.flag("print-edges") {
-                    for e in &out.edges {
-                        println!("{} {} {}", e.u, e.v, e.w);
+            run_problem(
+                &args,
+                k,
+                seed,
+                Mst::with(cfg),
+                |out| {
+                    vec![
+                        ("forest_edges", out.edges.len().to_string()),
+                        ("total_weight", out.total_weight.to_string()),
+                    ]
+                },
+                |args, out| {
+                    println!("forest edges: {}", out.edges.len());
+                    println!("total weight: {}", out.total_weight);
+                    if args.flag("print-edges") {
+                        for e in &out.edges {
+                            println!("{} {} {}", e.u, e.v, e.w);
+                        }
                     }
-                }
-            })
+                },
+            )
         }
-        "st" => run_problem(&args, k, seed, SpanningForest::default(), |_, out| {
-            println!("forest edges: {}", out.edges.len());
-        }),
-        "mincut" => run_problem(&args, k, seed, MinCut::default(), |_, out| {
-            println!("estimate: {}", out.estimate);
-            println!("probes:   {}", out.probes);
-        }),
+        "st" => run_problem(
+            &args,
+            k,
+            seed,
+            SpanningForest::default(),
+            |out| vec![("forest_edges", out.edges.len().to_string())],
+            |_, out| {
+                println!("forest edges: {}", out.edges.len());
+            },
+        ),
+        "mincut" => run_problem(
+            &args,
+            k,
+            seed,
+            MinCut::default(),
+            |out| {
+                vec![
+                    ("estimate", out.estimate.to_string()),
+                    ("probes", out.probes.to_string()),
+                ]
+            },
+            |_, out| {
+                println!("estimate: {}", out.estimate);
+                println!("probes:   {}", out.probes);
+            },
+        ),
+        "dyn" => run_dyn(&args, k, seed),
         "stcon" => {
             let g = match load_graph(&args) {
                 Ok(g) => g,

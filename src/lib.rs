@@ -61,6 +61,9 @@ pub mod prelude {
     pub use kconn::connectivity::{
         connected_components, connected_components_sharded, ConnectivityConfig, ConnectivityOutput,
     };
+    pub use kconn::dynamic::{
+        DynConfig, DynamicCluster, RefreshKind, UpdateBatch, UpdateError, UpdateOp, UpdateReport,
+    };
     pub use kconn::mincut::{approx_min_cut, approx_min_cut_sharded, MinCutConfig};
     pub use kconn::mst::{
         minimum_spanning_tree, minimum_spanning_tree_sharded, MstConfig, OutputCriterion,

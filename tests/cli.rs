@@ -469,3 +469,189 @@ fn gen_to_stdout_parses_back() {
     assert_eq!(g.n(), 12);
     assert_eq!(g.m(), 12);
 }
+
+// ---------------------------------------------------------------------
+// The dynamic subcommand and the machine-readable report.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dyn_replays_a_trace_with_per_batch_trailers() {
+    let trace = tmp("churn.trace");
+    std::fs::write(
+        &trace,
+        "# close the ring, cut twice, resurrect\n+ 0 19 5\n---\n- 0 19\n- 3 4\n---\n+ 3 4 2\n",
+    )
+    .unwrap();
+    let out = kmm()
+        .args([
+            "dyn",
+            "--gen",
+            "path",
+            "--n",
+            "20",
+            "--k",
+            "3",
+            "--seed",
+            "7",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run dyn");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("base solve:"), "{text}");
+    for b in 1..=3 {
+        assert!(text.contains(&format!("batch {b}:")), "{text}");
+    }
+    // A path is one component; cutting (3,4) after deleting the inserted
+    // bridge leaves two; re-inserting heals it.
+    assert!(text.contains("components:   2"), "{text}");
+    let healed = text
+        .lines()
+        .filter(|l| l.contains("components:   1"))
+        .count();
+    assert!(
+        healed >= 2,
+        "base and final solves see one component: {text}"
+    );
+    assert!(text.contains("replayed 3 batches"), "{text}");
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn dyn_rejects_invalid_traces_cleanly() {
+    let trace = tmp("bad.trace");
+    // Line 2 is malformed.
+    std::fs::write(&trace, "+ 1 2\n* what\n").unwrap();
+    let out = kmm()
+        .args([
+            "dyn",
+            "--gen",
+            "path",
+            "--n",
+            "10",
+            "--k",
+            "2",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+
+    // A well-formed trace whose op is semantically invalid fails with the
+    // batch number and the validation error, not a panic.
+    std::fs::write(&trace, "- 0 9\n").unwrap();
+    let out = kmm()
+        .args([
+            "dyn",
+            "--gen",
+            "path",
+            "--n",
+            "10",
+            "--k",
+            "2",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("batch 1"), "{err}");
+    assert!(err.contains("absent edge"), "{err}");
+
+    let missing = kmm()
+        .args(["dyn", "--gen", "path", "--n", "10", "--k", "2"])
+        .output()
+        .unwrap();
+    assert!(!missing.status.success());
+    assert!(
+        String::from_utf8_lossy(&missing.stderr).contains("--trace"),
+        "must ask for the trace file"
+    );
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn report_json_is_machine_readable() {
+    let out = kmm()
+        .args([
+            "conn", "--gen", "gnm", "--n", "200", "--m", "500", "--k", "4", "--report", "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Exactly one line, a JSON object with the RunReport fields; the
+    // human-readable lines are suppressed.
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "json mode prints exactly one object: {text}"
+    );
+    let obj = lines[0];
+    assert!(obj.starts_with('{') && obj.ends_with('}'), "{obj}");
+    for field in [
+        "\"problem\": \"conn\"",
+        "\"components\": ", // the answer rides along, not just the costs
+        "\"rounds\": ",
+        "\"total_bits\": ",
+        "\"sketch_builds\": ",
+        "\"update_bits\": 0",
+        "\"wall_ms\": ",
+    ] {
+        assert!(obj.contains(field), "missing {field} in {obj}");
+    }
+
+    // dyn emits one object per solve, each tagged with its batch index.
+    let trace = tmp("json.trace");
+    std::fs::write(&trace, "+ 0 5 2\n---\n- 0 5\n").unwrap();
+    let out = kmm()
+        .args([
+            "dyn",
+            "--gen",
+            "cycle",
+            "--n",
+            "12",
+            "--k",
+            "2",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--report",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "base + two batches: {text}");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(line.contains(&format!("\"batch\": {i}")), "{line}");
+        assert!(line.contains("\"components\": "), "{line}");
+        assert!(line.contains("\"forest_edges\": "), "{line}");
+    }
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn unknown_report_format_is_a_clean_error() {
+    let out = kmm()
+        .args([
+            "conn", "--gen", "path", "--n", "20", "--k", "2", "--report", "JSON",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "typo'd format must not fall back");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown --report format"), "{err}");
+    assert!(
+        err.contains("json"),
+        "must name the supported format: {err}"
+    );
+}

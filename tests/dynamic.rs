@@ -1,0 +1,274 @@
+//! Differential pin of the dynamic update subsystem (DESIGN.md §3.9):
+//! for every scenario-matrix graph family, a live [`DynamicCluster`]
+//! replays ≥ 3 update batches, and after *each* batch its Connectivity and
+//! SpanningForest answers must be **bit-identical** to a fresh static
+//! `Cluster::run` on the mutated edge set — plus sound against the
+//! sequential oracles, with the model-accounting invariants intact.
+//!
+//! Also property-tests the storage layer: staged deltas + compaction must
+//! reproduce fresh ingestion of the mutated edge sequence exactly, and the
+//! per-shard `O(m/k + Δ)` bound must survive arbitrary churn.
+
+mod common;
+
+use common::{
+    assert_labels_match_reference, assert_stats_sane, bandwidths, graph_families, KS, SEEDS,
+};
+use kmm::prelude::*;
+use kmm::randomness::prf::Prf;
+use rustc_hash::FxHashSet;
+
+/// Three deterministic batches for one family cell: insert-leaning, then
+/// delete-leaning, then churn with a delete→re-insert. Every batch is
+/// valid in sequence against the evolving edge set.
+fn batches_for(g: &Graph, seed: u64) -> Vec<UpdateBatch> {
+    let prf = Prf::new(seed ^ 0xD74CE);
+    let n = g.n() as u64;
+    let mut present: FxHashSet<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+    let mut alive: Vec<(u32, u32)> = present.iter().copied().collect();
+    alive.sort_unstable();
+    let mut ctr = 0u64;
+    let mut step = |m: u64| {
+        ctr += 1;
+        prf.eval_mod(0, ctr, m)
+    };
+    let mut first_deleted: Option<(u32, u32)> = None;
+    let mut out = Vec::new();
+    for (bi, insert_octile) in [(0usize, 7u64), (1, 1), (2, 4)] {
+        let mut batch = UpdateBatch::new();
+        for _ in 0..4 + bi {
+            let want_insert = step(8) < insert_octile || alive.is_empty();
+            if want_insert {
+                for _ in 0..64 {
+                    let (u, v) = (step(n) as u32, step(n) as u32);
+                    if u == v {
+                        continue;
+                    }
+                    let key = (u.min(v), u.max(v));
+                    if present.insert(key) {
+                        alive.push(key);
+                        batch.push(UpdateOp::Insert {
+                            u: key.0,
+                            v: key.1,
+                            w: 1 + step(100),
+                        });
+                        break;
+                    }
+                }
+            } else {
+                let i = step(alive.len() as u64) as usize;
+                let key = alive.swap_remove(i);
+                present.remove(&key);
+                first_deleted.get_or_insert(key);
+                batch.push(UpdateOp::Delete { u: key.0, v: key.1 });
+            }
+        }
+        if bi == 2 {
+            // Churn batch: resurrect the first casualty (linearity must
+            // handle delete → re-insert of the same edge exactly).
+            if let Some(key) = first_deleted {
+                if present.insert(key) {
+                    alive.push(key);
+                    batch.push(UpdateOp::Insert {
+                        u: key.0,
+                        v: key.1,
+                        w: 1 + step(100),
+                    });
+                }
+            }
+        }
+        assert!(!batch.is_empty(), "degenerate batch for this cell");
+        out.push(batch);
+    }
+    out
+}
+
+/// The tentpole pin: incremental answers are bit-identical to fresh static
+/// runs after every batch, across every graph family of the matrix (k and
+/// bandwidth rotate per family so every axis value appears).
+#[test]
+fn dynamic_answers_match_fresh_static_runs_across_families() {
+    for &seed in &SEEDS {
+        for (fi, (family, g)) in graph_families(seed).into_iter().enumerate() {
+            let k = KS[fi % KS.len()];
+            let bandwidth = bandwidths()[fi % 2];
+            let id = format!("dyn/{family}/k{k}/{bandwidth:?}/seed{seed}");
+            let conn_cfg = ConnectivityConfig {
+                bandwidth,
+                ..ConnectivityConfig::default()
+            };
+            let mst_cfg = MstConfig {
+                bandwidth,
+                ..MstConfig::default()
+            };
+            let mut dc = DynamicCluster::wrap(
+                Cluster::builder(k).seed(seed).ingest_graph(&g),
+                DynConfig::default(),
+            );
+            let mut edges = g.edges().to_vec();
+            dc.connectivity(&conn_cfg); // warm base solve
+            let batches = batches_for(&g, seed.wrapping_add(fi as u64 * 101));
+            assert!(batches.len() >= 3, "{id}: the pin needs ≥ 3 batches");
+            for (bi, batch) in batches.iter().enumerate() {
+                batch
+                    .apply_to_edge_list(g.n(), &mut edges)
+                    .unwrap_or_else(|e| panic!("{id} batch {bi}: {e}"));
+                dc.apply(batch)
+                    .unwrap_or_else(|e| panic!("{id} batch {bi}: {e}"));
+                let conn = dc.connectivity(&conn_cfg);
+                let st = dc.spanning_forest(&mst_cfg);
+                let mutated = Graph::from_dedup_edges(g.n(), edges.clone());
+                let fresh = Cluster::builder(k).seed(seed).ingest_graph(&mutated);
+                let fresh_conn = fresh.run(Connectivity::with(conn_cfg));
+                let fresh_st = fresh.run(SpanningForest::with(mst_cfg));
+                // Bit-identity: the incremental path must reproduce the
+                // static answers exactly, not just up to relabeling.
+                assert_eq!(
+                    conn.output.labels, fresh_conn.output.labels,
+                    "{id} batch {bi}: connectivity labels must be bit-identical"
+                );
+                assert_eq!(
+                    conn.output.counted_components, fresh_conn.output.counted_components,
+                    "{id} batch {bi}: counted components"
+                );
+                assert_eq!(
+                    st.output.edges, fresh_st.output.edges,
+                    "{id} batch {bi}: spanning forest must be bit-identical"
+                );
+                // Soundness against the sequential oracles.
+                assert_labels_match_reference(&id, &conn.output.labels, &mutated);
+                assert!(
+                    refalgo::is_spanning_forest(&mutated, &st.output.edges),
+                    "{id} batch {bi}: forest must span the mutated graph"
+                );
+                assert_eq!(
+                    st.output.edges.len(),
+                    mutated.n() - refalgo::component_count(&mutated),
+                    "{id} batch {bi}: forest size"
+                );
+                // Model accounting stays sane through update + certify.
+                assert_stats_sane(&id, &conn.output.stats, k);
+                assert_stats_sane(&id, &st.output.stats, k);
+            }
+            // The mutated cluster's storage still matches fresh ingestion.
+            assert_eq!(dc.m(), edges.len(), "{id}: edge count after churn");
+        }
+    }
+}
+
+/// A batch that only touches one component leaves every other component's
+/// labels and forest edges untouched — the surviving structure really is
+/// reused, not recomputed.
+#[test]
+fn untouched_components_survive_verbatim() {
+    // Two far-apart planted paths plus an isolated blob.
+    let mut list: Vec<(u32, u32)> = (0..40).map(|i| (i, i + 1)).collect();
+    list.extend((50..90).map(|i| (i, i + 1)));
+    let g = Graph::unweighted(100, list);
+    let (k, seed) = (5, 9);
+    let cfg = ConnectivityConfig::default();
+    let mut dc = DynamicCluster::wrap(
+        Cluster::builder(k).seed(seed).ingest_graph(&g),
+        DynConfig::default(),
+    );
+    let before = dc.connectivity(&cfg);
+    let forest_before: Vec<_> = dc.forest().unwrap().to_vec();
+    // Churn strictly inside the second path's component.
+    let batch = UpdateBatch::new().delete(60, 61).insert(60, 75, 2);
+    dc.apply(&batch).unwrap();
+    let after = dc.connectivity(&cfg);
+    match dc.last_refresh() {
+        RefreshKind::Incremental { active_vertices } => assert!(
+            active_vertices <= 41,
+            "only the touched component may be re-solved, got {active_vertices}"
+        ),
+        other => panic!("expected an incremental refresh, got {other:?}"),
+    }
+    // First path (vertices 0..=40) and the isolated vertices: identical.
+    for v in (0..=40).chain(91..100) {
+        assert_eq!(
+            before.output.labels[v], after.output.labels[v],
+            "vertex {v} is in an untouched component"
+        );
+    }
+    let forest_after = dc.forest().unwrap();
+    for e in &forest_before {
+        if e.u <= 40 {
+            assert!(
+                forest_after.contains(e),
+                "untouched forest edge {e:?} must survive"
+            );
+        }
+    }
+}
+
+mod storage_properties {
+    use super::*;
+    use kmm::graph::graph::Edge;
+    use kmm::graph::stream::VecStream;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Arbitrary valid churn, staged in random chunks with compactions
+        /// interleaved, always lands shards bit-identical to fresh
+        /// ingestion of the mutated sequence — and inside the storage
+        /// bound.
+        #[test]
+        fn staged_churn_equals_fresh_ingestion(
+            seed in 0u64..1000,
+            k in 2usize..7,
+            churn in 8usize..40,
+        ) {
+            let g = generators::gnm(60, 140, seed);
+            let part = Partition::random_vertex(&g, k, seed ^ 0xF00);
+            let mut sg = ShardedGraph::from_graph(&g, &part);
+            let mut edges = g.edges().to_vec();
+            let prf = Prf::new(seed ^ 0xBEEF);
+            let mut ctr = 0u64;
+            let mut step = |m: u64| { ctr += 1; prf.eval_mod(1, ctr, m) };
+            for i in 0..churn {
+                if step(2) == 0 && !edges.is_empty() {
+                    let at = step(edges.len() as u64) as usize;
+                    let e = edges.remove(at);
+                    sg.stage_delete(e.u, e.v);
+                } else {
+                    let (u, v) = (step(60) as u32, step(60) as u32);
+                    if u == v || edges.iter().any(|e| (e.u, e.v) == (u.min(v), u.max(v))) {
+                        continue;
+                    }
+                    let w = 1 + step(50);
+                    sg.stage_insert(u, v, w);
+                    edges.push(Edge::new(u, v, w));
+                }
+                if i % 7 == 3 {
+                    sg.compact();
+                }
+            }
+            sg.compact();
+            let want = ShardedGraph::from_stream_with_partition(
+                VecStream::new(60, edges.clone()),
+                part.clone(),
+            );
+            prop_assert_eq!(sg.m(), want.m());
+            prop_assert_eq!(sg.total_half_edges(), 2 * want.m());
+            for i in 0..k {
+                prop_assert_eq!(sg.view(i).verts(), want.view(i).verts());
+                for &v in sg.view(i).verts() {
+                    prop_assert_eq!(
+                        sg.view(i).neighbors(v),
+                        want.view(i).neighbors(v),
+                        "adjacency of {} after churn", v
+                    );
+                }
+            }
+            // The O(m/k + Δ) storage envelope survives churn.
+            let fair = (2 * sg.m() / k).max(1);
+            let delta = sg.max_degree();
+            for load in sg.shard_loads() {
+                prop_assert!(load <= 3 * fair + 2 * delta);
+            }
+        }
+    }
+}
