@@ -54,7 +54,7 @@ pub fn rep_mst(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> RepMstOutput 
     Cluster::builder(k)
         .seed(seed)
         .ingest_graph(g)
-        .run(RepMst::with(*cfg))
+        .run(RepMst::with(cfg.clone()))
         .output
 }
 

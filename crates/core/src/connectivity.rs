@@ -5,14 +5,15 @@
 //! the true connected components with high probability; every output is
 //! cheap to validate against [`kgraph::refalgo::connected_components`].
 
-use crate::engine::{Engine, EngineConfig, EngineResult, MergeStrategy, Mode};
+use crate::engine::{Engine, EngineConfig, EngineResult, MergeStrategy, Mode, RecoveryPolicy};
 use crate::messages::Label;
 use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
+use kmachine::fault::FaultPlan;
 use kmachine::metrics::CommStats;
 
 /// Configuration for a connectivity run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ConnectivityConfig {
     /// Per-link bandwidth policy (default: `8·log²n` bits per round).
     pub bandwidth: Bandwidth,
@@ -33,6 +34,12 @@ pub struct ConnectivityConfig {
     /// Phases per iteration-0 sketch-function epoch (incremental sketch
     /// reuse; `0` rebuilds everything every phase — the ablation).
     pub sketch_reuse_period: u32,
+    /// Deterministic fault-injection plan the run must survive (`None` —
+    /// the default — keeps the fault-free behaviour bit for bit).
+    pub faults: Option<FaultPlan>,
+    /// How injected faults are survived (ack/retransmit + phase
+    /// checkpoints, both on by default).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ConnectivityConfig {
@@ -47,6 +54,8 @@ impl Default for ConnectivityConfig {
             merge: e.merge,
             cost_model: e.cost_model,
             sketch_reuse_period: e.sketch_reuse_period,
+            faults: e.faults,
+            recovery: e.recovery,
         }
     }
 }
@@ -62,6 +71,8 @@ impl ConnectivityConfig {
             merge: self.merge,
             cost_model: self.cost_model,
             sketch_reuse_period: self.sketch_reuse_period,
+            faults: self.faults.clone(),
+            recovery: self.recovery,
         }
     }
 }
@@ -146,7 +157,7 @@ pub fn connected_components(
     Cluster::builder(k)
         .seed(seed)
         .ingest_graph(g)
-        .run(Connectivity::with(*cfg))
+        .run(Connectivity::with(cfg.clone()))
         .output
 }
 

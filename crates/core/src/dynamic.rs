@@ -348,7 +348,7 @@ impl std::error::Error for TraceError {}
 // ---------------------------------------------------------------------
 
 /// Knobs of the dynamic layer.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DynConfig {
     /// Compact a shard's delta log into its CSR once any shard's pending
     /// half-edge count reaches this bound (solves always compact first, so
@@ -358,6 +358,12 @@ pub struct DynConfig {
     /// re-solve (one superstep of per-label incidence-sketch sums; a
     /// non-zero sum escalates to a full re-solve).
     pub certify: bool,
+    /// Deterministic fault plan applied to the dynamic layer's own
+    /// supersteps (update routing and certification); solves carry their
+    /// plan in their [`ConnectivityConfig`]/[`MstConfig`]. Masked by the
+    /// reliable-delivery protocol, so batches and certificates stay
+    /// bit-identical to fault-free runs while the costs are counted.
+    pub faults: Option<kmachine::fault::FaultPlan>,
 }
 
 impl Default for DynConfig {
@@ -365,6 +371,7 @@ impl Default for DynConfig {
         DynConfig {
             compaction_threshold: 1024,
             certify: true,
+            faults: None,
         }
     }
 }
@@ -465,9 +472,14 @@ pub struct DynamicCluster {
     trajectory: Option<TrajectoryKey>,
     last_refresh: RefreshKind,
     /// Update-phase accounting since the last solve (stamped into the next
-    /// [`RunReport`], then reset) and over the cluster's lifetime.
+    /// [`RunReport`], then reset) and over the cluster's lifetime. The
+    /// fault counters cover the routing supersteps, so a batch whose
+    /// routing needed recovery is reported even when the solve ran clean.
     epoch_rounds: u64,
     epoch_bits: u64,
+    epoch_faults: u64,
+    epoch_retransmit_bits: u64,
+    epoch_recovery_rounds: u64,
     update_stats: CommStats,
     batches: u64,
     compactions: u64,
@@ -518,6 +530,9 @@ impl DynamicCluster {
             last_refresh: RefreshKind::Full,
             epoch_rounds: 0,
             epoch_bits: 0,
+            epoch_faults: 0,
+            epoch_retransmit_bits: 0,
+            epoch_recovery_rounds: 0,
             update_stats,
             batches: 0,
             compactions: 0,
@@ -611,10 +626,16 @@ impl DynamicCluster {
             }
         }
         let mut bsp: Bsp<Payload> = Bsp::new(self.network());
+        if let Some(plan) = self.cfg.faults.clone() {
+            bsp.install_faults(plan, true);
+        }
         bsp.superstep(envelopes);
         let stats = bsp.into_stats();
         self.epoch_rounds += stats.rounds;
         self.epoch_bits += stats.total_bits;
+        self.epoch_faults += stats.faults_injected;
+        self.epoch_retransmit_bits += stats.retransmit_bits;
+        self.epoch_recovery_rounds += stats.recovery_rounds;
         self.update_stats.absorb(&stats);
         self.batches += 1;
         self.inserts += inserts as u64;
@@ -673,6 +694,8 @@ impl DynamicCluster {
             merge: cfg.merge,
             cost_model: cfg.cost_model,
             sketch_reuse_period: cfg.sketch_reuse_period,
+            faults: cfg.faults.clone(),
+            recovery: cfg.recovery,
         };
         let r = self.refresh(ecfg);
         let report = self.report("conn", &r, started);
@@ -713,6 +736,8 @@ impl DynamicCluster {
             charge_shared_randomness: cfg.charge_shared_randomness,
             run_output_protocol: false,
             max_phases: cfg.max_phases,
+            faults: cfg.faults.clone(),
+            recovery: cfg.recovery,
             ..EngineConfig::default()
         };
         let r = self.refresh(ecfg);
@@ -737,8 +762,10 @@ impl DynamicCluster {
         let mut run = self.inner.run(problem);
         run.report.update_rounds = self.epoch_rounds;
         run.report.update_bits = self.epoch_bits;
-        self.epoch_rounds = 0;
-        self.epoch_bits = 0;
+        run.report.faults_injected += self.epoch_faults;
+        run.report.retransmit_bits += self.epoch_retransmit_bits;
+        run.report.recovery_rounds += self.epoch_recovery_rounds;
+        self.reset_epoch();
         run
     }
 
@@ -788,7 +815,12 @@ impl DynamicCluster {
             }
         };
         let seed = self.inner.seed();
-        let mut engine = Engine::new(self.inner.sharded(), Mode::SpanningForest, seed, ecfg);
+        let mut engine = Engine::new(
+            self.inner.sharded(),
+            Mode::SpanningForest,
+            seed,
+            ecfg.clone(),
+        );
         if let Some(mask) = &active {
             engine.restrict(mask);
         }
@@ -835,7 +867,7 @@ impl DynamicCluster {
                     // full refresh, keeping the bits spent so far on the
                     // books.
                     self.state = None;
-                    let mut full = self.refresh(ecfg);
+                    let mut full = self.refresh(ecfg.clone());
                     let mut merged = stats;
                     merged.absorb(&full.stats);
                     full.stats = merged;
@@ -895,6 +927,9 @@ impl DynamicCluster {
             n: self.n(),
             cost_model: ecfg.cost_model,
         });
+        if let Some(plan) = self.cfg.faults.clone() {
+            bsp.install_faults(plan, true);
+        }
         let mut envelopes = Vec::new();
         for (i, per_machine) in self.sketches.iter().enumerate() {
             let mut agg: FxHashMap<Label, L0Sketch> = FxHashMap::default();
@@ -970,11 +1005,21 @@ impl DynamicCluster {
             sketch_cache_hits: r.sketch_cache_hits,
             update_rounds: self.epoch_rounds,
             update_bits: self.epoch_bits,
+            faults_injected: r.stats.faults_injected + self.epoch_faults,
+            retransmit_bits: r.stats.retransmit_bits + self.epoch_retransmit_bits,
+            recovery_rounds: r.stats.recovery_rounds + self.epoch_recovery_rounds,
             wall: started.elapsed(),
         };
+        self.reset_epoch();
+        report
+    }
+
+    fn reset_epoch(&mut self) {
         self.epoch_rounds = 0;
         self.epoch_bits = 0;
-        report
+        self.epoch_faults = 0;
+        self.epoch_retransmit_bits = 0;
+        self.epoch_recovery_rounds = 0;
     }
 
     fn network(&self) -> NetworkConfig {

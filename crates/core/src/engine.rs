@@ -47,12 +47,25 @@
 //!
 //! All communication flows through [`kmachine::Bsp`], so every round and
 //! bit is accounted exactly as in the paper's Lemma-1 analysis.
+//!
+//! **Fault tolerance** (DESIGN.md §3.10): with a
+//! [`kmachine::fault::FaultPlan`] on [`EngineConfig::faults`], every
+//! superstep runs the reliable ack/retransmit protocol (message-level
+//! faults are masked below the engine), and scheduled machine crashes are
+//! survived by phase checkpoints: labels, emitted forest edges and the
+//! sketch-function epoch are snapshotted at each phase boundary, a
+//! crashed machine re-reads its shard from durable storage
+//! ([`kgraph::ShardedGraph::rebuild_shard`]), and the interrupted phase is
+//! re-entered — replaying the exact fault-free trajectory, so outputs are
+//! bit-identical to the fault-free run ([`RecoveryPolicy`],
+//! `tests/chaos.rs`).
 
 use crate::messages::{id_bits, EdgeKey, Label, Payload};
 use crate::proxy::ProxyScheme;
 use kgraph::ShardedGraph;
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
+use kmachine::fault::FaultPlan;
 use kmachine::message::Envelope;
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
@@ -93,8 +106,51 @@ pub enum MergeStrategy {
 /// Default epoch length (in phases) for iteration-0 sketch-function reuse.
 pub const DEFAULT_SKETCH_REUSE_PERIOD: u32 = 4;
 
+/// How the engine survives an injected [`FaultPlan`] (DESIGN.md §3.10).
+///
+/// Two independent mechanisms, both on by default:
+///
+/// * **Ack/retransmit** — every superstep runs the
+///   [`kmachine::bsp::Bsp`] reliable-delivery protocol, masking message
+///   drops/duplicates/reorders/delays at the cost of `retransmit_bits`
+///   and `recovery_rounds`. Disabling it lets the plan's faults through
+///   verbatim (the ablation showing recovery is load-bearing — runs may
+///   then diverge or panic on missing state).
+/// * **Phase checkpoints** — labels, emitted forest edges and the
+///   sketch-function epoch are snapshotted at every Borůvka phase
+///   boundary; when a machine crash fires mid-phase, the crashed
+///   machine's graph shard is re-read from durable storage
+///   ([`kgraph::ShardedGraph::rebuild_shard`]), every machine rolls back
+///   to the checkpoint, and the engine re-enters the interrupted phase —
+///   replaying the exact trajectory of the fault-free run, so outputs
+///   stay bit-identical. Disabling it degrades crash events to
+///   message-level faults only (in-flight loss, still masked by
+///   ack/retransmit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Run the per-superstep ack/retransmit protocol on lossy links.
+    pub ack_retransmit: bool,
+    /// Checkpoint at phase boundaries and re-enter a crashed phase.
+    pub phase_checkpoints: bool,
+    /// How many times one phase may be re-entered after crashes before
+    /// the run gives up (a plan can schedule several crashes into the
+    /// same phase; each event fires once, so retries are bounded by the
+    /// plan — this is the safety valve).
+    pub max_phase_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            ack_retransmit: true,
+            phase_checkpoints: true,
+            max_phase_retries: 8,
+        }
+    }
+}
+
 /// Engine configuration shared by connectivity and MST.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Per-link bandwidth policy.
     pub bandwidth: Bandwidth,
@@ -115,6 +171,11 @@ pub struct EngineConfig {
     /// (fresh functions and full rebuilds every phase — the pre-sharding
     /// behaviour, kept as an ablation).
     pub sketch_reuse_period: u32,
+    /// Deterministic fault-injection plan the run must survive (`None`
+    /// keeps the historical fault-free behaviour bit for bit).
+    pub faults: Option<FaultPlan>,
+    /// How injected faults are survived (see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +189,8 @@ impl Default for EngineConfig {
             merge: MergeStrategy::Drr,
             cost_model: Default::default(),
             sketch_reuse_period: DEFAULT_SKETCH_REUSE_PERIOD,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -173,6 +236,23 @@ impl EngineResult {
         set.dedup();
         set.len()
     }
+}
+
+/// A phase-boundary snapshot of the volatile per-machine state (see
+/// [`Engine::take_checkpoint`]).
+struct PhaseCheckpoint {
+    /// Per-machine label maps.
+    labels: Vec<FxHashMap<u32, Label>>,
+    /// Per-machine emitted forest edges.
+    mst_out: Vec<Vec<(u32, u32, u64)>>,
+    /// The sketch-function epoch salt at the boundary.
+    epoch_salt: u32,
+    /// The epoch sketch functions cached at the boundary. Restoring them
+    /// (instead of re-deriving) keeps the §2.2 distribution charge exactly
+    /// where the fault-free run pays it: function seeds are part of each
+    /// machine's durable checkpoint, so a re-entered phase never
+    /// re-distributes mid-epoch.
+    cached_fns: Option<(u32, SketchFns)>,
 }
 
 /// Per-component state held at its proxy machine during one phase.
@@ -294,6 +374,10 @@ impl<'g> Engine<'g> {
             n,
             cost_model: cfg.cost_model,
         };
+        let mut bsp = Bsp::new(net);
+        if let Some(plan) = cfg.faults.clone() {
+            bsp.install_faults(plan, cfg.recovery.ack_retransmit);
+        }
         let machines = (0..k)
             .map(|id| {
                 let verts = g.view(id).verts().to_vec();
@@ -317,15 +401,15 @@ impl<'g> Engine<'g> {
         Engine {
             g,
             mode,
-            cfg,
             k,
             n,
             l: id_bits(n),
             scheme: ProxyScheme::new(shared, k),
             shared,
-            bsp: Bsp::new(net),
+            bsp,
             machines,
             params: SketchParams::for_graph(n, cfg.reps),
+            cfg,
             cached_fns: None,
             epoch_salt: 0,
             phase_components: Vec::new(),
@@ -389,31 +473,98 @@ impl<'g> Engine<'g> {
             .cfg
             .max_phases
             .unwrap_or(12 * id_bits(self.n.max(2)) as u32 + 2);
+        // Crash recovery (§3.10): checkpoint at every phase boundary so a
+        // crashed phase can be rolled back and re-entered. Only armed when
+        // the plan actually schedules crashes — message-level faults are
+        // fully masked inside the superstep layer and need no checkpoints.
+        let recovery_on = self.cfg.recovery.phase_checkpoints
+            && self
+                .cfg
+                .faults
+                .as_ref()
+                .is_some_and(|f| !f.crashes.is_empty());
+        // Once every scheduled crash superstep lies in the past no rollback
+        // can ever be needed: stop refreshing the (O(n)-clone) checkpoint.
+        let last_crash_superstep = self
+            .cfg
+            .faults
+            .as_ref()
+            .and_then(|f| f.crashes.iter().map(|c| c.superstep).max())
+            .unwrap_or(0);
+        let mut checkpoint = recovery_on.then(|| self.take_checkpoint());
         let mut phases = 0;
-        for p in 0..max_phases {
+        let mut p = 0;
+        let mut retries = 0u32;
+        while p < max_phases {
+            let crash_mark = self.bsp.crash_count();
+            let rounds_mark = self.bsp.stats().rounds;
+            let recovery_mark = self.bsp.stats().recovery_rounds;
+            let bits_mark = self.bsp.stats().total_bits;
+            let retransmit_mark = self.bsp.stats().retransmit_bits;
+            let comp_mark = self.phase_components.len();
+            let depth_mark = self.drr_depths.len();
             self.phase_components.push(self.count_labels());
-            let progressed = self.run_phase(p);
-            phases = p + 1;
-            if !progressed {
+            let mut progressed = self.run_phase(p);
+            if !progressed && p >= 1 && self.cfg.sketch_reuse_period != 0 {
                 // Termination guard (reuse epochs only): with cached
                 // iteration-0 functions a failed Monte-Carlo sample would
                 // repeat identically next phase, so "no outgoing edge
                 // anywhere" must be confirmed once with fresh functions
                 // before the run may stop.
-                if p >= 1 && self.cfg.sketch_reuse_period != 0 {
-                    self.epoch_salt += 1;
-                    self.cached_fns = None;
-                    for st in &mut self.machines {
-                        st.part_cache.clear();
-                        st.proxied.clear();
-                        st.thresholds.clear();
-                    }
-                    if self.run_phase(p) {
-                        continue;
-                    }
+                self.epoch_salt += 1;
+                self.cached_fns = None;
+                for st in &mut self.machines {
+                    st.part_cache.clear();
+                    st.proxied.clear();
+                    st.thresholds.clear();
                 }
+                progressed = self.run_phase(p);
+            }
+            if recovery_on && self.bsp.crash_count() > crash_mark {
+                // One or more machines crashed during this phase: discard
+                // the aborted attempt (including anything computed from
+                // state the crash should have wiped), restore from the
+                // phase-boundary checkpoint, and re-enter the phase. The
+                // aborted attempt's rounds and bits plus the restore
+                // barrier are attributed to recovery — minus what the
+                // superstep layer already attributed during the attempt,
+                // so nothing is double-counted and the identities
+                // `rounds − recovery_rounds = fault-free rounds` /
+                // `total_bits − retransmit_bits = fault-free total_bits`
+                // stay exact through crash re-entry (the re-entered phase
+                // replays the fault-free trajectory, so its base cost is
+                // the clean run's). Crash events fire once (keyed by
+                // absolute superstep), so retries terminate.
+                retries += 1;
+                assert!(
+                    retries <= self.cfg.recovery.max_phase_retries,
+                    "phase {p} was re-entered {retries} times after crashes \
+                     (RecoveryPolicy::max_phase_retries)"
+                );
+                let crashed = self.bsp.crashed_since(crash_mark);
+                self.phase_components.truncate(comp_mark);
+                self.drr_depths.truncate(depth_mark);
+                self.rollback(
+                    checkpoint.as_ref().expect("recovery_on keeps a checkpoint"),
+                    &crashed,
+                );
+                let wasted_rounds = (self.bsp.stats().rounds - rounds_mark)
+                    - (self.bsp.stats().recovery_rounds - recovery_mark);
+                let wasted_bits = (self.bsp.stats().total_bits - bits_mark)
+                    - (self.bsp.stats().retransmit_bits - retransmit_mark);
+                self.bsp.charge_barrier(); // restart coordination
+                self.bsp.attribute_recovery(wasted_rounds + 1, wasted_bits);
+                continue;
+            }
+            retries = 0;
+            phases = p + 1;
+            if !progressed {
                 break;
             }
+            if recovery_on && self.bsp.stats().supersteps <= last_crash_superstep {
+                checkpoint = Some(self.take_checkpoint());
+            }
+            p += 1;
         }
         let counted = if self.cfg.run_output_protocol {
             Some(self.output_protocol(phases))
@@ -462,6 +613,52 @@ impl<'g> Engine<'g> {
             sketch_builds,
             sketch_cache_hits,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (DESIGN.md §3.10)
+    // ------------------------------------------------------------------
+
+    /// Snapshots the volatile per-machine state at a phase boundary: the
+    /// label maps, the emitted forest edges, and the sketch-function epoch
+    /// salt. That is everything a re-entered phase needs to replay the
+    /// exact fault-free trajectory — per-phase proxy state and sketch
+    /// caches are rebuilt (identically) by the phase itself.
+    fn take_checkpoint(&self) -> PhaseCheckpoint {
+        PhaseCheckpoint {
+            labels: self.machines.iter().map(|st| st.labels.clone()).collect(),
+            mst_out: self.machines.iter().map(|st| st.mst_out.clone()).collect(),
+            epoch_salt: self.epoch_salt,
+            cached_fns: self.cached_fns.clone(),
+        }
+    }
+
+    /// Restores the checkpoint after a crash: crashed machines re-read
+    /// their graph shard from durable storage (base CSR + the
+    /// `kgraph::sharded` delta log), every machine's labels and emitted
+    /// edges roll back to the phase boundary, and all per-phase state is
+    /// dropped. Checkpoints live on each machine's local durable storage,
+    /// so the restore ships no bits; its cost is the coordination barrier
+    /// the caller charges.
+    fn rollback(&mut self, cp: &PhaseCheckpoint, crashed: &[usize]) {
+        for &m in crashed {
+            self.g.rebuild_shard(m);
+        }
+        for (st, (labels, mst_out)) in self
+            .machines
+            .iter_mut()
+            .zip(cp.labels.iter().zip(&cp.mst_out))
+        {
+            st.labels = labels.clone();
+            st.mst_out = mst_out.clone();
+            st.proxied.clear();
+            st.thresholds.clear();
+            st.part_cache.clear();
+            st.inbox.clear();
+            st.outbox.clear();
+        }
+        self.epoch_salt = cp.epoch_salt;
+        self.cached_fns = cp.cached_fns.clone();
     }
 
     // ------------------------------------------------------------------

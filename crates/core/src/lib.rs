@@ -50,6 +50,7 @@ pub mod verify;
 
 pub use connectivity::{connected_components, ConnectivityConfig, ConnectivityOutput};
 pub use dynamic::{DynConfig, DynamicCluster, UpdateBatch, UpdateError, UpdateOp};
+pub use engine::RecoveryPolicy;
 pub use mincut::{approx_min_cut, MinCutConfig, MinCutOutput};
 pub use mst::{minimum_spanning_tree, MstConfig, MstOutput, OutputCriterion};
 pub use session::{Cluster, ClusterBuilder, Problem, Run, RunReport};

@@ -66,6 +66,8 @@ pub fn simulate_scs_two_party(
         merge: cfg.merge,
         cost_model: cfg.cost_model,
         sketch_reuse_period: cfg.sketch_reuse_period,
+        faults: cfg.faults.clone(),
+        recovery: cfg.recovery,
     };
     let mut engine = Engine::new(&sh, Mode::Connectivity, seed, engine_cfg);
     engine.set_cut((0..k).map(|m| m < k / 2).collect());

@@ -21,7 +21,7 @@ use kmachine::metrics::CommStats;
 use krand::shared::{SharedRandomness, Use};
 
 /// Configuration for the min-cut approximation.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MinCutConfig {
     /// Per-link bandwidth policy.
     pub bandwidth: Bandwidth,
@@ -29,6 +29,12 @@ pub struct MinCutConfig {
     pub reps: u32,
     /// Charge the §2.2 shared-randomness distribution cost.
     pub charge_shared_randomness: bool,
+    /// Deterministic fault-injection plan every connectivity probe must
+    /// survive (`None` — the default — keeps fault-free behaviour).
+    pub faults: Option<kmachine::fault::FaultPlan>,
+    /// How injected faults are survived (see
+    /// [`crate::engine::RecoveryPolicy`]).
+    pub recovery: crate::engine::RecoveryPolicy,
 }
 
 impl Default for MinCutConfig {
@@ -37,6 +43,8 @@ impl Default for MinCutConfig {
             bandwidth: Bandwidth::default(),
             reps: 5,
             charge_shared_randomness: true,
+            faults: None,
+            recovery: crate::engine::RecoveryPolicy::default(),
         }
     }
 }
@@ -79,7 +87,7 @@ pub fn approx_min_cut(g: &Graph, k: usize, seed: u64, cfg: &MinCutConfig) -> Min
     Cluster::builder(k)
         .seed(seed)
         .ingest_graph(g)
-        .run(MinCut::with(*cfg))
+        .run(MinCut::with(cfg.clone()))
         .output
 }
 
@@ -93,6 +101,8 @@ pub fn approx_min_cut_sharded(sg: &ShardedGraph, seed: u64, cfg: &MinCutConfig) 
         reps: cfg.reps,
         charge_shared_randomness: cfg.charge_shared_randomness,
         run_output_protocol: true,
+        faults: cfg.faults.clone(),
+        recovery: cfg.recovery,
         ..ConnectivityConfig::default()
     };
     let mut stats = CommStats::new(k);

@@ -35,7 +35,7 @@ pub enum OutputCriterion {
 }
 
 /// Configuration for an MST run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MstConfig {
     /// Per-link bandwidth policy.
     pub bandwidth: Bandwidth,
@@ -47,6 +47,12 @@ pub struct MstConfig {
     pub criterion: OutputCriterion,
     /// Optional hard phase cap.
     pub max_phases: Option<u32>,
+    /// Deterministic fault-injection plan the run must survive (`None` —
+    /// the default — keeps the fault-free behaviour bit for bit).
+    pub faults: Option<kmachine::fault::FaultPlan>,
+    /// How injected faults are survived (see
+    /// [`crate::engine::RecoveryPolicy`]).
+    pub recovery: crate::engine::RecoveryPolicy,
 }
 
 impl Default for MstConfig {
@@ -57,6 +63,8 @@ impl Default for MstConfig {
             charge_shared_randomness: true,
             criterion: OutputCriterion::AnyMachine,
             max_phases: None,
+            faults: None,
+            recovery: crate::engine::RecoveryPolicy::default(),
         }
     }
 }
@@ -102,7 +110,7 @@ pub fn minimum_spanning_tree(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) ->
     Cluster::builder(k)
         .seed(seed)
         .ingest_graph(g)
-        .run(Mst::with(*cfg))
+        .run(Mst::with(cfg.clone()))
         .output
 }
 
@@ -132,6 +140,8 @@ pub fn minimum_spanning_tree_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConf
         max_phases: cfg.max_phases,
         merge: Default::default(),
         cost_model: Default::default(),
+        faults: cfg.faults.clone(),
+        recovery: cfg.recovery,
         ..EngineConfig::default()
     };
     let result = Engine::new(sg, Mode::Mst, seed, engine_cfg).run();

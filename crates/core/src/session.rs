@@ -154,7 +154,7 @@ impl ClusterBuilder {
         Cluster {
             sg,
             seed: self.seed,
-            defaults: self.defaults,
+            defaults: self.defaults.clone(),
             runs: AtomicU64::new(0),
         }
     }
@@ -189,7 +189,7 @@ impl Clone for Cluster {
         Cluster {
             sg: self.sg.clone(),
             seed: self.seed,
-            defaults: self.defaults,
+            defaults: self.defaults.clone(),
             runs: AtomicU64::new(self.runs()),
         }
     }
@@ -210,14 +210,18 @@ impl Cluster {
         let wall = started.elapsed();
         self.runs.fetch_add(1, Ordering::Relaxed);
         let (sketch_builds, sketch_cache_hits) = P::sketch_counters(&output);
+        let stats = P::stats(&output).clone();
         let report = RunReport {
             problem: P::NAME,
-            stats: P::stats(&output).clone(),
             phases: P::phases(&output),
             sketch_builds,
             sketch_cache_hits,
             update_rounds: 0,
             update_bits: 0,
+            faults_injected: stats.faults_injected,
+            retransmit_bits: stats.retransmit_bits,
+            recovery_rounds: stats.recovery_rounds,
+            stats,
             wall,
         };
         Run { output, report }
@@ -304,6 +308,16 @@ pub struct RunReport {
     pub update_rounds: u64,
     /// Bits moved by the update phase paired with `update_rounds`.
     pub update_bits: u64,
+    /// Faults the run's [`kmachine::fault::FaultPlan`] injected (`0` for
+    /// fault-free runs; mirrors `stats.faults_injected` so report
+    /// consumers need not dig through [`CommStats`]).
+    pub faults_injected: u64,
+    /// Bits spent masking the faults: retransmissions of lost messages
+    /// plus spurious duplicates (mirrors `stats.retransmit_bits`).
+    pub retransmit_bits: u64,
+    /// Rounds spent on recovery: ack/retransmit rounds plus crash
+    /// rollback/restore (mirrors `stats.recovery_rounds`).
+    pub recovery_rounds: u64,
     /// Wall-clock time of the simulated run (host-side, not a model cost).
     pub wall: Duration,
 }
@@ -366,7 +380,7 @@ pub trait Problem {
 // ---------------------------------------------------------------------
 
 /// Theorem 1: connected components in `O~(n/k²)` rounds.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Connectivity {
     /// The run configuration.
     pub cfg: ConnectivityConfig,
@@ -391,6 +405,8 @@ impl Problem for Connectivity {
             merge: d.merge,
             cost_model: d.cost_model,
             sketch_reuse_period: d.sketch_reuse_period,
+            faults: d.faults.clone(),
+            recovery: d.recovery,
         }
     }
 
@@ -412,7 +428,7 @@ impl Problem for Connectivity {
 }
 
 /// Theorem 2: minimum spanning tree (criterion (a) or (b)).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Mst {
     /// The run configuration.
     pub cfg: MstConfig,
@@ -434,6 +450,8 @@ impl Problem for Mst {
             charge_shared_randomness: d.charge_shared_randomness,
             criterion: OutputCriterion::AnyMachine,
             max_phases: d.max_phases,
+            faults: d.faults.clone(),
+            recovery: d.recovery,
         }
     }
 
@@ -451,7 +469,7 @@ impl Problem for Mst {
 }
 
 /// §3.1: a spanning forest without the MWOE elimination overhead.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SpanningForest {
     /// The run configuration (shares [`MstConfig`]; the output criterion is
     /// always Theorem 2(a)'s relaxed one).
@@ -485,7 +503,7 @@ impl Problem for SpanningForest {
 }
 
 /// Theorem 3: `O(log n)`-approximate min cut via sampling probes.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MinCut {
     /// The run configuration.
     pub cfg: MinCutConfig,
@@ -505,6 +523,8 @@ impl Problem for MinCut {
             bandwidth: d.bandwidth,
             reps: d.reps,
             charge_shared_randomness: d.charge_shared_randomness,
+            faults: d.faults.clone(),
+            recovery: d.recovery,
         }
     }
 
@@ -647,7 +667,7 @@ impl Problem for EdgeBoruvka {
 }
 
 /// §1.3 baseline: MST under the random *edge* partition (REP), `Θ~(n/k)`.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct RepMst {
     /// The run configuration (shares [`MstConfig`]).
     pub cfg: MstConfig,

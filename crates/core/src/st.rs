@@ -49,7 +49,7 @@ pub fn spanning_forest(g: &Graph, k: usize, seed: u64, cfg: &MstConfig) -> Spann
     Cluster::builder(k)
         .seed(seed)
         .ingest_graph(g)
-        .run(SpanningForest::with(*cfg))
+        .run(SpanningForest::with(cfg.clone()))
         .output
 }
 
@@ -78,6 +78,8 @@ pub fn spanning_forest_sharded(
         charge_shared_randomness: cfg.charge_shared_randomness,
         run_output_protocol: false,
         max_phases: cfg.max_phases,
+        faults: cfg.faults.clone(),
+        recovery: cfg.recovery,
         ..EngineConfig::default()
     };
     let result = Engine::new(sg, Mode::SpanningForest, seed, engine_cfg).run();

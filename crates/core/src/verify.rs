@@ -133,6 +133,9 @@ fn final_compare_cost(
     use kmachine::message::Envelope;
     use kmachine::network::NetworkConfig;
     let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig::new(part.k(), cfg.bandwidth, g.n()));
+    if let Some(plan) = cfg.faults.clone() {
+        bsp.install_faults(plan, cfg.recovery.ack_retransmit);
+    }
     let (hs, ht) = (part.home(s), part.home(t));
     if hs != ht {
         let payload = Payload::StDone { same: true };

@@ -299,7 +299,7 @@ pub fn measure(s: &DynScenario) -> Vec<DynMeasurement> {
         // a fresh static solve (bit-identical to ingesting the mutated
         // edge list into a new cluster, so the costs are comparable).
         let reingest = dc.full_reingest_stats();
-        let fresh = dc.cluster().run(Connectivity::with(cfg));
+        let fresh = dc.cluster().run(Connectivity::with(cfg.clone()));
         out.push(DynMeasurement {
             batch: i + 1,
             ops,

@@ -111,6 +111,19 @@ fn json_number(v: f64) -> String {
     }
 }
 
+/// The §2.6 protocol count of a connectivity run, for experiment rows
+/// that print it. Experiments enable `run_output_protocol`, so a missing
+/// count is a harness bug — fail with the experiment's context instead of
+/// a bare `unwrap` line number.
+fn protocol_count(experiment: &str, out: &kconn::ConnectivityOutput) -> u64 {
+    out.counted_components.unwrap_or_else(|| {
+        panic!(
+            "{experiment}: run_output_protocol was enabled but the run \
+             reported no §2.6 component count"
+        )
+    })
+}
+
 /// Output of one experiment: a markdown section + raw records.
 pub struct ExperimentOutput {
     /// Markdown report section.
@@ -153,7 +166,9 @@ fn e1(quick: bool) -> ExperimentOutput {
         let mut t = Table::new(&["k", "rounds", "total Mbits", "max-link Kbits", "phases"]);
         let mut pts = Vec::new();
         for &k in ks {
-            let out = cluster(&g, k, 11).run(Connectivity::with(cfg)).output;
+            let out = cluster(&g, k, 11)
+                .run(Connectivity::with(cfg.clone()))
+                .output;
             assert_eq!(out.component_count(), refalgo::component_count(&g));
             t.row(vec![
                 k.to_string(),
@@ -614,7 +629,7 @@ fn e11(quick: bool) -> ExperimentOutput {
     let cfg = ConnectivityConfig::default();
     let g = generators::random_connected(n, n / 2, 111);
     let conn_rounds = cluster(&g, k, 112)
-        .run(Connectivity::with(cfg))
+        .run(Connectivity::with(cfg.clone()))
         .output
         .stats
         .rounds;
@@ -704,8 +719,8 @@ fn e12(quick: bool) -> ExperimentOutput {
     let mut records = Vec::new();
     for &k in ks {
         let c = cluster(&g, k, 123);
-        let rvp = c.run(Mst::with(cfg)).output;
-        let rep = c.run(RepMst::with(cfg)).output;
+        let rvp = c.run(Mst::with(cfg.clone())).output;
+        let rep = c.run(RepMst::with(cfg.clone())).output;
         assert_eq!(rep.mst.total_weight, rvp.total_weight);
         let routing = rep.routing.rounds;
         let core = rep.mst.stats.rounds - routing;
@@ -884,7 +899,7 @@ fn e16(quick: bool) -> ExperimentOutput {
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec![
         "components (protocol)".into(),
-        with.counted_components.unwrap().to_string(),
+        protocol_count("E16", &with).to_string(),
     ]);
     t.row(vec![
         "components (truth)".into(),
@@ -905,7 +920,7 @@ fn e16(quick: bool) -> ExperimentOutput {
             &[("n", n as f64), ("k", k as f64)],
             &[
                 ("extra_rounds", extra as f64),
-                ("components", with.counted_components.unwrap() as f64),
+                ("components", protocol_count("E16", &with) as f64),
             ],
         )],
     }
@@ -933,7 +948,7 @@ fn e17(quick: bool) -> ExperimentOutput {
                 merge,
                 ..ConnectivityConfig::default()
             };
-            let out = c.run(Connectivity::with(cfg)).output;
+            let out = c.run(Connectivity::with(cfg.clone())).output;
             assert_eq!(out.component_count(), refalgo::component_count(&g));
             let depth = out.drr_depths.iter().copied().max().unwrap_or(0);
             t.row(vec![
@@ -979,9 +994,9 @@ fn e18(quick: bool) -> ExperimentOutput {
     let k = 16;
     let cfg = MstConfig::default();
     let c = cluster(&g, k, 183);
-    let st = c.run(SpanningForest::with(cfg)).output;
+    let st = c.run(SpanningForest::with(cfg.clone())).output;
     assert!(refalgo::is_spanning_forest(&g, &st.edges));
-    let mst = c.run(Mst::with(cfg)).output;
+    let mst = c.run(Mst::with(cfg.clone())).output;
     let mut t = Table::new(&["output", "rounds", "phases", "weight-optimal"]);
     t.row(vec![
         "spanning forest".into(),
@@ -1194,7 +1209,62 @@ fn e21(quick: bool) -> ExperimentOutput {
     }
 }
 
-/// Runs one experiment by id ("E1".."E21"; E5/E6 are joint, E14 lives in
+// ---------------------------------------------------------------------
+// E22: chaos — fault-injection recovery overhead vs the fault-free runs
+// ---------------------------------------------------------------------
+fn e22(quick: bool) -> ExperimentOutput {
+    let mut t = Table::new(&[
+        "scenario",
+        "algo",
+        "identical",
+        "rounds (clean)",
+        "rounds (faulted)",
+        "recovery rounds",
+        "retransmit bits",
+        "crashes",
+    ]);
+    let mut records = Vec::new();
+    for s in crate::chaos::family(quick) {
+        for m in crate::chaos::measure(&s) {
+            assert!(
+                m.identical,
+                "{}/{}: faulted run diverged from the fault-free answers",
+                s.id, m.algo
+            );
+            t.row(vec![
+                s.id.clone(),
+                m.algo.to_string(),
+                m.identical.to_string(),
+                m.base_rounds.to_string(),
+                m.faulted_rounds.to_string(),
+                format!(
+                    "{} ({:.0}%)",
+                    m.recovery_rounds,
+                    100.0 * m.rounds_overhead()
+                ),
+                format!("{} ({:.0}%)", m.retransmit_bits, 100.0 * m.bits_overhead()),
+                m.machine_crashes.to_string(),
+            ]);
+            records.push(m.record("E22", &s));
+        }
+    }
+    let md = format!(
+        "### E22 — chaos: recovery overhead under seeded fault plans\n\n{}\n\
+         Every faulted run is compared bit-for-bit against its fault-free\n\
+         twin on the same ingested cluster: the ack/retransmit protocol and\n\
+         phase checkpoints mask drops, duplicates, reorders, delays and\n\
+         machine crashes exactly, so the answers never change — the plans\n\
+         only add the recovery overhead costed above\n\
+         (`tests/chaos_family.rs` pins the envelope).\n",
+        t.render()
+    );
+    ExperimentOutput {
+        markdown: md,
+        records,
+    }
+}
+
+/// Runs one experiment by id ("E1".."E22"; E5/E6 are joint, E14 lives in
 /// the integration tests).
 pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
     match id {
@@ -1217,6 +1287,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "E19" => Some(e19(quick)),
         "E20" => Some(e20(quick)),
         "E21" => Some(e21(quick)),
+        "E22" => Some(e22(quick)),
         _ => None,
     }
 }
@@ -1224,7 +1295,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
 /// All experiment ids in report order.
 pub const ALL_IDS: &[&str] = &[
     "E1", "E2", "E3", "E4", "E5/E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E15", "E16",
-    "E17", "E18", "E19", "E20", "E21",
+    "E17", "E18", "E19", "E20", "E21", "E22",
 ];
 
 /// Runs the full suite.
@@ -1233,4 +1304,41 @@ pub fn run_all(quick: bool) -> Vec<(String, ExperimentOutput)> {
         .iter()
         .map(|id| (id.to_string(), run_experiment(id, quick).expect("known id")))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kconn::ConnectivityOutput;
+    use kmachine::metrics::CommStats;
+
+    fn output_with_count(counted: Option<u64>) -> ConnectivityOutput {
+        ConnectivityOutput {
+            labels: vec![0, 0, 2, 2],
+            stats: CommStats::new(2),
+            phases: 1,
+            phase_components: vec![4],
+            drr_depths: vec![0],
+            counted_components: counted,
+            sketch_builds: 0,
+            sketch_cache_hits: 0,
+        }
+    }
+
+    #[test]
+    fn protocol_count_formats_into_a_row_when_present() {
+        let out = output_with_count(Some(2));
+        let mut t = Table::new(&["metric", "value"]);
+        t.row(vec![
+            "components (protocol)".into(),
+            protocol_count("E16", &out).to_string(),
+        ]);
+        assert!(t.render().contains("| components (protocol) |     2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "E16: run_output_protocol was enabled")]
+    fn protocol_count_panics_with_experiment_context_when_missing() {
+        let _ = protocol_count("E16", &output_with_count(None));
+    }
 }

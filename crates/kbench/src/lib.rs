@@ -3,11 +3,13 @@
 //! the `tables` binary (which regenerates every table/figure series of
 //! DESIGN.md §4) and the Criterion benches.
 
+pub mod chaos;
 pub mod dynamic;
 pub mod experiments;
 pub mod large;
 pub mod table;
 
+pub use chaos::ChaosScenario;
 pub use dynamic::DynScenario;
 pub use experiments::{run_all, run_experiment, ExperimentRecord};
 pub use large::LargeScenario;

@@ -30,6 +30,9 @@ use std::cell::Cell;
 thread_local! {
     /// Per-thread count of shard builds (see [`ingest_count`]).
     static INGESTS: Cell<u64> = const { Cell::new(0) };
+    /// Per-thread count of crash-recovery shard rebuilds
+    /// (see [`rebuild_count`]).
+    static REBUILDS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// How many times this thread has ingested an edge set into per-machine
@@ -40,6 +43,14 @@ thread_local! {
 /// counter. Thread-local so concurrently running tests cannot interfere.
 pub fn ingest_count() -> u64 {
     INGESTS.with(|c| c.get())
+}
+
+/// How many times this thread has re-read a shard from durable storage
+/// after a machine crash ([`ShardedGraph::rebuild_shard`]). The chaos
+/// conformance suite pins that crash recovery actually exercises the
+/// restore path. Thread-local for the same reason as [`ingest_count`].
+pub fn rebuild_count() -> u64 {
+    REBUILDS.with(|c| c.get())
 }
 
 /// One staged mutation, in half-edge form: `owner`'s adjacency gains or
@@ -395,6 +406,42 @@ impl ShardedGraph {
         }
     }
 
+    /// The crash-recovery restore path: re-reads machine `i`'s shard from
+    /// durable storage — the base CSR plus its delta log, exactly the
+    /// state a fresh replay of ingestion + staged updates would rebuild —
+    /// and verifies its structural invariants. In the simulator the shard
+    /// *is* the durable copy, so the rebuild is a checked identity; what
+    /// matters is the contract it pins: a machine that lost its volatile
+    /// memory recovers its graph slice from storage alone, never from
+    /// another machine. Bumps [`rebuild_count`] and returns the number of
+    /// half-edge records restored (CSR entries + pending log entries).
+    pub fn rebuild_shard(&self, i: usize) -> usize {
+        let shard = &self.shards[i];
+        assert_eq!(
+            shard.adj_off.len(),
+            shard.verts.len() + 1,
+            "shard {i}: CSR offsets must bracket every local vertex"
+        );
+        assert!(
+            shard.adj_off.windows(2).all(|w| w[0] <= w[1]),
+            "shard {i}: CSR offsets must be monotone"
+        );
+        assert_eq!(
+            *shard.adj_off.last().expect("offsets are never empty") as usize,
+            shard.adj.len(),
+            "shard {i}: CSR offsets must cover the adjacency"
+        );
+        for op in &shard.log {
+            assert_eq!(
+                self.part.home(op.owner),
+                i,
+                "shard {i}: delta log entry owned by a foreign vertex"
+            );
+        }
+        REBUILDS.with(|c| c.set(c.get() + 1));
+        shard.adj.len() + shard.log.len()
+    }
+
     /// Total half-edges stored across all shards (diagnostics; `= 2m`).
     pub fn total_half_edges(&self) -> usize {
         self.shards.iter().map(|s| s.adj.len()).sum()
@@ -723,6 +770,21 @@ mod tests {
             );
         }
         assert_eq!(sg.total_half_edges(), 2 * sg.m());
+    }
+
+    #[test]
+    fn rebuild_shard_counts_and_verifies_durable_state() {
+        let g = generators::gnm(120, 360, 61);
+        let mut sg = shard_of(&g, 4, 62);
+        sg.stage_insert(0, 119, 9);
+        let before = rebuild_count();
+        let mut restored = 0;
+        for i in 0..4 {
+            restored += sg.rebuild_shard(i);
+        }
+        assert_eq!(rebuild_count(), before + 4);
+        // CSR half-edges plus the two staged half-edge deltas.
+        assert_eq!(restored, sg.total_half_edges() + 2);
     }
 
     #[test]

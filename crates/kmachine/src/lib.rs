@@ -19,9 +19,17 @@
 //!   (property-tested in this crate). The paper's algorithms are sequences
 //!   of such batches (Lemma 1 message schedules), so the BSP layer charges
 //!   exactly what the paper's analysis counts.
+//!
+//! Both layers accept a deterministic [`fault::FaultPlan`] — seeded
+//! per-message drop/duplicate/reorder/delay decisions plus scheduled
+//! machine crashes. The BSP layer masks an installed plan with a
+//! per-superstep ack/retransmit protocol whose cost lands in the
+//! `faults_injected` / `retransmit_bits` / `recovery_rounds` counters of
+//! [`metrics::CommStats`] (DESIGN.md §3.10).
 
 pub mod bandwidth;
 pub mod bsp;
+pub mod fault;
 pub mod link;
 pub mod message;
 pub mod metrics;
@@ -31,6 +39,7 @@ pub mod program;
 
 pub use bandwidth::{Bandwidth, CostModel};
 pub use bsp::Bsp;
+pub use fault::{CrashEvent, FaultPlan};
 pub use message::{Envelope, WireSize};
 pub use metrics::CommStats;
 pub use network::Network;

@@ -40,6 +40,23 @@ pub struct CommStats {
     /// Bits that crossed the tracked machine bipartition, when one is set
     /// (the §4 Alice/Bob simulation harness).
     pub cut_bits: u64,
+    /// Faults injected by an installed [`crate::fault::FaultPlan`]: every
+    /// dropped, duplicated, reordered or delayed message plus every crash
+    /// event. Exactly `0` when no plan is installed or the plan never
+    /// fires — fault-free accounting is untouched.
+    pub faults_injected: u64,
+    /// Bits spent re-sending: retransmissions of lost messages by the
+    /// ack/retransmit protocol plus spurious duplicate transmissions.
+    /// Counted into `total_bits` as well (they are real traffic); this
+    /// counter isolates the recovery overhead.
+    pub retransmit_bits: u64,
+    /// Rounds spent on recovery: the per-superstep ack/retransmit rounds
+    /// of the reliable-delivery protocol plus rounds an engine attributes
+    /// to crash rollback (aborted-phase work and checkpoint restore).
+    /// Counted into `rounds` as well; this counter isolates the overhead.
+    pub recovery_rounds: u64,
+    /// Machine crash events that fired.
+    pub machine_crashes: u64,
 }
 
 impl CommStats {
@@ -114,6 +131,10 @@ impl CommStats {
         self.superstep_loads
             .extend(other.superstep_loads.iter().copied());
         self.cut_bits += other.cut_bits;
+        self.faults_injected += other.faults_injected;
+        self.retransmit_bits += other.retransmit_bits;
+        self.recovery_rounds += other.recovery_rounds;
+        self.machine_crashes += other.machine_crashes;
     }
 }
 
@@ -206,6 +227,24 @@ mod tests {
         });
         let r = s.link_imbalance(12, 100);
         assert!((r - 2.0).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn absorb_accumulates_fault_counters() {
+        let mut a = CommStats::new(2);
+        a.faults_injected = 3;
+        a.retransmit_bits = 40;
+        a.recovery_rounds = 2;
+        a.machine_crashes = 1;
+        let mut b = CommStats::new(2);
+        b.faults_injected = 7;
+        b.retransmit_bits = 5;
+        b.recovery_rounds = 9;
+        a.absorb(&b);
+        assert_eq!(a.faults_injected, 10);
+        assert_eq!(a.retransmit_bits, 45);
+        assert_eq!(a.recovery_rounds, 11);
+        assert_eq!(a.machine_crashes, 1);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Fine-grained network: per-round stepping over a complete topology.
 
 use crate::bandwidth::{Bandwidth, CostModel};
-use crate::link::Link;
+use crate::fault::FaultPlan;
+use crate::link::{Link, LinkFault};
 use crate::message::Envelope;
 use crate::metrics::CommStats;
 
@@ -49,6 +50,10 @@ pub struct Network<M> {
     links: Vec<Link<M>>,
     stats: CommStats,
     round: u64,
+    /// Installed fault plan (crash events are keyed by *round* here), plus
+    /// a monotone per-message decision counter.
+    faults: Option<FaultPlan>,
+    fault_seq: u64,
 }
 
 impl<M> Network<M> {
@@ -61,8 +66,35 @@ impl<M> Network<M> {
             links,
             stats: CommStats::new(cfg.k),
             round: 0,
+            faults: None,
+            fault_seq: 0,
             cfg,
         }
+    }
+
+    /// Installs a deterministic [`FaultPlan`] applied per transmitted
+    /// message in [`Network::step`] (through [`Link::transmit_with`]).
+    /// Unlike the [`crate::bsp::Bsp`] path there is no recovery protocol
+    /// here: drops are final, duplicates arrive twice, delayed messages
+    /// re-queue for a fresh transmission, and a [`crate::fault::CrashEvent`]
+    /// at round `r` discards everything its machine's links deliver that
+    /// round. The fine-grained network is the lab for the fault decisions
+    /// themselves; `delay` must stay below 1 or [`Network::drain`] could
+    /// never finish.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        assert!(plan.delay < 1.0, "delay=1 re-queues forever on a link");
+        for c in &plan.crashes {
+            assert!(
+                c.machine < self.cfg.k,
+                "crash event machine {} out of range (k = {})",
+                c.machine,
+                self.cfg.k
+            );
+        }
+        self.faults = Some(plan);
     }
 
     /// The network configuration.
@@ -88,19 +120,83 @@ impl<M> Network<M> {
     }
 
     /// Advances one synchronous round: every directed link transmits up to
-    /// `W` bits. Returns all messages delivered this round.
-    pub fn step(&mut self) -> Vec<Envelope<M>> {
+    /// `W` bits. Returns all messages delivered this round (after applying
+    /// the installed fault plan, if any).
+    pub fn step(&mut self) -> Vec<Envelope<M>>
+    where
+        M: Clone,
+    {
+        let step_index = self.round;
         self.round += 1;
         self.stats.rounds += 1;
         let mut delivered = Vec::new();
-        for l in &mut self.links {
-            delivered.extend(l.transmit(self.w));
+        match self.faults.take() {
+            None => {
+                for l in &mut self.links {
+                    delivered.extend(l.transmit(self.w));
+                }
+            }
+            Some(plan) => {
+                let crashed = plan.crashes_at(step_index);
+                for _ in &crashed {
+                    self.stats.machine_crashes += 1;
+                    self.stats.faults_injected += 1;
+                }
+                let w = self.w;
+                let stats = &mut self.stats;
+                let fault_seq = &mut self.fault_seq;
+                for l in &mut self.links {
+                    delivered.extend(l.transmit_with(w, |env| {
+                        let seq = *fault_seq;
+                        *fault_seq += 1;
+                        if crashed.binary_search(&env.src).is_ok()
+                            || crashed.binary_search(&env.dst).is_ok()
+                        {
+                            // The crash event is the counted fault; its
+                            // machine's in-flight traffic is gone.
+                            return LinkFault::Drop;
+                        }
+                        if plan.drops(step_index, 0, seq) {
+                            stats.faults_injected += 1;
+                            return LinkFault::Drop;
+                        }
+                        if plan.delays(step_index, seq) {
+                            stats.faults_injected += 1;
+                            return LinkFault::Delay;
+                        }
+                        if plan.duplicates(step_index, seq) {
+                            stats.faults_injected += 1;
+                            stats.retransmit_bits += env.bits.max(1);
+                            return LinkFault::Dup;
+                        }
+                        LinkFault::None
+                    }));
+                }
+                // Reorder: flagged messages drift to the back of this
+                // round's delivery batch (stable partition).
+                let mut scrambled = Vec::new();
+                let mut kept = Vec::with_capacity(delivered.len());
+                for (i, env) in delivered.into_iter().enumerate() {
+                    if plan.reorders(step_index, i as u64) {
+                        self.stats.faults_injected += 1;
+                        scrambled.push(env);
+                    } else {
+                        kept.push(env);
+                    }
+                }
+                kept.extend(scrambled);
+                delivered = kept;
+                self.faults = Some(plan);
+            }
         }
         delivered
     }
 
     /// Steps until all queues drain; returns everything delivered.
-    pub fn drain(&mut self) -> Vec<Envelope<M>> {
+    pub fn drain(&mut self) -> Vec<Envelope<M>>
+    where
+        M: Clone,
+    {
         let mut out = Vec::new();
         while !self.idle() {
             out.extend(self.step());
@@ -182,6 +278,66 @@ mod tests {
         assert_eq!(s.total_bits, 105);
         assert_eq!(s.sent_bits, vec![100, 5, 0]);
         assert_eq!(s.recv_bits, vec![5, 40, 60]);
+    }
+
+    #[test]
+    fn installed_faults_thin_and_duplicate_the_delivery() {
+        use crate::fault::FaultPlan;
+        let send_all = |net: &mut Network<B>| {
+            for i in 0..200u64 {
+                net.send(Envelope::new(
+                    (i % 2) as usize,
+                    ((i + 1) % 2) as usize,
+                    B(8),
+                ));
+            }
+        };
+        let mut clean: Network<B> = Network::new(cfg(2, 1 << 16));
+        send_all(&mut clean);
+        let clean_out = clean.drain();
+        let mut faulty: Network<B> = Network::new(cfg(2, 1 << 16));
+        faulty.install_faults(FaultPlan::new(3).with_drop(0.3).with_dup(0.2));
+        send_all(&mut faulty);
+        let faulty_out = faulty.drain();
+        let s = faulty.stats();
+        assert!(s.faults_injected > 0, "the plan must fire");
+        assert!(s.retransmit_bits > 0, "duplicates are counted traffic");
+        assert_ne!(
+            faulty_out.len(),
+            clean_out.len(),
+            "drops and dups must change the delivered count"
+        );
+    }
+
+    #[test]
+    fn delayed_messages_arrive_in_a_later_round() {
+        use crate::fault::FaultPlan;
+        let mut net: Network<B> = Network::new(cfg(2, 100));
+        net.install_faults(FaultPlan::new(1).with_delay(0.9));
+        for _ in 0..30 {
+            net.send(Envelope::new(0, 1, B(1)));
+        }
+        net.drain();
+        assert!(
+            net.round() > 1,
+            "w.h.p. some message is re-queued past round 1 (took {})",
+            net.round()
+        );
+        assert!(net.stats().faults_injected > 0);
+    }
+
+    #[test]
+    fn crash_round_discards_the_machines_inflight_traffic() {
+        use crate::fault::FaultPlan;
+        let mut net: Network<B> = Network::new(cfg(3, 10));
+        // Machine 2 crashes at round 0: its arrivals that round are lost.
+        net.install_faults(FaultPlan::new(1).with_crash(2, 0));
+        net.send(Envelope::new(0, 2, B(10)));
+        net.send(Envelope::new(0, 1, B(10)));
+        let out = net.drain();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, 1);
+        assert_eq!(net.stats().machine_crashes, 1);
     }
 
     #[test]

@@ -56,10 +56,23 @@ where
                 })
             })
             .collect();
+        // Join every worker before resurfacing a panic: unwinding with
+        // threads still unjoined would make `scope` panic again with a
+        // generic message, losing the original payload (and a panic during
+        // that unwind would abort the process).
+        let mut panicked = None;
         for h in handles {
-            for (i, v) in h.join().expect("worker panicked") {
-                out[i] = Some(v);
+            match h.join() {
+                Ok(produced) => {
+                    for (i, v) in produced {
+                        out[i] = Some(v);
+                    }
+                }
+                Err(payload) => panicked = panicked.or(Some(payload)),
             }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
         }
     });
     out.into_iter()
@@ -90,14 +103,30 @@ where
     // chunking balances well enough.
     let chunk = k.div_ceil(nw);
     std::thread::scope(|scope| {
-        for (ci, block) in states.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let base = ci * chunk;
-            scope.spawn(move || {
-                for (j, s) in block.iter_mut().enumerate() {
-                    f(base + j, s);
-                }
-            });
+        let handles: Vec<_> = states
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, block)| {
+                let f = &f;
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    for (j, s) in block.iter_mut().enumerate() {
+                        f(base + j, s);
+                    }
+                })
+            })
+            .collect();
+        // Explicit joins, as in `par_map_machines`: letting `scope`
+        // auto-join a panicked worker replaces the payload with its
+        // generic "a scoped thread panicked" message.
+        let mut panicked = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panicked = panicked.or(Some(payload));
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
         }
     });
 }
@@ -123,6 +152,30 @@ mod tests {
         let mut states: Vec<u64> = vec![0; 23];
         par_for_each_state(&mut states, |i, s| *s = i as u64 + 1);
         assert!(states.iter().enumerate().all(|(i, &s)| s == i as u64 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "machine 13 hit a distinctive wall")]
+    fn map_worker_panic_payload_survives() {
+        // The original panic message must reach the caller, not a generic
+        // "worker panicked" relay (k > workers so the pool path runs).
+        par_map_machines(64, |i| {
+            if i == 13 {
+                panic!("machine 13 hit a distinctive wall");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "state 7 exploded with context")]
+    fn for_each_state_worker_panic_payload_survives() {
+        let mut states: Vec<u64> = vec![0; 64];
+        par_for_each_state(&mut states, |i, _| {
+            if i == 7 {
+                panic!("state 7 exploded with context");
+            }
+        });
     }
 
     #[test]

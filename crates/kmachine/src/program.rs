@@ -36,7 +36,7 @@ pub struct Runner<M, P> {
     programs: Vec<P>,
 }
 
-impl<M, P: Program<M>> Runner<M, P> {
+impl<M: Clone, P: Program<M>> Runner<M, P> {
     /// Creates a runner; `programs.len()` must equal the configured `k`.
     pub fn new(cfg: NetworkConfig, programs: Vec<P>) -> Self {
         assert_eq!(programs.len(), cfg.k, "one program per machine");

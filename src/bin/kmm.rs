@@ -23,6 +23,7 @@
 use kmm::algo::session::{Cluster, Connectivity, MinCut, Mst, Problem, SpanningForest};
 use kmm::algo::verify;
 use kmm::graph::stream::DynEdgeStream;
+use kmm::machine::fault::FaultPlan;
 use kmm::prelude::*;
 use std::process::ExitCode;
 
@@ -96,6 +97,10 @@ fn usage() -> ExitCode {
                  --n N --m M --p P       family size parameters\n\
                  --extra E               extra non-tree edges for `connected`\n\
                  --max-weight W          random weights in [1, W]\n\
+         faults: --faults SPEC           inject seeded faults and survive them; SPEC is\n\
+                                         comma-separated drop=P,dup=P,reorder=P,delay=P,\n\
+                                         crash=MACHINE@SUPERSTEP (repeatable), seed=S —\n\
+                                         outputs stay bit-identical, recovery is costed\n\
          output: --report json           machine-readable RunReport on stdout",
         SUBCOMMANDS.join("|")
     );
@@ -206,6 +211,10 @@ fn report_json(report: &kmm::algo::session::RunReport, head: &[(&str, String)]) 
         ("sketch_cache_hits", report.sketch_cache_hits),
         ("update_rounds", report.update_rounds),
         ("update_bits", report.update_bits),
+        ("faults_injected", report.faults_injected),
+        ("retransmit_bits", report.retransmit_bits),
+        ("recovery_rounds", report.recovery_rounds),
+        ("machine_crashes", s.machine_crashes),
     ] {
         fields.push(format!("\"{k}\": {v}"));
     }
@@ -246,6 +255,16 @@ fn run_problem<P: Problem>(
         print(args, &run.output);
         println!("rounds:     {}", run.report.stats.rounds);
         println!("total bits: {}", run.report.stats.total_bits);
+        if args.get("faults").is_some() {
+            println!(
+                "faults:     {} injected, {} machine crashes",
+                run.report.faults_injected, run.report.stats.machine_crashes
+            );
+            println!(
+                "recovery:   {} rounds, {} retransmit bits",
+                run.report.recovery_rounds, run.report.retransmit_bits
+            );
+        }
         println!("wall:       {:.1?}", run.report.wall);
     }
     ExitCode::SUCCESS
@@ -254,7 +273,7 @@ fn run_problem<P: Problem>(
 /// `kmm dyn`: ingest, wrap into a `DynamicCluster`, replay the `--trace`
 /// batches, and print a per-batch trailer (components, forest size, solve
 /// and update-phase costs) — JSON lines under `--report json`.
-fn run_dyn(args: &Args, k: usize, seed: u64) -> ExitCode {
+fn run_dyn(args: &Args, k: usize, seed: u64, faults: Option<FaultPlan>) -> ExitCode {
     let Some(path) = args.get("trace") else {
         return fail("dyn needs --trace FILE (`+ u v [w]` / `- u v` / `---` per line)");
     };
@@ -274,9 +293,21 @@ fn run_dyn(args: &Args, k: usize, seed: u64) -> ExitCode {
         Ok(cluster) => cluster,
         Err(e) => return fail(&e),
     };
-    let mut dc = DynamicCluster::wrap(cluster, DynConfig::default());
-    let conn_cfg = ConnectivityConfig::default();
-    let mst_cfg = MstConfig::default();
+    let mut dc = DynamicCluster::wrap(
+        cluster,
+        DynConfig {
+            faults: faults.clone(),
+            ..DynConfig::default()
+        },
+    );
+    let conn_cfg = ConnectivityConfig {
+        faults: faults.clone(),
+        ..ConnectivityConfig::default()
+    };
+    let mst_cfg = MstConfig {
+        faults,
+        ..MstConfig::default()
+    };
     let emit = |batch: usize, up: Option<&UpdateReport>, dc: &mut DynamicCluster| {
         let conn = dc.connectivity(&conn_cfg);
         // Read the refresh kind now: the follow-up spanning-forest call is
@@ -350,12 +381,19 @@ fn main() -> ExitCode {
     if args.cmd != "gen" && k < 2 {
         return fail("the k-machine model requires --k >= 2");
     }
+    let faults = match args.get("faults").map(FaultPlan::parse).transpose() {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("--faults: {e}")),
+    };
     match args.cmd.as_str() {
         "conn" => run_problem(
             &args,
             k,
             seed,
-            Connectivity::default(),
+            Connectivity::with(ConnectivityConfig {
+                faults: faults.clone(),
+                ..ConnectivityConfig::default()
+            }),
             |out| vec![("components", out.component_count().to_string())],
             |_, out| {
                 println!("components: {}", out.component_count());
@@ -369,6 +407,7 @@ fn main() -> ExitCode {
                 } else {
                     OutputCriterion::AnyMachine
                 },
+                faults: faults.clone(),
                 ..MstConfig::default()
             };
             run_problem(
@@ -397,7 +436,10 @@ fn main() -> ExitCode {
             &args,
             k,
             seed,
-            SpanningForest::default(),
+            SpanningForest::with(MstConfig {
+                faults: faults.clone(),
+                ..MstConfig::default()
+            }),
             |out| vec![("forest_edges", out.edges.len().to_string())],
             |_, out| {
                 println!("forest edges: {}", out.edges.len());
@@ -407,7 +449,10 @@ fn main() -> ExitCode {
             &args,
             k,
             seed,
-            MinCut::default(),
+            MinCut::with(MinCutConfig {
+                faults: faults.clone(),
+                ..MinCutConfig::default()
+            }),
             |out| {
                 vec![
                     ("estimate", out.estimate.to_string()),
@@ -419,7 +464,7 @@ fn main() -> ExitCode {
                 println!("probes:   {}", out.probes);
             },
         ),
-        "dyn" => run_dyn(&args, k, seed),
+        "dyn" => run_dyn(&args, k, seed, faults),
         "stcon" => {
             let g = match load_graph(&args) {
                 Ok(g) => g,
@@ -431,9 +476,19 @@ fn main() -> ExitCode {
             if s as usize >= g.n() || t as usize >= g.n() {
                 return fail("--s/--t out of range");
             }
-            let v = verify::st_connectivity(&g, s, t, k, seed, &ConnectivityConfig::default());
+            let cfg = ConnectivityConfig {
+                faults: faults.clone(),
+                ..ConnectivityConfig::default()
+            };
+            let v = verify::st_connectivity(&g, s, t, k, seed, &cfg);
             println!("connected: {}", v.holds);
             println!("rounds:    {}", v.stats.rounds);
+            if faults.is_some() {
+                println!(
+                    "faults:    {} injected, recovery {} rounds",
+                    v.stats.faults_injected, v.stats.recovery_rounds
+                );
+            }
             ExitCode::SUCCESS
         }
         "bipart" => {
@@ -441,9 +496,19 @@ fn main() -> ExitCode {
                 Ok(g) => g,
                 Err(e) => return fail(&e),
             };
-            let v = verify::bipartiteness(&g, k, seed, &ConnectivityConfig::default());
+            let cfg = ConnectivityConfig {
+                faults: faults.clone(),
+                ..ConnectivityConfig::default()
+            };
+            let v = verify::bipartiteness(&g, k, seed, &cfg);
             println!("bipartite: {}", v.holds);
             println!("rounds:    {}", v.stats.rounds);
+            if faults.is_some() {
+                println!(
+                    "faults:    {} injected, recovery {} rounds",
+                    v.stats.faults_injected, v.stats.recovery_rounds
+                );
+            }
             ExitCode::SUCCESS
         }
         "gen" => {

@@ -64,6 +64,7 @@ pub mod prelude {
     pub use kconn::dynamic::{
         DynConfig, DynamicCluster, RefreshKind, UpdateBatch, UpdateError, UpdateOp, UpdateReport,
     };
+    pub use kconn::engine::RecoveryPolicy;
     pub use kconn::mincut::{approx_min_cut, approx_min_cut_sharded, MinCutConfig};
     pub use kconn::mst::{
         minimum_spanning_tree, minimum_spanning_tree_sharded, MstConfig, OutputCriterion,
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use kconn::verify;
     pub use kgraph::stream::{DynEdgeStream, EdgeStream};
     pub use kgraph::{generators, refalgo, Graph, Partition, PartitionKind, ShardedGraph};
+    pub use kmachine::fault::{CrashEvent, FaultPlan};
     pub use kmachine::metrics::CommStats;
     pub use kmachine::{Bandwidth, CostModel};
 }

@@ -655,3 +655,82 @@ fn unknown_report_format_is_a_clean_error() {
         "must name the supported format: {err}"
     );
 }
+
+#[test]
+fn faults_flag_survives_and_reports_recovery() {
+    // The same streamed workload with and without --faults: the answer
+    // lines must match exactly; the faulted run additionally reports the
+    // fault/recovery trailer (and nonzero counters under --report json).
+    let base = [
+        "conn", "--gen", "gnm", "--n", "3000", "--m", "9000", "--k", "8", "--seed", "5",
+    ];
+    let clean = kmm().args(base).output().expect("run conn");
+    assert!(clean.status.success(), "{clean:?}");
+    let clean_text = String::from_utf8_lossy(&clean.stdout).to_string();
+    let faulted = kmm()
+        .args(base)
+        .args(["--faults", "drop=0.1,dup=0.05,crash=2@9,seed=3"])
+        .output()
+        .expect("run faulted conn");
+    assert!(faulted.status.success(), "{faulted:?}");
+    let text = String::from_utf8_lossy(&faulted.stdout).to_string();
+    let line = |t: &str, key: &str| {
+        t.lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_else(|| panic!("missing `{key}` in:\n{t}"))
+            .to_string()
+    };
+    assert_eq!(
+        line(&clean_text, "components:"),
+        line(&text, "components:"),
+        "faults must not change the answer"
+    );
+    assert_eq!(line(&clean_text, "phases:"), line(&text, "phases:"));
+    assert!(text.contains("faults:"), "{text}");
+    assert!(text.contains("recovery:"), "{text}");
+    assert!(
+        !clean_text.contains("faults:"),
+        "no fault trailer without --faults:\n{clean_text}"
+    );
+
+    let json = kmm()
+        .args(base)
+        .args(["--faults", "drop=0.1,seed=3", "--report", "json"])
+        .output()
+        .expect("run json conn");
+    assert!(json.status.success());
+    let body = String::from_utf8_lossy(&json.stdout).to_string();
+    for key in [
+        "\"faults_injected\": ",
+        "\"retransmit_bits\": ",
+        "\"recovery_rounds\": ",
+    ] {
+        let v = body
+            .split(key)
+            .nth(1)
+            .unwrap_or_else(|| panic!("missing {key} in {body}"))
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("non-numeric {key} in {body}"));
+        assert!(v > 0, "{key} must be nonzero under a drop plan: {body}");
+    }
+}
+
+#[test]
+fn bad_faults_spec_is_a_clean_error() {
+    for bad in ["drop=1.0", "drop=oops", "nonsense=3", "crash=2"] {
+        let out = kmm()
+            .args([
+                "conn", "--gen", "path", "--n", "50", "--k", "2", "--faults", bad,
+            ])
+            .output()
+            .expect("run");
+        assert!(!out.status.success(), "`--faults {bad}` must fail cleanly");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--faults"), "{err}");
+        assert!(!err.contains("panicked"), "{err}");
+    }
+}

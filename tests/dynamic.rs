@@ -119,8 +119,8 @@ fn dynamic_answers_match_fresh_static_runs_across_families() {
                 let st = dc.spanning_forest(&mst_cfg);
                 let mutated = Graph::from_dedup_edges(g.n(), edges.clone());
                 let fresh = Cluster::builder(k).seed(seed).ingest_graph(&mutated);
-                let fresh_conn = fresh.run(Connectivity::with(conn_cfg));
-                let fresh_st = fresh.run(SpanningForest::with(mst_cfg));
+                let fresh_conn = fresh.run(Connectivity::with(conn_cfg.clone()));
+                let fresh_st = fresh.run(SpanningForest::with(mst_cfg.clone()));
                 // Bit-identity: the incremental path must reproduce the
                 // static answers exactly, not just up to relabeling.
                 assert_eq!(
