@@ -10,6 +10,7 @@ use crate::messages::Label;
 use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::fault::FaultPlan;
+use kmachine::message::Encoding;
 use kmachine::metrics::CommStats;
 
 /// Configuration for a connectivity run.
@@ -40,6 +41,13 @@ pub struct ConnectivityConfig {
     /// How injected faults are survived (ack/retransmit + phase
     /// checkpoints, both on by default).
     pub recovery: RecoveryPolicy,
+    /// Supergraph contraction after phase 0 (DESIGN.md §3.11; default
+    /// `false` — the paper's sketch path, kept as the pinned ablation).
+    pub contract: bool,
+    /// Wire encoding the superstep layer charges bandwidth under (default
+    /// per-message [`Encoding::Naive`]; [`Encoding::Varint`] batch-encodes
+    /// each link's traffic). Accounting only — never the trajectory.
+    pub encoding: Encoding,
 }
 
 impl Default for ConnectivityConfig {
@@ -56,6 +64,8 @@ impl Default for ConnectivityConfig {
             sketch_reuse_period: e.sketch_reuse_period,
             faults: e.faults,
             recovery: e.recovery,
+            contract: e.contract,
+            encoding: e.encoding,
         }
     }
 }
@@ -73,6 +83,8 @@ impl ConnectivityConfig {
             sketch_reuse_period: self.sketch_reuse_period,
             faults: self.faults.clone(),
             recovery: self.recovery,
+            contract: self.contract,
+            encoding: self.encoding,
         }
     }
 }

@@ -422,7 +422,7 @@ struct DynState {
 /// forest choice): maintained structure is only reusable under the same
 /// key — a solve with different knobs forces a full refresh. Bandwidth,
 /// cost model and the §2.2 charge only affect accounting, not answers.
-type TrajectoryKey = (u32, crate::engine::MergeStrategy, u32, Option<u32>);
+type TrajectoryKey = (u32, crate::engine::MergeStrategy, u32, Option<u32>, bool);
 
 fn trajectory_key(ecfg: &EngineConfig) -> TrajectoryKey {
     (
@@ -430,6 +430,7 @@ fn trajectory_key(ecfg: &EngineConfig) -> TrajectoryKey {
         ecfg.merge,
         ecfg.sketch_reuse_period,
         ecfg.max_phases,
+        ecfg.contract,
     )
 }
 
@@ -696,6 +697,8 @@ impl DynamicCluster {
             sketch_reuse_period: cfg.sketch_reuse_period,
             faults: cfg.faults.clone(),
             recovery: cfg.recovery,
+            contract: cfg.contract,
+            encoding: cfg.encoding,
         };
         let r = self.refresh(ecfg);
         let report = self.report("conn", &r, started);
@@ -738,6 +741,8 @@ impl DynamicCluster {
             max_phases: cfg.max_phases,
             faults: cfg.faults.clone(),
             recovery: cfg.recovery,
+            contract: cfg.contract,
+            encoding: cfg.encoding,
             ..EngineConfig::default()
         };
         let r = self.refresh(ecfg);
@@ -804,6 +809,11 @@ impl DynamicCluster {
         }
         let (active, active_count) = match &self.state {
             None => (None, 0),
+            // Supergraph contraction densifies the label space with global
+            // prefix sums, so a restricted run's dense ids (and hence its
+            // merge trajectory) differ from the full run's. Splicing would
+            // mix two merge histories; refresh fully instead.
+            Some(_) if ecfg.contract => (None, 0),
             Some(st) => {
                 let mask: Vec<bool> = st
                     .labels
@@ -926,6 +936,7 @@ impl DynamicCluster {
             bandwidth: ecfg.bandwidth,
             n: self.n(),
             cost_model: ecfg.cost_model,
+            encoding: ecfg.encoding,
         });
         if let Some(plan) = self.cfg.faults.clone() {
             bsp.install_faults(plan, true);
@@ -1028,6 +1039,7 @@ impl DynamicCluster {
             bandwidth: self.inner.defaults().bandwidth,
             n: self.n(),
             cost_model: self.inner.defaults().cost_model,
+            encoding: self.inner.defaults().encoding,
         }
     }
 

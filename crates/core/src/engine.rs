@@ -66,7 +66,7 @@ use kgraph::ShardedGraph;
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
 use kmachine::fault::FaultPlan;
-use kmachine::message::Envelope;
+use kmachine::message::{Encoding, Envelope};
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
 use kmachine::par::par_for_each_state;
@@ -176,6 +176,20 @@ pub struct EngineConfig {
     pub faults: Option<FaultPlan>,
     /// How injected faults are survived (see [`RecoveryPolicy`]).
     pub recovery: RecoveryPolicy,
+    /// Supergraph contraction (DESIGN.md §3.11): after phase 0's merges,
+    /// contract each component to an explicit supernode, drop
+    /// intra-component edges, dedup multi-edges keeping the lightest (the
+    /// original endpoints ride along so MST output stays exact), and run
+    /// later phases on the contracted edge set with `⌈log₂ n'⌉`-bit
+    /// labels. Contracted phases compute exact local MWOEs — no sketches —
+    /// so the paper's sketch-based path (the default, `false`) is the
+    /// ablation that keeps the Õ(n/k²) analysis pinned.
+    pub contract: bool,
+    /// Which wire encoding the superstep layer charges bandwidth under
+    /// (per-message [`Encoding::Naive`], the historical default, or
+    /// per-link batch [`Encoding::Varint`]). Changes only the charged
+    /// sizes, never the trajectory or outputs.
+    pub encoding: Encoding,
 }
 
 impl Default for EngineConfig {
@@ -191,6 +205,8 @@ impl Default for EngineConfig {
             sketch_reuse_period: DEFAULT_SKETCH_REUSE_PERIOD,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            contract: false,
+            encoding: Encoding::Naive,
         }
     }
 }
@@ -253,6 +269,91 @@ struct PhaseCheckpoint {
     /// machine's durable checkpoint, so a re-entered phase never
     /// re-distributes mid-epoch.
     cached_fns: Option<(u32, SketchFns)>,
+    /// Per-machine supergraph shards (§3.11). A crashed contracted phase
+    /// must restore the supernodes too — labels alone cannot reconstruct
+    /// the deduped contracted edge set.
+    supers: Vec<FxHashMap<Label, SuperNode>>,
+    /// Whether the supergraph had been built at the boundary.
+    contracted: bool,
+    /// The live label-space size `n'` at the boundary.
+    n_active: usize,
+}
+
+/// One contracted component (§3.11), stored at its owner machine
+/// `home(label)`. Adjacency is kept symmetric: an inter-component edge
+/// appears in both endpoints' supernodes, which is what lets merge renames
+/// be announced without any broadcast.
+#[derive(Clone, Debug, Default)]
+struct SuperNode {
+    /// Machines hosting original vertices of this component (deduped),
+    /// for relabel broadcasts back into the vertex space.
+    parts: Vec<u16>,
+    /// Deduped adjacency: neighbor label → the lightest original edge
+    /// `(w, ou, ov)` crossing to it, minimal by the tie-free key
+    /// `(w, min(ou,ov), max(ou,ov))` — so MST output stays exact.
+    adj: FxHashMap<Label, (u64, u32, u32)>,
+}
+
+impl SuperNode {
+    /// Min-merges one crossing edge into the adjacency.
+    fn add_edge(&mut self, nb: Label, w: u64, ou: u32, ov: u32) {
+        self.adj
+            .entry(nb)
+            .and_modify(|cur| {
+                if edge_key(w, ou, ov) < edge_key(cur.0, cur.1, cur.2) {
+                    *cur = (w, ou, ov);
+                }
+            })
+            .or_insert((w, ou, ov));
+    }
+
+    /// Records a hosting machine.
+    fn add_part(&mut self, m: u16) {
+        if !self.parts.contains(&m) {
+            self.parts.push(m);
+        }
+    }
+}
+
+/// The tie-free total order on original edges: `(w, min, max)`.
+fn edge_key(w: u64, ou: u32, ov: u32) -> EdgeKey {
+    (w, ou.min(ov), ou.max(ov))
+}
+
+/// Rewrites a supernode's adjacency under a label-rename map. Distinct old
+/// keys may collapse onto one new key (their components merged into the
+/// same root); colliding entries min-merge by the tie-free edge key.
+/// Unrenamed neighbors keep their label.
+fn rename_adj(node: SuperNode, map: &FxHashMap<Label, Label>) -> SuperNode {
+    let mut out = SuperNode {
+        parts: node.parts,
+        adj: FxHashMap::default(),
+    };
+    for (nb, (w, ou, ov)) in node.adj {
+        let nnb = map.get(&nb).copied().unwrap_or(nb);
+        out.add_edge(nnb, w, ou, ov);
+    }
+    out
+}
+
+/// Drains a machine's inbox into the supergraph rename map
+/// ([`Payload::SuperRelabel`]) and the vertex-space rename map
+/// ([`Payload::Relabel`]).
+fn drain_rename_maps(st: &mut MachineState) -> (FxHashMap<Label, Label>, FxHashMap<Label, Label>) {
+    let mut smap = FxHashMap::default();
+    let mut vmap = FxHashMap::default();
+    for env in std::mem::take(&mut st.inbox) {
+        match env.payload {
+            Payload::SuperRelabel { old, new } => {
+                smap.insert(old, new);
+            }
+            Payload::Relabel { old, new } => {
+                vmap.insert(old, new);
+            }
+            _ => {}
+        }
+    }
+    (smap, vmap)
 }
 
 /// Per-component state held at its proxy machine during one phase.
@@ -332,6 +433,9 @@ struct MachineState {
     /// part, valid for the current sketch-function epoch. Invalidated per
     /// label on relabel, wholesale on epoch rollover.
     part_cache: FxHashMap<Label, L0Sketch>,
+    /// Supergraph shard (§3.11): the supernodes this machine owns, keyed
+    /// by their current label. Empty until contraction builds it.
+    supers: FxHashMap<Label, SuperNode>,
     /// Part sketches this machine built from scratch.
     sketch_builds: u64,
     /// Part sketches this machine served from `part_cache`.
@@ -349,6 +453,14 @@ pub struct Engine<'g> {
     k: usize,
     n: usize,
     l: u64,
+    /// Whether the supergraph has been built (contracted phases active).
+    contracted: bool,
+    /// Size of the live label space `n'` (`= n` until contraction).
+    n_active: usize,
+    /// Label width `⌈log₂ n'⌉` — what every label field is charged. Equals
+    /// `l` until contraction shrinks the label space (the satellite-audit
+    /// invariant: charging `l` for a supergraph id overstates bits).
+    lw: u64,
     shared: SharedRandomness,
     scheme: ProxyScheme,
     bsp: Bsp<Payload>,
@@ -373,6 +485,7 @@ impl<'g> Engine<'g> {
             bandwidth: cfg.bandwidth,
             n,
             cost_model: cfg.cost_model,
+            encoding: cfg.encoding,
         };
         let mut bsp = Bsp::new(net);
         if let Some(plan) = cfg.faults.clone() {
@@ -392,6 +505,7 @@ impl<'g> Engine<'g> {
                     mst_out: Vec::new(),
                     thresholds: FxHashMap::default(),
                     part_cache: FxHashMap::default(),
+                    supers: FxHashMap::default(),
                     sketch_builds: 0,
                     sketch_cache_hits: 0,
                     flag: false,
@@ -404,6 +518,9 @@ impl<'g> Engine<'g> {
             k,
             n,
             l: id_bits(n),
+            contracted: false,
+            n_active: n,
+            lw: id_bits(n),
             scheme: ProxyScheme::new(shared, k),
             shared,
             bsp,
@@ -505,7 +622,7 @@ impl<'g> Engine<'g> {
             let depth_mark = self.drr_depths.len();
             self.phase_components.push(self.count_labels());
             let mut progressed = self.run_phase(p);
-            if !progressed && p >= 1 && self.cfg.sketch_reuse_period != 0 {
+            if !progressed && p >= 1 && self.cfg.sketch_reuse_period != 0 && !self.contracted {
                 // Termination guard (reuse epochs only): with cached
                 // iteration-0 functions a failed Monte-Carlo sample would
                 // repeat identically next phase, so "no outgoing edge
@@ -630,6 +747,9 @@ impl<'g> Engine<'g> {
             mst_out: self.machines.iter().map(|st| st.mst_out.clone()).collect(),
             epoch_salt: self.epoch_salt,
             cached_fns: self.cached_fns.clone(),
+            supers: self.machines.iter().map(|st| st.supers.clone()).collect(),
+            contracted: self.contracted,
+            n_active: self.n_active,
         }
     }
 
@@ -644,13 +764,10 @@ impl<'g> Engine<'g> {
         for &m in crashed {
             self.g.rebuild_shard(m);
         }
-        for (st, (labels, mst_out)) in self
-            .machines
-            .iter_mut()
-            .zip(cp.labels.iter().zip(&cp.mst_out))
-        {
-            st.labels = labels.clone();
-            st.mst_out = mst_out.clone();
+        for (i, st) in self.machines.iter_mut().enumerate() {
+            st.labels = cp.labels[i].clone();
+            st.mst_out = cp.mst_out[i].clone();
+            st.supers = cp.supers[i].clone();
             st.proxied.clear();
             st.thresholds.clear();
             st.part_cache.clear();
@@ -659,6 +776,9 @@ impl<'g> Engine<'g> {
         }
         self.epoch_salt = cp.epoch_salt;
         self.cached_fns = cp.cached_fns.clone();
+        self.contracted = cp.contracted;
+        self.n_active = cp.n_active;
+        self.lw = id_bits(self.n_active);
     }
 
     // ------------------------------------------------------------------
@@ -667,6 +787,12 @@ impl<'g> Engine<'g> {
 
     /// Runs one phase; returns whether any component found an outgoing edge.
     fn run_phase(&mut self, p: u32) -> bool {
+        if self.cfg.contract && p >= 1 {
+            if !self.contracted {
+                self.build_supergraph(p);
+            }
+            return self.run_super_phase(p);
+        }
         self.select_outgoing(p);
         // Phase-progress flag: any component with a resolved outgoing edge?
         let progressed = self.aggregate_flag(|st| st.proxied.values().any(|c| c.chosen.is_some()));
@@ -844,6 +970,7 @@ impl<'g> Engine<'g> {
         let part = self.g.partition();
         let scheme = &self.scheme;
         let l = self.l;
+        let lw = self.lw;
         let params = self.params;
         let use_cache = cacheable && self.cfg.sketch_reuse_period != 0;
         let mut machines = std::mem::take(&mut self.machines);
@@ -893,7 +1020,7 @@ impl<'g> Engine<'g> {
                     label,
                     sketch: Box::new(sk),
                 };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, lw);
                 st.outbox.push(Envelope::with_bits(id, dst, payload, bits));
             }
         });
@@ -941,6 +1068,7 @@ impl<'g> Engine<'g> {
     fn probe_candidates(&mut self, _p: u32) {
         let part = self.g.partition();
         let l = self.l;
+        let lw = self.lw;
         // Superstep A: queries out.
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
@@ -953,7 +1081,7 @@ impl<'g> Engine<'g> {
                             ask,
                             other,
                         };
-                        let bits = payload.wire_bits(l);
+                        let bits = payload.wire_bits_lw(l, lw);
                         out.push(Envelope::with_bits(id, part.home(ask), payload, bits));
                     }
                 }
@@ -980,7 +1108,7 @@ impl<'g> Engine<'g> {
                         exists: weight.is_some(),
                         weight: weight.unwrap_or(0),
                     };
-                    let bits = payload.wire_bits(l);
+                    let bits = payload.wire_bits_lw(l, lw);
                     st.outbox
                         .push(Envelope::with_bits(id, env.src, payload, bits));
                 }
@@ -1016,6 +1144,7 @@ impl<'g> Engine<'g> {
     /// machines holding a part of it.
     fn broadcast_thresholds(&mut self, _p: u32) {
         let l = self.l;
+        let lw = self.lw;
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let mut out = Vec::new();
@@ -1026,7 +1155,7 @@ impl<'g> Engine<'g> {
                 let key = c.best;
                 for &m in &c.parts {
                     let payload = Payload::Threshold { label, key };
-                    let bits = payload.wire_bits(l);
+                    let bits = payload.wire_bits_lw(l, lw);
                     out.push(Envelope::with_bits(id, m as usize, payload, bits));
                 }
             }
@@ -1089,6 +1218,7 @@ impl<'g> Engine<'g> {
             let part = self.g.partition();
             let scheme = &self.scheme;
             let l = self.l;
+            let lw = self.lw;
             // Queries out.
             let mut machines = std::mem::take(&mut self.machines);
             par_for_each_state(&mut machines, |id, st| {
@@ -1099,7 +1229,7 @@ impl<'g> Engine<'g> {
                             asker: label,
                             target: c.ptr,
                         };
-                        let bits = payload.wire_bits(l);
+                        let bits = payload.wire_bits_lw(l, lw);
                         out.push(Envelope::with_bits(
                             id,
                             scheme.proxy_of(part, p, 0, c.ptr),
@@ -1129,7 +1259,7 @@ impl<'g> Engine<'g> {
                             ptr: t.ptr,
                             done: t.ptr_done,
                         };
-                        let bits = payload.wire_bits(l);
+                        let bits = payload.wire_bits_lw(l, lw);
                         out.push(Envelope::with_bits(id, env.src, payload, bits));
                     }
                 }
@@ -1156,6 +1286,7 @@ impl<'g> Engine<'g> {
     /// MST: a component that merged outputs its chosen edge at the proxy.
     fn relabel(&mut self, _p: u32) {
         let l = self.l;
+        let lw = self.lw;
         let mode = self.mode;
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
@@ -1173,7 +1304,7 @@ impl<'g> Engine<'g> {
                                 old: label,
                                 new: c.ptr,
                             };
-                            let bits = payload.wire_bits(l);
+                            let bits = payload.wire_bits_lw(l, lw);
                             out.push(Envelope::with_bits(id, m as usize, payload, bits));
                         }
                     }
@@ -1212,6 +1343,521 @@ impl<'g> Engine<'g> {
     }
 
     // ------------------------------------------------------------------
+    // Supergraph contraction (DESIGN.md §3.11)
+    // ------------------------------------------------------------------
+
+    /// Builds the supergraph from the current vertex labels, once, at the
+    /// first contracted phase. Every machine pushes its home vertices'
+    /// labels across their incident edges (both directions); each
+    /// inter-component edge is surfaced exactly once — at the home of its
+    /// smaller original endpoint — and sent to *both* component owners, so
+    /// supernode adjacency is symmetric from the start; owners min-merge
+    /// multi-edges by the tie-free original-edge key (dedup keeps the
+    /// lightest, and its original endpoints ride along so MST output stays
+    /// exact); and machines announce which components they host parts of,
+    /// so merges can be broadcast back into the vertex space. Ends with a
+    /// densification, after which labels live in `[0, n')` and every
+    /// subsequent label field is charged `⌈log₂ n'⌉` bits.
+    fn build_supergraph(&mut self, p: u32) {
+        let g = self.g;
+        let part = g.partition();
+        let l = self.l;
+        let lw = self.lw;
+        // Superstep 1: push labels across every edge.
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let view = g.view(id);
+            let mut out = Vec::new();
+            for &v in &st.verts {
+                let lab = st.labels[&v];
+                for &(nb, w) in view.neighbors(v) {
+                    let payload = Payload::LabelPush {
+                        u: v,
+                        v: nb,
+                        weight: w,
+                        label: lab,
+                    };
+                    let bits = payload.wire_bits_lw(l, lw);
+                    out.push(Envelope::with_bits(id, part.home(nb), payload, bits));
+                }
+            }
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        // Superstep 2: receivers surface each crossing edge once (only the
+        // smaller endpoint's home creates it — the push from the larger
+        // endpoint) and announce the components they host.
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let inbox = std::mem::take(&mut st.inbox);
+            let mut out = Vec::new();
+            for env in inbox {
+                if let Payload::LabelPush {
+                    u,
+                    v,
+                    weight,
+                    label,
+                } = env.payload
+                {
+                    let mine = *st.labels.get(&v).expect("label push reached home");
+                    if mine != label && v < u {
+                        let (ou, ov) = (v, u);
+                        for (a, b) in [(mine, label), (label, mine)] {
+                            let payload = Payload::SuperEdge {
+                                a,
+                                b,
+                                weight,
+                                ou,
+                                ov,
+                            };
+                            let bits = payload.wire_bits_lw(l, lw);
+                            out.push(Envelope::with_bits(id, part.home(a as u32), payload, bits));
+                        }
+                    }
+                }
+            }
+            let mut distinct: FxHashSet<Label> = FxHashSet::default();
+            for &lab in st.labels.values() {
+                distinct.insert(lab);
+            }
+            for lab in distinct {
+                let payload = Payload::SuperParts {
+                    label: lab,
+                    parts: vec![id as u16],
+                };
+                let bits = payload.wire_bits_lw(l, lw);
+                out.push(Envelope::with_bits(
+                    id,
+                    part.home(lab as u32),
+                    payload,
+                    bits,
+                ));
+            }
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        // Owners absorb: adjacency min-merge + hosted-part sets. Part
+        // announcements also materialize isolated components (no crossing
+        // edges, but they still need relabel broadcasts and counting).
+        par_for_each_state(&mut self.machines, |_, st| {
+            for env in std::mem::take(&mut st.inbox) {
+                match env.payload {
+                    Payload::SuperEdge {
+                        a,
+                        b,
+                        weight,
+                        ou,
+                        ov,
+                    } => {
+                        st.supers.entry(a).or_default().add_edge(b, weight, ou, ov);
+                    }
+                    Payload::SuperParts { label, parts } => {
+                        let node = st.supers.entry(label).or_default();
+                        for m in parts {
+                            node.add_part(m);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Sketch machinery is retired for the rest of the run.
+            st.part_cache.clear();
+            st.thresholds.clear();
+        });
+        self.contracted = true;
+        self.cached_fns = None;
+        self.densify_and_rehome(p);
+    }
+
+    /// Renumbers the live components into the dense space `[0, n')` and
+    /// re-homes every supernode to `home(dense id)`. Protocol: per-machine
+    /// supernode counts to M0; M0 replies with each machine's contiguous
+    /// base block and the new label-space size; each machine assigns
+    /// `dense = base + rank` by sorted old label, announces the rename to
+    /// every neighbor's owner (symmetric adjacency guarantees each owner
+    /// hears about exactly the labels in its adjacency lists) and the
+    /// vertex-space relabel to the hosting machines — all *before* any
+    /// state moves — then ships each supernode to its dense home. The
+    /// whole exchange is charged at the pre-densification label width;
+    /// `lw` shrinks to `⌈log₂ n'⌉` only once the new space is live.
+    fn densify_and_rehome(&mut self, _p: u32) {
+        let part = self.g.partition();
+        let l = self.l;
+        let lw = self.lw;
+        let k = self.k;
+        // Superstep A: counts to M0.
+        let mut machines = std::mem::take(&mut self.machines);
+        for st in machines.iter_mut() {
+            let payload = Payload::CountReport {
+                count: st.supers.len() as u64,
+            };
+            let bits = payload.wire_bits_lw(l, lw);
+            st.outbox.push(Envelope::with_bits(st.id, 0, payload, bits));
+        }
+        self.machines = machines;
+        self.flush();
+        // Superstep B: M0 computes prefix bases in machine order.
+        {
+            let st0 = &mut self.machines[0];
+            let inbox = std::mem::take(&mut st0.inbox);
+            let mut counts = vec![0u64; k];
+            for env in inbox {
+                if let Payload::CountReport { count } = env.payload {
+                    counts[env.src] = count;
+                }
+            }
+            let total: u64 = counts.iter().sum();
+            let mut base = 0u64;
+            for (dst, &c) in counts.iter().enumerate() {
+                let payload = Payload::DenseBase { base, total };
+                let bits = payload.wire_bits_lw(l, lw);
+                st0.outbox.push(Envelope::with_bits(0, dst, payload, bits));
+                base += c;
+            }
+        }
+        self.flush();
+        // Superstep C: assign dense ids, announce renames (supergraph and
+        // vertex space) under the old homes.
+        let mut total = 0u64;
+        let mut machines = std::mem::take(&mut self.machines);
+        for st in machines.iter_mut() {
+            let mut base = 0u64;
+            for env in std::mem::take(&mut st.inbox) {
+                if let Payload::DenseBase { base: b, total: t } = env.payload {
+                    base = b;
+                    total = total.max(t);
+                }
+            }
+            let mut labs: Vec<Label> = st.supers.keys().copied().collect();
+            labs.sort_unstable();
+            let mut out = Vec::new();
+            for (rank, &old) in labs.iter().enumerate() {
+                let new = base + rank as u64;
+                let node = &st.supers[&old];
+                let mut dsts: Vec<usize> =
+                    node.adj.keys().map(|&nb| part.home(nb as u32)).collect();
+                dsts.push(st.id); // our own adjacency lists rename too
+                dsts.sort_unstable();
+                dsts.dedup();
+                for dst in dsts {
+                    let payload = Payload::SuperRelabel { old, new };
+                    let bits = payload.wire_bits_lw(l, lw);
+                    out.push(Envelope::with_bits(st.id, dst, payload, bits));
+                }
+                for &m in &node.parts {
+                    let payload = Payload::Relabel { old, new };
+                    let bits = payload.wire_bits_lw(l, lw);
+                    out.push(Envelope::with_bits(st.id, m as usize, payload, bits));
+                }
+            }
+            st.outbox.extend(out);
+        }
+        self.machines = machines;
+        self.flush();
+        // Superstep D: apply the renames, then ship every supernode to its
+        // dense home.
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let (smap, vmap) = drain_rename_maps(st);
+            for lab in st.labels.values_mut() {
+                if let Some(&nl) = vmap.get(lab) {
+                    *lab = nl;
+                }
+            }
+            let mut items: Vec<(Label, SuperNode)> =
+                std::mem::take(&mut st.supers).into_iter().collect();
+            items.sort_unstable_by_key(|(lab, _)| *lab);
+            let mut out = Vec::new();
+            for (old, node) in items {
+                let new = smap[&old];
+                let renamed = rename_adj(node, &smap);
+                let mut adj: Vec<(Label, u64, u32, u32)> = renamed
+                    .adj
+                    .iter()
+                    .map(|(&nb, &(w, ou, ov))| (nb, w, ou, ov))
+                    .collect();
+                adj.sort_unstable_by_key(|&(nb, ..)| nb);
+                let payload = Payload::SuperMove {
+                    label: new,
+                    parts: renamed.parts,
+                    adj,
+                };
+                let bits = payload.wire_bits_lw(l, lw);
+                out.push(Envelope::with_bits(
+                    id,
+                    part.home(new as u32),
+                    payload,
+                    bits,
+                ));
+            }
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        par_for_each_state(&mut self.machines, |_, st| {
+            for env in std::mem::take(&mut st.inbox) {
+                if let Payload::SuperMove { label, parts, adj } = env.payload {
+                    let node = st.supers.entry(label).or_default();
+                    for m in parts {
+                        node.add_part(m);
+                    }
+                    for (nb, w, ou, ov) in adj {
+                        node.add_edge(nb, w, ou, ov);
+                    }
+                }
+            }
+        });
+        self.n_active = total.max(1) as usize;
+        self.lw = id_bits(self.n_active);
+    }
+
+    /// One Borůvka phase on the contracted supergraph: exact local MWOE
+    /// selection (the deduped adjacency is materialized at each owner — no
+    /// sketches, no probes, no Monte-Carlo), the same DRR forest and depth
+    /// instrumentation as the sketch path, owner-routed pointer jumping run
+    /// to *full* convergence (merges move supernode state, so relabeling to
+    /// a non-root ancestor — harmless in the sketch path — would strand
+    /// state at a node that is itself moving), a two-stage rename-then-move
+    /// merge, and a re-densification so the next phase addresses
+    /// `⌈log₂ n'⌉`-bit ids.
+    fn run_super_phase(&mut self, p: u32) -> bool {
+        par_for_each_state(&mut self.machines, |_, st| {
+            let mut proxied = FxHashMap::default();
+            for (&lab, node) in &st.supers {
+                let mut comp = ProxyComp::new(lab);
+                comp.parts = node.parts.clone();
+                if let Some((&nb, &(w, ou, ov))) = node
+                    .adj
+                    .iter()
+                    .min_by_key(|&(_, &(w, ou, ov))| edge_key(w, ou, ov))
+                {
+                    comp.chosen = Some((ou.min(ov), ou.max(ov), w));
+                    comp.best_edge = comp.chosen;
+                    comp.best = Some(edge_key(w, ou, ov));
+                    comp.other_label = Some(nb);
+                }
+                proxied.insert(lab, comp);
+            }
+            st.proxied = proxied;
+        });
+        let progressed = self.aggregate_flag(|st| st.proxied.values().any(|c| c.chosen.is_some()));
+        if !progressed {
+            for st in &mut self.machines {
+                st.proxied.clear();
+            }
+            return false;
+        }
+        self.build_drr_forest(p);
+        self.record_drr_depth();
+        self.super_pointer_jump(p);
+        self.super_merge(p);
+        self.densify_and_rehome(p);
+        true
+    }
+
+    /// Pointer jumping over the supergraph, routed to each label's *owner*
+    /// (every owned supernode has a [`ProxyComp`], so roots answer their
+    /// own queries), iterated until every component knows its root. DRR
+    /// ranks strictly increase along parent pointers, so the forest is
+    /// acyclic and doubling converges in `O(log depth)` iterations.
+    fn super_pointer_jump(&mut self, _p: u32) {
+        let part = self.g.partition();
+        let l = self.l;
+        let lw = self.lw;
+        let mut safety = 0u32;
+        while self.aggregate_flag(|st| st.proxied.values().any(|c| !c.ptr_done)) {
+            safety += 1;
+            assert!(safety <= 72, "super pointer jumping failed to converge");
+            let mut machines = std::mem::take(&mut self.machines);
+            par_for_each_state(&mut machines, |id, st| {
+                let mut out = Vec::new();
+                for (&label, c) in st.proxied.iter() {
+                    if !c.ptr_done {
+                        let payload = Payload::PtrQuery {
+                            asker: label,
+                            target: c.ptr,
+                        };
+                        let bits = payload.wire_bits_lw(l, lw);
+                        out.push(Envelope::with_bits(
+                            id,
+                            part.home(c.ptr as u32),
+                            payload,
+                            bits,
+                        ));
+                    }
+                }
+                st.outbox.extend(out);
+            });
+            self.machines = machines;
+            self.flush();
+            let mut machines = std::mem::take(&mut self.machines);
+            par_for_each_state(&mut machines, |id, st| {
+                let inbox = std::mem::take(&mut st.inbox);
+                let mut out = Vec::new();
+                for env in inbox {
+                    if let Payload::PtrQuery { asker, target } = env.payload {
+                        let t = st
+                            .proxied
+                            .get(&target)
+                            .expect("pointer target must be owned here");
+                        let payload = Payload::PtrReply {
+                            asker,
+                            ptr: t.ptr,
+                            done: t.ptr_done,
+                        };
+                        let bits = payload.wire_bits_lw(l, lw);
+                        out.push(Envelope::with_bits(id, env.src, payload, bits));
+                    }
+                }
+                st.outbox.extend(out);
+            });
+            self.machines = machines;
+            self.flush();
+            par_for_each_state(&mut self.machines, |_, st| {
+                for env in std::mem::take(&mut st.inbox) {
+                    if let Payload::PtrReply { asker, ptr, done } = env.payload {
+                        if let Some(c) = st.proxied.get_mut(&asker) {
+                            c.ptr = ptr;
+                            c.ptr_done = done;
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Two-stage supergraph merge. Stage 1 travels among the *old* owners:
+    /// each merging supernode emits its output edge (original endpoints),
+    /// tells every neighbor's owner its root (`SuperRelabel`), and tells
+    /// its hosting machines the vertex-space relabel. Stage 2: every owner
+    /// rewrites its adjacency lists under the received renames — distinct
+    /// old keys may collapse onto one root and min-merge — and only then do
+    /// the merging supernodes ship their state to the root's owner. Stage
+    /// 3: roots absorb the moves and drop the self-loops the merge created
+    /// (edges whose two sides merged into the same root — exactly the
+    /// intra-component edges contraction discards).
+    fn super_merge(&mut self, _p: u32) {
+        let part = self.g.partition();
+        let l = self.l;
+        let lw = self.lw;
+        let mode = self.mode;
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let mut out = Vec::new();
+            let mut emitted = Vec::new();
+            for (&label, c) in st.proxied.iter() {
+                if c.parent.is_none() {
+                    continue;
+                }
+                debug_assert!(c.ptr_done, "merge requires converged pointers");
+                debug_assert!(c.ptr != label, "a merging component cannot be its own root");
+                if mode != Mode::Connectivity {
+                    if let Some(e) = c.chosen {
+                        emitted.push(e);
+                    }
+                }
+                let root = c.ptr;
+                let node = st.supers.get(&label).expect("merging supernode owned here");
+                let mut dsts: Vec<usize> =
+                    node.adj.keys().map(|&nb| part.home(nb as u32)).collect();
+                dsts.push(id); // our own adjacency lists rename too
+                dsts.sort_unstable();
+                dsts.dedup();
+                for dst in dsts {
+                    let payload = Payload::SuperRelabel {
+                        old: label,
+                        new: root,
+                    };
+                    let bits = payload.wire_bits_lw(l, lw);
+                    out.push(Envelope::with_bits(id, dst, payload, bits));
+                }
+                for &m in &node.parts {
+                    let payload = Payload::Relabel {
+                        old: label,
+                        new: root,
+                    };
+                    let bits = payload.wire_bits_lw(l, lw);
+                    out.push(Envelope::with_bits(id, m as usize, payload, bits));
+                }
+            }
+            st.mst_out.extend(emitted);
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        let mut machines = std::mem::take(&mut self.machines);
+        par_for_each_state(&mut machines, |id, st| {
+            let (smap, vmap) = drain_rename_maps(st);
+            for lab in st.labels.values_mut() {
+                if let Some(&nl) = vmap.get(lab) {
+                    *lab = nl;
+                }
+            }
+            let mut items: Vec<(Label, SuperNode)> =
+                std::mem::take(&mut st.supers).into_iter().collect();
+            items.sort_unstable_by_key(|(lab, _)| *lab);
+            let mut keep: FxHashMap<Label, SuperNode> = FxHashMap::default();
+            let mut out = Vec::new();
+            for (old, node) in items {
+                let renamed = rename_adj(node, &smap);
+                match smap.get(&old) {
+                    Some(&root) => {
+                        let mut adj: Vec<(Label, u64, u32, u32)> = renamed
+                            .adj
+                            .iter()
+                            .map(|(&nb, &(w, ou, ov))| (nb, w, ou, ov))
+                            .collect();
+                        adj.sort_unstable_by_key(|&(nb, ..)| nb);
+                        let payload = Payload::SuperMove {
+                            label: root,
+                            parts: renamed.parts,
+                            adj,
+                        };
+                        let bits = payload.wire_bits_lw(l, lw);
+                        out.push(Envelope::with_bits(
+                            id,
+                            part.home(root as u32),
+                            payload,
+                            bits,
+                        ));
+                    }
+                    None => {
+                        keep.insert(old, renamed);
+                    }
+                }
+            }
+            st.supers = keep;
+            st.outbox.extend(out);
+        });
+        self.machines = machines;
+        self.flush();
+        par_for_each_state(&mut self.machines, |_, st| {
+            for env in std::mem::take(&mut st.inbox) {
+                if let Payload::SuperMove { label, parts, adj } = env.payload {
+                    let node = st.supers.entry(label).or_default();
+                    for m in parts {
+                        node.add_part(m);
+                    }
+                    for (nb, w, ou, ov) in adj {
+                        node.add_edge(nb, w, ou, ov);
+                    }
+                }
+            }
+            let labs: Vec<Label> = st.supers.keys().copied().collect();
+            for lab in labs {
+                st.supers
+                    .get_mut(&lab)
+                    .expect("just listed")
+                    .adj
+                    .remove(&lab);
+            }
+            st.proxied.clear();
+        });
+    }
+
+    // ------------------------------------------------------------------
     // Control flow helpers
     // ------------------------------------------------------------------
 
@@ -1234,6 +1880,7 @@ impl<'g> Engine<'g> {
     /// convergence detection).
     fn aggregate_flag(&mut self, pred: impl Fn(&MachineState) -> bool + Sync) -> bool {
         let l = self.l;
+        let lw = self.lw;
         par_for_each_state(&mut self.machines, |_, st| {
             st.flag = pred(st);
         });
@@ -1241,7 +1888,7 @@ impl<'g> Engine<'g> {
         for st in machines.iter_mut() {
             if st.id != 0 {
                 let payload = Payload::Flag { bit: st.flag };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, lw);
                 st.outbox.push(Envelope::with_bits(st.id, 0, payload, bits));
             }
         }
@@ -1263,7 +1910,7 @@ impl<'g> Engine<'g> {
             let st0 = &mut machines[0];
             for dst in 1..self.k {
                 let payload = Payload::Flag { bit: global };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, lw);
                 st0.outbox.push(Envelope::with_bits(0, dst, payload, bits));
             }
         }
@@ -1284,6 +1931,7 @@ impl<'g> Engine<'g> {
         let part = self.g.partition();
         let scheme = &self.scheme;
         let l = self.l;
+        let lw = self.lw;
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let mut distinct: FxHashSet<Label> = FxHashSet::default();
@@ -1293,7 +1941,7 @@ impl<'g> Engine<'g> {
             let mut out = Vec::new();
             for lab in distinct {
                 let payload = Payload::LabelAnnounce { label: lab };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, lw);
                 out.push(Envelope::with_bits(
                     id,
                     scheme.proxy_of(part, p, 1, lab),
@@ -1306,6 +1954,7 @@ impl<'g> Engine<'g> {
         self.machines = machines;
         self.flush();
         let l2 = self.l;
+        let lw2 = self.lw;
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let inbox = std::mem::take(&mut st.inbox);
@@ -1318,7 +1967,7 @@ impl<'g> Engine<'g> {
             let payload = Payload::CountReport {
                 count: distinct.len() as u64,
             };
-            let bits = payload.wire_bits(l2);
+            let bits = payload.wire_bits_lw(l2, lw2);
             st.outbox.push(Envelope::with_bits(id, 0, payload, bits));
         });
         self.machines = machines;

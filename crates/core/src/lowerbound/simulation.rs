@@ -68,6 +68,8 @@ pub fn simulate_scs_two_party(
         sketch_reuse_period: cfg.sketch_reuse_period,
         faults: cfg.faults.clone(),
         recovery: cfg.recovery,
+        contract: cfg.contract,
+        encoding: cfg.encoding,
     };
     let mut engine = Engine::new(&sh, Mode::Connectivity, seed, engine_cfg);
     engine.set_cut((0..k).map(|m| m < k / 2).collect());

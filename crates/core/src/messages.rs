@@ -1,11 +1,20 @@
 //! Message payloads of the distributed algorithms, with explicit wire sizes.
 //!
-//! Wire sizes follow the paper's encodings: vertex ids and component labels
-//! cost `⌈log₂ n⌉` bits, weights 32 bits, sketches their `polylog(n)` size
-//! ([`ksketch::SketchParams::wire_bits`]), plus a flat 16-bit type tag per
-//! message. Sizes are computed once per message by [`Payload::wire_bits`],
-//! which needs the id width `L = ⌈log₂ n⌉` as context.
+//! Wire sizes follow the paper's encodings: vertex ids cost `⌈log₂ n⌉`
+//! bits, component labels `⌈log₂ n'⌉` bits where `n'` is the size of the
+//! current (possibly contracted) label space, weights 32 bits, sketches
+//! their `polylog(n)` size ([`ksketch::SketchParams::wire_bits`]), plus a
+//! flat 16-bit type tag per message. Sizes are computed once per message by
+//! [`Payload::wire_bits_lw`], which needs the vertex id width
+//! `L = ⌈log₂ n⌉` and the label width `Lw = ⌈log₂ n'⌉` as context
+//! ([`Payload::wire_bits`] is the uncontracted `Lw = L` special case).
+//!
+//! Under [`kmachine::message::Encoding::Varint`] a directed link's batch is
+//! charged by [`kmachine::message::BatchWire`] instead: per-variant runs
+//! share one tag, carry a varint count, and ship their primary id field as
+//! a delta-sorted varint stream — see [`Payload::batch_wire_bits`].
 
+use kmachine::message::{delta_varint_bits, varint_bits, BatchWire, Envelope};
 use ksketch::L0Sketch;
 
 /// A component label. Labels are always ids of representative vertices, so
@@ -151,6 +160,71 @@ pub enum Payload {
         /// The sum of the machine's local vertex sketches for that label.
         sketch: Box<L0Sketch>,
     },
+    /// Supergraph build (§3.11): `home(u)` pushes endpoint `u`'s label
+    /// along edge `{u, v}` to `home(v)`, which sees both labels and keeps
+    /// the edge iff they differ.
+    LabelPush {
+        /// The endpoint whose label is being pushed.
+        u: u32,
+        /// The other endpoint (homed at the destination machine).
+        v: u32,
+        /// The edge weight.
+        weight: u64,
+        /// `u`'s current component label.
+        label: Label,
+    },
+    /// Supergraph build: a surviving inter-component edge, routed to a
+    /// component endpoint's owner. The original endpoints ride along so
+    /// MST/spanning-forest output stays in original edge ids.
+    SuperEdge {
+        /// The component whose owner this copy is addressed to.
+        a: Label,
+        /// The component on the other side.
+        b: Label,
+        /// The edge weight.
+        weight: u64,
+        /// Original endpoint on `a`'s side.
+        ou: u32,
+        /// Original endpoint on `b`'s side.
+        ov: u32,
+    },
+    /// Supergraph build/maintenance: a machine announces it hosts original
+    /// vertices of component `label` (so merge results can be broadcast
+    /// back into the vertex space).
+    SuperParts {
+        /// The component label.
+        label: Label,
+        /// Machines hosting parts of the component.
+        parts: Vec<u16>,
+    },
+    /// Supergraph maintenance: component `old` is now addressed as `new`
+    /// (after a merge or a dense renaming), sent to owners storing `old`
+    /// in an adjacency list.
+    SuperRelabel {
+        /// The label being retired.
+        old: Label,
+        /// Its replacement.
+        new: Label,
+    },
+    /// Supergraph re-homing: a supernode's full owner state moves to the
+    /// machine that owns its (new) label.
+    SuperMove {
+        /// The supernode's label (already in the destination's space).
+        label: Label,
+        /// Machines hosting original vertices of the component.
+        parts: Vec<u16>,
+        /// Deduped adjacency: `(neighbor label, weight, ou, ov)` of the
+        /// lightest original edge crossing to that neighbor.
+        adj: Vec<(Label, u64, u32, u32)>,
+    },
+    /// Dense renaming: the coordinator assigns each machine the base of
+    /// its contiguous block of new labels, and the new label-space size.
+    DenseBase {
+        /// First new label owned by the destination machine.
+        base: u64,
+        /// Total number of live components (the new `n'`).
+        total: u64,
+    },
 }
 
 /// Flat per-message type tag cost.
@@ -159,28 +233,234 @@ const TAG_BITS: u64 = 16;
 const W_BITS: u64 = 32;
 
 impl Payload {
-    /// The wire size given the id width `l = ⌈log₂ n⌉` bits.
+    /// The wire size given the id width `l = ⌈log₂ n⌉` bits, with labels
+    /// charged at the same width (the uncontracted case).
     pub fn wire_bits(&self, l: u64) -> u64 {
+        self.wire_bits_lw(l, l)
+    }
+
+    /// The wire size given the vertex id width `l = ⌈log₂ n⌉` and the
+    /// component label width `lw = ⌈log₂ n'⌉`. After supergraph
+    /// contraction the live label space shrinks to `n' ≤ n` components, so
+    /// every label field is charged `lw` bits while original vertex ids
+    /// (which MST outputs and probes still need) stay at `l` bits.
+    /// Charging labels the full `l` after contraction overstates the bits
+    /// — the satellite-audit bug this signature exists to prevent.
+    pub fn wire_bits_lw(&self, l: u64, lw: u64) -> u64 {
         TAG_BITS
             + match self {
-                Payload::PartSketch { sketch, .. } => l + sketch.wire_bits(),
-                Payload::EdgeProbe { .. } => 3 * l,
-                Payload::EdgeProbeReply { .. } => 3 * l + 1 + W_BITS,
-                Payload::Threshold { key, .. } => l + 1 + key.map_or(0, |_| 2 * l + W_BITS),
-                Payload::PtrQuery { .. } => 2 * l,
-                Payload::PtrReply { .. } => 2 * l + 1,
-                Payload::Relabel { .. } => 2 * l,
+                Payload::PartSketch { sketch, .. } => lw + sketch.wire_bits(),
+                Payload::EdgeProbe { .. } => lw + 2 * l,
+                Payload::EdgeProbeReply { .. } => 2 * lw + l + 1 + W_BITS,
+                Payload::Threshold { key, .. } => lw + 1 + key.map_or(0, |_| 2 * l + W_BITS),
+                Payload::PtrQuery { .. } => 2 * lw,
+                Payload::PtrReply { .. } => 2 * lw + 1,
+                Payload::Relabel { .. } => 2 * lw,
                 Payload::Flag { .. } => 1,
-                Payload::LabelAnnounce { .. } => l,
+                Payload::LabelAnnounce { .. } => lw,
                 Payload::CountReport { .. } => 32,
-                Payload::FloodLabels { updates } => updates.len() as u64 * 2 * l,
+                Payload::FloodLabels { updates } => updates.len() as u64 * (l + lw),
                 Payload::EdgeList { edges } => edges.len() as u64 * (2 * l + W_BITS),
-                Payload::Candidate { .. } => 2 * l + (2 * l + W_BITS) + l,
+                Payload::Candidate { .. } => 2 * lw + (2 * l + W_BITS) + l,
                 Payload::StDone { .. } => 1,
                 Payload::TestBatch { count } => count * 3 * l,
                 Payload::EdgeUpdate { .. } => 2 * l + W_BITS + 1,
-                Payload::CertSketch { sketch, .. } => l + sketch.wire_bits(),
+                Payload::CertSketch { sketch, .. } => lw + sketch.wire_bits(),
+                Payload::LabelPush { .. } => 2 * l + W_BITS + lw,
+                Payload::SuperEdge { .. } => 2 * lw + W_BITS + 2 * l,
+                Payload::SuperParts { parts, .. } => lw + 16 * parts.len() as u64,
+                Payload::SuperRelabel { .. } => 2 * lw,
+                Payload::SuperMove { parts, adj, .. } => {
+                    lw + 16 * parts.len() as u64 + (lw + W_BITS + 2 * l) * adj.len() as u64
+                }
+                Payload::DenseBase { .. } => 2 * lw,
             }
+    }
+
+    /// A dense per-variant index for batch-run bucketing.
+    fn tag_index(&self) -> usize {
+        match self {
+            Payload::PartSketch { .. } => 0,
+            Payload::EdgeProbe { .. } => 1,
+            Payload::EdgeProbeReply { .. } => 2,
+            Payload::Threshold { .. } => 3,
+            Payload::PtrQuery { .. } => 4,
+            Payload::PtrReply { .. } => 5,
+            Payload::Relabel { .. } => 6,
+            Payload::Flag { .. } => 7,
+            Payload::LabelAnnounce { .. } => 8,
+            Payload::CountReport { .. } => 9,
+            Payload::FloodLabels { .. } => 10,
+            Payload::EdgeList { .. } => 11,
+            Payload::Candidate { .. } => 12,
+            Payload::StDone { .. } => 13,
+            Payload::TestBatch { .. } => 14,
+            Payload::EdgeUpdate { .. } => 15,
+            Payload::CertSketch { .. } => 16,
+            Payload::LabelPush { .. } => 17,
+            Payload::SuperEdge { .. } => 18,
+            Payload::SuperParts { .. } => 19,
+            Payload::SuperRelabel { .. } => 20,
+            Payload::SuperMove { .. } => 21,
+            Payload::DenseBase { .. } => 22,
+        }
+    }
+}
+
+/// Number of [`Payload`] variants (batch-run buckets).
+const N_TAGS: usize = 23;
+
+impl BatchWire for Payload {
+    /// One directed link's batch, encoded as per-variant runs: each run
+    /// pays the 16-bit tag once plus a varint count; its primary id field
+    /// (the label or vertex the destination groups by) travels delta-sorted
+    /// as a varint stream, every other field as a plain varint; flags are
+    /// one bit; sketches keep their raw wire size. [`Payload::TestBatch`]
+    /// is already an aggregate and falls back to its naive per-message
+    /// size. The encoding is self-describing — no id-width context needed,
+    /// which is what makes it the *charged* size rather than a model bound.
+    fn batch_wire_bits(batch: &[&Envelope<Self>]) -> u64 {
+        let mut primary: Vec<Vec<u64>> = vec![Vec::new(); N_TAGS];
+        let mut sec = [0u64; N_TAGS];
+        let mut cnt = [0u64; N_TAGS];
+        let v32 = |x: u32| varint_bits(u64::from(x));
+        for e in batch {
+            let t = e.payload.tag_index();
+            cnt[t] += 1;
+            match &e.payload {
+                Payload::PartSketch { label, sketch } => {
+                    primary[t].push(*label);
+                    sec[t] += sketch.wire_bits();
+                }
+                Payload::EdgeProbe { comp, ask, other } => {
+                    primary[t].push(*comp);
+                    sec[t] += v32(*ask) + v32(*other);
+                }
+                Payload::EdgeProbeReply {
+                    comp,
+                    vertex,
+                    label,
+                    weight,
+                    ..
+                } => {
+                    primary[t].push(*comp);
+                    sec[t] += v32(*vertex) + varint_bits(*label) + 1 + varint_bits(*weight);
+                }
+                Payload::Threshold { label, key } => {
+                    primary[t].push(*label);
+                    sec[t] += 1 + key.map_or(0, |(w, u, v)| varint_bits(w) + v32(u) + v32(v));
+                }
+                Payload::PtrQuery { asker, target } => {
+                    primary[t].push(*target);
+                    sec[t] += varint_bits(*asker);
+                }
+                Payload::PtrReply { asker, ptr, .. } => {
+                    primary[t].push(*asker);
+                    sec[t] += varint_bits(*ptr) + 1;
+                }
+                Payload::Relabel { old, new } => {
+                    primary[t].push(*old);
+                    sec[t] += varint_bits(*new);
+                }
+                Payload::Flag { .. } => sec[t] += 1,
+                Payload::LabelAnnounce { label } => primary[t].push(*label),
+                Payload::CountReport { count } => sec[t] += varint_bits(*count),
+                Payload::FloodLabels { updates } => {
+                    sec[t] += updates
+                        .iter()
+                        .map(|&(v, lab)| v32(v) + varint_bits(lab))
+                        .sum::<u64>();
+                }
+                Payload::EdgeList { edges } => {
+                    sec[t] += edges
+                        .iter()
+                        .map(|&(u, v, w)| v32(u) + v32(v) + varint_bits(w))
+                        .sum::<u64>();
+                }
+                Payload::Candidate {
+                    label,
+                    key: (w, u, v),
+                    to_label,
+                } => {
+                    primary[t].push(*label);
+                    sec[t] += varint_bits(*w) + v32(*u) + v32(*v) + varint_bits(*to_label);
+                }
+                Payload::StDone { .. } => sec[t] += 1,
+                Payload::TestBatch { .. } => sec[t] += e.bits.max(1),
+                Payload::EdgeUpdate {
+                    vertex,
+                    other,
+                    weight,
+                    ..
+                } => {
+                    primary[t].push(u64::from(*vertex));
+                    sec[t] += v32(*other) + varint_bits(*weight) + 1;
+                }
+                Payload::CertSketch { label, sketch } => {
+                    primary[t].push(*label);
+                    sec[t] += sketch.wire_bits();
+                }
+                Payload::LabelPush {
+                    u,
+                    v,
+                    weight,
+                    label,
+                } => {
+                    primary[t].push(u64::from(*v));
+                    sec[t] += v32(*u) + varint_bits(*weight) + varint_bits(*label);
+                }
+                Payload::SuperEdge {
+                    a,
+                    b,
+                    weight,
+                    ou,
+                    ov,
+                } => {
+                    primary[t].push(*a);
+                    sec[t] += varint_bits(*b) + varint_bits(*weight) + v32(*ou) + v32(*ov);
+                }
+                Payload::SuperParts { label, parts } => {
+                    primary[t].push(*label);
+                    sec[t] += parts
+                        .iter()
+                        .map(|&p| varint_bits(u64::from(p)))
+                        .sum::<u64>();
+                }
+                Payload::SuperRelabel { old, new } => {
+                    primary[t].push(*old);
+                    sec[t] += varint_bits(*new);
+                }
+                Payload::SuperMove { label, parts, adj } => {
+                    primary[t].push(*label);
+                    sec[t] += parts
+                        .iter()
+                        .map(|&p| varint_bits(u64::from(p)))
+                        .sum::<u64>();
+                    sec[t] += adj
+                        .iter()
+                        .map(|&(nb, w, ou, ov)| {
+                            varint_bits(nb) + varint_bits(w) + v32(ou) + v32(ov)
+                        })
+                        .sum::<u64>();
+                }
+                Payload::DenseBase { base, total } => {
+                    sec[t] += varint_bits(*base) + varint_bits(*total);
+                }
+            }
+        }
+        let mut bits = 0u64;
+        for t in 0..N_TAGS {
+            if cnt[t] == 0 {
+                continue;
+            }
+            if t == 14 {
+                // TestBatch: naive fallback, no shared run header.
+                bits += sec[t];
+                continue;
+            }
+            bits += TAG_BITS + varint_bits(cnt[t]) + delta_varint_bits(&mut primary[t]) + sec[t];
+        }
+        bits
     }
 }
 
@@ -259,5 +539,113 @@ mod tests {
     fn id_bits_matches_bandwidth_helper() {
         assert_eq!(id_bits(1 << 16), 16);
         assert_eq!(id_bits((1 << 16) + 1), 17);
+    }
+
+    #[test]
+    fn label_width_shrinks_label_fields_only() {
+        let q = Payload::PtrQuery {
+            asker: 1,
+            target: 2,
+        };
+        // Both fields are labels: full width at lw = l, narrow after.
+        assert_eq!(q.wire_bits_lw(20, 20), q.wire_bits(20));
+        assert_eq!(q.wire_bits_lw(20, 3), 16 + 6);
+        // A probe keeps its vertex ids at l; only the component narrows.
+        let p = Payload::EdgeProbe {
+            comp: 9,
+            ask: 1,
+            other: 2,
+        };
+        assert_eq!(p.wire_bits_lw(20, 20), p.wire_bits(20));
+        assert_eq!(p.wire_bits_lw(20, 3), 16 + 3 + 40);
+    }
+
+    #[test]
+    fn every_variant_is_unchanged_at_equal_widths() {
+        // `wire_bits(l)` must stay the historical accounting: the lw
+        // generalization may not move a single bit when lw == l.
+        let payloads = vec![
+            Payload::EdgeProbeReply {
+                comp: 1,
+                vertex: 2,
+                label: 3,
+                exists: true,
+                weight: 4,
+            },
+            Payload::Threshold {
+                label: 1,
+                key: Some((2, 3, 4)),
+            },
+            Payload::Candidate {
+                label: 1,
+                key: (2, 3, 4),
+                to_label: 5,
+            },
+            Payload::FloodLabels {
+                updates: vec![(1, 2), (3, 4)],
+            },
+            Payload::LabelAnnounce { label: 7 },
+            Payload::Relabel { old: 1, new: 2 },
+        ];
+        for p in payloads {
+            for l in [1u64, 10, 21] {
+                assert_eq!(p.wire_bits_lw(l, l), p.wire_bits(l), "{p:?} at l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_relabels_share_one_tag_and_compress_ids() {
+        let l = 20;
+        let batch: Vec<Envelope<Payload>> = (0..50u64)
+            .map(|i| {
+                let p = Payload::Relabel {
+                    old: 3000 + i,
+                    new: 7,
+                };
+                let bits = p.wire_bits(l);
+                Envelope::with_bits(0, 1, p, bits)
+            })
+            .collect();
+        let refs: Vec<&Envelope<Payload>> = batch.iter().collect();
+        let encoded = Payload::batch_wire_bits(&refs);
+        let naive: u64 = batch.iter().map(|e| e.bits).sum();
+        // One tag + count + delta run (varint(3000) + 49 byte gaps) + 50
+        // varint `new` fields.
+        assert_eq!(encoded, 16 + 8 + (16 + 49 * 8) + 50 * 8);
+        assert!(encoded < naive / 2, "{encoded} vs {naive}");
+    }
+
+    #[test]
+    fn test_batches_fall_back_to_their_naive_size() {
+        let l = 16;
+        let batch: Vec<Envelope<Payload>> = (0..4u64)
+            .map(|c| {
+                let p = Payload::TestBatch { count: c + 1 };
+                let bits = p.wire_bits(l);
+                Envelope::with_bits(0, 1, p, bits)
+            })
+            .collect();
+        let refs: Vec<&Envelope<Payload>> = batch.iter().collect();
+        let naive: u64 = batch.iter().map(|e| e.bits).sum();
+        assert_eq!(Payload::batch_wire_bits(&refs), naive);
+    }
+
+    #[test]
+    fn mixed_batches_pay_one_header_per_variant_run() {
+        let l = 12;
+        let mk = |p: Payload| {
+            let bits = p.wire_bits(l);
+            Envelope::with_bits(0, 1, p, bits)
+        };
+        let batch = [
+            mk(Payload::Flag { bit: true }),
+            mk(Payload::Flag { bit: false }),
+            mk(Payload::CountReport { count: 3 }),
+        ];
+        let refs: Vec<&Envelope<Payload>> = batch.iter().collect();
+        // Flag run: tag + count(2) + 2 bits; CountReport run: tag +
+        // count(1) + varint(3).
+        assert_eq!(Payload::batch_wire_bits(&refs), (16 + 8 + 2) + (16 + 8 + 8));
     }
 }

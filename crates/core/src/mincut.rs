@@ -17,6 +17,7 @@
 use crate::connectivity::{connected_components_sharded, ConnectivityConfig};
 use kgraph::{Graph, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
+use kmachine::message::Encoding;
 use kmachine::metrics::CommStats;
 use krand::shared::{SharedRandomness, Use};
 
@@ -35,6 +36,12 @@ pub struct MinCutConfig {
     /// How injected faults are survived (see
     /// [`crate::engine::RecoveryPolicy`]).
     pub recovery: crate::engine::RecoveryPolicy,
+    /// Supergraph contraction in the inner connectivity probes
+    /// (DESIGN.md §3.11; default `false`).
+    pub contract: bool,
+    /// Wire encoding the superstep layer charges bandwidth under (default
+    /// per-message [`Encoding::Naive`]). Accounting only.
+    pub encoding: Encoding,
 }
 
 impl Default for MinCutConfig {
@@ -45,6 +52,8 @@ impl Default for MinCutConfig {
             charge_shared_randomness: true,
             faults: None,
             recovery: crate::engine::RecoveryPolicy::default(),
+            contract: false,
+            encoding: Encoding::Naive,
         }
     }
 }
@@ -103,6 +112,8 @@ pub fn approx_min_cut_sharded(sg: &ShardedGraph, seed: u64, cfg: &MinCutConfig) 
         run_output_protocol: true,
         faults: cfg.faults.clone(),
         recovery: cfg.recovery,
+        contract: cfg.contract,
+        encoding: cfg.encoding,
         ..ConnectivityConfig::default()
     };
     let mut stats = CommStats::new(k);

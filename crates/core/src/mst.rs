@@ -21,7 +21,7 @@ use kgraph::graph::Edge;
 use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
-use kmachine::message::Envelope;
+use kmachine::message::{Encoding, Envelope};
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
 
@@ -53,6 +53,14 @@ pub struct MstConfig {
     /// How injected faults are survived (see
     /// [`crate::engine::RecoveryPolicy`]).
     pub recovery: crate::engine::RecoveryPolicy,
+    /// Supergraph contraction after phase 0 (DESIGN.md §3.11; default
+    /// `false`). Contracted phases compute exact local MWOEs on the
+    /// deduped supergraph — the output forest is the same unique MST
+    /// (tie-free edge keys), reached without the elimination loop.
+    pub contract: bool,
+    /// Wire encoding the superstep layer charges bandwidth under (default
+    /// per-message [`Encoding::Naive`]). Accounting only.
+    pub encoding: Encoding,
 }
 
 impl Default for MstConfig {
@@ -65,6 +73,8 @@ impl Default for MstConfig {
             max_phases: None,
             faults: None,
             recovery: crate::engine::RecoveryPolicy::default(),
+            contract: false,
+            encoding: Encoding::Naive,
         }
     }
 }
@@ -142,6 +152,8 @@ pub fn minimum_spanning_tree_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConf
         cost_model: Default::default(),
         faults: cfg.faults.clone(),
         recovery: cfg.recovery,
+        contract: cfg.contract,
+        encoding: cfg.encoding,
         ..EngineConfig::default()
     };
     let result = Engine::new(sg, Mode::Mst, seed, engine_cfg).run();
@@ -175,7 +187,8 @@ pub fn minimum_spanning_tree_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConf
 /// the Ω~(n/k) bottleneck the paper proves unavoidable.
 fn route_to_endpoints(sg: &ShardedGraph, result: &EngineResult, cfg: &MstConfig) -> CommStats {
     let part = sg.partition();
-    let net = NetworkConfig::new(part.k(), cfg.bandwidth, sg.n());
+    let mut net = NetworkConfig::new(part.k(), cfg.bandwidth, sg.n());
+    net.encoding = cfg.encoding;
     let mut bsp: Bsp<Payload> = Bsp::new(net);
     let l = id_bits(sg.n());
     // Reconstruct which machine output each edge (machine order matches the

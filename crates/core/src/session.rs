@@ -407,6 +407,8 @@ impl Problem for Connectivity {
             sketch_reuse_period: d.sketch_reuse_period,
             faults: d.faults.clone(),
             recovery: d.recovery,
+            contract: d.contract,
+            encoding: d.encoding,
         }
     }
 
@@ -452,6 +454,8 @@ impl Problem for Mst {
             max_phases: d.max_phases,
             faults: d.faults.clone(),
             recovery: d.recovery,
+            contract: d.contract,
+            encoding: d.encoding,
         }
     }
 
@@ -525,6 +529,8 @@ impl Problem for MinCut {
             charge_shared_randomness: d.charge_shared_randomness,
             faults: d.faults.clone(),
             recovery: d.recovery,
+            contract: d.contract,
+            encoding: d.encoding,
         }
     }
 

@@ -80,6 +80,8 @@ pub fn spanning_forest_sharded(
         max_phases: cfg.max_phases,
         faults: cfg.faults.clone(),
         recovery: cfg.recovery,
+        contract: cfg.contract,
+        encoding: cfg.encoding,
         ..EngineConfig::default()
     };
     let result = Engine::new(sg, Mode::SpanningForest, seed, engine_cfg).run();

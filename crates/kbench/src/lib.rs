@@ -4,6 +4,7 @@
 //! DESIGN.md §4) and the Criterion benches.
 
 pub mod chaos;
+pub mod contraction;
 pub mod dynamic;
 pub mod experiments;
 pub mod large;

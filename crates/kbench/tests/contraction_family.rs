@@ -1,0 +1,139 @@
+//! CI pin for the contraction/encoding ablation family (DESIGN.md §4,
+//! E23): on the E20 streamed scenario ladder, every grid cell must return
+//! the baseline answer bit-for-bit, every varint cell must carry the
+//! matching naive cell's charge as its oracle, and the headline envelope
+//! must hold — contracted + varint total bits ≤ 0.5× the uncontracted
+//! naive baseline. The contracted path must also compose with the PR 5
+//! chaos plans (checkpoints snapshot the supergraph, so faulted contracted
+//! runs replay exactly). All measurements land in `results/BENCH_PR6.json`
+//! so the bits trajectory of the PR is captured as an artifact.
+
+use kbench::chaos::plans;
+use kbench::contraction::measure;
+use kbench::experiments::{records_to_json, ExperimentRecord};
+use kbench::large::family;
+use kconn::session::{Connectivity, Problem};
+use kconn::ConnectivityConfig;
+use kmachine::message::Encoding;
+
+#[test]
+fn contraction_ablations_hold_the_bits_envelope_and_compose_with_chaos() {
+    let mut records: Vec<ExperimentRecord> = Vec::new();
+
+    // ---- The E20 rung: the 2×2 ablation grid on the streamed family. ----
+    let s = &family(true)[0]; // n = 50_000, k = 16
+    let ms = measure(&s.cluster());
+    let baseline = &ms[0];
+    for m in &ms {
+        assert!(
+            m.identical,
+            "{}/{}: answers diverged from the baseline cell",
+            s.id, m.cell
+        );
+        records.push(m.record("BENCH_PR6", s));
+    }
+    // The naive cells charge exactly their oracle, and each varint cell
+    // carries the matching naive cell's charge (same trajectory, same
+    // per-message sum — encoding is accounting-only).
+    assert_eq!(ms[0].total_bits, ms[0].naive_bits, "baseline oracle");
+    assert_eq!(ms[1].total_bits, ms[1].naive_bits, "contract-cell oracle");
+    assert_eq!(ms[2].naive_bits, ms[0].total_bits, "varint vs baseline");
+    assert_eq!(
+        ms[3].naive_bits, ms[1].total_bits,
+        "contract+varint vs contract"
+    );
+    // The headline envelope: contraction + varint at least halves the bits.
+    let both = ms
+        .iter()
+        .find(|m| m.cell == "contract+varint")
+        .expect("grid cell");
+    assert!(
+        both.bits_ratio(baseline) <= 0.5,
+        "{}: contract+varint bits {} exceed 0.5× the naive baseline {}",
+        s.id,
+        both.total_bits,
+        baseline.total_bits
+    );
+    // Each knob alone must already win (the grid is monotone on E20).
+    for cell in ["contract", "varint"] {
+        let m = ms.iter().find(|m| m.cell == cell).expect("grid cell");
+        assert!(
+            m.total_bits < baseline.total_bits,
+            "{}/{cell}: {} bits vs baseline {}",
+            s.id,
+            m.total_bits,
+            baseline.total_bits
+        );
+    }
+
+    // ---- Chaos composition: contract+varint under every PR 5 plan. ----
+    let (n, k, seed) = (1200usize, 8usize, 1207u64);
+    let g = kgraph::generators::planted_components(n, 4, 3, seed ^ 0xCAB0);
+    let cluster = kconn::session::Cluster::builder(k)
+        .seed(seed)
+        .ingest_graph(&g);
+    let cfg = ConnectivityConfig {
+        contract: true,
+        encoding: Encoding::Varint,
+        ..ConnectivityConfig::default()
+    };
+    let clean = cluster.run(Connectivity::with(cfg.clone()));
+    for (plan_name, plan) in plans(k, seed) {
+        let faulted = cluster.run(Connectivity::with(ConnectivityConfig {
+            faults: Some(plan),
+            ..cfg.clone()
+        }));
+        assert_eq!(
+            faulted.output.labels, clean.output.labels,
+            "chaos/{plan_name}: contracted labels must replay exactly"
+        );
+        assert!(
+            faulted.report.faults_injected > 0,
+            "chaos/{plan_name}: plan never fired"
+        );
+        assert_eq!(
+            faulted.report.stats.total_bits - faulted.report.stats.retransmit_bits,
+            clean.report.stats.total_bits,
+            "chaos/{plan_name}: recovery bits must separate exactly"
+        );
+        records.push(ExperimentRecord {
+            experiment: "BENCH_PR6".into(),
+            label: format!("chaos/{plan_name}/n{n}/k{k}/contract+varint"),
+            params: [("n".to_string(), n as f64), ("k".to_string(), k as f64)]
+                .into_iter()
+                .collect(),
+            metrics: [
+                (
+                    "clean_bits".to_string(),
+                    clean.report.stats.total_bits as f64,
+                ),
+                (
+                    "faulted_bits".to_string(),
+                    faulted.report.stats.total_bits as f64,
+                ),
+                (
+                    "retransmit_bits".to_string(),
+                    faulted.report.stats.retransmit_bits as f64,
+                ),
+                (
+                    "recovery_rounds".to_string(),
+                    faulted.report.stats.recovery_rounds as f64,
+                ),
+                (
+                    "faults_injected".to_string(),
+                    faulted.report.faults_injected as f64,
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        });
+    }
+
+    // The snapshot lands in the repo-root results/ directory (gitignored;
+    // created on a fresh checkout), alongside the earlier PR snapshots.
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let out = dir.join("BENCH_PR6.json");
+    std::fs::write(&out, records_to_json(&records))
+        .unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+}

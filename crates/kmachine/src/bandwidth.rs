@@ -55,10 +55,16 @@ impl Default for Bandwidth {
     }
 }
 
-/// `⌈log₂ x⌉` for `x ≥ 1` (0 for `x = 1`).
+/// `⌈log₂ x⌉` for `x ≥ 1`, extended to a *total* function with
+/// `ceil_log2(0) = 0`.
+///
+/// The historical implementation computed `x - 1` guarded only by a
+/// `debug_assert!`, so a release-mode call with `x = 0` underflowed to
+/// `usize::MAX` and returned `usize::BITS` — a silent 64-bit id width that
+/// poisoned every downstream bandwidth identity. Zero is now clamped: an
+/// empty domain needs no bits to address.
 pub fn ceil_log2(x: usize) -> u32 {
-    debug_assert!(x >= 1);
-    (usize::BITS - (x - 1).leading_zeros()).min(usize::BITS)
+    (usize::BITS - x.saturating_sub(1).leading_zeros()).min(usize::BITS)
 }
 
 /// The number of bits needed to name one of `x` distinct values (at least 1).
@@ -79,6 +85,24 @@ mod tests {
         assert_eq!(ceil_log2(5), 3);
         assert_eq!(ceil_log2(1024), 10);
         assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn ceil_log2_is_total_at_the_boundaries() {
+        // 0 must not underflow `x - 1` (the release-build bug this pins):
+        // an empty domain needs no id bits.
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(usize::MAX), usize::BITS);
+        assert_eq!(ceil_log2(usize::MAX / 2 + 2), usize::BITS);
+    }
+
+    #[test]
+    fn id_bits_is_total_and_at_least_one() {
+        assert_eq!(id_bits(0), 1);
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(usize::MAX), usize::BITS as u64);
     }
 
     #[test]

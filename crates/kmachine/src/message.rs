@@ -5,12 +5,72 @@
 //! paper assumes (ids of `⌈log₂ n⌉` bits, sketches of `polylog(n)` bits).
 //! This keeps the hot path allocation-free while making every byte of the
 //! round accounting explicit and auditable.
+//!
+//! Two wire encodings are supported ([`Encoding`]):
+//!
+//! * **Naive** — every message carries its own type tag and full-width
+//!   fields; the charged size is the per-message [`Envelope::bits`] captured
+//!   at construction. This is the historical accounting and stays the
+//!   bit-for-bit default.
+//! * **Varint** — the superstep layer groups each directed link's messages
+//!   into per-type *runs* and charges the [`BatchWire`] batch size: one
+//!   shared tag per run, delta-sorted varint ids, varint fields. The naive
+//!   per-message sum is still accumulated as the oracle counter
+//!   [`crate::metrics::CommStats::naive_bits`], so the compression ratio is
+//!   auditable on every run.
 
 /// A payload that knows its encoded size in bits.
 pub trait WireSize {
     /// The number of bits this payload occupies on a link.
     fn wire_bits(&self) -> u64;
 }
+
+/// Which wire encoding the superstep layer charges bandwidth under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// Per-message accounting: flat tag + full-width ids per message (the
+    /// historical charging, and the oracle for the varint ablation).
+    #[default]
+    Naive,
+    /// Per-link batch accounting: per-type runs share one tag, ids are
+    /// delta-sorted varints ([`BatchWire::batch_wire_bits`]).
+    Varint,
+}
+
+/// The LEB128-style cost of one unsigned value: 8 bits (7 data bits + 1
+/// continuation bit) per started 7-bit group, at least one group.
+pub fn varint_bits(x: u64) -> u64 {
+    8 * u64::from((64 - x.leading_zeros()).div_ceil(7).max(1))
+}
+
+/// The cost of a *delta-sorted* varint run: the values are sorted ascending
+/// and each is encoded as the gap to its predecessor (the first as-is).
+/// Sorting is free — the receiver does not need the original order of a
+/// same-type run — and turns clustered id sets into streams of tiny gaps.
+pub fn delta_varint_bits(vals: &mut [u64]) -> u64 {
+    vals.sort_unstable();
+    let mut prev = 0u64;
+    let mut bits = 0u64;
+    for &v in vals.iter() {
+        bits += varint_bits(v - prev);
+        prev = v;
+    }
+    bits
+}
+
+/// A payload type whose same-link batches can be charged as one encoded
+/// buffer. The default is the naive per-message sum, so plain payloads are
+/// unaffected by [`Encoding::Varint`]; types with compressible structure
+/// override [`BatchWire::batch_wire_bits`].
+pub trait BatchWire: Sized {
+    /// Encoded size in bits of one directed link's message batch.
+    fn batch_wire_bits(batch: &[&Envelope<Self>]) -> u64 {
+        batch.iter().map(|e| e.bits.max(1)).sum()
+    }
+}
+
+impl BatchWire for u64 {}
+impl BatchWire for () {}
 
 impl WireSize for u64 {
     fn wire_bits(&self) -> u64 {
@@ -89,5 +149,41 @@ mod tests {
         assert!(!e.is_local());
         let l = Envelope::new(2, 2, Fixed(5));
         assert!(l.is_local());
+    }
+
+    #[test]
+    fn varint_bits_grow_by_seven_bit_groups() {
+        assert_eq!(varint_bits(0), 8);
+        assert_eq!(varint_bits(127), 8);
+        assert_eq!(varint_bits(128), 16);
+        assert_eq!(varint_bits((1 << 14) - 1), 16);
+        assert_eq!(varint_bits(1 << 14), 24);
+        assert_eq!(varint_bits(u64::MAX), 80);
+    }
+
+    #[test]
+    fn delta_sorted_runs_beat_full_width_ids() {
+        // A clustered id set: deltas are tiny, so the run costs one byte
+        // per id after the first.
+        let mut ids: Vec<u64> = (1000..1060).collect();
+        assert_eq!(delta_varint_bits(&mut ids), 16 + 59 * 8);
+        // Order independence: sorting happens inside.
+        let mut shuffled = vec![1040u64, 1000, 1059, 1020];
+        let mut sorted = vec![1000u64, 1020, 1040, 1059];
+        assert_eq!(
+            delta_varint_bits(&mut shuffled),
+            delta_varint_bits(&mut sorted)
+        );
+    }
+
+    #[test]
+    fn default_batch_wire_is_the_naive_sum() {
+        let batch = [
+            Envelope::new(0, 1, 7u64),
+            Envelope::new(0, 1, 8u64),
+            Envelope::new(0, 1, 9u64),
+        ];
+        let refs: Vec<&Envelope<u64>> = batch.iter().collect();
+        assert_eq!(u64::batch_wire_bits(&refs), 3 * 64);
     }
 }

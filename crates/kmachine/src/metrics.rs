@@ -57,6 +57,13 @@ pub struct CommStats {
     pub recovery_rounds: u64,
     /// Machine crash events that fired.
     pub machine_crashes: u64,
+    /// What `total_bits` would have been under per-message
+    /// [`crate::message::Encoding::Naive`] accounting. Always accumulated,
+    /// whatever encoding is charged, so a varint run carries its own oracle:
+    /// under `Encoding::Naive` this equals `total_bits` exactly, and under
+    /// `Encoding::Varint` the ratio `total_bits / naive_bits` is the
+    /// measured compression.
+    pub naive_bits: u64,
 }
 
 impl CommStats {
@@ -135,6 +142,7 @@ impl CommStats {
         self.retransmit_bits += other.retransmit_bits;
         self.recovery_rounds += other.recovery_rounds;
         self.machine_crashes += other.machine_crashes;
+        self.naive_bits += other.naive_bits;
     }
 }
 
@@ -245,6 +253,16 @@ mod tests {
         assert_eq!(a.retransmit_bits, 45);
         assert_eq!(a.recovery_rounds, 11);
         assert_eq!(a.machine_crashes, 1);
+    }
+
+    #[test]
+    fn absorb_accumulates_the_naive_oracle() {
+        let mut a = CommStats::new(2);
+        a.naive_bits = 100;
+        let mut b = CommStats::new(2);
+        b.naive_bits = 42;
+        a.absorb(&b);
+        assert_eq!(a.naive_bits, 142);
     }
 
     #[test]

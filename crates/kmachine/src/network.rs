@@ -3,7 +3,7 @@
 use crate::bandwidth::{Bandwidth, CostModel};
 use crate::fault::FaultPlan;
 use crate::link::{Link, LinkFault};
-use crate::message::Envelope;
+use crate::message::{Encoding, Envelope};
 use crate::metrics::CommStats;
 
 /// Configuration of a k-machine network.
@@ -18,6 +18,11 @@ pub struct NetworkConfig {
     /// Which §1.1 restriction the BSP layer charges rounds under. The
     /// fine-grained [`Network`] stepper always transmits per link.
     pub cost_model: CostModel,
+    /// Which wire encoding the BSP layer charges bandwidth under. The
+    /// fine-grained [`Network`] stepper always charges per message (it
+    /// transmits messages one at a time, so there is no batch to encode);
+    /// only [`crate::bsp::Bsp`] supersteps batch-encode.
+    pub encoding: Encoding,
 }
 
 impl NetworkConfig {
@@ -28,6 +33,7 @@ impl NetworkConfig {
             bandwidth,
             n,
             cost_model: CostModel::PerLink,
+            encoding: Encoding::Naive,
         }
     }
 
@@ -113,6 +119,7 @@ impl<M> Network<M> {
         assert!(!env.is_local(), "local messages do not use links");
         self.stats.messages += 1;
         self.stats.total_bits += env.bits;
+        self.stats.naive_bits += env.bits;
         self.stats.sent_bits[env.src] += env.bits;
         self.stats.recv_bits[env.dst] += env.bits;
         let idx = env.src * self.cfg.k + env.dst;

@@ -2,6 +2,7 @@
 
 use crate::incidence::{decode_edge, domain, encode_edge};
 use crate::onesparse::Cell;
+use kmachine::bandwidth::ceil_log2;
 use krand::m61::M61;
 use krand::poly::PolyHash;
 use krand::shared::{SharedRandomness, Use};
@@ -53,10 +54,6 @@ impl SketchParams {
     pub fn wire_bits(&self) -> u64 {
         self.cells() as u64 * (64 + 64 + 61) + 32
     }
-}
-
-fn ceil_log2(x: usize) -> u32 {
-    (usize::BITS - (x - 1).leading_zeros()).min(usize::BITS)
 }
 
 /// The shared hash functions of one phase: all machines derive identical
@@ -479,6 +476,28 @@ mod tests {
         // 42 levels * 4 reps * 189 bits + header: well under 2^16 bits.
         assert!(p.wire_bits() < 1 << 16);
         assert_eq!(L0Sketch::new(p).wire_bits(), p.wire_bits());
+    }
+
+    #[test]
+    fn sketch_shape_log_agrees_with_the_bandwidth_layer() {
+        // The sketch shape and the bandwidth accounting identities must be
+        // driven by the *same* `⌈log₂ n⌉`: this crate used to carry a
+        // private duplicate of `ceil_log2` that could silently drift from
+        // `kmachine::bandwidth::ceil_log2`. Pin the agreement across the
+        // whole small range plus the power-of-two boundaries.
+        for n in 1usize..4096 {
+            let log = kmachine::bandwidth::ceil_log2(n.max(2));
+            let p = SketchParams::for_graph(n, 3);
+            assert_eq!(p.levels, (2 * log + 2).min(61), "n = {n}");
+            assert_eq!(p.independence, (log as usize).max(8), "n = {n}");
+        }
+        for shift in 10..40u32 {
+            let n = 1usize << shift;
+            assert_eq!(
+                SketchParams::for_graph(n, 3).levels,
+                (2 * kmachine::bandwidth::ceil_log2(n) + 2).min(61)
+            );
+        }
     }
 }
 

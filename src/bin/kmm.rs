@@ -101,6 +101,10 @@ fn usage() -> ExitCode {
                                          comma-separated drop=P,dup=P,reorder=P,delay=P,\n\
                                          crash=MACHINE@SUPERSTEP (repeatable), seed=S —\n\
                                          outputs stay bit-identical, recovery is costed\n\
+         perf:   --contract              supergraph contraction between Boruvka phases\n\
+                                         (DESIGN.md 3.11; identical outputs, fewer bits)\n\
+                 --encoding naive|varint charge per-message widths (default) or the\n\
+                                         delta-varint batch wire size (accounting only)\n\
          output: --report json           machine-readable RunReport on stdout",
         SUBCOMMANDS.join("|")
     );
@@ -273,7 +277,14 @@ fn run_problem<P: Problem>(
 /// `kmm dyn`: ingest, wrap into a `DynamicCluster`, replay the `--trace`
 /// batches, and print a per-batch trailer (components, forest size, solve
 /// and update-phase costs) — JSON lines under `--report json`.
-fn run_dyn(args: &Args, k: usize, seed: u64, faults: Option<FaultPlan>) -> ExitCode {
+fn run_dyn(
+    args: &Args,
+    k: usize,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    contract: bool,
+    encoding: Encoding,
+) -> ExitCode {
     let Some(path) = args.get("trace") else {
         return fail("dyn needs --trace FILE (`+ u v [w]` / `- u v` / `---` per line)");
     };
@@ -302,10 +313,14 @@ fn run_dyn(args: &Args, k: usize, seed: u64, faults: Option<FaultPlan>) -> ExitC
     );
     let conn_cfg = ConnectivityConfig {
         faults: faults.clone(),
+        contract,
+        encoding,
         ..ConnectivityConfig::default()
     };
     let mst_cfg = MstConfig {
         faults,
+        contract,
+        encoding,
         ..MstConfig::default()
     };
     let emit = |batch: usize, up: Option<&UpdateReport>, dc: &mut DynamicCluster| {
@@ -385,6 +400,12 @@ fn main() -> ExitCode {
         Ok(f) => f,
         Err(e) => return fail(&format!("--faults: {e}")),
     };
+    let contract = args.flag("contract");
+    let encoding = match args.get("encoding") {
+        None | Some("naive") => Encoding::Naive,
+        Some("varint") => Encoding::Varint,
+        Some(other) => return fail(&format!("--encoding {other}: expected naive or varint")),
+    };
     match args.cmd.as_str() {
         "conn" => run_problem(
             &args,
@@ -392,6 +413,8 @@ fn main() -> ExitCode {
             seed,
             Connectivity::with(ConnectivityConfig {
                 faults: faults.clone(),
+                contract,
+                encoding,
                 ..ConnectivityConfig::default()
             }),
             |out| vec![("components", out.component_count().to_string())],
@@ -408,6 +431,8 @@ fn main() -> ExitCode {
                     OutputCriterion::AnyMachine
                 },
                 faults: faults.clone(),
+                contract,
+                encoding,
                 ..MstConfig::default()
             };
             run_problem(
@@ -438,6 +463,8 @@ fn main() -> ExitCode {
             seed,
             SpanningForest::with(MstConfig {
                 faults: faults.clone(),
+                contract,
+                encoding,
                 ..MstConfig::default()
             }),
             |out| vec![("forest_edges", out.edges.len().to_string())],
@@ -451,6 +478,8 @@ fn main() -> ExitCode {
             seed,
             MinCut::with(MinCutConfig {
                 faults: faults.clone(),
+                contract,
+                encoding,
                 ..MinCutConfig::default()
             }),
             |out| {
@@ -464,7 +493,7 @@ fn main() -> ExitCode {
                 println!("probes:   {}", out.probes);
             },
         ),
-        "dyn" => run_dyn(&args, k, seed, faults),
+        "dyn" => run_dyn(&args, k, seed, faults, contract, encoding),
         "stcon" => {
             let g = match load_graph(&args) {
                 Ok(g) => g,
@@ -478,6 +507,8 @@ fn main() -> ExitCode {
             }
             let cfg = ConnectivityConfig {
                 faults: faults.clone(),
+                contract,
+                encoding,
                 ..ConnectivityConfig::default()
             };
             let v = verify::st_connectivity(&g, s, t, k, seed, &cfg);
@@ -498,6 +529,8 @@ fn main() -> ExitCode {
             };
             let cfg = ConnectivityConfig {
                 faults: faults.clone(),
+                contract,
+                encoding,
                 ..ConnectivityConfig::default()
             };
             let v = verify::bipartiteness(&g, k, seed, &cfg);

@@ -78,6 +78,7 @@ pub mod prelude {
     pub use kgraph::stream::{DynEdgeStream, EdgeStream};
     pub use kgraph::{generators, refalgo, Graph, Partition, PartitionKind, ShardedGraph};
     pub use kmachine::fault::{CrashEvent, FaultPlan};
+    pub use kmachine::message::Encoding;
     pub use kmachine::metrics::CommStats;
     pub use kmachine::{Bandwidth, CostModel};
 }

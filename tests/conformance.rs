@@ -20,7 +20,7 @@ use common::{
 use kmm::algo::baselines::edge_boruvka::CheckMode;
 use kmm::algo::verify;
 use kmm::machine::bsp::Bsp;
-use kmm::machine::message::{Envelope, WireSize};
+use kmm::machine::message::{BatchWire, Envelope, WireSize};
 use kmm::machine::network::{Network, NetworkConfig};
 use kmm::prelude::*;
 use rustc_hash::FxHashSet;
@@ -507,6 +507,8 @@ impl WireSize for Blob {
         self.0
     }
 }
+
+impl BatchWire for Blob {}
 
 #[test]
 fn bsp_round_charge_matches_fine_grained_network() {

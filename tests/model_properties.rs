@@ -3,7 +3,7 @@
 use kmm::algo::lowerbound::{scs_gadget, DisjointnessInstance};
 use kmm::machine::bandwidth::Bandwidth;
 use kmm::machine::bsp::Bsp;
-use kmm::machine::message::{Envelope, WireSize};
+use kmm::machine::message::{BatchWire, Envelope, WireSize};
 use kmm::machine::network::{Network, NetworkConfig};
 use kmm::prelude::*;
 use kmm::randomness::shared::SharedRandomness;
@@ -17,6 +17,8 @@ impl WireSize for Blob {
         self.0
     }
 }
+
+impl BatchWire for Blob {}
 
 fn net_cfg(k: usize, w: u64) -> NetworkConfig {
     NetworkConfig::new(k, Bandwidth::Bits(w), 1024)
