@@ -12,6 +12,7 @@ use kmachine::bandwidth::Bandwidth;
 use kmachine::fault::FaultPlan;
 use kmachine::message::Encoding;
 use kmachine::metrics::CommStats;
+use kmachine::transport::TransportSel;
 
 /// Configuration for a connectivity run.
 #[derive(Clone, Debug)]
@@ -48,6 +49,9 @@ pub struct ConnectivityConfig {
     /// per-message [`Encoding::Naive`]; [`Encoding::Varint`] batch-encodes
     /// each link's traffic). Accounting only — never the trajectory.
     pub encoding: Encoding,
+    /// Byte transport carrying each superstep window (default
+    /// [`TransportSel::Sim`], the in-process oracle; see DESIGN.md §3.12).
+    pub transport: TransportSel,
 }
 
 impl Default for ConnectivityConfig {
@@ -66,6 +70,7 @@ impl Default for ConnectivityConfig {
             recovery: e.recovery,
             contract: e.contract,
             encoding: e.encoding,
+            transport: e.transport,
         }
     }
 }
@@ -85,6 +90,7 @@ impl ConnectivityConfig {
             recovery: self.recovery,
             contract: self.contract,
             encoding: self.encoding,
+            transport: self.transport,
         }
     }
 }

@@ -627,6 +627,7 @@ impl DynamicCluster {
             }
         }
         let mut bsp: Bsp<Payload> = Bsp::new(self.network());
+        crate::engine::attach_transport(&mut bsp, self.inner.defaults().transport, self.k());
         if let Some(plan) = self.cfg.faults.clone() {
             bsp.install_faults(plan, true);
         }
@@ -699,6 +700,7 @@ impl DynamicCluster {
             recovery: cfg.recovery,
             contract: cfg.contract,
             encoding: cfg.encoding,
+            transport: cfg.transport,
         };
         let r = self.refresh(ecfg);
         let report = self.report("conn", &r, started);
@@ -743,6 +745,7 @@ impl DynamicCluster {
             recovery: cfg.recovery,
             contract: cfg.contract,
             encoding: cfg.encoding,
+            transport: cfg.transport,
             ..EngineConfig::default()
         };
         let r = self.refresh(ecfg);
@@ -938,6 +941,7 @@ impl DynamicCluster {
             cost_model: ecfg.cost_model,
             encoding: ecfg.encoding,
         });
+        crate::engine::attach_transport(&mut bsp, ecfg.transport, k);
         if let Some(plan) = self.cfg.faults.clone() {
             bsp.install_faults(plan, true);
         }
@@ -1118,6 +1122,7 @@ impl DynamicCluster {
         debug_assert_eq!(self.pending_half_ops(), 0, "compact before measuring");
         let l = id_bits(self.n());
         let mut bsp: Bsp<Payload> = Bsp::new(self.network());
+        crate::engine::attach_transport(&mut bsp, self.inner.defaults().transport, self.k());
         let mut envelopes = Vec::with_capacity(2 * self.m());
         for i in 0..self.k() {
             for e in self.inner.sharded().view(i).local_edges() {

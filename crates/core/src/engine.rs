@@ -70,6 +70,7 @@ use kmachine::message::{Encoding, Envelope};
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
 use kmachine::par::par_for_each_state;
+use kmachine::transport::{make_transport, TransportSel};
 use krand::shared::{SharedRandomness, Use};
 use ksketch::{L0Sketch, SketchFns, SketchParams};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -190,6 +191,13 @@ pub struct EngineConfig {
     /// per-link batch [`Encoding::Varint`]). Changes only the charged
     /// sizes, never the trajectory or outputs.
     pub encoding: Encoding,
+    /// Which byte transport carries each superstep window (DESIGN.md
+    /// §3.12): the in-process simulator (default — the accounting oracle)
+    /// or one OS worker process per machine exchanging frames over
+    /// Unix-domain sockets. Outputs and logical [`CommStats`] are
+    /// transport-independent (pinned by `tests/transport.rs`); only the
+    /// physical byte counters differ.
+    pub transport: TransportSel,
 }
 
 impl Default for EngineConfig {
@@ -207,7 +215,19 @@ impl Default for EngineConfig {
             recovery: RecoveryPolicy::default(),
             contract: false,
             encoding: Encoding::Naive,
+            transport: TransportSel::Sim,
         }
+    }
+}
+
+/// Attaches the configured byte transport to a superstep runner
+/// (DESIGN.md §3.12). [`TransportSel::Sim`] leaves the in-process path
+/// byte-for-byte untouched — no bridge is installed, the simulator stays
+/// the accounting oracle. [`TransportSel::Proc`] spawns one worker process
+/// per machine and routes every window through the socket mesh.
+pub(crate) fn attach_transport(bsp: &mut Bsp<Payload>, sel: TransportSel, k: usize) {
+    if sel == TransportSel::Proc {
+        bsp.set_transport(make_transport(sel, k));
     }
 }
 
@@ -491,6 +511,7 @@ impl<'g> Engine<'g> {
         if let Some(plan) = cfg.faults.clone() {
             bsp.install_faults(plan, cfg.recovery.ack_retransmit);
         }
+        attach_transport(&mut bsp, cfg.transport, k);
         let machines = (0..k)
             .map(|id| {
                 let verts = g.view(id).verts().to_vec();

@@ -70,6 +70,7 @@ pub fn simulate_scs_two_party(
         recovery: cfg.recovery,
         contract: cfg.contract,
         encoding: cfg.encoding,
+        transport: cfg.transport,
     };
     let mut engine = Engine::new(&sh, Mode::Connectivity, seed, engine_cfg);
     engine.set_cut((0..k).map(|m| m < k / 2).collect());

@@ -14,8 +14,12 @@
 //! share one tag, carry a varint count, and ship their primary id field as
 //! a delta-sorted varint stream — see [`Payload::batch_wire_bits`].
 
-use kmachine::message::{delta_varint_bits, varint_bits, BatchWire, Envelope};
-use ksketch::L0Sketch;
+use kmachine::message::{
+    delta_varint_bits, put_signed, put_signed128, put_varint, varint_bits, BatchWire, Envelope,
+    WireCodec, WireError, WireReader,
+};
+use krand::m61::M61;
+use ksketch::{Cell, L0Sketch, SketchParams};
 
 /// A component label. Labels are always ids of representative vertices, so
 /// they fit in the same `⌈log₂ n⌉` bits as vertex ids.
@@ -25,7 +29,7 @@ pub type Label = u64;
 pub type EdgeKey = (u64, u32, u32);
 
 /// Every message any of the algorithms sends.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Payload {
     /// A component part's combined sketch, machine → component proxy (§2.4).
     PartSketch {
@@ -464,6 +468,372 @@ impl BatchWire for Payload {
     }
 }
 
+/// Byte-level helpers of the transport codec (DESIGN.md §3.12). These are
+/// the *physical* encoding used by the multi-process backend; the logical
+/// bandwidth charge stays [`Payload::wire_bits_lw`] /
+/// [`Payload::batch_wire_bits`], computed from the decoded envelopes — the
+/// simulator remains the accounting oracle whatever the bytes cost.
+fn put_sketch(s: &L0Sketch, out: &mut Vec<u8>) {
+    let p = s.params();
+    put_varint(out, p.n as u64);
+    put_varint(out, u64::from(p.levels));
+    put_varint(out, u64::from(p.reps));
+    put_varint(out, p.independence as u64);
+    for c in s.cell_slice() {
+        put_signed(out, c.count);
+        put_signed128(out, c.index_sum);
+        put_varint(out, c.fingerprint.value());
+    }
+}
+
+fn get_sketch(r: &mut WireReader<'_>) -> Result<L0Sketch, WireError> {
+    let params = SketchParams {
+        n: r.varint("sketch.n")? as usize,
+        levels: get_u32(r, "sketch.levels")?,
+        reps: get_u32(r, "sketch.reps")?,
+        independence: r.varint("sketch.independence")? as usize,
+    };
+    let cells = (0..params.cells())
+        .map(|_| {
+            Ok(Cell {
+                count: r.signed("cell.count")?,
+                index_sum: r.signed128("cell.index_sum")?,
+                fingerprint: M61::new(r.varint("cell.fingerprint")?),
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(L0Sketch::from_cells(params, cells))
+}
+
+fn get_u32(r: &mut WireReader<'_>, field: &'static str) -> Result<u32, WireError> {
+    u32::try_from(r.varint(field)?)
+        .map_err(|_| WireError::new(r.offset(), field, "value overflows u32"))
+}
+
+fn get_u16(r: &mut WireReader<'_>, field: &'static str) -> Result<u16, WireError> {
+    u16::try_from(r.varint(field)?)
+        .map_err(|_| WireError::new(r.offset(), field, "value overflows u16"))
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(u8::from(b));
+}
+
+fn get_bool(r: &mut WireReader<'_>, field: &'static str) -> Result<bool, WireError> {
+    match r.u8(field)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::new(r.offset(), field, "flag byte is not 0/1")),
+    }
+}
+
+impl WireCodec for Payload {
+    /// One leading tag byte (the variant's `tag_index`) followed by the
+    /// variant's fields as LEB128 varints — ids and labels plain, signed
+    /// sketch-cell sums zigzag-coded, collections length-prefixed. This is
+    /// what actually crosses the process mesh; see the sketch helpers
+    /// below for why its byte count is allowed to differ from the charged
+    /// bits.
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag_index() as u8);
+        match self {
+            Payload::PartSketch { label, sketch } | Payload::CertSketch { label, sketch } => {
+                put_varint(out, *label);
+                put_sketch(sketch, out);
+            }
+            Payload::EdgeProbe { comp, ask, other } => {
+                put_varint(out, *comp);
+                put_varint(out, u64::from(*ask));
+                put_varint(out, u64::from(*other));
+            }
+            Payload::EdgeProbeReply {
+                comp,
+                vertex,
+                label,
+                exists,
+                weight,
+            } => {
+                put_varint(out, *comp);
+                put_varint(out, u64::from(*vertex));
+                put_varint(out, *label);
+                put_bool(out, *exists);
+                put_varint(out, *weight);
+            }
+            Payload::Threshold { label, key } => {
+                put_varint(out, *label);
+                put_bool(out, key.is_some());
+                if let Some((w, u, v)) = key {
+                    put_varint(out, *w);
+                    put_varint(out, u64::from(*u));
+                    put_varint(out, u64::from(*v));
+                }
+            }
+            Payload::PtrQuery { asker, target } => {
+                put_varint(out, *asker);
+                put_varint(out, *target);
+            }
+            Payload::PtrReply { asker, ptr, done } => {
+                put_varint(out, *asker);
+                put_varint(out, *ptr);
+                put_bool(out, *done);
+            }
+            Payload::Relabel { old, new } | Payload::SuperRelabel { old, new } => {
+                put_varint(out, *old);
+                put_varint(out, *new);
+            }
+            Payload::Flag { bit } => put_bool(out, *bit),
+            Payload::LabelAnnounce { label } => put_varint(out, *label),
+            Payload::CountReport { count } => put_varint(out, *count),
+            Payload::FloodLabels { updates } => {
+                put_varint(out, updates.len() as u64);
+                for (v, lab) in updates {
+                    put_varint(out, u64::from(*v));
+                    put_varint(out, *lab);
+                }
+            }
+            Payload::EdgeList { edges } => {
+                put_varint(out, edges.len() as u64);
+                for (u, v, w) in edges {
+                    put_varint(out, u64::from(*u));
+                    put_varint(out, u64::from(*v));
+                    put_varint(out, *w);
+                }
+            }
+            Payload::Candidate {
+                label,
+                key: (w, u, v),
+                to_label,
+            } => {
+                put_varint(out, *label);
+                put_varint(out, *w);
+                put_varint(out, u64::from(*u));
+                put_varint(out, u64::from(*v));
+                put_varint(out, *to_label);
+            }
+            Payload::StDone { same } => put_bool(out, *same),
+            Payload::TestBatch { count } => put_varint(out, *count),
+            Payload::EdgeUpdate {
+                vertex,
+                other,
+                weight,
+                insert,
+            } => {
+                put_varint(out, u64::from(*vertex));
+                put_varint(out, u64::from(*other));
+                put_varint(out, *weight);
+                put_bool(out, *insert);
+            }
+            Payload::LabelPush {
+                u,
+                v,
+                weight,
+                label,
+            } => {
+                put_varint(out, u64::from(*u));
+                put_varint(out, u64::from(*v));
+                put_varint(out, *weight);
+                put_varint(out, *label);
+            }
+            Payload::SuperEdge {
+                a,
+                b,
+                weight,
+                ou,
+                ov,
+            } => {
+                put_varint(out, *a);
+                put_varint(out, *b);
+                put_varint(out, *weight);
+                put_varint(out, u64::from(*ou));
+                put_varint(out, u64::from(*ov));
+            }
+            Payload::SuperParts { label, parts } => {
+                put_varint(out, *label);
+                put_varint(out, parts.len() as u64);
+                for p in parts {
+                    put_varint(out, u64::from(*p));
+                }
+            }
+            Payload::SuperMove { label, parts, adj } => {
+                put_varint(out, *label);
+                put_varint(out, parts.len() as u64);
+                for p in parts {
+                    put_varint(out, u64::from(*p));
+                }
+                put_varint(out, adj.len() as u64);
+                for (nb, w, ou, ov) in adj {
+                    put_varint(out, *nb);
+                    put_varint(out, *w);
+                    put_varint(out, u64::from(*ou));
+                    put_varint(out, u64::from(*ov));
+                }
+            }
+            Payload::DenseBase { base, total } => {
+                put_varint(out, *base);
+                put_varint(out, *total);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8("payload.tag")?;
+        Ok(match tag {
+            0 | 16 => {
+                let label = r.varint("label")?;
+                let sketch = Box::new(get_sketch(r)?);
+                if tag == 0 {
+                    Payload::PartSketch { label, sketch }
+                } else {
+                    Payload::CertSketch { label, sketch }
+                }
+            }
+            1 => Payload::EdgeProbe {
+                comp: r.varint("comp")?,
+                ask: get_u32(r, "ask")?,
+                other: get_u32(r, "other")?,
+            },
+            2 => Payload::EdgeProbeReply {
+                comp: r.varint("comp")?,
+                vertex: get_u32(r, "vertex")?,
+                label: r.varint("label")?,
+                exists: get_bool(r, "exists")?,
+                weight: r.varint("weight")?,
+            },
+            3 => Payload::Threshold {
+                label: r.varint("label")?,
+                key: if get_bool(r, "key.some")? {
+                    Some((
+                        r.varint("key.w")?,
+                        get_u32(r, "key.u")?,
+                        get_u32(r, "key.v")?,
+                    ))
+                } else {
+                    None
+                },
+            },
+            4 => Payload::PtrQuery {
+                asker: r.varint("asker")?,
+                target: r.varint("target")?,
+            },
+            5 => Payload::PtrReply {
+                asker: r.varint("asker")?,
+                ptr: r.varint("ptr")?,
+                done: get_bool(r, "done")?,
+            },
+            6 | 20 => {
+                let old = r.varint("old")?;
+                let new = r.varint("new")?;
+                if tag == 6 {
+                    Payload::Relabel { old, new }
+                } else {
+                    Payload::SuperRelabel { old, new }
+                }
+            }
+            7 => Payload::Flag {
+                bit: get_bool(r, "bit")?,
+            },
+            8 => Payload::LabelAnnounce {
+                label: r.varint("label")?,
+            },
+            9 => Payload::CountReport {
+                count: r.varint("count")?,
+            },
+            10 => {
+                let n = r.varint("updates.len")?;
+                let updates = (0..n)
+                    .map(|_| Ok((get_u32(r, "update.v")?, r.varint("update.label")?)))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Payload::FloodLabels { updates }
+            }
+            11 => {
+                let n = r.varint("edges.len")?;
+                let edges = (0..n)
+                    .map(|_| {
+                        Ok((
+                            get_u32(r, "edge.u")?,
+                            get_u32(r, "edge.v")?,
+                            r.varint("edge.w")?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Payload::EdgeList { edges }
+            }
+            12 => Payload::Candidate {
+                label: r.varint("label")?,
+                key: (
+                    r.varint("key.w")?,
+                    get_u32(r, "key.u")?,
+                    get_u32(r, "key.v")?,
+                ),
+                to_label: r.varint("to_label")?,
+            },
+            13 => Payload::StDone {
+                same: get_bool(r, "same")?,
+            },
+            14 => Payload::TestBatch {
+                count: r.varint("count")?,
+            },
+            15 => Payload::EdgeUpdate {
+                vertex: get_u32(r, "vertex")?,
+                other: get_u32(r, "other")?,
+                weight: r.varint("weight")?,
+                insert: get_bool(r, "insert")?,
+            },
+            17 => Payload::LabelPush {
+                u: get_u32(r, "u")?,
+                v: get_u32(r, "v")?,
+                weight: r.varint("weight")?,
+                label: r.varint("label")?,
+            },
+            18 => Payload::SuperEdge {
+                a: r.varint("a")?,
+                b: r.varint("b")?,
+                weight: r.varint("weight")?,
+                ou: get_u32(r, "ou")?,
+                ov: get_u32(r, "ov")?,
+            },
+            19 => {
+                let label = r.varint("label")?;
+                let n = r.varint("parts.len")?;
+                let parts = (0..n)
+                    .map(|_| get_u16(r, "part"))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Payload::SuperParts { label, parts }
+            }
+            21 => {
+                let label = r.varint("label")?;
+                let np = r.varint("parts.len")?;
+                let parts = (0..np)
+                    .map(|_| get_u16(r, "part"))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                let na = r.varint("adj.len")?;
+                let adj = (0..na)
+                    .map(|_| {
+                        Ok((
+                            r.varint("adj.nb")?,
+                            r.varint("adj.w")?,
+                            get_u32(r, "adj.ou")?,
+                            get_u32(r, "adj.ov")?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Payload::SuperMove { label, parts, adj }
+            }
+            22 => Payload::DenseBase {
+                base: r.varint("base")?,
+                total: r.varint("total")?,
+            },
+            _ => {
+                return Err(WireError::new(
+                    r.offset(),
+                    "payload.tag",
+                    "unknown payload tag",
+                ))
+            }
+        })
+    }
+}
+
 /// The id width for an `n`-vertex instance.
 pub fn id_bits(n: usize) -> u64 {
     kmachine::bandwidth::id_bits(n)
@@ -629,6 +999,158 @@ mod tests {
         let refs: Vec<&Envelope<Payload>> = batch.iter().collect();
         let naive: u64 = batch.iter().map(|e| e.bits).sum();
         assert_eq!(Payload::batch_wire_bits(&refs), naive);
+    }
+
+    fn sample_sketch() -> Box<L0Sketch> {
+        use krand::shared::SharedRandomness;
+        let params = SketchParams::for_graph(64, 3);
+        let fns = ksketch::SketchFns::new(&SharedRandomness::new(9), 0, params);
+        let mut s = L0Sketch::new(params);
+        s.add_incident_edge(&fns, 3, 7);
+        s.add_incident_edge(&fns, 3, 9);
+        s.remove_incident_edge(&fns, 3, 7);
+        Box::new(s)
+    }
+
+    /// One exemplar of every variant — the codec matrix below iterates it.
+    fn one_of_each() -> Vec<Payload> {
+        vec![
+            Payload::PartSketch {
+                label: 5,
+                sketch: sample_sketch(),
+            },
+            Payload::EdgeProbe {
+                comp: 1,
+                ask: 2,
+                other: 3,
+            },
+            Payload::EdgeProbeReply {
+                comp: 1,
+                vertex: 2,
+                label: 3,
+                exists: true,
+                weight: u64::MAX,
+            },
+            Payload::Threshold {
+                label: 9,
+                key: Some((4, 5, 6)),
+            },
+            Payload::Threshold {
+                label: 9,
+                key: None,
+            },
+            Payload::PtrQuery {
+                asker: 1,
+                target: 2,
+            },
+            Payload::PtrReply {
+                asker: 1,
+                ptr: 2,
+                done: false,
+            },
+            Payload::Relabel { old: 8, new: 9 },
+            Payload::Flag { bit: true },
+            Payload::LabelAnnounce { label: 1 << 40 },
+            Payload::CountReport { count: 0 },
+            Payload::FloodLabels {
+                updates: vec![(1, 2), (u32::MAX, u64::MAX)],
+            },
+            Payload::EdgeList {
+                edges: vec![(1, 2, 3), (4, 5, 6)],
+            },
+            Payload::Candidate {
+                label: 1,
+                key: (2, 3, 4),
+                to_label: 5,
+            },
+            Payload::StDone { same: false },
+            Payload::TestBatch { count: 77 },
+            Payload::EdgeUpdate {
+                vertex: 1,
+                other: 2,
+                weight: 3,
+                insert: false,
+            },
+            Payload::CertSketch {
+                label: 6,
+                sketch: sample_sketch(),
+            },
+            Payload::LabelPush {
+                u: 1,
+                v: 2,
+                weight: 3,
+                label: 4,
+            },
+            Payload::SuperEdge {
+                a: 1,
+                b: 2,
+                weight: 3,
+                ou: 4,
+                ov: 5,
+            },
+            Payload::SuperParts {
+                label: 1,
+                parts: vec![0, 3, 15],
+            },
+            Payload::SuperRelabel { old: 1, new: 2 },
+            Payload::SuperMove {
+                label: 1,
+                parts: vec![2],
+                adj: vec![(3, 4, 5, 6), (7, 8, 9, 10)],
+            },
+            Payload::DenseBase { base: 1, total: 2 },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_the_byte_codec() {
+        for p in one_of_each() {
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            let mut r = WireReader::new(&buf);
+            let back = Payload::decode(&mut r).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            assert_eq!(back, p, "codec must round-trip exactly");
+            assert!(r.is_empty(), "{p:?}: codec left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_decode_to_field_precise_errors() {
+        for p in one_of_each() {
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            // Chopping the last byte must fail (never silently succeed
+            // short) except for payloads whose final field is a varint
+            // whose last byte is redundant — there are none: LEB128
+            // terminates on the final byte, so every truncation is fatal.
+            let mut r = WireReader::new(&buf[..buf.len() - 1]);
+            let res = Payload::decode(&mut r);
+            let complete = res.is_ok() && r.is_empty();
+            assert!(
+                !complete,
+                "{p:?}: truncated buffer decoded to a complete payload"
+            );
+        }
+        let e = Payload::decode(&mut WireReader::new(&[99])).unwrap_err();
+        assert_eq!(e.field, "payload.tag");
+        assert_eq!(e.reason, "unknown payload tag");
+    }
+
+    #[test]
+    fn sketch_payloads_carry_their_cells_exactly() {
+        let sketch = sample_sketch();
+        let p = Payload::PartSketch {
+            label: 3,
+            sketch: sketch.clone(),
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let back = Payload::decode(&mut WireReader::new(&buf)).unwrap();
+        let Payload::PartSketch { sketch: got, .. } = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(got.params(), sketch.params());
+        assert_eq!(got.cell_slice(), sketch.cell_slice());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use kgraph::{Graph, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::message::Encoding;
 use kmachine::metrics::CommStats;
+use kmachine::transport::TransportSel;
 use krand::shared::{SharedRandomness, Use};
 
 /// Configuration for the min-cut approximation.
@@ -42,6 +43,9 @@ pub struct MinCutConfig {
     /// Wire encoding the superstep layer charges bandwidth under (default
     /// per-message [`Encoding::Naive`]). Accounting only.
     pub encoding: Encoding,
+    /// Byte transport for the inner connectivity probes (default
+    /// [`TransportSel::Sim`]; see DESIGN.md §3.12).
+    pub transport: TransportSel,
 }
 
 impl Default for MinCutConfig {
@@ -54,6 +58,7 @@ impl Default for MinCutConfig {
             recovery: crate::engine::RecoveryPolicy::default(),
             contract: false,
             encoding: Encoding::Naive,
+            transport: TransportSel::Sim,
         }
     }
 }
@@ -114,6 +119,7 @@ pub fn approx_min_cut_sharded(sg: &ShardedGraph, seed: u64, cfg: &MinCutConfig) 
         recovery: cfg.recovery,
         contract: cfg.contract,
         encoding: cfg.encoding,
+        transport: cfg.transport,
         ..ConnectivityConfig::default()
     };
     let mut stats = CommStats::new(k);

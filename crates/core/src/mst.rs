@@ -24,6 +24,7 @@ use kmachine::bsp::Bsp;
 use kmachine::message::{Encoding, Envelope};
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
+use kmachine::transport::TransportSel;
 
 /// Which output criterion of Theorem 2 to satisfy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +62,9 @@ pub struct MstConfig {
     /// Wire encoding the superstep layer charges bandwidth under (default
     /// per-message [`Encoding::Naive`]). Accounting only.
     pub encoding: Encoding,
+    /// Byte transport carrying each superstep window (default
+    /// [`TransportSel::Sim`], the in-process oracle; see DESIGN.md §3.12).
+    pub transport: TransportSel,
 }
 
 impl Default for MstConfig {
@@ -75,6 +79,7 @@ impl Default for MstConfig {
             recovery: crate::engine::RecoveryPolicy::default(),
             contract: false,
             encoding: Encoding::Naive,
+            transport: TransportSel::Sim,
         }
     }
 }
@@ -154,6 +159,7 @@ pub fn minimum_spanning_tree_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConf
         recovery: cfg.recovery,
         contract: cfg.contract,
         encoding: cfg.encoding,
+        transport: cfg.transport,
         ..EngineConfig::default()
     };
     let result = Engine::new(sg, Mode::Mst, seed, engine_cfg).run();
@@ -190,6 +196,7 @@ fn route_to_endpoints(sg: &ShardedGraph, result: &EngineResult, cfg: &MstConfig)
     let mut net = NetworkConfig::new(part.k(), cfg.bandwidth, sg.n());
     net.encoding = cfg.encoding;
     let mut bsp: Bsp<Payload> = Bsp::new(net);
+    crate::engine::attach_transport(&mut bsp, cfg.transport, part.k());
     let l = id_bits(sg.n());
     // Reconstruct which machine output each edge (machine order matches the
     // flattening in EngineResult).

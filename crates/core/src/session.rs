@@ -54,6 +54,7 @@ use kgraph::stream::EdgeStream;
 use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::{Bandwidth, CostModel};
 use kmachine::metrics::CommStats;
+use kmachine::transport::TransportSel;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -120,6 +121,16 @@ impl ClusterBuilder {
     /// Default phases-per-epoch for incremental sketch reuse.
     pub fn sketch_reuse_period(mut self, period: u32) -> Self {
         self.defaults.sketch_reuse_period = period;
+        self
+    }
+
+    /// Which byte transport carries superstep windows (DESIGN.md §3.12):
+    /// the in-process simulator ([`TransportSel::Sim`], the default and the
+    /// accounting oracle) or one OS worker process per machine
+    /// ([`TransportSel::Proc`]). Outputs and logical stats are
+    /// transport-independent — pinned by `tests/transport.rs`.
+    pub fn transport(mut self, transport: TransportSel) -> Self {
+        self.defaults.transport = transport;
         self
     }
 
@@ -409,6 +420,7 @@ impl Problem for Connectivity {
             recovery: d.recovery,
             contract: d.contract,
             encoding: d.encoding,
+            transport: d.transport,
         }
     }
 
@@ -456,6 +468,7 @@ impl Problem for Mst {
             recovery: d.recovery,
             contract: d.contract,
             encoding: d.encoding,
+            transport: d.transport,
         }
     }
 
@@ -531,6 +544,7 @@ impl Problem for MinCut {
             recovery: d.recovery,
             contract: d.contract,
             encoding: d.encoding,
+            transport: d.transport,
         }
     }
 

@@ -82,6 +82,7 @@ pub fn spanning_forest_sharded(
         recovery: cfg.recovery,
         contract: cfg.contract,
         encoding: cfg.encoding,
+        transport: cfg.transport,
         ..EngineConfig::default()
     };
     let result = Engine::new(sg, Mode::SpanningForest, seed, engine_cfg).run();

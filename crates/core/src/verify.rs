@@ -133,6 +133,7 @@ fn final_compare_cost(
     use kmachine::message::Envelope;
     use kmachine::network::NetworkConfig;
     let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig::new(part.k(), cfg.bandwidth, g.n()));
+    crate::engine::attach_transport(&mut bsp, cfg.transport, part.k());
     if let Some(plan) = cfg.faults.clone() {
         bsp.install_faults(plan, cfg.recovery.ack_retransmit);
     }

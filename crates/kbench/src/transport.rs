@@ -1,0 +1,243 @@
+//! The transport backend comparison family (DESIGN.md §4, E24).
+//!
+//! Two measurement layers:
+//!
+//! * [`measure`] — the connectivity headliner on one shared ingested
+//!   cluster, once per [`TransportSel`] backend. The logical answer and
+//!   every logical [`kmachine::metrics::CommStats`] field must be
+//!   bit-identical (the simulator is the accounting oracle; the process
+//!   backend merely carries the same windows over real sockets), so the
+//!   only honest differences are wall-clock.
+//! * [`measure_wire`] — a seeded superstep workload driven straight
+//!   through a [`ProcTransport`] mesh, recording the *physical* side the
+//!   session API hides: frames, attempts, payload bytes on the wire —
+//!   against the logical bits the model charged for the same traffic.
+//!
+//! `tests/bench_transport.rs` (repo root, where the worker binary is
+//! reachable via `CARGO_BIN_EXE_kmm`) runs both on the E20 rung and writes
+//! `results/BENCH_PR7.json`.
+
+use crate::experiments::ExperimentRecord;
+use crate::large::LargeScenario;
+use kconn::session::{Cluster, Connectivity, Problem};
+use kconn::ConnectivityConfig;
+use kmachine::bandwidth::Bandwidth;
+use kmachine::bsp::Bsp;
+use kmachine::message::{Encoding, Envelope};
+use kmachine::network::NetworkConfig;
+use kmachine::transport::{ProcTransport, TransportSel};
+
+/// One backend's run of the shared workload.
+#[derive(Clone, Debug)]
+pub struct BackendMeasurement {
+    /// `"sim"` or `"proc"`.
+    pub backend: &'static str,
+    /// Whether labels and §2.6 count matched the sim baseline bit-for-bit.
+    pub identical: bool,
+    /// Rounds charged (must not depend on the backend).
+    pub rounds: u64,
+    /// Total bits charged under the engine's encoding.
+    pub total_bits: u64,
+    /// The per-message naive oracle accumulated alongside.
+    pub naive_bits: u64,
+    /// Borůvka-style phases executed.
+    pub phases: u32,
+    /// Wall-clock milliseconds — the only field allowed to differ.
+    pub wall_ms: f64,
+}
+
+impl BackendMeasurement {
+    /// Serializable record for `results/` snapshots.
+    pub fn record(&self, experiment: &str, s: &LargeScenario) -> ExperimentRecord {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            label: format!("{}/{}", s.id, self.backend),
+            params: [("n".to_string(), s.n as f64), ("k".to_string(), s.k as f64)]
+                .into_iter()
+                .collect(),
+            metrics: [
+                ("identical".to_string(), f64::from(u8::from(self.identical))),
+                ("rounds".to_string(), self.rounds as f64),
+                ("total_bits".to_string(), self.total_bits as f64),
+                ("naive_bits".to_string(), self.naive_bits as f64),
+                ("phases".to_string(), f64::from(self.phases)),
+                ("wall_ms".to_string(), self.wall_ms),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+}
+
+/// Runs the connectivity headliner once per backend on one shared
+/// ingested cluster; `out[0]` is the sim baseline. The caller must have
+/// made the worker executable resolvable (`set_worker_exe` /
+/// `KMM_WORKER_EXE`) before asking for the proc cell.
+pub fn measure(cluster: &Cluster) -> Vec<BackendMeasurement> {
+    let mut out = Vec::new();
+    let mut baseline = None;
+    for sel in [TransportSel::Sim, TransportSel::Proc] {
+        let cfg = ConnectivityConfig {
+            transport: sel,
+            ..ConnectivityConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let run = cluster.run(Connectivity::with(cfg));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let key = (run.output.labels.clone(), run.output.counted_components);
+        let identical = match &baseline {
+            None => {
+                baseline = Some(key);
+                true
+            }
+            Some(base) => *base == key,
+        };
+        out.push(BackendMeasurement {
+            backend: sel.name(),
+            identical,
+            rounds: run.report.stats.rounds,
+            total_bits: run.report.stats.total_bits,
+            naive_bits: run.report.stats.naive_bits,
+            phases: run.output.phases,
+            wall_ms,
+        });
+    }
+    out
+}
+
+/// Physical wire accounting of one seeded superstep workload pushed
+/// through a [`ProcTransport`] mesh under the varint encoding.
+#[derive(Clone, Debug)]
+pub struct WireMeasurement {
+    /// Bits the model charged for the workload (varint batch pricing).
+    pub logical_bits: u64,
+    /// The per-message naive oracle for the same trajectory.
+    pub naive_bits: u64,
+    /// Payload bytes that actually crossed the sockets.
+    pub payload_bytes: u64,
+    /// Frames handed to workers for delivery.
+    pub frames_sent: u64,
+    /// Delivery windows driven (one per superstep wave with traffic).
+    pub windows: u64,
+    /// Window attempts (> windows only when workers died mid-window).
+    pub attempts: u64,
+    /// Wall-clock milliseconds for the workload.
+    pub wall_ms: f64,
+}
+
+impl WireMeasurement {
+    /// Physical payload bytes per logical *charged* byte: how close the
+    /// wire format tracks the model's own accounting (framing overhead
+    /// keeps it above 1.0; batching keeps it bounded).
+    pub fn bytes_per_charged_byte(&self) -> f64 {
+        self.payload_bytes as f64 / (self.logical_bits as f64 / 8.0).max(1.0)
+    }
+
+    /// Serializable record for `results/` snapshots.
+    pub fn record(&self, experiment: &str, label: &str, k: usize) -> ExperimentRecord {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            label: label.into(),
+            params: [("k".to_string(), k as f64)].into_iter().collect(),
+            metrics: [
+                ("logical_bits".to_string(), self.logical_bits as f64),
+                ("naive_bits".to_string(), self.naive_bits as f64),
+                ("payload_bytes".to_string(), self.payload_bytes as f64),
+                ("frames_sent".to_string(), self.frames_sent as f64),
+                ("windows".to_string(), self.windows as f64),
+                ("attempts".to_string(), self.attempts as f64),
+                (
+                    "bytes_per_charged_byte".to_string(),
+                    self.bytes_per_charged_byte(),
+                ),
+                ("wall_ms".to_string(), self.wall_ms),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+}
+
+/// Drives `supersteps` seeded batches of `u64` payloads through a
+/// [`ProcTransport`] mesh and reads back both sides of the ledger. With
+/// `processes` false the mesh runs thread-mode workers over the same
+/// sockets and protocol — usable without a worker binary.
+pub fn measure_wire(
+    seed: u64,
+    k: usize,
+    supersteps: u64,
+    batch_len: u64,
+    processes: bool,
+) -> WireMeasurement {
+    let transport = if processes {
+        ProcTransport::processes(k).expect("spawn worker processes")
+    } else {
+        ProcTransport::threads(k).expect("spawn thread mesh")
+    };
+    let mut cfg = NetworkConfig::new(k, Bandwidth::Bits(64), 256);
+    cfg.encoding = Encoding::Varint;
+    let mut bsp: Bsp<u64> = Bsp::new(cfg);
+    bsp.set_transport(Box::new(transport));
+    let prf = krand::prf::Prf::new(seed);
+    let t0 = std::time::Instant::now();
+    for step in 0..supersteps {
+        let batch: Vec<Envelope<u64>> = (0..batch_len)
+            .map(|i| {
+                let src = prf.eval_mod(10, step * 10_000 + i, k as u64) as usize;
+                let dst = prf.eval_mod(11, step * 10_000 + i, k as u64) as usize;
+                Envelope::new(src, dst, prf.eval(12, step * 10_000 + i))
+            })
+            .collect();
+        bsp.superstep(batch);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let phys = bsp.phys_stats().expect("transport installed").clone();
+    let stats = bsp.into_stats();
+    WireMeasurement {
+        logical_bits: stats.total_bits,
+        naive_bits: stats.naive_bits,
+        payload_bytes: phys.payload_bytes,
+        frames_sent: phys.frames_sent,
+        windows: phys.windows,
+        attempts: phys.attempts,
+        wall_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_probe_accounts_both_ledgers_on_a_thread_mesh() {
+        let m = measure_wire(17, 4, 8, 40, false);
+        assert!(m.logical_bits > 0, "workload must charge bits");
+        assert!(
+            m.naive_bits >= m.logical_bits,
+            "varint charge must not exceed the naive oracle"
+        );
+        assert!(m.payload_bytes > 0, "bytes must actually cross the wire");
+        assert!(m.frames_sent > 0);
+        assert_eq!(
+            m.windows, m.attempts,
+            "a healthy mesh needs exactly one attempt per window"
+        );
+        // The wire format is the varint batch encoding plus fixed framing;
+        // it must stay within an order of magnitude of the charged bits.
+        assert!(
+            m.bytes_per_charged_byte() < 10.0,
+            "physical/logical ratio {} is implausible",
+            m.bytes_per_charged_byte()
+        );
+    }
+
+    #[test]
+    fn wire_probe_is_deterministic_in_the_seed() {
+        let a = measure_wire(23, 3, 6, 25, false);
+        let b = measure_wire(23, 3, 6, 25, false);
+        assert_eq!(a.logical_bits, b.logical_bits);
+        assert_eq!(a.naive_bits, b.naive_bits);
+        assert_eq!(a.payload_bytes, b.payload_bytes);
+        assert_eq!(a.frames_sent, b.frames_sent);
+    }
+}

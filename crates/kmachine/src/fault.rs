@@ -165,15 +165,27 @@ impl FaultPlan {
     /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
-        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("fault spec entry `{part}` is not key=value"))?;
+        for (entry, part) in spec
+            .split(',')
+            .enumerate()
+            .filter(|(_, p)| !p.trim().is_empty())
+        {
+            // Errors are entry-precise: they name the 1-based entry index
+            // and the offending field, so a long CLI spec pinpoints itself.
+            let at = entry + 1;
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                format!(
+                    "fault spec entry {at} (`{part}`): not key=value",
+                    part = part.trim()
+                )
+            })?;
             let (key, value) = (key.trim(), value.trim());
             let prob = || -> Result<f64, String> {
-                value
-                    .parse::<f64>()
-                    .map_err(|_| format!("fault spec `{key}={value}`: not a number"))
+                value.parse::<f64>().map_err(|_| {
+                    format!(
+                        "fault spec entry {at} (`{key}={value}`): field `{key}` is not a number"
+                    )
+                })
             };
             match key {
                 "drop" => plan.drop = prob()?,
@@ -181,25 +193,34 @@ impl FaultPlan {
                 "reorder" => plan.reorder = prob()?,
                 "delay" => plan.delay = prob()?,
                 "seed" => {
-                    plan.seed = value
-                        .parse()
-                        .map_err(|_| format!("fault spec `seed={value}`: not a u64"))?
+                    plan.seed = value.parse().map_err(|_| {
+                        format!("fault spec entry {at} (`seed={value}`): field `seed` is not a u64")
+                    })?
                 }
                 "crash" => {
                     let (m, s) = value.split_once('@').ok_or_else(|| {
-                        format!("fault spec `crash={value}`: expected MACHINE@SUPERSTEP")
+                        format!(
+                            "fault spec entry {at} (`crash={value}`): \
+                             expected MACHINE@SUPERSTEP"
+                        )
                     })?;
-                    let machine = m
-                        .parse()
-                        .map_err(|_| format!("fault spec `crash={value}`: bad machine id"))?;
-                    let superstep = s
-                        .parse()
-                        .map_err(|_| format!("fault spec `crash={value}`: bad superstep"))?;
+                    let machine = m.parse().map_err(|_| {
+                        format!(
+                            "fault spec entry {at} (`crash={value}`): \
+                             field `machine` is not a machine id"
+                        )
+                    })?;
+                    let superstep = s.parse().map_err(|_| {
+                        format!(
+                            "fault spec entry {at} (`crash={value}`): \
+                             field `superstep` is not a superstep index"
+                        )
+                    })?;
                     plan.crashes.push(CrashEvent { superstep, machine });
                 }
                 other => {
                     return Err(format!(
-                        "unknown fault spec key `{other}` \
+                        "fault spec entry {at}: unknown key `{other}` \
                          (supported: drop, dup, reorder, delay, crash, seed)"
                     ))
                 }
@@ -207,6 +228,35 @@ impl FaultPlan {
         }
         plan.validate()?;
         Ok(plan)
+    }
+
+    /// Formats the plan back into the spec syntax [`FaultPlan::parse`]
+    /// accepts. The round trip is exact: `parse(p.to_spec()) == p` for
+    /// every valid plan (property-tested), because probabilities are
+    /// printed with full `f64` precision via Rust's shortest round-trip
+    /// float formatting. Zero fields are omitted; an inactive
+    /// seed-0 plan formats as the empty spec.
+    pub fn to_spec(&self) -> String {
+        let mut parts = Vec::new();
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        if self.drop != 0.0 {
+            parts.push(format!("drop={}", self.drop));
+        }
+        if self.dup != 0.0 {
+            parts.push(format!("dup={}", self.dup));
+        }
+        if self.reorder != 0.0 {
+            parts.push(format!("reorder={}", self.reorder));
+        }
+        if self.delay != 0.0 {
+            parts.push(format!("delay={}", self.delay));
+        }
+        for c in &self.crashes {
+            parts.push(format!("crash={}@{}", c.machine, c.superstep));
+        }
+        parts.join(",")
     }
 
     /// One deterministic Bernoulli roll for fault kind `kind` on message
@@ -258,6 +308,13 @@ impl FaultPlan {
         out.sort_unstable();
         out.dedup();
         out
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// The parseable spec form (see [`FaultPlan::to_spec`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_spec())
     }
 }
 
@@ -360,5 +417,110 @@ mod tests {
         assert!(FaultPlan::new(0).with_drop(1.0).validate().is_err());
         assert!(FaultPlan::new(0).with_delay(1.0).validate().is_ok());
         assert!(FaultPlan::new(0).with_reorder(-0.5).validate().is_err());
+    }
+
+    #[test]
+    fn to_spec_round_trips_handwritten_plans() {
+        let p = FaultPlan::new(7)
+            .with_drop(0.05)
+            .with_dup(0.1)
+            .with_reorder(0.5)
+            .with_delay(0.02)
+            .with_crash(2, 9)
+            .with_crash(0, 3);
+        assert_eq!(FaultPlan::parse(&p.to_spec()).unwrap(), p);
+        assert_eq!(p.to_string(), p.to_spec());
+        assert_eq!(FaultPlan::default().to_spec(), "");
+        assert_eq!(
+            FaultPlan::parse(&FaultPlan::default().to_spec()).unwrap(),
+            FaultPlan::default()
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_entry_and_field_precise() {
+        // The error names the failing entry's 1-based index and field.
+        let e = FaultPlan::parse("drop=0.1,dup=oops,seed=3").unwrap_err();
+        assert!(e.contains("entry 2"), "{e}");
+        assert!(e.contains("`dup`"), "{e}");
+        let e = FaultPlan::parse("seed=3,crash=1@x").unwrap_err();
+        assert!(e.contains("entry 2"), "{e}");
+        assert!(e.contains("`superstep`"), "{e}");
+        let e = FaultPlan::parse("drop=0.1,crash=z@4").unwrap_err();
+        assert!(e.contains("entry 2") && e.contains("`machine`"), "{e}");
+        let e = FaultPlan::parse("drop=0.1,bogus=1").unwrap_err();
+        assert!(e.contains("entry 2") && e.contains("`bogus`"), "{e}");
+        let e = FaultPlan::parse("drop=0.1,,seed").unwrap_err();
+        assert!(e.contains("entry 3"), "empty entries keep indexing: {e}");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A generator over valid plans: probabilities inside their documented
+    /// ranges (`drop < 1`), arbitrary seeds, up to four crash events. Each
+    /// probability is gated by a selector so exact-zero (omitted-field)
+    /// plans are exercised alongside full-precision floats.
+    fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+        fn prob() -> impl Strategy<Value = f64> {
+            (0u8..4, 0.0..0.999f64).map_gen(|(z, v)| if z == 0 { 0.0 } else { v })
+        }
+        (
+            (0u64..u64::MAX, prob(), prob()),
+            (prob(), prob()),
+            prop::collection::vec((0usize..64, 0u64..1000), 0..4),
+        )
+            .map_gen(|((seed, drop, dup), (reorder, delay), crashes)| {
+                let mut plan = FaultPlan::new(seed)
+                    .with_drop(drop)
+                    .with_dup(dup)
+                    .with_reorder(reorder)
+                    .with_delay(delay);
+                for (m, s) in crashes {
+                    plan = plan.with_crash(m, s);
+                }
+                plan
+            })
+    }
+
+    proptest! {
+        /// Satellite pin (ISSUE 7): random plans round-trip through
+        /// parse→format→parse identically — including full-precision
+        /// probabilities and crash schedules in order.
+        #[test]
+        fn spec_round_trip_is_exact(plan in arb_plan()) {
+            let spec = plan.to_spec();
+            let parsed = FaultPlan::parse(&spec)
+                .unwrap_or_else(|e| panic!("`{spec}` must parse: {e}"));
+            prop_assert_eq!(&parsed, &plan);
+            // Idempotence: format(parse(format(p))) == format(p).
+            prop_assert_eq!(parsed.to_spec(), spec);
+        }
+
+        /// Corrupting one entry of a valid spec yields an error naming that
+        /// entry's index.
+        #[test]
+        fn corrupted_entries_are_reported_precisely(
+            plan in arb_plan(),
+            key in (0usize..5)
+                .map_gen(|i| ["drop", "dup", "reorder", "delay", "seed"][i]),
+        ) {
+            let spec = plan.to_spec();
+            let n_entries = spec.split(',').filter(|p| !p.is_empty()).count();
+            let bad = if spec.is_empty() {
+                format!("{key}=bogus")
+            } else {
+                format!("{spec},{key}=bogus")
+            };
+            let e = FaultPlan::parse(&bad).expect_err("corrupted entry must fail");
+            prop_assert!(
+                e.contains(&format!("entry {}", n_entries + 1)),
+                "error `{}` must name entry {}", e, n_entries + 1
+            );
+            prop_assert!(e.contains(key), "error `{}` must name field `{}`", e, key);
+        }
     }
 }

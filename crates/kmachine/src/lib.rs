@@ -26,6 +26,14 @@
 //! per-superstep ack/retransmit protocol whose cost lands in the
 //! `faults_injected` / `retransmit_bits` / `recovery_rounds` counters of
 //! [`metrics::CommStats`] (DESIGN.md §3.10).
+//!
+//! How a window's bytes travel is pluggable ([`transport::Transport`],
+//! DESIGN.md §3.12): the in-process simulator (the accounting oracle,
+//! bit-for-bit the historical path) or a real multi-process backend — one
+//! OS worker process per machine exchanging length-prefixed, seq-numbered
+//! frames over Unix-domain sockets, with the PR 6 varint batch encoding as
+//! the actual wire format and worker crash/respawn mapped onto the
+//! [`fault::CrashEvent`] recovery semantics.
 
 pub mod bandwidth;
 pub mod bsp;
@@ -36,11 +44,13 @@ pub mod metrics;
 pub mod network;
 pub mod par;
 pub mod program;
+pub mod transport;
 
 pub use bandwidth::{Bandwidth, CostModel};
 pub use bsp::Bsp;
 pub use fault::{CrashEvent, FaultPlan};
-pub use message::{Envelope, WireSize};
+pub use message::{Envelope, WireCodec, WireSize};
 pub use metrics::CommStats;
 pub use network::Network;
 pub use program::{Program, Runner};
+pub use transport::{ProcTransport, SimTransport, Transport, TransportKind, TransportSel};

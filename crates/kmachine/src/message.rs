@@ -25,6 +25,208 @@ pub trait WireSize {
     fn wire_bits(&self) -> u64;
 }
 
+/// A payload that can actually be serialized onto a byte wire (the process
+/// transport, DESIGN.md §3.12). [`WireSize`]/[`BatchWire`] *price* payloads
+/// for the round accounting; `WireCodec` moves them for real. The encoding
+/// is self-delimiting (varints and length-prefixed runs), so frames can be
+/// concatenated and decoded back without an outer schema.
+pub trait WireCodec: Sized {
+    /// Appends this payload's byte encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one payload from the reader, consuming exactly the bytes
+    /// [`WireCodec::encode`] produced.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+/// A decode failure: the byte offset it happened at and the field being
+/// read. Field-precise by construction — every reader primitive names the
+/// field it was asked for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Byte offset into the buffer at which decoding failed.
+    pub offset: usize,
+    /// The field whose decode failed.
+    pub field: &'static str,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl WireError {
+    /// A decode failure at `offset` while reading `field`.
+    pub fn new(offset: usize, field: &'static str, reason: &'static str) -> Self {
+        WireError {
+            offset,
+            field,
+            reason,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire decode error at byte {}: field `{}`: {}",
+            self.offset, self.field, self.reason
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over an encoded buffer, used by [`WireCodec::decode`].
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// The current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn err(&self, field: &'static str, reason: &'static str) -> WireError {
+        WireError {
+            offset: self.pos,
+            field,
+            reason,
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| self.err(field, "unexpected end of buffer"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads one LEB128 varint (the byte realization of [`varint_bits`]).
+    pub fn varint(&mut self, field: &'static str) -> Result<u64, WireError> {
+        let mut x = 0u64;
+        for shift in (0..).step_by(7) {
+            if shift >= 64 {
+                return Err(self.err(field, "varint overflows u64"));
+            }
+            let b = self.u8(field)?;
+            x |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+        }
+        unreachable!()
+    }
+
+    /// Reads a 128-bit LEB128 varint (sketch cell index sums).
+    pub fn varint128(&mut self, field: &'static str) -> Result<u128, WireError> {
+        let mut x = 0u128;
+        for shift in (0..).step_by(7) {
+            if shift >= 128 {
+                return Err(self.err(field, "varint overflows u128"));
+            }
+            let b = self.u8(field)?;
+            x |= u128::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+        }
+        unreachable!()
+    }
+
+    /// Reads a zigzag-coded signed varint.
+    pub fn signed(&mut self, field: &'static str) -> Result<i64, WireError> {
+        Ok(unzigzag64(self.varint(field)?))
+    }
+
+    /// Reads a zigzag-coded signed 128-bit varint.
+    pub fn signed128(&mut self, field: &'static str) -> Result<i128, WireError> {
+        Ok(unzigzag128(self.varint128(field)?))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.err(field, "unexpected end of buffer"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+/// Appends one LEB128 varint: the byte encoding whose size [`varint_bits`]
+/// prices (one byte per started 7-bit group).
+pub fn put_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let b = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Appends a 128-bit LEB128 varint.
+pub fn put_varint128(out: &mut Vec<u8>, mut x: u128) {
+    loop {
+        let b = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Appends a zigzag-coded signed varint.
+pub fn put_signed(out: &mut Vec<u8>, x: i64) {
+    put_varint(out, zigzag64(x));
+}
+
+/// Zigzag-maps a signed value to an unsigned one (small magnitudes stay
+/// small: 0, -1, 1, -2 → 0, 1, 2, 3).
+pub fn zigzag64(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+/// Inverse of [`zigzag64`].
+pub fn unzigzag64(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+/// Appends a zigzag-coded signed 128-bit varint.
+pub fn put_signed128(out: &mut Vec<u8>, x: i128) {
+    put_varint128(out, zigzag128(x));
+}
+
+/// 128-bit [`zigzag64`].
+pub fn zigzag128(x: i128) -> u128 {
+    ((x << 1) ^ (x >> 127)) as u128
+}
+
+/// Inverse of [`zigzag128`].
+pub fn unzigzag128(x: u128) -> i128 {
+    ((x >> 1) as i128) ^ -((x & 1) as i128)
+}
+
 /// Which wire encoding the superstep layer charges bandwidth under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Encoding {
@@ -71,6 +273,35 @@ pub trait BatchWire: Sized {
 
 impl BatchWire for u64 {}
 impl BatchWire for () {}
+
+impl WireCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, *self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.varint("u64")
+    }
+}
+
+impl WireCodec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, u64::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        u32::try_from(r.varint("u32")?).map_err(|_| WireError {
+            offset: r.offset(),
+            field: "u32",
+            reason: "value overflows u32",
+        })
+    }
+}
+
+impl WireCodec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
 
 impl WireSize for u64 {
     fn wire_bits(&self) -> u64 {
@@ -174,6 +405,62 @@ mod tests {
             delta_varint_bits(&mut shuffled),
             delta_varint_bits(&mut sorted)
         );
+    }
+
+    #[test]
+    fn varint_bytes_price_exactly_what_varint_bits_says() {
+        // The codec is the byte realization of the PR 6 pricing function:
+        // every value costs exactly `varint_bits / 8` bytes on the wire.
+        for x in [0u64, 1, 127, 128, (1 << 14) - 1, 1 << 14, 1 << 40, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, x);
+            assert_eq!(8 * buf.len() as u64, varint_bits(x), "x = {x}");
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.varint("x").unwrap(), x);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_signed_values() {
+        for x in [0i64, -1, 1, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag64(zigzag64(x)), x);
+            let mut buf = Vec::new();
+            put_signed(&mut buf, x);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.signed("x").unwrap(), x);
+        }
+        assert_eq!(zigzag64(0), 0);
+        assert_eq!(zigzag64(-1), 1);
+        assert_eq!(zigzag64(1), 2);
+    }
+
+    #[test]
+    fn decode_errors_carry_offset_and_field() {
+        // Truncated buffer: the error names the field and points past the
+        // last byte.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 300); // two bytes
+        let mut r = WireReader::new(&buf[..1]);
+        let e = r.varint("edge_count").unwrap_err();
+        assert_eq!(e.field, "edge_count");
+        assert_eq!(e.offset, 1);
+        assert!(e.to_string().contains("edge_count"), "{e}");
+        // Non-terminating varint: overflow is detected, not wrapped.
+        let bad = [0xffu8; 11];
+        let e = WireReader::new(&bad).varint("id").unwrap_err();
+        assert_eq!(e.reason, "varint overflows u64");
+    }
+
+    #[test]
+    fn varint128_round_trips_wide_values() {
+        for x in [0u128, 1, u64::MAX as u128, u128::MAX, 1 << 100] {
+            let mut buf = Vec::new();
+            put_varint128(&mut buf, x);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.varint128("w").unwrap(), x);
+            assert!(r.is_empty());
+        }
     }
 
     #[test]

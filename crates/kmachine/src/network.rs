@@ -3,8 +3,9 @@
 use crate::bandwidth::{Bandwidth, CostModel};
 use crate::fault::FaultPlan;
 use crate::link::{Link, LinkFault};
-use crate::message::{Encoding, Envelope};
+use crate::message::{put_varint, Encoding, Envelope, WireCodec, WireReader};
 use crate::metrics::CommStats;
+use crate::transport::{CodecBridge, Frame, PhysStats, Transport, TransportKind};
 
 /// Configuration of a k-machine network.
 #[derive(Clone, Copy, Debug)]
@@ -60,6 +61,8 @@ pub struct Network<M> {
     /// a monotone per-message decision counter.
     faults: Option<FaultPlan>,
     fault_seq: u64,
+    /// Installed byte transport, if any (see [`Network::set_transport`]).
+    bridge: Option<CodecBridge<M>>,
 }
 
 impl<M> Network<M> {
@@ -74,8 +77,28 @@ impl<M> Network<M> {
             round: 0,
             faults: None,
             fault_seq: 0,
+            bridge: None,
             cfg,
         }
+    }
+
+    /// Installs a byte transport (DESIGN.md §3.12). With a
+    /// [`TransportKind::Proc`] transport every enqueued message's bytes
+    /// physically cross the worker mesh as a single-frame window at
+    /// [`Network::send`] time (the fine-grained stepper models per-round
+    /// *timing*, so the byte motion happens at enqueue and the decoded
+    /// arrival is what enters the link queue). A sim transport (or none)
+    /// keeps the historical in-process path untouched.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>)
+    where
+        M: WireCodec,
+    {
+        self.bridge = Some(CodecBridge::new(transport));
+    }
+
+    /// The installed transport's physical-layer counters, if any.
+    pub fn phys_stats(&self) -> Option<&PhysStats> {
+        self.bridge.as_ref().map(|b| b.transport.phys())
     }
 
     /// Installs a deterministic [`FaultPlan`] applied per transmitted
@@ -117,6 +140,7 @@ impl<M> Network<M> {
             "bad machine id"
         );
         assert!(!env.is_local(), "local messages do not use links");
+        let env = self.through_transport(env);
         self.stats.messages += 1;
         self.stats.total_bits += env.bits;
         self.stats.naive_bits += env.bits;
@@ -124,6 +148,38 @@ impl<M> Network<M> {
         self.stats.recv_bits[env.dst] += env.bits;
         let idx = env.src * self.cfg.k + env.dst;
         self.links[idx].push(env);
+    }
+
+    /// Round-trips one envelope through the installed process transport
+    /// (identity otherwise): what enters the link queue is what physically
+    /// arrived at the destination worker.
+    fn through_transport(&mut self, env: Envelope<M>) -> Envelope<M> {
+        let Some(bridge) = self.bridge.as_mut() else {
+            return env;
+        };
+        if bridge.transport.kind() != TransportKind::Proc {
+            return env;
+        }
+        let mut payload = Vec::new();
+        put_varint(&mut payload, env.bits);
+        (bridge.enc)(&env.payload, &mut payload);
+        let frames =
+            bridge
+                .transport
+                .exchange(vec![Frame::new(env.src as u32, env.dst as u32, payload)]);
+        assert_eq!(frames.len(), 1, "single-frame window must round-trip");
+        let f = &frames[0];
+        let mut r = WireReader::new(&f.payload);
+        let (bits, payload) = (|| {
+            let bits = r.varint("msg.bits")?;
+            let payload = (bridge.dec)(&mut r)?;
+            Ok::<_, crate::message::WireError>((bits, payload))
+        })()
+        .unwrap_or_else(|e| panic!("transport frame {}→{}: {e}", f.src, f.dst));
+        let restarts = bridge.transport.phys().worker_restarts;
+        self.stats.machine_crashes += restarts - bridge.restarts_seen;
+        bridge.restarts_seen = restarts;
+        Envelope::with_bits(f.src as usize, f.dst as usize, payload, bits)
     }
 
     /// Advances one synchronous round: every directed link transmits up to

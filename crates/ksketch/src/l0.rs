@@ -164,7 +164,7 @@ impl SketchFns {
 /// s3.merge(&s7);
 /// assert_eq!(s3.query(&fns), Some((3, 9)));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct L0Sketch {
     params: SketchParams,
     cells: Vec<Cell>,
@@ -182,6 +182,24 @@ impl L0Sketch {
     /// The shape of this sketch.
     pub fn params(&self) -> SketchParams {
         self.params
+    }
+
+    /// The raw 1-sparse cells, row-major `rep × level` — what a byte
+    /// transport serializes.
+    pub fn cell_slice(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Reassembles a sketch from decoded cells — the inverse of shipping
+    /// [`L0Sketch::cell_slice`] over a byte transport. Panics if the cell
+    /// count does not match the shape's `params.cells()`.
+    pub fn from_cells(params: SketchParams, cells: Vec<Cell>) -> Self {
+        assert_eq!(
+            cells.len(),
+            params.cells(),
+            "decoded cell count must match the sketch shape"
+        );
+        L0Sketch { params, cells }
     }
 
     /// Adds the incidence-vector entry of the edge `{vertex, neighbor}` as

@@ -105,6 +105,9 @@ fn usage() -> ExitCode {
                                          (DESIGN.md 3.11; identical outputs, fewer bits)\n\
                  --encoding naive|varint charge per-message widths (default) or the\n\
                                          delta-varint batch wire size (accounting only)\n\
+                 --transport sim|proc    run windows in-process (default) or through one\n\
+                                         OS worker per machine over Unix sockets; outputs\n\
+                                         and logical stats are identical either way\n\
          output: --report json           machine-readable RunReport on stdout",
         SUBCOMMANDS.join("|")
     );
@@ -240,6 +243,7 @@ fn run_problem<P: Problem>(
     args: &Args,
     k: usize,
     seed: u64,
+    transport: TransportSel,
     problem: P,
     answer: impl FnOnce(&P::Output) -> Vec<(&'static str, String)>,
     print: impl FnOnce(&Args, &P::Output),
@@ -254,7 +258,9 @@ fn run_problem<P: Problem>(
     };
     let run = cluster.run(problem);
     if json {
-        println!("{}", report_json(&run.report, &answer(&run.output)));
+        let mut head = vec![("transport", format!("\"{}\"", transport.name()))];
+        head.extend(answer(&run.output));
+        println!("{}", report_json(&run.report, &head));
     } else {
         print(args, &run.output);
         println!("rounds:     {}", run.report.stats.rounds);
@@ -284,6 +290,7 @@ fn run_dyn(
     faults: Option<FaultPlan>,
     contract: bool,
     encoding: Encoding,
+    transport: TransportSel,
 ) -> ExitCode {
     let Some(path) = args.get("trace") else {
         return fail("dyn needs --trace FILE (`+ u v [w]` / `- u v` / `---` per line)");
@@ -315,12 +322,14 @@ fn run_dyn(
         faults: faults.clone(),
         contract,
         encoding,
+        transport,
         ..ConnectivityConfig::default()
     };
     let mst_cfg = MstConfig {
         faults,
         contract,
         encoding,
+        transport,
         ..MstConfig::default()
     };
     let emit = |batch: usize, up: Option<&UpdateReport>, dc: &mut DynamicCluster| {
@@ -387,7 +396,32 @@ fn run_dyn(
     ExitCode::SUCCESS
 }
 
+/// `kmm __transport-worker DIR MACHINE K`: serve one machine's socket mesh
+/// until the coordinator shuts the run down.
+fn run_transport_worker(argv: &[String]) -> ExitCode {
+    let (Some(dir), Some(machine), Some(k)) = (
+        argv.first(),
+        argv.get(1).and_then(|a| a.parse::<usize>().ok()),
+        argv.get(2).and_then(|a| a.parse::<usize>().ok()),
+    ) else {
+        return fail("__transport-worker needs <dir> <machine> <k>");
+    };
+    match kmm::machine::transport::worker_main(std::path::Path::new(dir), machine, k) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("transport worker {machine}: {e}")),
+    }
+}
+
 fn main() -> ExitCode {
+    // Re-exec entry of the multi-process transport (DESIGN.md §3.12): the
+    // coordinator spawns `kmm __transport-worker <dir> <machine> <k>` — one
+    // per simulated machine — before normal argument parsing ever runs.
+    // Hidden on purpose: it is an implementation detail of `--transport
+    // proc`, not a user-facing subcommand.
+    let raw: Vec<String> = std::env::args().collect();
+    if raw.get(1).map(String::as_str) == Some("__transport-worker") {
+        return run_transport_worker(&raw[2..]);
+    }
     let Some(args) = Args::parse() else {
         return usage();
     };
@@ -406,15 +440,22 @@ fn main() -> ExitCode {
         Some("varint") => Encoding::Varint,
         Some(other) => return fail(&format!("--encoding {other}: expected naive or varint")),
     };
+    let transport = match args.get("transport").map(TransportSel::parse) {
+        None => TransportSel::Sim,
+        Some(Ok(t)) => t,
+        Some(Err(e)) => return fail(&format!("--transport: {e}")),
+    };
     match args.cmd.as_str() {
         "conn" => run_problem(
             &args,
             k,
             seed,
+            transport,
             Connectivity::with(ConnectivityConfig {
                 faults: faults.clone(),
                 contract,
                 encoding,
+                transport,
                 ..ConnectivityConfig::default()
             }),
             |out| vec![("components", out.component_count().to_string())],
@@ -433,12 +474,14 @@ fn main() -> ExitCode {
                 faults: faults.clone(),
                 contract,
                 encoding,
+                transport,
                 ..MstConfig::default()
             };
             run_problem(
                 &args,
                 k,
                 seed,
+                transport,
                 Mst::with(cfg),
                 |out| {
                     vec![
@@ -461,10 +504,12 @@ fn main() -> ExitCode {
             &args,
             k,
             seed,
+            transport,
             SpanningForest::with(MstConfig {
                 faults: faults.clone(),
                 contract,
                 encoding,
+                transport,
                 ..MstConfig::default()
             }),
             |out| vec![("forest_edges", out.edges.len().to_string())],
@@ -476,10 +521,12 @@ fn main() -> ExitCode {
             &args,
             k,
             seed,
+            transport,
             MinCut::with(MinCutConfig {
                 faults: faults.clone(),
                 contract,
                 encoding,
+                transport,
                 ..MinCutConfig::default()
             }),
             |out| {
@@ -493,7 +540,7 @@ fn main() -> ExitCode {
                 println!("probes:   {}", out.probes);
             },
         ),
-        "dyn" => run_dyn(&args, k, seed, faults, contract, encoding),
+        "dyn" => run_dyn(&args, k, seed, faults, contract, encoding, transport),
         "stcon" => {
             let g = match load_graph(&args) {
                 Ok(g) => g,
@@ -509,6 +556,7 @@ fn main() -> ExitCode {
                 faults: faults.clone(),
                 contract,
                 encoding,
+                transport,
                 ..ConnectivityConfig::default()
             };
             let v = verify::st_connectivity(&g, s, t, k, seed, &cfg);
@@ -531,6 +579,7 @@ fn main() -> ExitCode {
                 faults: faults.clone(),
                 contract,
                 encoding,
+                transport,
                 ..ConnectivityConfig::default()
             };
             let v = verify::bipartiteness(&g, k, seed, &cfg);

@@ -80,5 +80,6 @@ pub mod prelude {
     pub use kmachine::fault::{CrashEvent, FaultPlan};
     pub use kmachine::message::Encoding;
     pub use kmachine::metrics::CommStats;
+    pub use kmachine::transport::TransportSel;
     pub use kmachine::{Bandwidth, CostModel};
 }

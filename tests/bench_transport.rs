@@ -1,0 +1,59 @@
+//! CI pin for the transport backend family (DESIGN.md §4, E24): on the
+//! E20 streamed rung, the multi-process backend must return the simulator
+//! baseline bit-for-bit with identical logical accounting — so the honest
+//! comparison is wall-clock and physical wire bytes, both captured in
+//! `results/BENCH_PR7.json`. Lives in the repo-root test suite (not
+//! kbench's own) because the worker binary is only reachable here, via
+//! `CARGO_BIN_EXE_kmm`.
+
+use std::path::PathBuf;
+
+use kbench::experiments::{records_to_json, ExperimentRecord};
+use kbench::large::family;
+use kbench::transport::{measure, measure_wire};
+use kmm::machine::transport::set_worker_exe;
+
+#[test]
+fn transport_backends_agree_on_the_e20_rung_and_snapshot_the_costs() {
+    set_worker_exe(PathBuf::from(env!("CARGO_BIN_EXE_kmm")));
+    let mut records: Vec<ExperimentRecord> = Vec::new();
+
+    // ---- E24a: the connectivity headliner, sim vs proc, E20 rung. ----
+    let s = &family(true)[0]; // n = 50_000, k = 16
+    let ms = measure(&s.cluster());
+    assert_eq!(ms.len(), 2);
+    assert_eq!(ms[0].backend, "sim");
+    assert_eq!(ms[1].backend, "proc");
+    for m in &ms {
+        assert!(m.identical, "{}/{}: answers diverged", s.id, m.backend);
+        records.push(m.record("BENCH_PR7", s));
+    }
+    // The logical ledger is backend-independent by construction; pin it.
+    assert_eq!(ms[0].rounds, ms[1].rounds, "rounds must not see the wire");
+    assert_eq!(ms[0].total_bits, ms[1].total_bits, "total_bits");
+    assert_eq!(ms[0].naive_bits, ms[1].naive_bits, "naive_bits");
+    assert_eq!(ms[0].phases, ms[1].phases, "phases");
+
+    // ---- E24b: physical wire accounting on a real process mesh. ----
+    let wire = measure_wire(17, 8, 12, 200, true);
+    assert!(wire.payload_bytes > 0, "bytes must cross the sockets");
+    assert_eq!(
+        wire.windows, wire.attempts,
+        "no worker died, so every window succeeds first try"
+    );
+    records.push(wire.record("BENCH_PR7", "wire/proc/k8", 8));
+    // The same seeded workload on the thread mesh moves the same bytes:
+    // the wire format is deterministic in the traffic, not the backend.
+    let thread_wire = measure_wire(17, 8, 12, 200, false);
+    assert_eq!(wire.payload_bytes, thread_wire.payload_bytes);
+    assert_eq!(wire.logical_bits, thread_wire.logical_bits);
+    records.push(thread_wire.record("BENCH_PR7", "wire/threads/k8", 8));
+
+    // The snapshot lands in the repo-root results/ directory alongside the
+    // earlier PR snapshots.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let out = dir.join("BENCH_PR7.json");
+    std::fs::write(&out, records_to_json(&records))
+        .unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+}
