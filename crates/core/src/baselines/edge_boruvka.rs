@@ -21,6 +21,7 @@ use kgraph::graph::Edge;
 use kgraph::{Graph, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
+use kmachine::det;
 use kmachine::message::Envelope;
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
@@ -140,9 +141,9 @@ pub fn edge_boruvka_sharded(
         if mode == CheckMode::PerEdgeTest && p > 0 {
             for _direction in 0..2 {
                 let mut msgs = Vec::new();
-                for (&(i, j), &c) in &cross {
+                for ((i, j), &c) in det::sorted_entries(&cross) {
                     let payload = Payload::TestBatch { count: c };
-                    let bits = payload.wire_bits(l);
+                    let bits = payload.wire_bits_lw(l, l);
                     notification_bits += bits;
                     // Tests flow i→j; the second pass carries the replies
                     // (the map is symmetric, so reversing roles is free).
@@ -173,14 +174,14 @@ pub fn edge_boruvka_sharded(
                     }
                 }
             }
-            for (label, (key, to_label)) in local_best {
+            for (label, (key, to_label)) in det::into_sorted_entries(local_best) {
                 let dst = scheme.proxy_of(part, p, 0, label);
                 let payload = Payload::Candidate {
                     label,
                     key,
                     to_label,
                 };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, l);
                 out.push(Envelope::with_bits(m, dst, payload, bits));
             }
         }
@@ -217,7 +218,7 @@ pub fn edge_boruvka_sharded(
             }
         }
         // --- DRR parents from shared ranks; MST edges at merging comps. ---
-        for proxy in proxies.iter_mut() {
+        for proxy in &mut proxies {
             for (&label, c) in proxy.iter_mut() {
                 if let Some((key, to)) = c.best {
                     if scheme.connects(p, label, to) {
@@ -246,7 +247,7 @@ pub fn edge_boruvka_sharded(
                             asker: label,
                             target: c.ptr,
                         };
-                        let bits = payload.wire_bits(l);
+                        let bits = payload.wire_bits_lw(l, l);
                         queries.push(Envelope::with_bits(
                             m,
                             scheme.proxy_of(part, p, 0, c.ptr),
@@ -265,10 +266,9 @@ pub fn edge_boruvka_sharded(
                         // A target with no candidates this phase is a root.
                         let (ptr, done) = proxies[m]
                             .get(&target)
-                            .map(|t| (t.ptr, t.ptr_done))
-                            .unwrap_or((target, true));
+                            .map_or((target, true), |t| (t.ptr, t.ptr_done));
                         let payload = Payload::PtrReply { asker, ptr, done };
-                        let bits = payload.wire_bits(l);
+                        let bits = payload.wire_bits_lw(l, l);
                         replies.push(Envelope::with_bits(m, env.src, payload, bits));
                     }
                 }
@@ -296,7 +296,7 @@ pub fn edge_boruvka_sharded(
                             old: label,
                             new: c.ptr,
                         };
-                        let bits = payload.wire_bits(l);
+                        let bits = payload.wire_bits_lw(l, l);
                         relabels.push(Envelope::with_bits(m, pm as usize, payload, bits));
                     }
                 }
@@ -330,7 +330,7 @@ pub fn edge_boruvka_sharded(
                                 dsts.insert(h);
                             }
                         }
-                        for dst in dsts {
+                        for dst in det::sorted_members(&dsts) {
                             notify.entry((home, dst)).or_default().push((v, new));
                         }
                     }
@@ -339,9 +339,9 @@ pub fn edge_boruvka_sharded(
         }
         if mode == CheckMode::BatchedPush {
             let mut notes = Vec::new();
-            for ((src, dst), updates) in notify {
+            for ((src, dst), updates) in det::into_sorted_entries(notify) {
                 let payload = Payload::FloodLabels { updates };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, l);
                 notification_bits += bits;
                 notes.push(Envelope::with_bits(src, dst, payload, bits));
             }
@@ -368,7 +368,7 @@ fn flag_exchange(bsp: &mut Bsp<Payload>, k: usize, l: u64) {
         let mut msgs = Vec::new();
         for m in 1..k {
             let payload = Payload::Flag { bit: true };
-            let bits = payload.wire_bits(l);
+            let bits = payload.wire_bits_lw(l, l);
             let (s, d) = if dir == 0 { (m, 0) } else { (0, m) };
             msgs.push(Envelope::with_bits(s, d, payload, bits));
         }

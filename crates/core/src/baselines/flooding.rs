@@ -18,6 +18,7 @@ use crate::messages::{id_bits, Label, Payload};
 use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
+use kmachine::det;
 use kmachine::message::Envelope;
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
@@ -147,11 +148,11 @@ pub fn flooding_sharded(sg: &ShardedGraph, bandwidth: Bandwidth) -> FloodingOutp
                     }
                 }
             }
-            for (dst, updates) in per_dst {
+            for (dst, updates) in det::into_sorted_entries(per_dst) {
                 let payload = Payload::FloodLabels {
-                    updates: updates.into_iter().collect(),
+                    updates: det::into_sorted_entries(updates),
                 };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, l);
                 out.push(Envelope::with_bits(m, dst, payload, bits));
                 any_remote = true;
             }
@@ -277,11 +278,11 @@ impl kmachine::program::Program<Payload> for FloodMachine<'_> {
                 }
             }
         }
-        for (dst, updates) in per_dst {
+        for (dst, updates) in det::into_sorted_entries(per_dst) {
             let payload = Payload::FloodLabels {
-                updates: updates.into_iter().collect(),
+                updates: det::into_sorted_entries(updates),
             };
-            let bits = payload.wire_bits(self.l);
+            let bits = payload.wire_bits_lw(self.l, self.l);
             out.push(Envelope::with_bits(self.id, dst, payload, bits));
         }
     }
@@ -342,7 +343,7 @@ fn charge_flag_exchange(bsp: &mut Bsp<Payload>, k: usize, l: u64) {
     let mut up = Vec::new();
     for m in 1..k {
         let payload = Payload::Flag { bit: true };
-        let bits = payload.wire_bits(l);
+        let bits = payload.wire_bits_lw(l, l);
         up.push(Envelope::with_bits(m, 0, payload, bits));
     }
     bsp.superstep(up);
@@ -350,7 +351,7 @@ fn charge_flag_exchange(bsp: &mut Bsp<Payload>, k: usize, l: u64) {
     let mut down = Vec::new();
     for m in 1..k {
         let payload = Payload::Flag { bit: true };
-        let bits = payload.wire_bits(l);
+        let bits = payload.wire_bits_lw(l, l);
         down.push(Envelope::with_bits(0, m, payload, bits));
     }
     bsp.superstep(down);

@@ -53,7 +53,7 @@ pub fn referee_sharded(sg: &ShardedGraph, bandwidth: Bandwidth) -> RefereeOutput
             sg.view(m).local_edges().map(|e| (e.u, e.v, e.w)).collect();
         if !edges.is_empty() {
             let payload = Payload::EdgeList { edges };
-            let bits = payload.wire_bits(l);
+            let bits = payload.wire_bits_lw(l, l);
             out.push(Envelope::with_bits(m, 0, payload, bits));
         }
     }

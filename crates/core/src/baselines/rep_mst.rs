@@ -106,7 +106,7 @@ pub fn rep_mst_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConfig) -> RepMstO
         for (dst, batch) in per_dst.into_iter().enumerate() {
             if dst != m && !batch.is_empty() {
                 let payload = Payload::EdgeList { edges: batch };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, l);
                 out.push(Envelope::with_bits(m, dst, payload, bits));
             }
         }

@@ -67,6 +67,7 @@ use crate::st::SpanningForestOutput;
 use kgraph::graph::Edge;
 use kgraph::Partition;
 use kmachine::bsp::Bsp;
+use kmachine::det;
 use kmachine::message::Envelope;
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
@@ -613,7 +614,7 @@ impl DynamicCluster {
                     weight: w,
                     insert,
                 };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, l);
                 envelopes.push(Envelope::with_bits(
                     COORDINATOR,
                     self.home.home(vertex),
@@ -956,12 +957,12 @@ impl DynamicCluster {
                         .merge(&per_machine[&v]);
                 }
             }
-            for (label, sketch) in agg {
+            for (label, sketch) in det::into_sorted_entries(agg) {
                 let payload = Payload::CertSketch {
                     label,
                     sketch: Box::new(sketch),
                 };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, l);
                 envelopes.push(Envelope::with_bits(
                     i,
                     self.home.home(label as u32),
@@ -985,9 +986,9 @@ impl DynamicCluster {
                     }
                 }
             }
-            verdicts[i] = sums.values().any(|s| !s.is_zero());
+            verdicts[i] = det::any_value(&sums, |s| !s.is_zero());
         }
-        let flag_bits = Payload::Flag { bit: false }.wire_bits(l);
+        let flag_bits = Payload::Flag { bit: false }.wire_bits_lw(l, l);
         bsp.superstep(
             (1..k)
                 .map(|i| {
@@ -1133,7 +1134,7 @@ impl DynamicCluster {
                         weight: e.w,
                         insert: true,
                     };
-                    let bits = payload.wire_bits(l);
+                    let bits = payload.wire_bits_lw(l, l);
                     envelopes.push(Envelope::with_bits(
                         COORDINATOR,
                         self.home.home(vertex),

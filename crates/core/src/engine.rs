@@ -65,6 +65,7 @@ use crate::proxy::ProxyScheme;
 use kgraph::ShardedGraph;
 use kmachine::bandwidth::Bandwidth;
 use kmachine::bsp::Bsp;
+use kmachine::det;
 use kmachine::fault::FaultPlan;
 use kmachine::message::{Encoding, Envelope};
 use kmachine::metrics::CommStats;
@@ -579,7 +580,7 @@ impl<'g> Engine<'g> {
         assert_eq!(active.len(), self.n, "active mask must cover all vertices");
         for st in &mut self.machines {
             st.verts.retain(|&v| active[v as usize]);
-            st.labels.retain(|&v, _| active[v as usize]);
+            det::retain_where(&mut st.labels, |&v, _| active[v as usize]);
         }
         // The closure precondition, checked where it is cheap: every
         // retained vertex's neighborhood must itself be active (each
@@ -726,7 +727,7 @@ impl<'g> Engine<'g> {
             }
         }
         for st in &self.machines {
-            for &v in st.labels.keys() {
+            for v in det::sorted_keys(&st.labels) {
                 labels[v as usize] = canon[&labels[v as usize]];
             }
         }
@@ -816,7 +817,8 @@ impl<'g> Engine<'g> {
         }
         self.select_outgoing(p);
         // Phase-progress flag: any component with a resolved outgoing edge?
-        let progressed = self.aggregate_flag(|st| st.proxied.values().any(|c| c.chosen.is_some()));
+        let progressed =
+            self.aggregate_flag(|st| det::any_value(&st.proxied, |c| c.chosen.is_some()));
         if !progressed {
             return false;
         }
@@ -846,10 +848,10 @@ impl<'g> Engine<'g> {
         if self.mode != Mode::Mst {
             // Single sample: the verified candidate is the chosen edge.
             par_for_each_state(&mut self.machines, |_, st| {
-                for c in st.proxied.values_mut() {
+                det::for_each_value_mut(&mut st.proxied, |c| {
                     finalize_candidate(c);
                     c.chosen = c.best_edge;
-                }
+                });
             });
             return;
         }
@@ -860,11 +862,11 @@ impl<'g> Engine<'g> {
         let max_iters = 2 * id_bits(self.n) as u32 + 8;
         loop {
             par_for_each_state(&mut self.machines, |_, st| {
-                for c in st.proxied.values_mut() {
+                det::for_each_value_mut(&mut st.proxied, |c| {
                     finalize_candidate(c);
-                }
+                });
             });
-            let active = self.aggregate_flag(|st| st.proxied.values().any(|c| !c.elim_done));
+            let active = self.aggregate_flag(|st| det::any_value(&st.proxied, |c| !c.elim_done));
             if !active || iter >= max_iters {
                 break;
             }
@@ -882,9 +884,9 @@ impl<'g> Engine<'g> {
             self.probe_candidates(p);
         }
         par_for_each_state(&mut self.machines, |_, st| {
-            for c in st.proxied.values_mut() {
+            det::for_each_value_mut(&mut st.proxied, |c| {
                 c.chosen = c.best_edge;
-            }
+            });
         });
     }
 
@@ -1002,7 +1004,7 @@ impl<'g> Engine<'g> {
             for &v in &st.verts {
                 groups.entry(st.labels[&v]).or_default().push(v);
             }
-            for (label, vs) in groups {
+            for (label, vs) in det::into_sorted_entries(groups) {
                 let active = st.thresholds.get(&label).copied();
                 if only_thresholded && active.is_none() {
                     continue;
@@ -1071,7 +1073,7 @@ impl<'g> Engine<'g> {
                     touched.insert(label);
                 }
             }
-            for label in touched {
+            for label in det::sorted_members(&touched) {
                 let comp = st.proxied.get_mut(&label).expect("just inserted");
                 comp.candidate = comp
                     .sketch
@@ -1094,7 +1096,7 @@ impl<'g> Engine<'g> {
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let mut out = Vec::new();
-            for (&label, c) in st.proxied.iter() {
+            for (label, c) in det::sorted_entries(&st.proxied) {
                 if let Some((u, v)) = c.candidate {
                     for (ask, other) in [(u, v), (v, u)] {
                         let payload = Payload::EdgeProbe {
@@ -1169,7 +1171,7 @@ impl<'g> Engine<'g> {
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let mut out = Vec::new();
-            for (&label, c) in st.proxied.iter() {
+            for (label, c) in det::sorted_entries(&st.proxied) {
                 if c.elim_done {
                     continue;
                 }
@@ -1202,7 +1204,7 @@ impl<'g> Engine<'g> {
         let merge = self.cfg.merge;
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |_, st| {
-            for (&label, c) in st.proxied.iter_mut() {
+            det::for_each_entry_mut(&mut st.proxied, |label, c| {
                 let connects = |other: Label| match merge {
                     MergeStrategy::Drr => scheme.connects(p, label, other),
                     MergeStrategy::CoinFlip => !scheme.coin(p, label) && scheme.coin(p, other),
@@ -1221,7 +1223,7 @@ impl<'g> Engine<'g> {
                         c.ptr_done = true;
                     }
                 }
-            }
+            });
         });
         self.machines = machines;
     }
@@ -1233,7 +1235,7 @@ impl<'g> Engine<'g> {
         let depth_bound = 6 * (id_bits(self.n + 1) as u32) + 2;
         let iters = 32 - (2 * depth_bound).leading_zeros() + 1;
         for _ in 0..iters {
-            if !self.aggregate_flag(|st| st.proxied.values().any(|c| !c.ptr_done)) {
+            if !self.aggregate_flag(|st| det::any_value(&st.proxied, |c| !c.ptr_done)) {
                 break;
             }
             let part = self.g.partition();
@@ -1244,7 +1246,7 @@ impl<'g> Engine<'g> {
             let mut machines = std::mem::take(&mut self.machines);
             par_for_each_state(&mut machines, |id, st| {
                 let mut out = Vec::new();
-                for (&label, c) in st.proxied.iter() {
+                for (label, c) in det::sorted_entries(&st.proxied) {
                     if !c.ptr_done {
                         let payload = Payload::PtrQuery {
                             asker: label,
@@ -1312,7 +1314,7 @@ impl<'g> Engine<'g> {
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let mut out = Vec::new();
-            for (&label, c) in st.proxied.iter() {
+            for (label, c) in det::sorted_entries(&st.proxied) {
                 if c.parent.is_some() {
                     if mode != Mode::Connectivity {
                         if let Some(e) = c.chosen {
@@ -1347,15 +1349,15 @@ impl<'g> Engine<'g> {
                 // Cache invalidation: the relabeled part dissolves into the
                 // target part, so both sketches are stale. Parts this map
                 // does not touch keep serving their cached sketches.
-                for (&old, &new) in &map {
+                for (old, new) in det::sorted_entries(&map) {
                     st.part_cache.remove(&old);
-                    st.part_cache.remove(&new);
+                    st.part_cache.remove(new);
                 }
-                for lab in st.labels.values_mut() {
+                det::for_each_value_mut(&mut st.labels, |lab| {
                     if let Some(&nl) = map.get(lab) {
                         *lab = nl;
                     }
-                }
+                });
             }
             // Phase is over: clear per-phase proxy state.
             st.proxied.clear();
@@ -1439,10 +1441,8 @@ impl<'g> Engine<'g> {
                 }
             }
             let mut distinct: FxHashSet<Label> = FxHashSet::default();
-            for &lab in st.labels.values() {
-                distinct.insert(lab);
-            }
-            for lab in distinct {
+            distinct.extend(det::sorted_values(&st.labels));
+            for lab in det::sorted_members(&distinct) {
                 let payload = Payload::SuperParts {
                     label: lab,
                     parts: vec![id as u16],
@@ -1510,7 +1510,7 @@ impl<'g> Engine<'g> {
         let k = self.k;
         // Superstep A: counts to M0.
         let mut machines = std::mem::take(&mut self.machines);
-        for st in machines.iter_mut() {
+        for st in &mut machines {
             let payload = Payload::CountReport {
                 count: st.supers.len() as u64,
             };
@@ -1543,7 +1543,7 @@ impl<'g> Engine<'g> {
         // vertex space) under the old homes.
         let mut total = 0u64;
         let mut machines = std::mem::take(&mut self.machines);
-        for st in machines.iter_mut() {
+        for st in &mut machines {
             let mut base = 0u64;
             for env in std::mem::take(&mut st.inbox) {
                 if let Payload::DenseBase { base: b, total: t } = env.payload {
@@ -1551,14 +1551,15 @@ impl<'g> Engine<'g> {
                     total = total.max(t);
                 }
             }
-            let mut labs: Vec<Label> = st.supers.keys().copied().collect();
-            labs.sort_unstable();
+            let labs: Vec<Label> = det::sorted_keys(&st.supers);
             let mut out = Vec::new();
             for (rank, &old) in labs.iter().enumerate() {
                 let new = base + rank as u64;
                 let node = &st.supers[&old];
-                let mut dsts: Vec<usize> =
-                    node.adj.keys().map(|&nb| part.home(nb as u32)).collect();
+                let mut dsts: Vec<usize> = det::sorted_keys(&node.adj)
+                    .into_iter()
+                    .map(|nb| part.home(nb as u32))
+                    .collect();
                 dsts.push(st.id); // our own adjacency lists rename too
                 dsts.sort_unstable();
                 dsts.dedup();
@@ -1582,11 +1583,11 @@ impl<'g> Engine<'g> {
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let (smap, vmap) = drain_rename_maps(st);
-            for lab in st.labels.values_mut() {
+            det::for_each_value_mut(&mut st.labels, |lab| {
                 if let Some(&nl) = vmap.get(lab) {
                     *lab = nl;
                 }
-            }
+            });
             let mut items: Vec<(Label, SuperNode)> =
                 std::mem::take(&mut st.supers).into_iter().collect();
             items.sort_unstable_by_key(|(lab, _)| *lab);
@@ -1594,12 +1595,10 @@ impl<'g> Engine<'g> {
             for (old, node) in items {
                 let new = smap[&old];
                 let renamed = rename_adj(node, &smap);
-                let mut adj: Vec<(Label, u64, u32, u32)> = renamed
-                    .adj
-                    .iter()
-                    .map(|(&nb, &(w, ou, ov))| (nb, w, ou, ov))
+                let adj: Vec<(Label, u64, u32, u32)> = det::sorted_entries(&renamed.adj)
+                    .into_iter()
+                    .map(|(nb, &(w, ou, ov))| (nb, w, ou, ov))
                     .collect();
-                adj.sort_unstable_by_key(|&(nb, ..)| nb);
                 let payload = Payload::SuperMove {
                     label: new,
                     parts: renamed.parts,
@@ -1619,12 +1618,17 @@ impl<'g> Engine<'g> {
         self.flush();
         par_for_each_state(&mut self.machines, |_, st| {
             for env in std::mem::take(&mut st.inbox) {
-                if let Payload::SuperMove { label, parts, adj } = env.payload {
+                if let Payload::SuperMove {
+                    label,
+                    parts,
+                    adj: moved_adj,
+                } = env.payload
+                {
                     let node = st.supers.entry(label).or_default();
                     for m in parts {
                         node.add_part(m);
                     }
-                    for (nb, w, ou, ov) in adj {
+                    for (nb, w, ou, ov) in moved_adj {
                         node.add_edge(nb, w, ou, ov);
                     }
                 }
@@ -1646,13 +1650,11 @@ impl<'g> Engine<'g> {
     fn run_super_phase(&mut self, p: u32) -> bool {
         par_for_each_state(&mut self.machines, |_, st| {
             let mut proxied = FxHashMap::default();
-            for (&lab, node) in &st.supers {
+            for (lab, node) in det::sorted_entries(&st.supers) {
                 let mut comp = ProxyComp::new(lab);
                 comp.parts = node.parts.clone();
-                if let Some((&nb, &(w, ou, ov))) = node
-                    .adj
-                    .iter()
-                    .min_by_key(|&(_, &(w, ou, ov))| edge_key(w, ou, ov))
+                if let Some((nb, &(w, ou, ov))) =
+                    det::min_entry_by(&node.adj, |_, &(w, ou, ov)| edge_key(w, ou, ov))
                 {
                     comp.chosen = Some((ou.min(ov), ou.max(ov), w));
                     comp.best_edge = comp.chosen;
@@ -1663,7 +1665,8 @@ impl<'g> Engine<'g> {
             }
             st.proxied = proxied;
         });
-        let progressed = self.aggregate_flag(|st| st.proxied.values().any(|c| c.chosen.is_some()));
+        let progressed =
+            self.aggregate_flag(|st| det::any_value(&st.proxied, |c| c.chosen.is_some()));
         if !progressed {
             for st in &mut self.machines {
                 st.proxied.clear();
@@ -1688,13 +1691,13 @@ impl<'g> Engine<'g> {
         let l = self.l;
         let lw = self.lw;
         let mut safety = 0u32;
-        while self.aggregate_flag(|st| st.proxied.values().any(|c| !c.ptr_done)) {
+        while self.aggregate_flag(|st| det::any_value(&st.proxied, |c| !c.ptr_done)) {
             safety += 1;
             assert!(safety <= 72, "super pointer jumping failed to converge");
             let mut machines = std::mem::take(&mut self.machines);
             par_for_each_state(&mut machines, |id, st| {
                 let mut out = Vec::new();
-                for (&label, c) in st.proxied.iter() {
+                for (label, c) in det::sorted_entries(&st.proxied) {
                     if !c.ptr_done {
                         let payload = Payload::PtrQuery {
                             asker: label,
@@ -1768,7 +1771,7 @@ impl<'g> Engine<'g> {
         par_for_each_state(&mut machines, |id, st| {
             let mut out = Vec::new();
             let mut emitted = Vec::new();
-            for (&label, c) in st.proxied.iter() {
+            for (label, c) in det::sorted_entries(&st.proxied) {
                 if c.parent.is_none() {
                     continue;
                 }
@@ -1781,8 +1784,10 @@ impl<'g> Engine<'g> {
                 }
                 let root = c.ptr;
                 let node = st.supers.get(&label).expect("merging supernode owned here");
-                let mut dsts: Vec<usize> =
-                    node.adj.keys().map(|&nb| part.home(nb as u32)).collect();
+                let mut dsts: Vec<usize> = det::sorted_keys(&node.adj)
+                    .into_iter()
+                    .map(|nb| part.home(nb as u32))
+                    .collect();
                 dsts.push(id); // our own adjacency lists rename too
                 dsts.sort_unstable();
                 dsts.dedup();
@@ -1811,11 +1816,11 @@ impl<'g> Engine<'g> {
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let (smap, vmap) = drain_rename_maps(st);
-            for lab in st.labels.values_mut() {
+            det::for_each_value_mut(&mut st.labels, |lab| {
                 if let Some(&nl) = vmap.get(lab) {
                     *lab = nl;
                 }
-            }
+            });
             let mut items: Vec<(Label, SuperNode)> =
                 std::mem::take(&mut st.supers).into_iter().collect();
             items.sort_unstable_by_key(|(lab, _)| *lab);
@@ -1825,12 +1830,10 @@ impl<'g> Engine<'g> {
                 let renamed = rename_adj(node, &smap);
                 match smap.get(&old) {
                     Some(&root) => {
-                        let mut adj: Vec<(Label, u64, u32, u32)> = renamed
-                            .adj
-                            .iter()
-                            .map(|(&nb, &(w, ou, ov))| (nb, w, ou, ov))
+                        let adj: Vec<(Label, u64, u32, u32)> = det::sorted_entries(&renamed.adj)
+                            .into_iter()
+                            .map(|(nb, &(w, ou, ov))| (nb, w, ou, ov))
                             .collect();
-                        adj.sort_unstable_by_key(|&(nb, ..)| nb);
                         let payload = Payload::SuperMove {
                             label: root,
                             parts: renamed.parts,
@@ -1856,17 +1859,22 @@ impl<'g> Engine<'g> {
         self.flush();
         par_for_each_state(&mut self.machines, |_, st| {
             for env in std::mem::take(&mut st.inbox) {
-                if let Payload::SuperMove { label, parts, adj } = env.payload {
+                if let Payload::SuperMove {
+                    label,
+                    parts,
+                    adj: moved_adj,
+                } = env.payload
+                {
                     let node = st.supers.entry(label).or_default();
                     for m in parts {
                         node.add_part(m);
                     }
-                    for (nb, w, ou, ov) in adj {
+                    for (nb, w, ou, ov) in moved_adj {
                         node.add_edge(nb, w, ou, ov);
                     }
                 }
             }
-            let labs: Vec<Label> = st.supers.keys().copied().collect();
+            let labs: Vec<Label> = det::sorted_keys(&st.supers);
             for lab in labs {
                 st.supers
                     .get_mut(&lab)
@@ -1906,7 +1914,7 @@ impl<'g> Engine<'g> {
             st.flag = pred(st);
         });
         let mut machines = std::mem::take(&mut self.machines);
-        for st in machines.iter_mut() {
+        for st in &mut machines {
             if st.id != 0 {
                 let payload = Payload::Flag { bit: st.flag };
                 let bits = payload.wire_bits_lw(l, lw);
@@ -1956,11 +1964,9 @@ impl<'g> Engine<'g> {
         let mut machines = std::mem::take(&mut self.machines);
         par_for_each_state(&mut machines, |id, st| {
             let mut distinct: FxHashSet<Label> = FxHashSet::default();
-            for &lab in st.labels.values() {
-                distinct.insert(lab);
-            }
+            distinct.extend(det::sorted_values(&st.labels));
             let mut out = Vec::new();
-            for lab in distinct {
+            for lab in det::sorted_members(&distinct) {
                 let payload = Payload::LabelAnnounce { label: lab };
                 let bits = payload.wire_bits_lw(l, lw);
                 out.push(Envelope::with_bits(
@@ -2012,7 +2018,7 @@ impl<'g> Engine<'g> {
     fn count_labels(&self) -> usize {
         let mut set: FxHashSet<Label> = FxHashSet::default();
         for st in &self.machines {
-            set.extend(st.labels.values().copied());
+            set.extend(det::sorted_values(&st.labels));
         }
         set.len()
     }
@@ -2021,7 +2027,7 @@ impl<'g> Engine<'g> {
     fn record_drr_depth(&mut self) {
         let mut parents: FxHashMap<Label, Label> = FxHashMap::default();
         for st in &self.machines {
-            for (&label, c) in &st.proxied {
+            for (label, c) in det::sorted_entries(&st.proxied) {
                 if let Some(par) = c.parent {
                     parents.insert(label, par);
                 }
@@ -2029,7 +2035,7 @@ impl<'g> Engine<'g> {
         }
         let mut depth_memo: FxHashMap<Label, u32> = FxHashMap::default();
         let mut max_depth = 0;
-        for &start in parents.keys() {
+        for start in det::sorted_keys(&parents) {
             let mut chain = Vec::new();
             let mut cur = start;
             let mut d = loop {

@@ -126,7 +126,7 @@ pub fn approx_min_cut_sharded(sg: &ShardedGraph, seed: u64, cfg: &MinCutConfig) 
     // Probe i = 0 is p = 1 (the input graph itself). Each machine knows its
     // local maximum weight; the global max is free to aggregate in-model.
     let max_w = (0..k)
-        .flat_map(|i| {
+        .filter_map(|i| {
             let view = sg.view(i);
             view.verts()
                 .iter()

@@ -210,7 +210,7 @@ fn route_to_endpoints(sg: &ShardedGraph, result: &EngineResult, cfg: &MstConfig)
                 let payload = Payload::EdgeList {
                     edges: vec![(u, v, w)],
                 };
-                let bits = payload.wire_bits(l);
+                let bits = payload.wire_bits_lw(l, l);
                 out.push(Envelope::with_bits(machine, dst, payload, bits));
             }
         }

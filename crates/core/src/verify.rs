@@ -140,7 +140,7 @@ fn final_compare_cost(
     let (hs, ht) = (part.home(s), part.home(t));
     if hs != ht {
         let payload = Payload::StDone { same: true };
-        let bits = payload.wire_bits(id_bits(g.n()));
+        let bits = payload.wire_bits_lw(id_bits(g.n()), id_bits(g.n()));
         bsp.superstep(vec![Envelope::with_bits(hs, ht, payload, bits)]);
         let _ = bsp.take_all_inboxes();
     }

@@ -24,21 +24,21 @@ fn bench_connectivity_baselines(c: &mut Criterion) {
             connected_components(black_box(&g), 8, 5, &ConnectivityConfig::default())
                 .stats
                 .rounds
-        })
+        });
     });
     group.bench_function("flooding", |b| {
         b.iter(|| {
             flooding_connectivity(black_box(&g), 8, 5, Bandwidth::default())
                 .stats
                 .rounds
-        })
+        });
     });
     group.bench_function("referee", |b| {
         b.iter(|| {
             referee_connectivity(black_box(&g), 8, 5, Bandwidth::default())
                 .stats
                 .rounds
-        })
+        });
     });
     group.finish();
 }
@@ -56,7 +56,7 @@ fn bench_mst_baselines(c: &mut Criterion) {
             kconn::minimum_spanning_tree(black_box(&g), 8, 5, &MstConfig::default())
                 .stats
                 .rounds
-        })
+        });
     });
     group.bench_function("ghs_batched", |b| {
         b.iter(|| {
@@ -69,7 +69,7 @@ fn bench_mst_baselines(c: &mut Criterion) {
             )
             .stats
             .rounds
-        })
+        });
     });
     group.bench_function("ghs_per_edge", |b| {
         b.iter(|| {
@@ -82,7 +82,7 @@ fn bench_mst_baselines(c: &mut Criterion) {
             )
             .stats
             .rounds
-        })
+        });
     });
     group.bench_function("rep_filtering", |b| {
         b.iter(|| {
@@ -90,7 +90,7 @@ fn bench_mst_baselines(c: &mut Criterion) {
                 .mst
                 .stats
                 .rounds
-        })
+        });
     });
     group.finish();
 }

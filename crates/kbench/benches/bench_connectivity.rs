@@ -26,7 +26,7 @@ fn bench_connectivity_vs_k(c: &mut Criterion) {
                 let out = connected_components(black_box(&g), k, 7, &cfg);
                 assert_eq!(out.component_count(), truth);
                 out.stats.rounds
-            })
+            });
         });
     }
     group.finish();
@@ -48,7 +48,7 @@ fn bench_connectivity_vs_n(c: &mut Criterion) {
                 let out = connected_components(black_box(&g), k, 7, &cfg);
                 assert_eq!(out.component_count(), truth);
                 out.stats.rounds
-            })
+            });
         });
     }
     group.finish();

@@ -22,7 +22,7 @@ fn bench_path_merging(c: &mut Criterion) {
                 assert_eq!(out.component_count(), 1);
                 // The quantity Lemma 6 bounds:
                 out.drr_depths.iter().copied().max().unwrap_or(0)
-            })
+            });
         });
     }
     group.finish();

@@ -20,7 +20,7 @@ fn bench_two_party_scs(c: &mut Criterion) {
                 let r = simulate_scs_two_party(black_box(&inst), 8, 41, &cfg);
                 assert!(r.verdict);
                 r.cut_bits
-            })
+            });
         });
     }
     group.finish();

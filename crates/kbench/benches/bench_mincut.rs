@@ -16,7 +16,7 @@ fn bench_mincut(c: &mut Criterion) {
     for bridges in [1usize, 4, 16] {
         let g = generators::barbell(64, bridges, 1, 7);
         group.bench_with_input(BenchmarkId::from_parameter(bridges), &bridges, |b, _| {
-            b.iter(|| approx_min_cut(black_box(&g), 8, 9, &MinCutConfig::default()).estimate)
+            b.iter(|| approx_min_cut(black_box(&g), 8, 9, &MinCutConfig::default()).estimate);
         });
     }
     group.finish();

@@ -22,7 +22,7 @@ fn bench_mst_vs_k(c: &mut Criterion) {
                 let out = minimum_spanning_tree(black_box(&g), k, 73, &cfg);
                 assert_eq!(out.total_weight, expect);
                 out.stats.rounds
-            })
+            });
         });
     }
     group.finish();
@@ -49,7 +49,7 @@ fn bench_mst_output_criteria(c: &mut Criterion) {
                 minimum_spanning_tree(black_box(&g), 8, 82, &cfg)
                     .stats
                     .rounds
-            })
+            });
         });
     }
     group.finish();

@@ -30,7 +30,7 @@ fn bench_build(c: &mut Criterion) {
                     s.add_incident_edge(&fns, black_box(5), nb);
                 }
                 s
-            })
+            });
         });
     }
     group.finish();
@@ -54,7 +54,7 @@ fn bench_merge(c: &mut Criterion) {
                 acc.merge(black_box(s));
             }
             acc
-        })
+        });
     });
 }
 
@@ -72,7 +72,7 @@ fn bench_query(c: &mut Criterion) {
             s.add_incident_edge(&fns, 3, 10_000 + i);
         }
         group.bench_with_input(BenchmarkId::from_parameter(support), &support, |b, _| {
-            b.iter(|| black_box(&s).query(&fns))
+            b.iter(|| black_box(&s).query(&fns));
         });
     }
     group.finish();
@@ -87,7 +87,7 @@ fn bench_fns_derivation(c: &mut Criterion) {
         b.iter(|| {
             phase = phase.wrapping_add(1);
             SketchFns::new(black_box(&shared), phase, params)
-        })
+        });
     });
 }
 

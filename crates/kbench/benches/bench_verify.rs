@@ -19,18 +19,18 @@ fn bench_verification(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_secs(3));
     group.bench_function("spanning_connected_subgraph", |b| {
-        b.iter(|| verify::spanning_connected_subgraph(black_box(&g), &all, 8, 32, &cfg).holds)
+        b.iter(|| verify::spanning_connected_subgraph(black_box(&g), &all, 8, 32, &cfg).holds);
     });
     group.bench_function("st_connectivity", |b| {
-        b.iter(|| verify::st_connectivity(black_box(&g), 0, (n - 1) as u32, 8, 33, &cfg).holds)
+        b.iter(|| verify::st_connectivity(black_box(&g), 0, (n - 1) as u32, 8, 33, &cfg).holds);
     });
     group.bench_function("cut_verification", |b| {
         let mut cut = FxHashSet::default();
         cut.insert((e0.u, e0.v));
-        b.iter(|| verify::cut_verification(black_box(&g), &cut, 8, 34, &cfg).holds)
+        b.iter(|| verify::cut_verification(black_box(&g), &cut, 8, 34, &cfg).holds);
     });
     group.bench_function("bipartiteness", |b| {
-        b.iter(|| verify::bipartiteness(black_box(&g), 8, 35, &cfg).holds)
+        b.iter(|| verify::bipartiteness(black_box(&g), 8, 35, &cfg).holds);
     });
     group.finish();
 }

@@ -28,7 +28,10 @@ fn main() {
 
     let started = Instant::now();
     let run_ids: Vec<String> = if ids.is_empty() {
-        ALL_IDS.iter().map(|s| s.to_string()).collect()
+        ALL_IDS
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect()
     } else {
         ids
     };

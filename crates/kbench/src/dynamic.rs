@@ -329,10 +329,10 @@ mod tests {
         }
         let inserts: usize = a
             .iter()
-            .flat_map(|b| b.ops())
+            .flat_map(kconn::UpdateBatch::ops)
             .filter(|op| matches!(op, UpdateOp::Insert { .. }))
             .count();
-        let total: usize = a.iter().map(|b| b.len()).sum();
+        let total: usize = a.iter().map(kconn::UpdateBatch::len).sum();
         assert!(
             inserts * 8 >= total * 5,
             "insert-heavy profile must be mostly insertions ({inserts}/{total})"

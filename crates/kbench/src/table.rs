@@ -11,7 +11,10 @@ impl Table {
     /// Starts a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
         Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -26,7 +29,7 @@ impl Table {
     /// Renders the table as GitHub-flavored markdown.
     pub fn render(&self) -> String {
         let ncols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

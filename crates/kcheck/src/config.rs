@@ -1,0 +1,140 @@
+//! Lint scopes: which files each invariant governs.
+//!
+//! Scopes are workspace-relative, `/`-separated path *prefixes* (a full
+//! file path is also a valid prefix). The walker already excludes
+//! `target/`, `vendor/`, `.git/` and any `tests/`, `benches/`, `examples/`
+//! or `fixtures/` directory, so scopes here only carve up live library and
+//! binary code.
+
+/// One function that must pattern-match every variant of a watched enum.
+#[derive(Clone, Debug)]
+pub struct ArmSpec {
+    /// Needle identifying the surrounding `impl` block header (e.g.
+    /// `"WireCodec for Payload"`); empty means search the whole file.
+    pub impl_needle: String,
+    /// Function name inside that impl.
+    pub fn_name: String,
+    /// Whether a `_ =>` arm is tolerated (only the decode direction, whose
+    /// input is an untrusted numeric tag, may have an unknown-tag arm).
+    pub allow_wildcard: bool,
+}
+
+/// A cross-file exhaustiveness obligation: every variant of `enum_name`
+/// (defined in `file`) must appear as `EnumName::Variant` inside each of
+/// the listed function bodies.
+#[derive(Clone, Debug)]
+pub struct ExhaustiveSpec {
+    /// File defining the enum (and, today, all its match sites).
+    pub file: String,
+    /// The enum's name.
+    pub enum_name: String,
+    /// The functions that must each name every variant.
+    pub arms: Vec<ArmSpec>,
+}
+
+/// Full lint configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// KC01/KC02 scope: message-producing and accounting paths.
+    pub det_scope: Vec<String>,
+    /// Files exempt from KC01 (the sanctioned sorted-iteration helpers —
+    /// they necessarily iterate the containers they canonicalize).
+    pub det_exempt: Vec<String>,
+    /// KC03 obligations.
+    pub exhaustive: Vec<ExhaustiveSpec>,
+    /// KC04 scope: crates whose envelope charges must price label fields
+    /// at the live contracted width.
+    pub charge_scope: Vec<String>,
+    /// Files exempt from KC04 (the definitions of the charge functions).
+    pub charge_exempt: Vec<String>,
+    /// KC05 unwrap/expect scope: transport worker + window-protocol paths.
+    pub unwrap_scope: Vec<String>,
+    /// KC05 slice-indexing scope (tighter: the frame/wire handling file).
+    pub index_scope: Vec<String>,
+}
+
+fn owned(v: &[&str]) -> Vec<String> {
+    v.iter().map(std::string::ToString::to_string).collect()
+}
+
+impl Config {
+    /// The live workspace configuration (see DESIGN.md §3.13 for the
+    /// rationale behind each scope line).
+    pub fn workspace() -> Config {
+        Config {
+            det_scope: owned(&[
+                "crates/core/src",
+                "crates/kmachine/src",
+                "crates/kgraph/src",
+                "crates/ksketch/src",
+                "crates/krand/src",
+            ]),
+            det_exempt: owned(&["crates/kmachine/src/det.rs"]),
+            exhaustive: vec![ExhaustiveSpec {
+                file: "crates/core/src/messages.rs".into(),
+                enum_name: "Payload".into(),
+                arms: vec![
+                    ArmSpec {
+                        impl_needle: "impl Payload".into(),
+                        fn_name: "wire_bits_lw".into(),
+                        allow_wildcard: false,
+                    },
+                    ArmSpec {
+                        impl_needle: "impl Payload".into(),
+                        fn_name: "tag_index".into(),
+                        allow_wildcard: false,
+                    },
+                    ArmSpec {
+                        impl_needle: "BatchWire for Payload".into(),
+                        fn_name: "batch_wire_bits".into(),
+                        allow_wildcard: false,
+                    },
+                    ArmSpec {
+                        impl_needle: "WireCodec for Payload".into(),
+                        fn_name: "encode".into(),
+                        allow_wildcard: false,
+                    },
+                    ArmSpec {
+                        impl_needle: "WireCodec for Payload".into(),
+                        fn_name: "decode".into(),
+                        // decode consumes an untrusted numeric tag; its
+                        // `_ =>` arm is the unknown-tag error path.
+                        allow_wildcard: true,
+                    },
+                ],
+            }],
+            charge_scope: owned(&["crates/core/src"]),
+            charge_exempt: owned(&["crates/core/src/messages.rs"]),
+            unwrap_scope: owned(&[
+                "crates/kmachine/src/transport.rs",
+                "crates/kmachine/src/bsp.rs",
+                "crates/kmachine/src/link.rs",
+                "crates/kmachine/src/network.rs",
+                "crates/kmachine/src/par.rs",
+            ]),
+            index_scope: owned(&["crates/kmachine/src/transport.rs"]),
+        }
+    }
+
+    /// Does `path` fall under any prefix in `scope`?
+    pub fn in_scope(scope: &[String], path: &str) -> bool {
+        scope.iter().any(|p| {
+            path == p
+                || (path.starts_with(p.as_str()) && path.as_bytes().get(p.len()) == Some(&b'/'))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matching_is_component_wise() {
+        let scope = vec!["crates/core/src".to_string()];
+        assert!(Config::in_scope(&scope, "crates/core/src/engine.rs"));
+        assert!(Config::in_scope(&scope, "crates/core/src"));
+        assert!(!Config::in_scope(&scope, "crates/core/srcish/x.rs"));
+        assert!(!Config::in_scope(&scope, "crates/kbench/src/lib.rs"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Fixture-corpus tests: every known-bad snippet under `tests/fixtures/`
+//! is flagged with the expected lint code, and every known-good twin comes
+//! back clean. A final test pins the *live* workspace to zero violations —
+//! the same gate `kmm check` enforces in CI.
+
+use std::path::{Path, PathBuf};
+
+use kcheck::{
+    check_files, check_workspace, collect_files, Allowlist, ArmSpec, Config, ExhaustiveSpec, Lint,
+};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The fixture corpus gets its own scope map: directory names under
+/// `tests/fixtures/` stand in for the workspace paths the live config uses.
+fn fixture_config() -> Config {
+    let owned = |v: &[&str]| {
+        v.iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<String>>()
+    };
+    Config {
+        det_scope: owned(&["det"]),
+        det_exempt: vec![],
+        exhaustive: vec![
+            ExhaustiveSpec {
+                file: "payload/bad_messages.rs".into(),
+                enum_name: "Payload".into(),
+                arms: vec![
+                    ArmSpec {
+                        impl_needle: "impl Payload".into(),
+                        fn_name: "wire_bits_lw".into(),
+                        allow_wildcard: false,
+                    },
+                    ArmSpec {
+                        impl_needle: "impl Payload".into(),
+                        fn_name: "tag_index".into(),
+                        allow_wildcard: false,
+                    },
+                ],
+            },
+            ExhaustiveSpec {
+                file: "payload/good_messages.rs".into(),
+                enum_name: "Payload".into(),
+                arms: vec![
+                    ArmSpec {
+                        impl_needle: "impl Payload".into(),
+                        fn_name: "wire_bits_lw".into(),
+                        allow_wildcard: false,
+                    },
+                    ArmSpec {
+                        impl_needle: "impl Payload".into(),
+                        fn_name: "decode".into(),
+                        allow_wildcard: true,
+                    },
+                ],
+            },
+        ],
+        charge_scope: owned(&["charge"]),
+        charge_exempt: vec![],
+        unwrap_scope: owned(&["transport"]),
+        index_scope: owned(&["transport"]),
+    }
+}
+
+fn codes_for<'r>(report: &'r kcheck::Report, file: &str) -> Vec<&'r str> {
+    report
+        .diags
+        .iter()
+        .filter(|d| d.file == file)
+        .map(|d| d.lint.code())
+        .collect()
+}
+
+#[test]
+fn bad_fixtures_are_flagged_and_good_twins_pass() {
+    let files = collect_files(&fixtures_root()).expect("fixture corpus readable");
+    assert!(files.len() >= 10, "fixture corpus went missing");
+    let report = check_files(&files, &fixture_config(), &Allowlist::default());
+
+    // Known-bad: each seeded violation is caught with its code.
+    let kc01 = codes_for(&report, "det/bad_iter.rs");
+    assert!(
+        kc01.len() >= 5 && kc01.iter().all(|&c| c == "KC01"),
+        "det/bad_iter.rs: want >= 5 KC01 (iter, set-collect, bare for, \
+         multi-line chain, type alias), got {kc01:?}"
+    );
+    let kc02 = codes_for(&report, "det/bad_clock.rs");
+    assert!(
+        kc02.len() >= 3 && kc02.iter().all(|&c| c == "KC02"),
+        "det/bad_clock.rs: want >= 3 KC02 (Instant, SystemTime, thread_rng), got {kc02:?}"
+    );
+    let kc03 = codes_for(&report, "payload/bad_messages.rs");
+    assert!(
+        kc03.len() >= 2 && kc03.iter().all(|&c| c == "KC03"),
+        "payload/bad_messages.rs: want >= 2 KC03 (missing Stop arm, \
+         forbidden wildcard), got {kc03:?}"
+    );
+    let missing_stop = report
+        .diags
+        .iter()
+        .any(|d| d.file == "payload/bad_messages.rs" && d.message.contains("Stop"));
+    assert!(missing_stop, "the missing `Stop` arm is called out by name");
+    let kc04 = codes_for(&report, "charge/bad_charge.rs");
+    assert_eq!(kc04, vec!["KC04"], "charge/bad_charge.rs");
+    let kc05 = codes_for(&report, "transport/bad_panic.rs");
+    assert!(
+        kc05.len() >= 4 && kc05.iter().all(|&c| c == "KC05"),
+        "transport/bad_panic.rs: want >= 4 KC05 (two indexings, unwrap, \
+         expect), got {kc05:?}"
+    );
+
+    // Known-good twins: not a single diagnostic.
+    for good in [
+        "det/good_iter.rs",
+        "det/good_clock.rs",
+        "payload/good_messages.rs",
+        "charge/good_charge.rs",
+        "transport/good_panic.rs",
+    ] {
+        let got = codes_for(&report, good);
+        assert!(got.is_empty(), "{good}: good twin flagged: {got:?}");
+    }
+}
+
+#[test]
+fn diagnostics_carry_file_line_and_snippet() {
+    let files = collect_files(&fixtures_root()).expect("fixture corpus readable");
+    let report = check_files(&files, &fixture_config(), &Allowlist::default());
+    let d = report
+        .diags
+        .iter()
+        .find(|d| d.file == "charge/bad_charge.rs")
+        .expect("KC04 diagnostic present");
+    assert_eq!(d.lint, Lint::ChargeSite);
+    assert_eq!(d.line, 5);
+    assert!(
+        d.snippet.contains(".wire_bits(l)"),
+        "snippet: {}",
+        d.snippet
+    );
+    let rendered = d.to_string();
+    assert!(
+        rendered.contains("error[KC04]") && rendered.contains("charge/bad_charge.rs:5"),
+        "rustc-style rendering: {rendered}"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_matches_and_reports_stale_entries() {
+    let files = collect_files(&fixtures_root()).expect("fixture corpus readable");
+    let cfg = fixture_config();
+    let baseline = check_files(&files, &cfg, &Allowlist::default()).diags.len();
+
+    let allow = Allowlist::parse(concat!(
+        "# fixture allowlist\n",
+        "KC04 charge/bad_charge.rs \".wire_bits(l)\" -- fixture: audited raw charge\n",
+        "KC01 det/bad_iter.rs \"no.such.needle()\" -- fixture: matches nothing\n",
+    ))
+    .expect("well-formed allowlist parses");
+    let report = check_files(&files, &cfg, &allow);
+
+    assert_eq!(report.suppressed, 1, "exactly the KC04 entry fires");
+    assert_eq!(report.diags.len(), baseline - 1);
+    assert!(!codes_for(&report, "charge/bad_charge.rs").contains(&"KC04"));
+    assert_eq!(report.stale_allow.len(), 1, "the dead needle is stale");
+    assert_eq!(report.stale_allow[0].file, "det/bad_iter.rs");
+    assert!(!report.clean(), "stale entries keep the run red");
+}
+
+#[test]
+fn walker_never_lints_fixture_or_test_trees() {
+    // Rooted at the crate, the walker must skip `tests/` (and thus the
+    // deliberately-bad corpus): a live `kmm check` run can never trip on it.
+    let files = collect_files(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("crate readable");
+    assert!(
+        files
+            .iter()
+            .all(|f| !f.rel.contains("fixtures/") && !f.rel.starts_with("tests/")),
+        "fixture corpus leaked into a live scan"
+    );
+    assert!(
+        files.iter().any(|f| f.rel == "src/lints.rs"),
+        "crate sources are scanned"
+    );
+}
+
+#[test]
+fn live_workspace_is_clean_under_its_own_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").exists(), "workspace root located");
+    let report = check_workspace(&root, &Config::workspace(), &root.join("kcheck.allow"))
+        .expect("workspace scan succeeds");
+    let rendered: Vec<String> = report
+        .diags
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
+    assert!(
+        report.clean(),
+        "live workspace must check clean (stale allow entries: {}):\n{}",
+        report.stale_allow.len(),
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 40,
+        "the scan saw the whole workspace"
+    );
+}

@@ -1,0 +1,6 @@
+//! KC04 fixture: an envelope charged at the raw label width instead of the
+//! live contracted width.
+
+pub fn charge(payload: &Payload, l: u32) -> u64 {
+    payload.wire_bits(l)
+}

@@ -1,0 +1,11 @@
+//! KC04 good twin: charges price label fields at the live contracted
+//! width; the zero-argument `WireSize::wire_bits()` form is a different
+//! trait and stays legal.
+
+pub fn charge(payload: &Payload, l: u32, lw: u32) -> u64 {
+    payload.wire_bits_lw(l, lw)
+}
+
+pub fn frame_size(frame: &Frame) -> u64 {
+    frame.wire_bits()
+}

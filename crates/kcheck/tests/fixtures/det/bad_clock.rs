@@ -1,0 +1,17 @@
+//! KC02 fixture: wall-clock reads and ambient RNG on a deterministic path.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch_ms() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+pub fn jitter() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,35 @@
+//! KC01 fixture: every iteration below is an unordered hash walk on what
+//! the fixture config declares a deterministic path. Never compiled — the
+//! linter reads it as text.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+type Loads = FxHashMap<u64, u64>;
+
+pub fn spray(outbox: &mut Vec<(u64, u64)>, loads: &FxHashMap<u64, u64>) {
+    for (&k, &v) in loads.iter() {
+        outbox.push((k, v));
+    }
+}
+
+pub fn members(set: &FxHashSet<u32>) -> Vec<u32> {
+    set.iter().copied().collect()
+}
+
+pub fn bare_for(set: &FxHashSet<u32>) -> u64 {
+    let mut acc = 0u64;
+    for v in set {
+        acc += u64::from(*v);
+    }
+    acc
+}
+
+pub fn chained(loads: &FxHashMap<u64, u64>) -> u64 {
+    loads
+        .values()
+        .sum()
+}
+
+pub fn via_alias(loads: &Loads) -> Vec<u64> {
+    loads.keys().copied().collect()
+}

@@ -1,0 +1,12 @@
+//! KC02 good twin: time derives from the superstep counter and randomness
+//! from the seeded shared-randomness machinery — no ambient sources.
+
+pub fn stamp(superstep: u64) -> u64 {
+    superstep
+}
+
+pub fn jitter(seed: u64, round: u64) -> u64 {
+    // "Instant::now()" inside a string literal is blanked before linting.
+    let _doc = "never call Instant::now() here";
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(round as u32)
+}

@@ -1,0 +1,33 @@
+//! KC01 good twin: the same shapes as `bad_iter.rs`, routed through the
+//! sanctioned `kmachine::det` helpers (or inside `#[cfg(test)]`, where
+//! iteration order is the test's own business).
+
+use kmachine::det;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+pub fn spray(outbox: &mut Vec<(u64, u64)>, loads: &FxHashMap<u64, u64>) {
+    for (k, v) in det::sorted_entries(loads) {
+        outbox.push((k, *v));
+    }
+}
+
+pub fn members(set: &FxHashSet<u32>) -> Vec<u32> {
+    det::sorted_members(set)
+}
+
+pub fn peak(loads: &FxHashMap<u64, u64>) -> u64 {
+    det::max_value(loads).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use rustc_hash::FxHashMap;
+
+    #[test]
+    fn tests_iterate_freely() {
+        let m: FxHashMap<u64, u64> = FxHashMap::default();
+        for (_k, _v) in m.iter() {
+            // exempt: #[cfg(test)] items are outside the lint's scope
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! KC03 fixture: `Stop` has no charge arm, and `tag_index` hides future
+//! variants behind a wildcard where none is allowed.
+
+pub enum Payload {
+    Ping { x: u64 },
+    Pong { y: u64 },
+    Stop,
+}
+
+impl Payload {
+    pub fn wire_bits_lw(&self, _l: u32, _lw: u32) -> u64 {
+        match self {
+            Payload::Ping { .. } => 1,
+            Payload::Pong { .. } => 2,
+        }
+    }
+
+    pub fn tag_index(&self) -> u8 {
+        match self {
+            Payload::Ping { .. } => 0,
+            _ => 9,
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! KC03 good twin: every variant named in every watched arm; the only
+//! wildcard lives in `decode`, where the spec allows it (unknown-tag path).
+
+pub enum Payload {
+    Ping { x: u64 },
+    Pong { y: u64 },
+    Stop,
+}
+
+impl Payload {
+    pub fn wire_bits_lw(&self, _l: u32, _lw: u32) -> u64 {
+        match self {
+            Payload::Ping { .. } => 1,
+            Payload::Pong { .. } => 2,
+            Payload::Stop => 0,
+        }
+    }
+
+    pub fn decode(tag: u8) -> Option<Payload> {
+        match tag {
+            0 => Some(Payload::Ping { x: 0 }),
+            1 => Some(Payload::Pong { y: 0 }),
+            2 => Some(Payload::Stop),
+            _ => None,
+        }
+    }
+}

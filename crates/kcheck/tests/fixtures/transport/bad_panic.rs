@@ -1,0 +1,14 @@
+//! KC05 fixture: panicking unwraps and slice indexing on a frame-handling
+//! path.
+
+pub fn parse(body: &[u8]) -> (u8, Vec<u8>) {
+    (body[0], body[1..].to_vec())
+}
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn need(v: Option<u32>) -> u32 {
+    v.expect("present")
+}

@@ -1,0 +1,18 @@
+//! KC05 good twin: the same operations, written to degrade into protocol
+//! errors instead of panics.
+
+pub fn parse(body: &[u8]) -> Option<(u8, Vec<u8>)> {
+    body.split_first().map(|(&kind, rest)| (kind, rest.to_vec()))
+}
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn need(v: Option<u32>) -> Option<u32> {
+    v
+}
+
+pub fn nth(body: &[u8], i: usize) -> Option<u8> {
+    body.get(i).copied()
+}

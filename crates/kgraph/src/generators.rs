@@ -102,7 +102,12 @@ pub fn gnm_stream(n: usize, m: usize, seed: u64) -> DynEdgeStream {
     while chosen.len() < m {
         chosen.insert(r.gen_range(0..total));
     }
-    let mut iter = chosen.into_iter();
+    // Emit in index order: the stream is a canonical function of the seed,
+    // not of the hash set's internal layout (kcheck KC01; the collect here
+    // is allowlisted because the very next line sorts it).
+    let mut order: Vec<u64> = chosen.into_iter().collect();
+    order.sort_unstable();
+    let mut iter = order.into_iter();
     Box::new(stream::from_fn(n, move || {
         iter.next().map(|i| {
             let (a, b) = pair_from_index(i, n as u64);

@@ -171,7 +171,7 @@ impl Graph {
             .edges
             .iter()
             .filter(|e| !remove.contains(&(e.u, e.v)))
-            .cloned()
+            .copied()
             .collect();
         Graph::from_dedup_edges(self.n, kept)
     }
@@ -182,7 +182,7 @@ impl Graph {
             .edges
             .iter()
             .filter(|e| keep.contains(&(e.u, e.v)))
-            .cloned()
+            .copied()
             .collect();
         Graph::from_dedup_edges(self.n, kept)
     }

@@ -75,8 +75,7 @@ pub fn diameter_lower_bound(g: &Graph, src: VertexId) -> u32 {
         .enumerate()
         .filter(|(_, &d)| d != u32::MAX)
         .max_by_key(|(_, &d)| d)
-        .map(|(v, _)| v as u32)
-        .unwrap_or(src);
+        .map_or(src, |(v, _)| v as u32);
     eccentricity(g, far)
 }
 

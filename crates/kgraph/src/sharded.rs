@@ -42,7 +42,7 @@ thread_local! {
 /// algorithms run on it, and `tests/session.rs` pins that with this
 /// counter. Thread-local so concurrently running tests cannot interfere.
 pub fn ingest_count() -> u64 {
-    INGESTS.with(|c| c.get())
+    INGESTS.with(std::cell::Cell::get)
 }
 
 /// How many times this thread has re-read a shard from durable storage
@@ -50,7 +50,7 @@ pub fn ingest_count() -> u64 {
 /// conformance suite pins that crash recovery actually exercises the
 /// restore path. Thread-local for the same reason as [`ingest_count`].
 pub fn rebuild_count() -> u64 {
-    REBUILDS.with(|c| c.get())
+    REBUILDS.with(std::cell::Cell::get)
 }
 
 /// One staged mutation, in half-edge form: `owner`'s adjacency gains or

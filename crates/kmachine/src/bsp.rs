@@ -19,6 +19,12 @@
 //! delivery order and message counts are encoding-independent, so a run's
 //! trajectory is identical under both.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+// ^ window-protocol / worker-path panic hygiene (kcheck KC05): a
+// panic here kills a worker mid-window instead of failing the
+// attempt cleanly. Tests opt back in below.
+
+use crate::det;
 use crate::fault::FaultPlan;
 use crate::message::{put_varint, BatchWire, Encoding, Envelope, WireCodec, WireError, WireReader};
 use crate::metrics::{CommStats, SuperstepLoad};
@@ -149,7 +155,7 @@ impl<M> Bsp<M> {
             }
         }
         let mut frames = Vec::with_capacity(by_link.len());
-        for (&(src, dst), envs) in &by_link {
+        for ((src, dst), envs) in det::sorted_entries(&by_link) {
             let mut payload = Vec::new();
             put_varint(&mut payload, envs.len() as u64);
             for (pos, env) in envs {
@@ -406,7 +412,7 @@ impl<M> Bsp<M> {
         let mut total = 0u64;
         let mut naive = 0u64;
         let mut messages = 0u64;
-        for (&(src, dst), idxs) in groups {
+        for ((src, dst), idxs) in det::sorted_entries(groups) {
             let bits = self.encoded_link_bits(outgoing, idxs);
             link_bits.insert((src, dst), bits);
             machine_out[src as usize] += bits;
@@ -444,7 +450,7 @@ impl<M> Bsp<M> {
             &mut machine_out,
             &mut machine_in,
         );
-        let max_link = link_bits.values().copied().max().unwrap_or(0);
+        let max_link = det::max_value(&link_bits).unwrap_or(0);
         let rounds = self.batch_rounds(max_link, &machine_out, &machine_in);
         self.stats.rounds += rounds;
         self.stats.supersteps += 1;
@@ -594,16 +600,16 @@ impl<M> Bsp<M> {
         // rounds the duplicates add beyond the clean batch are recovery
         // overhead, so the identity `rounds − recovery_rounds = fault-free
         // rounds` holds for every plan.
-        let clean_max = link_bits.values().copied().max().unwrap_or(0);
+        let clean_max = det::max_value(&link_bits).unwrap_or(0);
         let clean_rounds = self.batch_rounds(clean_max, &machine_out, &machine_in);
-        for (link, bits) in dup_link_bits {
+        for (link, bits) in det::into_sorted_entries(dup_link_bits) {
             *link_bits.entry(link).or_insert(0) += bits;
         }
         for i in 0..self.cfg.k {
             machine_out[i] += dup_out[i];
             machine_in[i] += dup_in[i];
         }
-        let max_link = link_bits.values().copied().max().unwrap_or(0);
+        let max_link = det::max_value(&link_bits).unwrap_or(0);
         let rounds = self.batch_rounds(max_link, &machine_out, &machine_in);
         self.stats.rounds += rounds;
         self.stats.recovery_rounds += rounds - clean_rounds;
@@ -664,7 +670,7 @@ impl<M> Bsp<M> {
                     }
                 }
                 lost = still;
-                let rmax = rlink.values().copied().max().unwrap_or(0);
+                let rmax = det::max_value(&rlink).unwrap_or(0);
                 let extra = 1 + self.batch_rounds(rmax, &rout, &rin);
                 self.stats.rounds += extra;
                 self.stats.recovery_rounds += extra;
@@ -730,6 +736,7 @@ impl<M> Bsp<M> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::bandwidth::Bandwidth;
     use crate::message::WireSize;
@@ -897,8 +904,10 @@ mod tests {
 
 #[cfg(test)]
 mod fault_tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::bandwidth::Bandwidth;
+
     use crate::fault::FaultPlan;
     use crate::message::WireSize;
 
@@ -1070,8 +1079,10 @@ mod fault_tests {
 
 #[cfg(test)]
 mod encoding_tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::bandwidth::Bandwidth;
+
     use crate::fault::FaultPlan;
     use crate::message::{delta_varint_bits, Encoding, WireSize};
 
@@ -1181,8 +1192,9 @@ mod encoding_tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(miri)))] // thread mesh over real sockets; outside Miri's syscall model
 mod proc_conformance {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     //! Thread-mode transport conformance: the same seeds must yield
     //! bit-identical inboxes and identical logical [`CommStats`] whether a
     //! window crosses real Unix-domain sockets or stays in the in-process

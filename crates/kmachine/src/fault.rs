@@ -195,7 +195,7 @@ impl FaultPlan {
                 "seed" => {
                     plan.seed = value.parse().map_err(|_| {
                         format!("fault spec entry {at} (`seed={value}`): field `seed` is not a u64")
-                    })?
+                    })?;
                 }
                 "crash" => {
                     let (m, s) = value.split_once('@').ok_or_else(|| {

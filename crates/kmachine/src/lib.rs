@@ -37,6 +37,7 @@
 
 pub mod bandwidth;
 pub mod bsp;
+pub mod det;
 pub mod fault;
 pub mod link;
 pub mod message;

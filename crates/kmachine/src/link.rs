@@ -1,5 +1,10 @@
 //! A directed communication link with FIFO queueing and a per-round budget.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+// ^ window-protocol / worker-path panic hygiene (kcheck KC05): a
+// panic here kills a worker mid-window instead of failing the
+// attempt cleanly. Tests opt back in below.
+
 use crate::message::Envelope;
 use std::collections::VecDeque;
 
@@ -49,18 +54,17 @@ impl<M> Link<M> {
         let mut remaining = budget;
         let mut delivered = Vec::new();
         while remaining > 0 {
-            match self.queue.front_mut() {
-                None => break,
-                Some((_, rem)) => {
-                    if *rem <= remaining {
-                        remaining -= *rem;
-                        let (env, _) = self.queue.pop_front().expect("front exists");
-                        delivered.push(env);
-                    } else {
-                        *rem -= remaining;
-                        remaining = 0;
-                    }
+            let Some((_, rem)) = self.queue.front_mut() else {
+                break;
+            };
+            if *rem <= remaining {
+                remaining -= *rem;
+                if let Some((env, _)) = self.queue.pop_front() {
+                    delivered.push(env);
                 }
+            } else {
+                *rem -= remaining;
+                remaining = 0;
             }
         }
         delivered
@@ -113,6 +117,7 @@ impl<M> Link<M> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::message::WireSize;
 
@@ -198,6 +203,7 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::message::WireSize;
     use proptest::prelude::*;

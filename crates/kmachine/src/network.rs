@@ -1,5 +1,10 @@
 //! Fine-grained network: per-round stepping over a complete topology.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+// ^ window-protocol / worker-path panic hygiene (kcheck KC05): a
+// panic here kills a worker mid-window instead of failing the
+// attempt cleanly. Tests opt back in below.
+
 use crate::bandwidth::{Bandwidth, CostModel};
 use crate::fault::FaultPlan;
 use crate::link::{Link, LinkFault};
@@ -269,7 +274,7 @@ impl<M> Network<M> {
 
     /// Whether all link queues are empty.
     pub fn idle(&self) -> bool {
-        self.links.iter().all(|l| l.is_empty())
+        self.links.iter().all(super::link::Link::is_empty)
     }
 
     /// The current round number.
@@ -285,6 +290,7 @@ impl<M> Network<M> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::message::WireSize;
 

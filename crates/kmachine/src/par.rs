@@ -11,14 +11,17 @@
 //! the available hardware threads: one thread per machine would
 //! oversubscribe for k ≫ cores.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+// ^ window-protocol / worker-path panic hygiene (kcheck KC05): a
+// panic here kills a worker mid-window instead of failing the
+// attempt cleanly. Tests opt back in below.
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use for `k` tasks.
 fn workers(k: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let hw = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     hw.min(k).max(1)
 }
 
@@ -75,9 +78,12 @@ where
             std::panic::resume_unwind(payload);
         }
     });
-    out.into_iter()
-        .map(|v| v.expect("all slots filled"))
-        .collect()
+    let filled: Vec<T> = out.into_iter().flatten().collect();
+    // Every index 0..k was claimed exactly once via the atomic counter, so
+    // a short result can only mean a logic bug above — fail loudly rather
+    // than hand back a truncated per-machine vector.
+    assert_eq!(filled.len(), k, "par_map_machines filled every slot");
+    filled
 }
 
 /// Like [`par_map_machines`] but mutates per-machine state slices in
@@ -133,6 +139,7 @@ where
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     #[test]

@@ -55,14 +55,14 @@ impl<M: Clone, P: Program<M>> Runner<M, P> {
         let k = self.programs.len();
         // Round 0: programs initialize (empty inboxes).
         let mut out = Vec::new();
-        for p in self.programs.iter_mut() {
+        for p in &mut self.programs {
             p.round(0, Vec::new(), &mut out);
         }
         for env in out.drain(..) {
             self.net.send(env);
         }
         while self.net.round() < max_rounds {
-            if self.net.idle() && self.programs.iter().all(|p| p.passive()) {
+            if self.net.idle() && self.programs.iter().all(Program::passive) {
                 break;
             }
             let delivered = self.net.step();

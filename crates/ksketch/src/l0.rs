@@ -140,7 +140,11 @@ impl SketchFns {
     /// True random bits these functions consume (for the §2.2 shared
     /// randomness cost model).
     pub fn random_bits(&self) -> u64 {
-        let poly: u64 = self.level_hash.iter().map(|h| h.random_bits()).sum();
+        let poly: u64 = self
+            .level_hash
+            .iter()
+            .map(krand::PolyHash::random_bits)
+            .sum();
         poly + self.z.len() as u64 * 61
     }
 }

@@ -30,7 +30,7 @@ use std::process::ExitCode;
 /// The algorithm/utility subcommands, in help order (kept next to `usage`
 /// so unknown-subcommand errors can list exactly what exists).
 const SUBCOMMANDS: &[&str] = &[
-    "conn", "mst", "st", "mincut", "dyn", "stcon", "bipart", "gen",
+    "conn", "mst", "st", "mincut", "dyn", "stcon", "bipart", "gen", "check",
 ];
 
 /// Minimal argument parser: `--key value` pairs plus boolean `--flag`s.
@@ -90,6 +90,8 @@ fn usage() -> ExitCode {
          stcon   s-t connectivity (--s S --t T; Theorem 4)\n\
          bipart  bipartiteness via the double cover (Theorem 4)\n\
          gen     generate a graph file (--family ... --n N [--m M] [--p P] [--out FILE])\n\
+         check   run the kcheck invariant lints over the workspace sources\n\
+                 (--root DIR, --allow FILE; exits nonzero on any violation)\n\
          \n\
          input:  --input FILE            edge-list file (n m header, `u v [w]` lines)\n\
                  --gen FAMILY            streamed synthetic workload, no file; families:\n\
@@ -412,6 +414,55 @@ fn run_transport_worker(argv: &[String]) -> ExitCode {
     }
 }
 
+/// `kmm check [--root DIR] [--allow FILE]` — the kcheck static pass
+/// (DESIGN.md §3.13). Scans the workspace sources, applies the audited
+/// exceptions in `kcheck.allow`, prints rustc-style diagnostics, and exits
+/// nonzero if any violation (or stale allowlist entry) remains.
+fn run_check(args: &Args) -> ExitCode {
+    let root = std::path::PathBuf::from(args.get("root").unwrap_or("."));
+    if !root.join("Cargo.toml").exists() {
+        return fail(&format!(
+            "{}: no Cargo.toml here; pass --root <workspace dir>",
+            root.display()
+        ));
+    }
+    let allow = match args.get("allow") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => root.join("kcheck.allow"),
+    };
+    let cfg = kcheck::Config::workspace();
+    let report = match kcheck::check_workspace(&root, &cfg, &allow) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    for d in &report.diags {
+        eprintln!("{d}");
+    }
+    for e in &report.stale_allow {
+        eprintln!(
+            "error[allow]: kcheck.allow:{} suppresses nothing (stale entry): {} {} \"{}\"",
+            e.line, e.code, e.file, e.needle
+        );
+    }
+    eprintln!(
+        "kmm check: {} files, {} violation(s), {} suppressed by kcheck.allow, {} stale entr{}",
+        report.files_scanned,
+        report.diags.len(),
+        report.suppressed,
+        report.stale_allow.len(),
+        if report.stale_allow.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     // Re-exec entry of the multi-process transport (DESIGN.md §3.12): the
     // coordinator spawns `kmm __transport-worker <dir> <machine> <k>` — one
@@ -427,6 +478,9 @@ fn main() -> ExitCode {
     };
     let k: usize = args.get_num("k").unwrap_or(8);
     let seed: u64 = args.get_num("seed").unwrap_or(42);
+    if args.cmd == "check" {
+        return run_check(&args);
+    }
     if args.cmd != "gen" && k < 2 {
         return fail("the k-machine model requires --k >= 2");
     }

@@ -13,6 +13,7 @@
 //! * [`randomness`] — hash families and shared-randomness modelling.
 //! * [`algo`] — the paper's distributed algorithms, baselines, and the
 //!   lower-bound harness.
+//! * [`check`] — the `kmm check` invariant linter (DESIGN.md §3.13).
 //!
 //! ## Quickstart: sessions
 //!
@@ -50,6 +51,7 @@
 //! assert_eq!(out.component_count(), 1);
 //! ```
 
+pub use kcheck as check;
 pub use kconn as algo;
 pub use kgraph as graph;
 pub use kmachine as machine;

@@ -31,7 +31,7 @@ fn gen_then_analyze_roundtrip() {
         ])
         .output()
         .expect("run gen");
-    assert!(out.status.success(), "{:?}", out);
+    assert!(out.status.success(), "{out:?}");
 
     let conn = kmm()
         .args(["conn", "--input", path.to_str().unwrap(), "--k", "4"])

@@ -287,8 +287,7 @@ fn killed_worker_is_respawned_and_counted_as_a_machine_crash() {
             // deterministically hits the dead mesh.
             while std::path::Path::new(&format!("/proc/{victim}/status")).exists()
                 && std::fs::read_to_string(format!("/proc/{victim}/stat"))
-                    .map(|s| !s.contains(") Z "))
-                    .unwrap_or(false)
+                    .is_ok_and(|s| !s.contains(") Z "))
             {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
