@@ -12,6 +12,7 @@ use kmachine::bandwidth::Bandwidth;
 use kmachine::fault::FaultPlan;
 use kmachine::message::Encoding;
 use kmachine::metrics::CommStats;
+use kmachine::trace::Tracer;
 use kmachine::transport::TransportSel;
 
 /// Configuration for a connectivity run.
@@ -52,6 +53,9 @@ pub struct ConnectivityConfig {
     /// Byte transport carrying each superstep window (default
     /// [`TransportSel::Sim`], the in-process oracle; see DESIGN.md §3.12).
     pub transport: TransportSel,
+    /// Structured event tracer (DESIGN.md §3.14; default off). Never
+    /// changes outputs or [`CommStats`].
+    pub trace: Tracer,
 }
 
 impl Default for ConnectivityConfig {
@@ -71,6 +75,7 @@ impl Default for ConnectivityConfig {
             contract: e.contract,
             encoding: e.encoding,
             transport: e.transport,
+            trace: e.trace,
         }
     }
 }
@@ -91,6 +96,7 @@ impl ConnectivityConfig {
             contract: self.contract,
             encoding: self.encoding,
             transport: self.transport,
+            trace: self.trace.clone(),
         }
     }
 }

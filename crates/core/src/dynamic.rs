@@ -71,6 +71,7 @@ use kmachine::det;
 use kmachine::message::Envelope;
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
+use kmachine::trace::{TraceEvent, Tracer};
 use krand::shared::SharedRandomness;
 use ksketch::{L0Sketch, SketchFns, SketchParams};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -365,6 +366,10 @@ pub struct DynConfig {
     /// reliable-delivery protocol, so batches and certificates stay
     /// bit-identical to fault-free runs while the costs are counted.
     pub faults: Option<kmachine::fault::FaultPlan>,
+    /// Structured event tracer (DESIGN.md §3.14; default off). The dynamic
+    /// layer narrates batch routing and certification; inner solves thread
+    /// the same tracer through their engine runs.
+    pub trace: Tracer,
 }
 
 impl Default for DynConfig {
@@ -373,6 +378,7 @@ impl Default for DynConfig {
             compaction_threshold: 1024,
             certify: true,
             faults: None,
+            trace: Tracer::off(),
         }
     }
 }
@@ -629,6 +635,7 @@ impl DynamicCluster {
         }
         let mut bsp: Bsp<Payload> = Bsp::new(self.network());
         crate::engine::attach_transport(&mut bsp, self.inner.defaults().transport, self.k());
+        bsp.set_tracer(self.cfg.trace.clone());
         if let Some(plan) = self.cfg.faults.clone() {
             bsp.install_faults(plan, true);
         }
@@ -649,6 +656,16 @@ impl DynamicCluster {
             self.inner.sharded_mut().compact();
             self.compactions += 1;
         }
+        let (ops, ins, del) = (batch.len() as u64, inserts as u64, deletes as u64);
+        let (rounds, bits) = (stats.rounds, stats.total_bits);
+        self.cfg.trace.emit(|| TraceEvent::DynBatch {
+            ops,
+            inserts: ins,
+            deletes: del,
+            rounds,
+            bits,
+            compacted,
+        });
         Ok(UpdateReport {
             ops: batch.len(),
             inserts,
@@ -702,6 +719,7 @@ impl DynamicCluster {
             contract: cfg.contract,
             encoding: cfg.encoding,
             transport: cfg.transport,
+            trace: cfg.trace.clone(),
         };
         let r = self.refresh(ecfg);
         let report = self.report("conn", &r, started);
@@ -747,6 +765,7 @@ impl DynamicCluster {
             contract: cfg.contract,
             encoding: cfg.encoding,
             transport: cfg.transport,
+            trace: cfg.trace.clone(),
             ..EngineConfig::default()
         };
         let r = self.refresh(ecfg);
@@ -943,6 +962,7 @@ impl DynamicCluster {
             encoding: ecfg.encoding,
         });
         crate::engine::attach_transport(&mut bsp, ecfg.transport, k);
+        bsp.set_tracer(self.cfg.trace.clone());
         if let Some(plan) = self.cfg.faults.clone() {
             bsp.install_faults(plan, true);
         }
@@ -1002,6 +1022,11 @@ impl DynamicCluster {
                 .collect(),
         );
         let bad = verdicts.iter().any(|&b| b);
+        let n_labels = fresh_labels.len() as u64;
+        self.cfg.trace.emit(|| TraceEvent::DynCertify {
+            labels: n_labels,
+            ok: !bad,
+        });
         (!bad, bsp.into_stats())
     }
 
@@ -1025,6 +1050,7 @@ impl DynamicCluster {
             retransmit_bits: r.stats.retransmit_bits + self.epoch_retransmit_bits,
             recovery_rounds: r.stats.recovery_rounds + self.epoch_recovery_rounds,
             wall: started.elapsed(),
+            phase_breakdown: None,
         };
         self.reset_epoch();
         report

@@ -71,6 +71,7 @@ use kmachine::message::{Encoding, Envelope};
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
 use kmachine::par::par_for_each_state;
+use kmachine::trace::{TraceEvent, Tracer};
 use kmachine::transport::{make_transport, TransportSel};
 use krand::shared::{SharedRandomness, Use};
 use ksketch::{L0Sketch, SketchFns, SketchParams};
@@ -199,6 +200,11 @@ pub struct EngineConfig {
     /// transport-independent (pinned by `tests/transport.rs`); only the
     /// physical byte counters differ.
     pub transport: TransportSel,
+    /// Structured event tracer (DESIGN.md §3.14). Off by default; when on,
+    /// the engine narrates setup/phase/rollback/output segments and the
+    /// superstep layer narrates per-superstep loads and fault waves into
+    /// the shared logical stream. Never changes outputs or [`CommStats`].
+    pub trace: Tracer,
 }
 
 impl Default for EngineConfig {
@@ -217,6 +223,7 @@ impl Default for EngineConfig {
             contract: false,
             encoding: Encoding::Naive,
             transport: TransportSel::Sim,
+            trace: Tracer::off(),
         }
     }
 }
@@ -513,6 +520,7 @@ impl<'g> Engine<'g> {
             bsp.install_faults(plan, cfg.recovery.ack_retransmit);
         }
         attach_transport(&mut bsp, cfg.transport, k);
+        bsp.set_tracer(cfg.trace.clone());
         let machines = (0..k)
             .map(|id| {
                 let verts = g.view(id).verts().to_vec();
@@ -602,11 +610,22 @@ impl<'g> Engine<'g> {
 
     /// Runs the algorithm to completion and returns outputs + accounting.
     pub fn run(mut self) -> EngineResult {
+        let setup_rounds_mark = self.bsp.stats().rounds;
+        let setup_bits_mark = self.bsp.stats().total_bits;
         if self.cfg.charge_shared_randomness {
             // §2.2: M1 distributes Θ~(n/k) shared bits before phase 1.
             let bits = SharedRandomness::paper_shared_bits(self.n, self.k);
             let rounds = SharedRandomness::distribution_rounds(bits, self.k, self.bsp.link_bits());
             self.bsp.charge_modeled_rounds(rounds, bits, 0);
+        }
+        {
+            let rounds = self.bsp.stats().rounds - setup_rounds_mark;
+            let bits = self.bsp.stats().total_bits - setup_bits_mark;
+            self.cfg.trace.emit(|| TraceEvent::Segment {
+                name: "setup".to_string(),
+                rounds,
+                bits,
+            });
         }
         let max_phases = self
             .cfg
@@ -642,7 +661,23 @@ impl<'g> Engine<'g> {
             let retransmit_mark = self.bsp.stats().retransmit_bits;
             let comp_mark = self.phase_components.len();
             let depth_mark = self.drr_depths.len();
-            self.phase_components.push(self.count_labels());
+            let sketch_mark = self.cfg.trace.is_on().then(|| {
+                (
+                    self.machines.iter().map(|st| st.sketch_builds).sum::<u64>(),
+                    self.machines
+                        .iter()
+                        .map(|st| st.sketch_cache_hits)
+                        .sum::<u64>(),
+                )
+            });
+            let comps = self.count_labels();
+            self.phase_components.push(comps);
+            let contracted = self.contracted;
+            self.cfg.trace.emit(|| TraceEvent::PhaseStart {
+                phase: p,
+                components: comps as u64,
+                contracted,
+            });
             let mut progressed = self.run_phase(p);
             if !progressed && p >= 1 && self.cfg.sketch_reuse_period != 0 && !self.contracted {
                 // Termination guard (reuse epochs only): with cached
@@ -693,23 +728,74 @@ impl<'g> Engine<'g> {
                     - (self.bsp.stats().retransmit_bits - retransmit_mark);
                 self.bsp.charge_barrier(); // restart coordination
                 self.bsp.attribute_recovery(wasted_rounds + 1, wasted_bits);
+                let stats = self.bsp.stats();
+                let (rounds, bits) = (stats.rounds - rounds_mark, stats.total_bits - bits_mark);
+                let rec = stats.recovery_rounds - recovery_mark;
+                let rtx = stats.retransmit_bits - retransmit_mark;
+                let crashed_ids: Vec<u32> = crashed.iter().map(|&m| m as u32).collect();
+                self.cfg.trace.emit(move || TraceEvent::Rollback {
+                    phase: p,
+                    crashed: crashed_ids,
+                    rounds,
+                    bits,
+                    recovery_rounds: rec,
+                    retransmit_bits: rtx,
+                });
                 continue;
             }
             retries = 0;
             phases = p + 1;
+            {
+                let stats = self.bsp.stats();
+                let rounds = stats.rounds - rounds_mark;
+                let bits = stats.total_bits - bits_mark;
+                let rec = stats.recovery_rounds - recovery_mark;
+                let rtx = stats.retransmit_bits - retransmit_mark;
+                let (builds, hits) = sketch_mark.map_or((0, 0), |(b0, h0)| {
+                    (
+                        self.machines.iter().map(|st| st.sketch_builds).sum::<u64>() - b0,
+                        self.machines
+                            .iter()
+                            .map(|st| st.sketch_cache_hits)
+                            .sum::<u64>()
+                            - h0,
+                    )
+                });
+                self.cfg.trace.emit(|| TraceEvent::PhaseEnd {
+                    phase: p,
+                    rounds,
+                    bits,
+                    recovery_rounds: rec,
+                    retransmit_bits: rtx,
+                    sketch_builds: builds,
+                    sketch_cache_hits: hits,
+                });
+            }
             if !progressed {
                 break;
             }
             if recovery_on && self.bsp.stats().supersteps <= last_crash_superstep {
                 checkpoint = Some(self.take_checkpoint());
+                self.cfg.trace.emit(|| TraceEvent::Checkpoint { phase: p });
             }
             p += 1;
         }
+        let out_rounds_mark = self.bsp.stats().rounds;
+        let out_bits_mark = self.bsp.stats().total_bits;
         let counted = if self.cfg.run_output_protocol {
             Some(self.output_protocol(phases))
         } else {
             None
         };
+        {
+            let rounds = self.bsp.stats().rounds - out_rounds_mark;
+            let bits = self.bsp.stats().total_bits - out_bits_mark;
+            self.cfg.trace.emit(|| TraceEvent::Segment {
+                name: "output".to_string(),
+                rounds,
+                bits,
+            });
+        }
         // Gather outputs (instrumentation, not communication), then
         // canonicalize: relabel each component by its smallest member, so
         // the reported labels are a pure function of the partition. The

@@ -71,6 +71,7 @@ pub fn simulate_scs_two_party(
         contract: cfg.contract,
         encoding: cfg.encoding,
         transport: cfg.transport,
+        trace: cfg.trace.clone(),
     };
     let mut engine = Engine::new(&sh, Mode::Connectivity, seed, engine_cfg);
     engine.set_cut((0..k).map(|m| m < k / 2).collect());

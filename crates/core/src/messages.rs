@@ -315,6 +315,36 @@ impl Payload {
 const N_TAGS: usize = 23;
 
 impl BatchWire for Payload {
+    /// Stable snake_case variant name for [`kmachine::trace`] superstep
+    /// payload-kind histograms.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Payload::PartSketch { .. } => "part_sketch",
+            Payload::EdgeProbe { .. } => "edge_probe",
+            Payload::EdgeProbeReply { .. } => "edge_probe_reply",
+            Payload::Threshold { .. } => "threshold",
+            Payload::PtrQuery { .. } => "ptr_query",
+            Payload::PtrReply { .. } => "ptr_reply",
+            Payload::Relabel { .. } => "relabel",
+            Payload::Flag { .. } => "flag",
+            Payload::LabelAnnounce { .. } => "label_announce",
+            Payload::CountReport { .. } => "count_report",
+            Payload::FloodLabels { .. } => "flood_labels",
+            Payload::EdgeList { .. } => "edge_list",
+            Payload::Candidate { .. } => "candidate",
+            Payload::StDone { .. } => "st_done",
+            Payload::TestBatch { .. } => "test_batch",
+            Payload::EdgeUpdate { .. } => "edge_update",
+            Payload::CertSketch { .. } => "cert_sketch",
+            Payload::LabelPush { .. } => "label_push",
+            Payload::SuperEdge { .. } => "super_edge",
+            Payload::SuperParts { .. } => "super_parts",
+            Payload::SuperRelabel { .. } => "super_relabel",
+            Payload::SuperMove { .. } => "super_move",
+            Payload::DenseBase { .. } => "dense_base",
+        }
+    }
+
     /// One directed link's batch, encoded as per-variant runs: each run
     /// pays the 16-bit tag once plus a varint count; its primary id field
     /// (the label or vertex the destination groups by) travels delta-sorted

@@ -19,6 +19,7 @@ use kgraph::{Graph, ShardedGraph};
 use kmachine::bandwidth::Bandwidth;
 use kmachine::message::Encoding;
 use kmachine::metrics::CommStats;
+use kmachine::trace::Tracer;
 use kmachine::transport::TransportSel;
 use krand::shared::{SharedRandomness, Use};
 
@@ -46,6 +47,9 @@ pub struct MinCutConfig {
     /// Byte transport for the inner connectivity probes (default
     /// [`TransportSel::Sim`]; see DESIGN.md §3.12).
     pub transport: TransportSel,
+    /// Structured event tracer shared by all inner connectivity probes
+    /// (DESIGN.md §3.14; default off).
+    pub trace: Tracer,
 }
 
 impl Default for MinCutConfig {
@@ -59,6 +63,7 @@ impl Default for MinCutConfig {
             contract: false,
             encoding: Encoding::Naive,
             transport: TransportSel::Sim,
+            trace: Tracer::off(),
         }
     }
 }
@@ -120,6 +125,7 @@ pub fn approx_min_cut_sharded(sg: &ShardedGraph, seed: u64, cfg: &MinCutConfig) 
         contract: cfg.contract,
         encoding: cfg.encoding,
         transport: cfg.transport,
+        trace: cfg.trace.clone(),
         ..ConnectivityConfig::default()
     };
     let mut stats = CommStats::new(k);

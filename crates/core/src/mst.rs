@@ -24,6 +24,7 @@ use kmachine::bsp::Bsp;
 use kmachine::message::{Encoding, Envelope};
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
+use kmachine::trace::Tracer;
 use kmachine::transport::TransportSel;
 
 /// Which output criterion of Theorem 2 to satisfy.
@@ -65,6 +66,9 @@ pub struct MstConfig {
     /// Byte transport carrying each superstep window (default
     /// [`TransportSel::Sim`], the in-process oracle; see DESIGN.md §3.12).
     pub transport: TransportSel,
+    /// Structured event tracer (DESIGN.md §3.14; default off). Never
+    /// changes outputs or [`CommStats`].
+    pub trace: Tracer,
 }
 
 impl Default for MstConfig {
@@ -80,6 +84,7 @@ impl Default for MstConfig {
             contract: false,
             encoding: Encoding::Naive,
             transport: TransportSel::Sim,
+            trace: Tracer::off(),
         }
     }
 }
@@ -160,6 +165,7 @@ pub fn minimum_spanning_tree_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConf
         contract: cfg.contract,
         encoding: cfg.encoding,
         transport: cfg.transport,
+        trace: cfg.trace.clone(),
         ..EngineConfig::default()
     };
     let result = Engine::new(sg, Mode::Mst, seed, engine_cfg).run();
@@ -197,6 +203,7 @@ fn route_to_endpoints(sg: &ShardedGraph, result: &EngineResult, cfg: &MstConfig)
     net.encoding = cfg.encoding;
     let mut bsp: Bsp<Payload> = Bsp::new(net);
     crate::engine::attach_transport(&mut bsp, cfg.transport, part.k());
+    bsp.set_tracer(cfg.trace.clone());
     let l = id_bits(sg.n());
     // Reconstruct which machine output each edge (machine order matches the
     // flattening in EngineResult).
@@ -217,7 +224,17 @@ fn route_to_endpoints(sg: &ShardedGraph, result: &EngineResult, cfg: &MstConfig)
     }
     bsp.superstep(out);
     let _ = bsp.take_all_inboxes();
-    bsp.into_stats()
+    let stats = bsp.into_stats();
+    // The routing stage is absorbed into the run's reported totals, so it
+    // must appear as its own trace segment for the per-phase breakdown to
+    // keep tiling those totals exactly (DESIGN.md §3.14).
+    let (rounds, bits) = (stats.rounds, stats.total_bits);
+    cfg.trace.emit(|| kmachine::trace::TraceEvent::Segment {
+        name: "endpoint_routing".to_string(),
+        rounds,
+        bits,
+    });
+    stats
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@ use kgraph::stream::EdgeStream;
 use kgraph::{Graph, Partition, ShardedGraph};
 use kmachine::bandwidth::{Bandwidth, CostModel};
 use kmachine::metrics::CommStats;
+use kmachine::trace::{PhaseSummary, Tracer};
 use kmachine::transport::TransportSel;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -216,10 +217,16 @@ impl Cluster {
     /// common [`RunReport`]. Reusing a cluster is bit-identical to the
     /// one-shot entry points: the shards, partition and seed are the same.
     pub fn run<P: Problem>(&self, problem: P) -> Run<P::Output> {
+        let trace = problem.tracer();
+        let mark = trace.mark();
         let started = Instant::now();
         let output = problem.solve(self);
         let wall = started.elapsed();
         self.runs.fetch_add(1, Ordering::Relaxed);
+        let phase_breakdown = trace
+            .is_on()
+            .then(|| kmachine::trace::phase_breakdown(&trace.events_since(mark)))
+            .filter(|rows| !rows.is_empty());
         let (sketch_builds, sketch_cache_hits) = P::sketch_counters(&output);
         let stats = P::stats(&output).clone();
         let report = RunReport {
@@ -234,6 +241,7 @@ impl Cluster {
             recovery_rounds: stats.recovery_rounds,
             stats,
             wall,
+            phase_breakdown,
         };
         Run { output, report }
     }
@@ -331,6 +339,11 @@ pub struct RunReport {
     pub recovery_rounds: u64,
     /// Wall-clock time of the simulated run (host-side, not a model cost).
     pub wall: Duration,
+    /// Per-phase cost breakdown derived from the run's logical trace
+    /// (DESIGN.md §3.14): one row per setup/phase/rollback/output segment,
+    /// tiling `stats` exactly. `None` when tracing was off or the run
+    /// emitted no segment events.
+    pub phase_breakdown: Option<Vec<PhaseSummary>>,
 }
 
 /// One finished run: the problem's typed output plus its [`RunReport`].
@@ -384,6 +397,14 @@ pub trait Problem {
     fn sketch_counters(_output: &Self::Output) -> (u64, u64) {
         (0, 0)
     }
+
+    /// The tracer this problem's config carries (DESIGN.md §3.14).
+    /// [`Cluster::run`] brackets the solve with it to derive
+    /// [`RunReport::phase_breakdown`]. Problems without a trace knob keep
+    /// the default off tracer.
+    fn tracer(&self) -> Tracer {
+        Tracer::off()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -421,7 +442,12 @@ impl Problem for Connectivity {
             contract: d.contract,
             encoding: d.encoding,
             transport: d.transport,
+            trace: d.trace.clone(),
         }
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.cfg.trace.clone()
     }
 
     fn solve(&self, cluster: &Cluster) -> ConnectivityOutput {
@@ -469,7 +495,12 @@ impl Problem for Mst {
             contract: d.contract,
             encoding: d.encoding,
             transport: d.transport,
+            trace: d.trace.clone(),
         }
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.cfg.trace.clone()
     }
 
     fn solve(&self, cluster: &Cluster) -> MstOutput {
@@ -504,6 +535,10 @@ impl Problem for SpanningForest {
 
     fn config_from(d: &EngineConfig) -> MstConfig {
         Mst::config_from(d)
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.cfg.trace.clone()
     }
 
     fn solve(&self, cluster: &Cluster) -> SpanningForestOutput {
@@ -545,7 +580,12 @@ impl Problem for MinCut {
             contract: d.contract,
             encoding: d.encoding,
             transport: d.transport,
+            trace: d.trace.clone(),
         }
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.cfg.trace.clone()
     }
 
     fn solve(&self, cluster: &Cluster) -> MinCutOutput {

@@ -83,6 +83,7 @@ pub fn spanning_forest_sharded(
         contract: cfg.contract,
         encoding: cfg.encoding,
         transport: cfg.transport,
+        trace: cfg.trace.clone(),
         ..EngineConfig::default()
     };
     let result = Engine::new(sg, Mode::SpanningForest, seed, engine_cfg).run();

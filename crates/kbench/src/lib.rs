@@ -9,6 +9,7 @@ pub mod dynamic;
 pub mod experiments;
 pub mod large;
 pub mod table;
+pub mod trace;
 pub mod transport;
 
 pub use chaos::ChaosScenario;

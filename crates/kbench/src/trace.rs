@@ -1,0 +1,110 @@
+//! The tracing overhead family (DESIGN.md §4, E25).
+//!
+//! The §3.14 trace layer promises to be an *observer*: tracing off must
+//! cost nothing (emit sites take closures a disabled tracer never runs),
+//! and tracing on must never perturb outputs or the logical ledger — the
+//! only honest cost is wall-clock and the byte volume of the stream
+//! itself. [`measure`] runs the connectivity headliner on one shared
+//! ingested cluster three ways — tracing off, in-memory recording, and a
+//! JSONL sink serializing every record — and captures, per mode, the
+//! wall-clock, the logical event count and the JSONL byte volume.
+//!
+//! `tests/bench_trace.rs` (repo root) runs the family on the E20 rung,
+//! asserts bit-identical answers and ledgers across modes, pins the wall
+//! overhead envelope, and writes `results/BENCH_PR9.json`.
+
+use crate::experiments::ExperimentRecord;
+use crate::large::LargeScenario;
+use kconn::session::{Cluster, Connectivity, Problem};
+use kconn::ConnectivityConfig;
+use kmachine::trace::{to_jsonl, JsonlSink, Tracer};
+
+/// One tracing mode's run of the shared workload.
+#[derive(Clone, Debug)]
+pub struct TraceMeasurement {
+    /// `"off"`, `"recording"` or `"jsonl-sink"`.
+    pub mode: &'static str,
+    /// Whether labels and §2.6 count matched the tracing-off baseline
+    /// bit-for-bit.
+    pub identical: bool,
+    /// Rounds charged (must not depend on the tracer).
+    pub rounds: u64,
+    /// Total bits charged (must not depend on the tracer).
+    pub total_bits: u64,
+    /// Logical records the run emitted (`0` with tracing off).
+    pub events: u64,
+    /// JSONL byte volume of the logical stream (`0` with tracing off).
+    pub trace_bytes: u64,
+    /// Wall-clock milliseconds — the only cost tracing may add.
+    pub wall_ms: f64,
+}
+
+impl TraceMeasurement {
+    /// Serializable record for `results/` snapshots.
+    pub fn record(&self, experiment: &str, s: &LargeScenario) -> ExperimentRecord {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            label: format!("{}/{}", s.id, self.mode),
+            params: [("n".to_string(), s.n as f64), ("k".to_string(), s.k as f64)]
+                .into_iter()
+                .collect(),
+            metrics: [
+                ("identical".to_string(), f64::from(u8::from(self.identical))),
+                ("rounds".to_string(), self.rounds as f64),
+                ("total_bits".to_string(), self.total_bits as f64),
+                ("events".to_string(), self.events as f64),
+                ("trace_bytes".to_string(), self.trace_bytes as f64),
+                ("wall_ms".to_string(), self.wall_ms),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+}
+
+/// Runs the connectivity headliner once per tracing mode on one shared
+/// ingested cluster; `out[0]` is the tracing-off baseline. The JSONL sink
+/// serializes every record but writes to [`std::io::sink`] — the cost
+/// measured is event construction + serialization, not the host's disk.
+pub fn measure(cluster: &Cluster) -> Vec<TraceMeasurement> {
+    type MakeTracer = fn() -> Tracer;
+    let modes: [(&'static str, MakeTracer); 3] = [
+        ("off", Tracer::off),
+        ("recording", Tracer::recording),
+        ("jsonl-sink", || {
+            Tracer::to_sink(Box::new(JsonlSink::new(std::io::sink())))
+        }),
+    ];
+    let mut out = Vec::new();
+    let mut baseline = None;
+    for (mode, make) in modes {
+        let tracer = make();
+        let cfg = ConnectivityConfig {
+            trace: tracer.clone(),
+            ..ConnectivityConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let run = cluster.run(Connectivity::with(cfg));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        tracer.flush();
+        let key = (run.output.labels.clone(), run.output.counted_components);
+        let identical = match &baseline {
+            None => {
+                baseline = Some(key);
+                true
+            }
+            Some(base) => *base == key,
+        };
+        let jsonl = to_jsonl(&tracer.events());
+        out.push(TraceMeasurement {
+            mode,
+            identical,
+            rounds: run.report.stats.rounds,
+            total_bits: run.report.stats.total_bits,
+            events: tracer.logical_len(),
+            trace_bytes: jsonl.len() as u64,
+            wall_ms,
+        });
+    }
+    out
+}

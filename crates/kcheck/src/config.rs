@@ -51,6 +51,10 @@ pub struct Config {
     pub unwrap_scope: Vec<String>,
     /// KC05 slice-indexing scope (tighter: the frame/wire handling file).
     pub index_scope: Vec<String>,
+    /// KC06 scope: library crates where ad-hoc `println!`-family macros are
+    /// banned in favour of `kmachine::trace` (CLI front ends and trace
+    /// sinks go through the allowlist).
+    pub print_scope: Vec<String>,
 }
 
 fn owned(v: &[&str]) -> Vec<String> {
@@ -113,6 +117,15 @@ impl Config {
                 "crates/kmachine/src/par.rs",
             ]),
             index_scope: owned(&["crates/kmachine/src/transport.rs"]),
+            print_scope: owned(&[
+                "crates/core/src",
+                "crates/kmachine/src",
+                "crates/kgraph/src",
+                "crates/ksketch/src",
+                "crates/krand/src",
+                "crates/kbench/src",
+                "crates/kcheck/src",
+            ]),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The five invariant lints (DESIGN.md §3.13).
+/// The six invariant lints (DESIGN.md §3.13).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Lint {
     /// KC01 — unordered iteration over a hash container in a
@@ -19,6 +19,9 @@ pub enum Lint {
     /// KC05 — `unwrap`/`expect`/slice-indexing in transport worker and
     /// window-protocol paths.
     PanicHygiene,
+    /// KC06 — ad-hoc `println!`/`eprintln!`/`dbg!` in library crates;
+    /// diagnostics route through `kmachine::trace` instead.
+    AdHocPrint,
 }
 
 impl Lint {
@@ -30,6 +33,7 @@ impl Lint {
             Lint::Exhaustive => "KC03",
             Lint::ChargeSite => "KC04",
             Lint::PanicHygiene => "KC05",
+            Lint::AdHocPrint => "KC06",
         }
     }
 
@@ -41,6 +45,7 @@ impl Lint {
             Lint::Exhaustive => "payload-exhaustiveness",
             Lint::ChargeSite => "charge-site-discipline",
             Lint::PanicHygiene => "panic-hygiene",
+            Lint::AdHocPrint => "ad-hoc-print",
         }
     }
 }

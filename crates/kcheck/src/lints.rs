@@ -1,4 +1,4 @@
-//! The five invariant lints.
+//! The six invariant lints.
 //!
 //! All of them work on blanked text (see [`crate::scan`]): substring hits
 //! cannot come from comments or string literals, and brace matching is
@@ -46,6 +46,9 @@ const PANIC_NEEDLES: [&str; 4] = [
     ".unwrap_unchecked(",
 ];
 
+/// Ad-hoc print-macro needles (KC06).
+const PRINT_NEEDLES: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+
 fn push(out: &mut Vec<Diagnostic>, f: &SourceFile, lint: Lint, offset: usize, message: String) {
     let line = scan::line_of(&f.blanked, offset);
     out.push(Diagnostic {
@@ -77,6 +80,9 @@ pub fn run_all(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
         }
         if Config::in_scope(&cfg.index_scope, &f.rel) {
             slice_indexing(f, &mut out);
+        }
+        if Config::in_scope(&cfg.print_scope, &f.rel) {
+            print_macros(f, &mut out);
         }
     }
     for spec in &cfg.exhaustive {
@@ -570,5 +576,37 @@ fn slice_indexing(f: &SourceFile, out: &mut Vec<Diagnostic>) {
              justification if the bound is structural)"
                 .to_string(),
         );
+    }
+}
+
+// ---------------------------------------------------------------- KC06 --
+
+fn print_macros(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for needle in PRINT_NEEDLES {
+        let mut at = 0;
+        while let Some(rel) = f.blanked[at..].find(needle) {
+            let pos = at + rel;
+            at = pos + needle.len();
+            let b = f.blanked.as_bytes();
+            // `eprintln!` contains `println!` and `print!`; only the match
+            // starting at the macro name itself counts.
+            if pos > 0 && is_ident_byte(b[pos - 1]) {
+                continue;
+            }
+            if scan::in_spans(&f.test_spans, pos) {
+                continue;
+            }
+            push(
+                out,
+                f,
+                Lint::AdHocPrint,
+                pos,
+                format!(
+                    "`{needle}` in a library crate: diagnostics route through the \
+                     structured `kmachine::trace` event stream (DESIGN.md §3.14); \
+                     CLI front ends and sinks are allowlisted with a justification"
+                ),
+            );
+        }
     }
 }

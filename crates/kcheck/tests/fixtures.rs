@@ -62,6 +62,7 @@ fn fixture_config() -> Config {
         charge_exempt: vec![],
         unwrap_scope: owned(&["transport"]),
         index_scope: owned(&["transport"]),
+        print_scope: owned(&["print"]),
     }
 }
 
@@ -111,6 +112,12 @@ fn bad_fixtures_are_flagged_and_good_twins_pass() {
         "transport/bad_panic.rs: want >= 4 KC05 (two indexings, unwrap, \
          expect), got {kc05:?}"
     );
+    let kc06 = codes_for(&report, "print/bad_print.rs");
+    assert!(
+        kc06.len() >= 5 && kc06.iter().all(|&c| c == "KC06"),
+        "print/bad_print.rs: want >= 5 KC06 (println, eprintln, print, \
+         eprint, dbg), got {kc06:?}"
+    );
 
     // Known-good twins: not a single diagnostic.
     for good in [
@@ -119,6 +126,7 @@ fn bad_fixtures_are_flagged_and_good_twins_pass() {
         "payload/good_messages.rs",
         "charge/good_charge.rs",
         "transport/good_panic.rs",
+        "print/good_print.rs",
     ] {
         let got = codes_for(&report, good);
         assert!(got.is_empty(), "{good}: good twin flagged: {got:?}");

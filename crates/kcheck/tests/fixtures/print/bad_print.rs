@@ -1,0 +1,11 @@
+//! KC06 fixture: ad-hoc print-family macros in library code.
+
+pub fn solve(rounds: u64) -> u64 {
+    println!("starting with {rounds} rounds");
+    let doubled = rounds * 2;
+    eprintln!("debug: doubled = {doubled}");
+    print!("progress.");
+    eprint!("warn.");
+    let peeked = dbg!(doubled + 1);
+    peeked
+}

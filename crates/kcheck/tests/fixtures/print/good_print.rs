@@ -1,0 +1,22 @@
+//! KC06 good twin: diagnostics routed through the trace layer or an
+//! explicit writer handed in by the caller; prints confined to tests.
+
+use std::io::Write;
+
+pub fn solve<W: Write>(rounds: u64, log: &mut W) -> u64 {
+    let doubled = rounds * 2;
+    let _ = writeln!(log, "doubled = {doubled}");
+    // Identifier suffixes must not trip the needle scan.
+    let reprint = doubled + 1;
+    let pretty_println = reprint;
+    pretty_println
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("test scaffolding may print");
+        assert_eq!(super::solve(2, &mut Vec::new()), 5);
+    }
+}

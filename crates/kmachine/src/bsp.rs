@@ -29,8 +29,10 @@ use crate::fault::FaultPlan;
 use crate::message::{put_varint, BatchWire, Encoding, Envelope, WireCodec, WireError, WireReader};
 use crate::metrics::{CommStats, SuperstepLoad};
 use crate::network::NetworkConfig;
+use crate::trace::{PhysEvent, TraceEvent, Tracer};
 use crate::transport::{CodecBridge, Frame, PhysStats, Transport, TransportKind};
 use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 
 /// Safety bound on recovery rounds per superstep. With `drop < 1` and the
 /// per-attempt decision rerolls, any backlog clears in a handful of
@@ -45,6 +47,31 @@ struct FaultCtx {
     reliable: bool,
     /// Every crash event that fired: `(superstep, machine)`.
     crash_log: Vec<(u64, usize)>,
+}
+
+/// The payload-kind histogram of one window's cross-machine messages,
+/// ascending by kind name (trace emission only — runs solely inside an
+/// enabled tracer's closure).
+fn kind_histogram<M: BatchWire>(outgoing: &[Envelope<M>]) -> Vec<(String, u64)> {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for env in outgoing {
+        if !env.is_local() {
+            *counts.entry(env.payload.kind_name()).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+/// One window's per-directed-link charged bits, ascending by link (trace
+/// emission only).
+fn link_list(link_bits: &FxHashMap<(u32, u32), u64>) -> Vec<(u32, u32, u64)> {
+    det::sorted_entries(link_bits)
+        .into_iter()
+        .map(|((src, dst), &bits)| (src, dst, bits))
+        .collect()
 }
 
 /// The superstep runner.
@@ -79,6 +106,8 @@ pub struct Bsp<M> {
     /// a `Proc` transport every superstep window physically crosses the
     /// worker mesh before it is accounted.
     bridge: Option<CodecBridge<M>>,
+    /// Structured trace stream (off by default; see [`Bsp::set_tracer`]).
+    trace: Tracer,
 }
 
 impl<M> Bsp<M> {
@@ -92,8 +121,19 @@ impl<M> Bsp<M> {
             cut: None,
             faults: None,
             bridge: None,
+            trace: Tracer::off(),
             cfg,
         }
+    }
+
+    /// Installs a trace stream (DESIGN.md §3.14): every subsequent
+    /// superstep emits a [`TraceEvent::Superstep`] record, fault injection
+    /// emits [`TraceEvent::Faults`] / [`TraceEvent::Retransmit`], and a
+    /// process transport reports window lifecycle on the physical channel.
+    /// Emission never perturbs accounting or delivery — a traced run is
+    /// bit-identical to an untraced one.
+    pub fn set_tracer(&mut self, trace: Tracer) {
+        self.trace = trace;
     }
 
     /// Installs a byte transport (DESIGN.md §3.12). With a
@@ -165,6 +205,14 @@ impl<M> Bsp<M> {
             }
             frames.push(Frame::new(src, dst, payload));
         }
+        // Physical-channel tracing: snapshot the transport counters and the
+        // wall clock around the exchange. The wall-clock value feeds ONLY
+        // the phys channel (never logical events or accounting), so the
+        // logical stream and the run stay deterministic.
+        let phys_mark = self
+            .trace
+            .is_on()
+            .then(|| (bridge.transport.phys().clone(), std::time::Instant::now()));
         for f in bridge.transport.exchange(frames) {
             let mut r = WireReader::new(&f.payload);
             let n = r
@@ -197,6 +245,22 @@ impl<M> Bsp<M> {
             "transport window lost or duplicated envelopes ({} of {total} accounted)",
             out.len()
         );
+        if let Some((before, started)) = phys_mark {
+            let after = bridge.transport.phys().clone();
+            let micros = started.elapsed().as_micros() as u64;
+            let superstep = self.stats.supersteps;
+            self.trace.emit_phys(|| PhysEvent::Window {
+                superstep,
+                windows: after.windows - before.windows,
+                attempts: after.attempts - before.attempts,
+                frames_sent: after.frames_sent - before.frames_sent,
+                payload_bytes: after.payload_bytes - before.payload_bytes,
+                frames_delivered: after.frames_delivered - before.frames_delivered,
+                acks: after.acks - before.acks,
+                worker_restarts: after.worker_restarts - before.worker_restarts,
+                micros,
+            });
+        }
         let restarts = bridge.transport.phys().worker_restarts;
         let new = restarts - bridge.restarts_seen;
         bridge.restarts_seen = restarts;
@@ -464,6 +528,16 @@ impl<M> Bsp<M> {
             messages,
             rounds,
         });
+        let index = self.stats.supersteps - 1;
+        self.trace.emit(|| TraceEvent::Superstep {
+            index,
+            rounds,
+            bits: total,
+            messages,
+            max_link_bits: max_link,
+            links: link_list(&link_bits),
+            kinds: kind_histogram(&outgoing),
+        });
         // Delivery preserves the batch's arrival order (locals interleaved
         // exactly where they were sent), whatever the charged encoding.
         for env in outgoing {
@@ -526,6 +600,11 @@ impl<M> Bsp<M> {
             &mut machine_in,
         );
         self.stats.naive_bits += naive;
+        // Trace-only snapshot: the kind histogram must be taken before the
+        // fate loop consumes the batch. Skipped entirely when tracing is
+        // off.
+        let kinds = self.trace.is_on().then(|| kind_histogram(&outgoing));
+        let (mut dropped, mut duplicated, mut reordered, mut delayed) = (0u64, 0u64, 0u64, 0u64);
         // Duplicate transmissions share the delivery window but their
         // load is tracked separately so the rounds they add can be
         // attributed to recovery overhead. A spurious copy is a lone
@@ -561,16 +640,19 @@ impl<M> Bsp<M> {
             }
             if ctx.plan.drops(s, 0, seq) {
                 self.stats.faults_injected += 1;
+                dropped += 1;
                 lost.push((seq, env));
                 continue;
             }
             if ctx.plan.delays(s, seq) {
                 self.stats.faults_injected += 1;
+                delayed += 1;
                 in_flight.push((seq, env));
                 continue;
             }
             if ctx.plan.duplicates(s, seq) {
                 self.stats.faults_injected += 1;
+                duplicated += 1;
                 // The spurious copy spends real bits in the same window.
                 *dup_link_bits
                     .entry((env.src as u32, env.dst as u32))
@@ -593,6 +675,7 @@ impl<M> Bsp<M> {
             let scrambled = ctx.plan.reorders(s, seq);
             if scrambled {
                 self.stats.faults_injected += 1;
+                reordered += 1;
             }
             arrived.push((seq, scrambled, env));
         }
@@ -623,6 +706,27 @@ impl<M> Bsp<M> {
             messages,
             rounds,
         });
+        let index = self.stats.supersteps - 1;
+        self.trace.emit(|| TraceEvent::Superstep {
+            index,
+            rounds,
+            bits: total,
+            messages,
+            max_link_bits: max_link,
+            links: link_list(&link_bits),
+            kinds: kinds.unwrap_or_default(),
+        });
+        let n_crashed = crashed.len() as u64;
+        if dropped + duplicated + reordered + delayed + n_crashed > 0 {
+            self.trace.emit(|| TraceEvent::Faults {
+                superstep: s,
+                dropped,
+                duplicated,
+                reordered,
+                delayed,
+                crashed: n_crashed,
+            });
+        }
         if ctx.reliable {
             // Ack/retransmit: each recovery round costs one round for the
             // ack/nack exchange plus the retransmission batch's own rounds.
@@ -647,8 +751,11 @@ impl<M> Bsp<M> {
                 let mut rout = vec![0u64; self.cfg.k];
                 let mut rin = vec![0u64; self.cfg.k];
                 let mut still = Vec::new();
+                let wave_msgs = resent.len() as u64;
+                let mut wave_bits = 0u64;
                 for (seq, env) in resent {
                     let bits = env.bits.max(1);
+                    wave_bits += bits;
                     *rlink.entry((env.src as u32, env.dst as u32)).or_insert(0) += bits;
                     rout[env.src] += bits;
                     rin[env.dst] += bits;
@@ -674,6 +781,13 @@ impl<M> Bsp<M> {
                 let extra = 1 + self.batch_rounds(rmax, &rout, &rin);
                 self.stats.rounds += extra;
                 self.stats.recovery_rounds += extra;
+                self.trace.emit(|| TraceEvent::Retransmit {
+                    superstep: s,
+                    attempt,
+                    messages: wave_msgs,
+                    bits: wave_bits,
+                    rounds: extra,
+                });
                 attempt += 1;
             }
             // Canonical reassembly: sequence order *is* the fault-free

@@ -34,6 +34,12 @@
 //! frames over Unix-domain sockets, with the PR 6 varint batch encoding as
 //! the actual wire format and worker crash/respawn mapped onto the
 //! [`fault::CrashEvent`] recovery semantics.
+//!
+//! Every layer can additionally narrate itself through the structured
+//! [`trace`] event stream (DESIGN.md §3.14): a zero-cost-when-off
+//! [`trace::Tracer`] receives sequence-numbered, deterministic logical
+//! events (supersteps, fault waves, engine phases) plus a separate
+//! physical channel for transport wall-clock observations.
 
 pub mod bandwidth;
 pub mod bsp;
@@ -45,6 +51,7 @@ pub mod metrics;
 pub mod network;
 pub mod par;
 pub mod program;
+pub mod trace;
 pub mod transport;
 
 pub use bandwidth::{Bandwidth, CostModel};
@@ -54,4 +61,5 @@ pub use message::{Envelope, WireCodec, WireSize};
 pub use metrics::CommStats;
 pub use network::Network;
 pub use program::{Program, Runner};
+pub use trace::{PhysEvent, PhysRecord, TraceEvent, TraceRecord, TraceSink, Tracer};
 pub use transport::{ProcTransport, SimTransport, Transport, TransportKind, TransportSel};

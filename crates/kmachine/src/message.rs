@@ -269,6 +269,13 @@ pub trait BatchWire: Sized {
     fn batch_wire_bits(batch: &[&Envelope<Self>]) -> u64 {
         batch.iter().map(|e| e.bits.max(1)).sum()
     }
+
+    /// A stable snake_case name for this payload's kind, used by the
+    /// [`crate::trace`] superstep histograms. Types with one shape keep
+    /// the default; enums override with per-variant names.
+    fn kind_name(&self) -> &'static str {
+        "msg"
+    }
 }
 
 impl BatchWire for u64 {}

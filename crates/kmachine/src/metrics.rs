@@ -266,6 +266,91 @@ mod tests {
     }
 
     #[test]
+    fn imbalance_skips_empty_supersteps_even_at_zero_threshold() {
+        // A barrier-only superstep records zero bits; with min_bits = 0 it
+        // passes the threshold test but must still not contribute a
+        // 0/0-shaped sample to the mean.
+        let mut s = CommStats::new(4);
+        s.superstep_loads.push(SuperstepLoad::default());
+        s.superstep_loads.push(SuperstepLoad {
+            max_link_bits: 20,
+            total_bits: 120,
+            messages: 12,
+            rounds: 1,
+        });
+        let r = s.link_imbalance(12, 0);
+        assert!(
+            (r - 2.0).abs() < 1e-9,
+            "empty superstep polluted the mean: {r}"
+        );
+    }
+
+    #[test]
+    fn imbalance_on_a_single_link_is_exactly_one() {
+        // With one directed link, max == total every superstep: the ratio
+        // is 1.0 by construction, whatever the traffic pattern.
+        let mut s = CommStats::new(2);
+        for bits in [7u64, 1000, 3] {
+            s.superstep_loads.push(SuperstepLoad {
+                max_link_bits: bits,
+                total_bits: bits,
+                messages: 1,
+                rounds: 1,
+            });
+        }
+        let r = s.link_imbalance(1, 1);
+        assert!((r - 1.0).abs() < 1e-9, "single-link ratio drifted: {r}");
+    }
+
+    #[test]
+    fn absorb_preserves_superstep_load_order() {
+        // Folding a sub-protocol's stats appends its loads *after* the
+        // host's — the combined record must read in execution order, and
+        // the imbalance over the fold must not depend on who absorbed whom.
+        let mut host = CommStats::new(2);
+        host.superstep_loads.push(SuperstepLoad {
+            max_link_bits: 10,
+            total_bits: 20,
+            messages: 2,
+            rounds: 1,
+        });
+        let mut sub = CommStats::new(2);
+        sub.superstep_loads.push(SuperstepLoad {
+            max_link_bits: 30,
+            total_bits: 30,
+            messages: 3,
+            rounds: 2,
+        });
+        let mut folded = host.clone();
+        folded.absorb(&sub);
+        let tails: Vec<u64> = folded
+            .superstep_loads
+            .iter()
+            .map(|l| l.total_bits)
+            .collect();
+        assert_eq!(tails, vec![20, 30], "host loads first, absorbed after");
+
+        let mut reversed = sub.clone();
+        reversed.absorb(&host);
+        assert!(
+            (folded.link_imbalance(2, 1) - reversed.link_imbalance(2, 1)).abs() < 1e-9,
+            "imbalance must be fold-order independent"
+        );
+    }
+
+    #[test]
+    fn absorb_grows_per_machine_vectors_to_the_larger_run() {
+        let mut a = CommStats::new(1);
+        a.sent_bits[0] = 5;
+        let mut b = CommStats::new(3);
+        b.sent_bits[2] = 7;
+        b.recv_bits[1] = 9;
+        a.absorb(&b);
+        assert_eq!(a.sent_bits, vec![5, 0, 7]);
+        assert_eq!(a.recv_bits, vec![0, 9, 0]);
+    }
+
+    #[test]
     fn machine_maxima() {
         let mut s = CommStats::new(3);
         s.recv_bits = vec![5, 70, 20];

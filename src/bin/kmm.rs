@@ -30,7 +30,7 @@ use std::process::ExitCode;
 /// The algorithm/utility subcommands, in help order (kept next to `usage`
 /// so unknown-subcommand errors can list exactly what exists).
 const SUBCOMMANDS: &[&str] = &[
-    "conn", "mst", "st", "mincut", "dyn", "stcon", "bipart", "gen", "check",
+    "conn", "mst", "st", "mincut", "dyn", "stcon", "bipart", "gen", "check", "trace",
 ];
 
 /// Minimal argument parser: `--key value` pairs plus boolean `--flag`s.
@@ -92,6 +92,8 @@ fn usage() -> ExitCode {
          gen     generate a graph file (--family ... --n N [--m M] [--p P] [--out FILE])\n\
          check   run the kcheck invariant lints over the workspace sources\n\
                  (--root DIR, --allow FILE; exits nonzero on any violation)\n\
+         trace   inspect a --trace-out stream: `trace summarize FILE` prints the\n\
+                 per-phase table, `trace chrome IN [OUT]` exports a Chrome trace\n\
          \n\
          input:  --input FILE            edge-list file (n m header, `u v [w]` lines)\n\
                  --gen FAMILY            streamed synthetic workload, no file; families:\n\
@@ -110,7 +112,10 @@ fn usage() -> ExitCode {
                  --transport sim|proc    run windows in-process (default) or through one\n\
                                          OS worker per machine over Unix sockets; outputs\n\
                                          and logical stats are identical either way\n\
-         output: --report json           machine-readable RunReport on stdout",
+         output: --report json           machine-readable RunReport on stdout\n\
+                 --trace-out FILE        write the run's logical trace as JSONL to FILE\n\
+                                         (physical channel to FILE.phys; inspect with\n\
+                                         `kmm trace summarize` / `kmm trace chrome`)",
         SUBCOMMANDS.join("|")
     );
     ExitCode::from(2)
@@ -285,6 +290,7 @@ fn run_problem<P: Problem>(
 /// `kmm dyn`: ingest, wrap into a `DynamicCluster`, replay the `--trace`
 /// batches, and print a per-batch trailer (components, forest size, solve
 /// and update-phase costs) — JSON lines under `--report json`.
+#[allow(clippy::too_many_arguments)]
 fn run_dyn(
     args: &Args,
     k: usize,
@@ -293,6 +299,7 @@ fn run_dyn(
     contract: bool,
     encoding: Encoding,
     transport: TransportSel,
+    trace: &Tracer,
 ) -> ExitCode {
     let Some(path) = args.get("trace") else {
         return fail("dyn needs --trace FILE (`+ u v [w]` / `- u v` / `---` per line)");
@@ -317,6 +324,7 @@ fn run_dyn(
         cluster,
         DynConfig {
             faults: faults.clone(),
+            trace: trace.clone(),
             ..DynConfig::default()
         },
     );
@@ -325,6 +333,7 @@ fn run_dyn(
         contract,
         encoding,
         transport,
+        trace: trace.clone(),
         ..ConnectivityConfig::default()
     };
     let mst_cfg = MstConfig {
@@ -332,6 +341,7 @@ fn run_dyn(
         contract,
         encoding,
         transport,
+        trace: trace.clone(),
         ..MstConfig::default()
     };
     let emit = |batch: usize, up: Option<&UpdateReport>, dc: &mut DynamicCluster| {
@@ -414,6 +424,67 @@ fn run_transport_worker(argv: &[String]) -> ExitCode {
     }
 }
 
+/// Builds the tracer `--trace-out FILE` asks for: a JSONL file sink for
+/// the logical stream plus `FILE.phys` for the physical channel. Without
+/// the flag the run keeps the zero-cost off tracer.
+fn tracer_from_args(args: &Args) -> Result<Tracer, String> {
+    let Some(path) = args.get("trace-out") else {
+        return Ok(Tracer::off());
+    };
+    let logical = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let phys_path = format!("{path}.phys");
+    let phys = std::fs::File::create(&phys_path).map_err(|e| format!("create {phys_path}: {e}"))?;
+    Ok(Tracer::to_sink(Box::new(JsonlSink::with_phys(
+        std::io::BufWriter::new(logical),
+        std::io::BufWriter::new(phys),
+    ))))
+}
+
+/// `kmm trace summarize FILE` / `kmm trace chrome IN [OUT]`: the offline
+/// inspectors over a `--trace-out` logical JSONL stream. Positional
+/// operands, so this is dispatched before the `--key value` parser runs.
+fn run_trace_tool(argv: &[String]) -> ExitCode {
+    const USAGE: &str = "usage: kmm trace <summarize FILE | chrome IN [OUT]>";
+    let read_records = |path: &str| -> Result<Vec<TraceRecord>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        kmm::machine::trace::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    match (
+        argv.first().map(String::as_str),
+        argv.get(1),
+        argv.get(2),
+        argv.len(),
+    ) {
+        (Some("summarize"), Some(path), None, 2) => match read_records(path) {
+            Ok(records) => {
+                print!("{}", kmm::machine::trace::summarize(&records));
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        },
+        (Some("chrome"), Some(path), out, 2 | 3) => match read_records(path) {
+            Ok(records) => {
+                let json = kmm::machine::trace::chrome_trace(&records);
+                match out {
+                    Some(dst) => {
+                        if let Err(e) = std::fs::write(dst, json) {
+                            return fail(&format!("write {dst}: {e}"));
+                        }
+                        println!("wrote {dst}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        print!("{json}");
+                        ExitCode::SUCCESS
+                    }
+                }
+            }
+            Err(e) => fail(&e),
+        },
+        _ => fail(USAGE),
+    }
+}
+
 /// `kmm check [--root DIR] [--allow FILE]` — the kcheck static pass
 /// (DESIGN.md §3.13). Scans the workspace sources, applies the audited
 /// exceptions in `kcheck.allow`, prints rustc-style diagnostics, and exits
@@ -473,6 +544,11 @@ fn main() -> ExitCode {
     if raw.get(1).map(String::as_str) == Some("__transport-worker") {
         return run_transport_worker(&raw[2..]);
     }
+    // `kmm trace` takes positional operands, so it bypasses the
+    // `--key value` parser too.
+    if raw.get(1).map(String::as_str) == Some("trace") {
+        return run_trace_tool(&raw[2..]);
+    }
     let Some(args) = Args::parse() else {
         return usage();
     };
@@ -499,7 +575,11 @@ fn main() -> ExitCode {
         Some(Ok(t)) => t,
         Some(Err(e)) => return fail(&format!("--transport: {e}")),
     };
-    match args.cmd.as_str() {
+    let trace = match tracer_from_args(&args) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let code = match args.cmd.as_str() {
         "conn" => run_problem(
             &args,
             k,
@@ -510,6 +590,7 @@ fn main() -> ExitCode {
                 contract,
                 encoding,
                 transport,
+                trace: trace.clone(),
                 ..ConnectivityConfig::default()
             }),
             |out| vec![("components", out.component_count().to_string())],
@@ -529,6 +610,7 @@ fn main() -> ExitCode {
                 contract,
                 encoding,
                 transport,
+                trace: trace.clone(),
                 ..MstConfig::default()
             };
             run_problem(
@@ -564,6 +646,7 @@ fn main() -> ExitCode {
                 contract,
                 encoding,
                 transport,
+                trace: trace.clone(),
                 ..MstConfig::default()
             }),
             |out| vec![("forest_edges", out.edges.len().to_string())],
@@ -581,6 +664,7 @@ fn main() -> ExitCode {
                 contract,
                 encoding,
                 transport,
+                trace: trace.clone(),
                 ..MinCutConfig::default()
             }),
             |out| {
@@ -594,7 +678,9 @@ fn main() -> ExitCode {
                 println!("probes:   {}", out.probes);
             },
         ),
-        "dyn" => run_dyn(&args, k, seed, faults, contract, encoding, transport),
+        "dyn" => run_dyn(
+            &args, k, seed, faults, contract, encoding, transport, &trace,
+        ),
         "stcon" => {
             let g = match load_graph(&args) {
                 Ok(g) => g,
@@ -694,7 +780,9 @@ fn main() -> ExitCode {
             );
             usage()
         }
-    }
+    };
+    trace.flush();
+    code
 }
 
 fn fail(msg: &str) -> ExitCode {

@@ -82,6 +82,7 @@ pub mod prelude {
     pub use kmachine::fault::{CrashEvent, FaultPlan};
     pub use kmachine::message::Encoding;
     pub use kmachine::metrics::CommStats;
+    pub use kmachine::trace::{JsonlSink, TraceEvent, TraceRecord, TraceSink, Tracer};
     pub use kmachine::transport::TransportSel;
     pub use kmachine::{Bandwidth, CostModel};
 }

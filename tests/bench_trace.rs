@@ -1,0 +1,60 @@
+//! CI pin for the tracing overhead family (DESIGN.md §4, E25): on the
+//! E20 streamed rung, every tracing mode must return the tracing-off
+//! baseline bit-for-bit with an identical logical ledger — the only
+//! honest costs are wall-clock and the stream's own byte volume, both
+//! captured in `results/BENCH_PR9.json`. Lives in the repo-root suite
+//! next to the other snapshot writers.
+
+use std::path::PathBuf;
+
+use kbench::experiments::{records_to_json, ExperimentRecord};
+use kbench::large::family;
+use kbench::trace::measure;
+
+#[test]
+fn tracing_overhead_stays_inside_the_envelope_and_snapshots_the_costs() {
+    let mut records: Vec<ExperimentRecord> = Vec::new();
+
+    let s = &family(true)[0]; // n = 50_000, k = 16
+    let ms = measure(&s.cluster());
+    assert_eq!(ms.len(), 3);
+    assert_eq!(ms[0].mode, "off");
+    for m in &ms {
+        assert!(m.identical, "{}/{}: answers diverged", s.id, m.mode);
+        records.push(m.record("BENCH_PR9", s));
+    }
+    // The ledger must not see the tracer at all.
+    for m in &ms[1..] {
+        assert_eq!(ms[0].rounds, m.rounds, "{}: rounds", m.mode);
+        assert_eq!(ms[0].total_bits, m.total_bits, "{}: total_bits", m.mode);
+    }
+    // Tracing off emits nothing; tracing on emits a non-trivial stream,
+    // identical in volume whichever sink consumes it (the logical stream
+    // is deterministic, so its JSONL has exactly one length).
+    assert_eq!(ms[0].events, 0, "off mode must not buffer events");
+    assert_eq!(ms[0].trace_bytes, 0);
+    assert!(
+        ms[1].events > 0 && ms[1].trace_bytes > 0,
+        "recording is live"
+    );
+    assert_eq!(ms[1].events, ms[2].events, "same stream either sink");
+    assert_eq!(ms[1].trace_bytes, ms[2].trace_bytes);
+    // The overhead envelope: each traced mode stays within 5% of the
+    // untraced wall plus a fixed grace absorbing scheduler noise on tiny
+    // CI machines (the runs are seconds; the grace is a small fraction).
+    for m in &ms[1..] {
+        assert!(
+            m.wall_ms <= ms[0].wall_ms * 1.05 + 250.0,
+            "{}: tracing overhead out of envelope: {:.1}ms vs {:.1}ms off",
+            m.mode,
+            m.wall_ms,
+            ms[0].wall_ms
+        );
+    }
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let out = dir.join("BENCH_PR9.json");
+    std::fs::write(&out, records_to_json(&records))
+        .unwrap_or_else(|e| panic!("write {}: {e}", out.display()));
+}
