@@ -33,8 +33,13 @@
 //!    trajectory is keyed entirely by vertex ids, labels and shared
 //!    randomness, the spliced answer is bit-identical to a fresh static
 //!    [`Cluster::run`] on the mutated graph (pinned across the scenario
-//!    matrix in `tests/dynamic.rs`). MST and min cut have no such
-//!    decomposition here; [`DynamicCluster::run_full`] re-solves them on
+//!    matrix in `tests/dynamic.rs`). [`DynamicCluster::mst`] maintains
+//!    the MST forest the same way, but per *net update class*: inserts by
+//!    cycle replacement at the component owner, single tree-deletions by
+//!    sketch replacement-edge search over the split halves, everything
+//!    else by a restricted engine re-run — exact in every tier because
+//!    the tie-free edge key makes the MST unique. Min cut has no such
+//!    decomposition here; [`DynamicCluster::run_full`] re-solves it on
 //!    the compacted shards through the ordinary [`Problem`] plumbing.
 //!
 //! ```
@@ -60,7 +65,7 @@
 
 use crate::connectivity::{ConnectivityConfig, ConnectivityOutput};
 use crate::engine::{Engine, EngineConfig, Mode};
-use crate::messages::{id_bits, Label, Payload};
+use crate::messages::{id_bits, EdgeKey, Label, Payload};
 use crate::mst::MstConfig;
 use crate::session::{Cluster, Problem, Run, RunReport};
 use crate::st::SpanningForestOutput;
@@ -71,10 +76,11 @@ use kmachine::det;
 use kmachine::message::Envelope;
 use kmachine::metrics::CommStats;
 use kmachine::network::NetworkConfig;
-use kmachine::trace::{TraceEvent, Tracer};
+use kmachine::trace::{phase_breakdown, TraceEvent, Tracer};
 use krand::shared::SharedRandomness;
 use ksketch::{L0Sketch, SketchFns, SketchParams};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Sketch-function tag of the dynamic incidence sketches: disjoint from
@@ -425,6 +431,26 @@ struct DynState {
     touched: FxHashSet<Label>,
 }
 
+/// Maintained MST structure: the forest (with weights) of the last MST
+/// solve plus its per-vertex component labels (each component labelled by
+/// its minimum vertex). Unlike the connectivity state this carries no
+/// trajectory key: the tie-free edge order makes the MST *unique*, so any
+/// correct maintenance path lands on bit-identical edges whatever knobs
+/// the solve ran under.
+#[derive(Clone, Debug)]
+struct MstDynState {
+    /// The maintained minimum spanning forest, sorted by endpoints.
+    forest: Vec<Edge>,
+    /// Component label (minimum member vertex) per vertex.
+    labels: Vec<Label>,
+}
+
+/// Net effect of the updates on one edge since the last MST solve: the
+/// weight the edge had when the MST was last computed (`None` — absent)
+/// and the weight it has now. Insert-then-delete nets out; a reweight
+/// (delete-then-reinsert with a new weight) carries both sides.
+type MstPendingNet = (Option<u64>, Option<u64>);
+
 /// The engine knobs that shape the solve *trajectory* (and hence the
 /// forest choice): maintained structure is only reusable under the same
 /// key — a solve with different knobs forces a full refresh. Bandwidth,
@@ -476,6 +502,13 @@ pub struct DynamicCluster {
     /// Per machine: home vertex → maintained incidence sketch.
     sketches: Vec<FxHashMap<u32, L0Sketch>>,
     state: Option<DynState>,
+    /// The maintained MST forest (independent of the connectivity state:
+    /// the two are refreshed by different entry points).
+    mst_state: Option<MstDynState>,
+    /// Net per-edge effect of the updates since the last MST solve,
+    /// keyed by canonical endpoints. Only tracked while `mst_state` is
+    /// live; cleared by every MST refresh.
+    mst_pending: FxHashMap<(u32, u32), MstPendingNet>,
     /// The trajectory knobs the maintained state was computed under.
     trajectory: Option<TrajectoryKey>,
     last_refresh: RefreshKind,
@@ -534,6 +567,8 @@ impl DynamicCluster {
             params,
             sketches,
             state: None,
+            mst_state: None,
+            mst_pending: FxHashMap::default(),
             trajectory: None,
             last_refresh: RefreshKind::Full,
             epoch_rounds: 0,
@@ -597,6 +632,20 @@ impl DynamicCluster {
         let mut deletes = 0usize;
         for op in batch.ops() {
             let (u, v) = op.endpoints();
+            if self.mst_state.is_some() {
+                // First touch since the last MST solve captures the
+                // edge's weight *as of that solve* (nothing else mutated
+                // it in between); later touches only move the current
+                // side, so insert-then-delete nets out and a reweight
+                // carries both weights.
+                let key = (u.min(v), u.max(v));
+                let base = self.inner.sharded().staged_edge_weight(key.0, key.1);
+                let net = self.mst_pending.entry(key).or_insert((base, base));
+                net.1 = match *op {
+                    UpdateOp::Insert { w, .. } => Some(w),
+                    UpdateOp::Delete { .. } => None,
+                };
+            }
             let (insert, w) = match *op {
                 UpdateOp::Insert { w, .. } => {
                     inserts += 1;
@@ -705,6 +754,7 @@ impl DynamicCluster {
     /// instead of splicing answers from two different merge histories.
     pub fn connectivity(&mut self, cfg: &ConnectivityConfig) -> Run<ConnectivityOutput> {
         let started = Instant::now();
+        let mark = self.cfg.trace.mark();
         let ecfg = EngineConfig {
             bandwidth: cfg.bandwidth,
             reps: cfg.reps,
@@ -722,7 +772,7 @@ impl DynamicCluster {
             trace: cfg.trace.clone(),
         };
         let r = self.refresh(ecfg);
-        let report = self.report("conn", &r, started);
+        let report = self.report("conn", &r, started, mark);
         let state = self.state.as_ref().expect("refresh leaves state set");
         let labels = state.labels.clone();
         let counted = cfg.run_output_protocol.then(|| {
@@ -754,6 +804,7 @@ impl DynamicCluster {
     /// by the same trajectory knobs as [`DynamicCluster::connectivity`].
     pub fn spanning_forest(&mut self, cfg: &MstConfig) -> Run<SpanningForestOutput> {
         let started = Instant::now();
+        let mark = self.cfg.trace.mark();
         let ecfg = EngineConfig {
             bandwidth: cfg.bandwidth,
             reps: cfg.reps,
@@ -769,7 +820,7 @@ impl DynamicCluster {
             ..EngineConfig::default()
         };
         let r = self.refresh(ecfg);
-        let report = self.report("st", &r, started);
+        let report = self.report("st", &r, started, mark);
         let state = self.state.as_ref().expect("refresh leaves state set");
         let output = SpanningForestOutput {
             edges: state.forest.clone(),
@@ -780,11 +831,568 @@ impl DynamicCluster {
         Run { output, report }
     }
 
+    /// Incremental minimum spanning forest (DESIGN.md §3.9). The net
+    /// updates since the last MST solve are grouped by the old components
+    /// they touch, and each group takes the cheapest *exact* path:
+    ///
+    /// * **no-op** — only non-tree deletions: a non-MST edge never
+    ///   re-enters the tree by its removal, so the maintained forest is
+    ///   already the MST of the mutated graph;
+    /// * **cycle replacement** — insertions only: each new edge is routed
+    ///   to its component owner ([`Payload::MstCycleEdge`]), which finds
+    ///   the maximum-key edge on the tree cycle the insertion closes and
+    ///   swaps if the new edge is lighter ([`Payload::MstSwap`]) — exact
+    ///   because `MST(G + e) ⊆ MST(G) + e` under the tie-free key;
+    /// * **replacement-edge search** — a single tree deletion: the forest
+    ///   splits in two; per-machine sums of the maintained L0 incidence
+    ///   sketches over one half ([`Payload::MstCutSketch`]) cancel to
+    ///   exactly zero iff no crossing edge survives (a genuine split),
+    ///   otherwise the machines min-reduce the lightest crossing edge at
+    ///   the piece referee ([`Payload::MstCandidate`]) — exact by the cut
+    ///   property;
+    /// * **restricted engine re-run** otherwise: a [`Mode::Mst`] run over
+    ///   the affected components, spliced like the connectivity path.
+    ///
+    /// The refreshed forest is certified against the incidence sketches
+    /// and escalates to a full re-solve on failure, exactly like
+    /// [`DynamicCluster::connectivity`]. Because the tie-free edge key
+    /// `(w, u, v)` makes the MST *unique*, the answer is bit-identical to
+    /// a fresh static [`crate::session::Mst`] run on the mutated edge set
+    /// — no trajectory key is needed, unlike the connectivity state. On
+    /// the incremental path `edges_per_machine` reports the maintained
+    /// forest's distribution over the `u`-endpoint homes.
+    pub fn mst(&mut self, cfg: &MstConfig) -> Run<crate::mst::MstOutput> {
+        let started = Instant::now();
+        let mark = self.cfg.trace.mark();
+        self.compact_now();
+        let ecfg = EngineConfig {
+            bandwidth: cfg.bandwidth,
+            reps: cfg.reps,
+            charge_shared_randomness: cfg.charge_shared_randomness,
+            run_output_protocol: false,
+            max_phases: cfg.max_phases,
+            faults: cfg.faults.clone(),
+            recovery: cfg.recovery,
+            contract: cfg.contract,
+            encoding: cfg.encoding,
+            transport: cfg.transport,
+            trace: cfg.trace.clone(),
+            ..EngineConfig::default()
+        };
+        // Net out the update log: an edge whose current weight equals its
+        // weight at the last MST solve contributes nothing (insert-then-
+        // delete, delete-then-reinsert at the same weight, …).
+        let mut net_deletes = Vec::new();
+        let mut net_inserts = Vec::new();
+        let pending = std::mem::take(&mut self.mst_pending);
+        for ((u, v), (base, cur)) in det::into_sorted_entries(pending) {
+            if base == cur {
+                continue;
+            }
+            if let Some(w0) = base {
+                net_deletes.push(Edge::new(u, v, w0));
+            }
+            if let Some(w1) = cur {
+                net_inserts.push(Edge::new(u, v, w1));
+            }
+        }
+        let (r, endpoint_routing) = match self.mst_state.take() {
+            Some(state) if net_deletes.is_empty() && net_inserts.is_empty() => {
+                // Nothing net-changed since the last MST solve: the
+                // maintained forest is the answer, at zero model cost.
+                self.mst_state = Some(state);
+                self.last_refresh = RefreshKind::Cached;
+                (
+                    Refresh {
+                        stats: CommStats::new(self.k()),
+                        phases: 0,
+                        phase_components: Vec::new(),
+                        drr_depths: Vec::new(),
+                        edges_per_machine: vec![0; self.k()],
+                        sketch_builds: 0,
+                        sketch_cache_hits: 0,
+                    },
+                    None,
+                )
+            }
+            Some(state) => self.mst_incremental(state, net_deletes, net_inserts, cfg, &ecfg, mark),
+            None => self.mst_full(cfg),
+        };
+        let report = self.report("mst", &r, started, mark);
+        let state = self
+            .mst_state
+            .as_ref()
+            .expect("an MST refresh leaves state set");
+        let edges = state.forest.clone();
+        let total_weight = edges.iter().map(|e| e.w as u128).sum();
+        let output = crate::mst::MstOutput {
+            edges,
+            total_weight,
+            stats: r.stats,
+            phases: r.phases,
+            edges_per_machine: r.edges_per_machine,
+            endpoint_routing,
+        };
+        Run { output, report }
+    }
+
+    /// Full MST re-solve on the compacted shards, seeding the maintained
+    /// forest — the first-solve path and the certification escape hatch.
+    fn mst_full(&mut self, cfg: &MstConfig) -> (Refresh, Option<CommStats>) {
+        let out =
+            crate::mst::minimum_spanning_tree_sharded(self.inner.sharded(), self.inner.seed(), cfg);
+        let labels = forest_labels(self.n(), &out.edges);
+        self.mst_state = Some(MstDynState {
+            forest: out.edges,
+            labels,
+        });
+        self.last_refresh = RefreshKind::Full;
+        (
+            Refresh {
+                stats: out.stats,
+                phases: out.phases,
+                phase_components: Vec::new(),
+                drr_depths: Vec::new(),
+                edges_per_machine: out.edges_per_machine,
+                sketch_builds: 0,
+                sketch_cache_hits: 0,
+            },
+            out.endpoint_routing,
+        )
+    }
+
+    /// The incremental MST refresh: group classification and the three
+    /// replacement tiers (see [`DynamicCluster::mst`] for the contract).
+    fn mst_incremental(
+        &mut self,
+        state: MstDynState,
+        net_deletes: Vec<Edge>,
+        net_inserts: Vec<Edge>,
+        cfg: &MstConfig,
+        ecfg: &EngineConfig,
+        mark: usize,
+    ) -> (Refresh, Option<CommStats>) {
+        let (n, k) = (self.n(), self.k());
+        let l = id_bits(n);
+        let MstDynState {
+            mut forest,
+            labels: old_labels,
+        } = state;
+        // --- Group the net ops by the old components they touch: a
+        // union-find over component labels, merged through each net
+        // insert (the only op kind that can join components). Unioning
+        // toward the smaller index keeps every root at its group's
+        // minimum label.
+        let mut group_labels: Vec<Label> = net_deletes
+            .iter()
+            .chain(&net_inserts)
+            .flat_map(|e| [old_labels[e.u as usize], old_labels[e.v as usize]])
+            .collect();
+        group_labels.sort_unstable();
+        group_labels.dedup();
+        let index: FxHashMap<Label, usize> = group_labels
+            .iter()
+            .enumerate()
+            .map(|(i, &lab)| (lab, i))
+            .collect();
+        fn lfind(luf: &mut [usize], mut x: usize) -> usize {
+            while luf[x] != x {
+                let gp = luf[luf[x]];
+                luf[x] = gp;
+                x = gp;
+            }
+            x
+        }
+        let mut luf: Vec<usize> = (0..group_labels.len()).collect();
+        for e in &net_inserts {
+            let a = lfind(&mut luf, index[&old_labels[e.u as usize]]);
+            let b = lfind(&mut luf, index[&old_labels[e.v as usize]]);
+            if a != b {
+                luf[a.max(b)] = a.min(b);
+            }
+        }
+        // --- Classify each group by its net tree-deletions and inserts.
+        let tree: FxHashSet<(u32, u32)> = forest.iter().map(|e| (e.u, e.v)).collect();
+        #[derive(Default)]
+        struct Group {
+            tree_dels: Vec<Edge>,
+            inserts: Vec<Edge>,
+        }
+        let mut groups: BTreeMap<usize, Group> = BTreeMap::new();
+        for e in &net_deletes {
+            let root = lfind(&mut luf, index[&old_labels[e.u as usize]]);
+            let g = groups.entry(root).or_default();
+            if tree.contains(&(e.u, e.v)) {
+                g.tree_dels.push(*e);
+            }
+        }
+        for e in &net_inserts {
+            let root = lfind(&mut luf, index[&old_labels[e.u as usize]]);
+            groups.entry(root).or_default().inserts.push(*e);
+        }
+        let mut tier_cycle: Vec<(Label, Vec<Edge>)> = Vec::new();
+        let mut tier_cut: Vec<Edge> = Vec::new();
+        let mut engine_label_set: FxHashSet<Label> = FxHashSet::default();
+        for (root, g) in &groups {
+            match (g.tree_dels.len(), g.inserts.len()) {
+                // Only non-tree deletions: the forest is already the MST
+                // of the mutated graph.
+                (0, 0) => {}
+                (0, _) => tier_cycle.push((group_labels[*root], g.inserts.clone())),
+                (1, 0) => tier_cut.push(g.tree_dels[0]),
+                // Multiple tree-deletions, or deletions mixed with
+                // inserts: re-run the engine over the whole group.
+                _ => {
+                    for (i, &lab) in group_labels.iter().enumerate() {
+                        if lfind(&mut luf, i) == *root {
+                            engine_label_set.insert(lab);
+                        }
+                    }
+                }
+            }
+        }
+        let mut stats = CommStats::new(k);
+        // Newly chosen forest edges, attributed to the machine that chose
+        // them, for the criterion (b) routing stage.
+        let mut new_edges: Vec<(usize, (u32, u32, u64))> = Vec::new();
+        // --- Tier: cycle replacement (inserts into otherwise-unchanged
+        // components). Each group's inserts are applied sequentially in
+        // tie-free key order at the group owner.
+        if !tier_cycle.is_empty() {
+            let mut uf = VertexUf::new(n);
+            let mut adj: FxHashMap<u32, Vec<(u32, u64)>> = FxHashMap::default();
+            for e in &forest {
+                uf.union(e.u, e.v);
+                adj.entry(e.u).or_default().push((e.v, e.w));
+                adj.entry(e.v).or_default().push((e.u, e.w));
+            }
+            let mut route = Vec::new();
+            let mut replies = Vec::new();
+            for (comp, mut ins) in tier_cycle {
+                ins.sort_unstable_by_key(|e| (e.w, e.u, e.v));
+                let owner = self.home.home(comp as u32);
+                for e in ins {
+                    let payload = Payload::MstCycleEdge {
+                        comp,
+                        u: e.u,
+                        v: e.v,
+                        weight: e.w,
+                    };
+                    let bits = payload.wire_bits_lw(l, l);
+                    route.push(Envelope::with_bits(COORDINATOR, owner, payload, bits));
+                    let mut evicted = None;
+                    let mut accept = true;
+                    if uf.connected(e.u, e.v) {
+                        let (mw, ma, mb) = tree_path_max(&adj, e.u, e.v);
+                        if (mw, ma, mb) > (e.w, e.u, e.v) {
+                            // The new edge undercuts the heaviest cycle
+                            // edge: swap them.
+                            forest.retain(|f| (f.u, f.v) != (ma, mb));
+                            for (a, b) in [(ma, mb), (mb, ma)] {
+                                adj.get_mut(&a)
+                                    .expect("tree edge endpoint has adjacency")
+                                    .retain(|&(nb, _)| nb != b);
+                            }
+                            evicted = Some((mw, ma, mb));
+                        } else {
+                            // The new edge is the heaviest on its own
+                            // cycle: the MST is unchanged.
+                            accept = false;
+                        }
+                    } else {
+                        // Joins two trees of the group: no cycle to break.
+                        uf.union(e.u, e.v);
+                    }
+                    if accept {
+                        forest.push(e);
+                        adj.entry(e.u).or_default().push((e.v, e.w));
+                        adj.entry(e.v).or_default().push((e.u, e.w));
+                        new_edges.push((owner, (e.u, e.v, e.w)));
+                    }
+                    let reply = Payload::MstSwap { comp, evicted };
+                    let rbits = reply.wire_bits_lw(l, l);
+                    replies.push(Envelope::with_bits(owner, COORDINATOR, reply, rbits));
+                }
+            }
+            let mut bsp = self.dyn_bsp(ecfg);
+            bsp.superstep(route);
+            let _ = bsp.take_all_inboxes();
+            bsp.superstep(replies);
+            let _ = bsp.take_all_inboxes();
+            let s = bsp.into_stats();
+            let (rounds, bits) = (s.rounds, s.total_bits);
+            self.cfg.trace.emit(|| TraceEvent::Segment {
+                name: "mst_cycle".to_string(),
+                rounds,
+                bits,
+            });
+            stats.absorb(&s);
+        }
+        // --- Tier: sketch replacement-edge search (a single tree
+        // deletion splits its component in two).
+        if !tier_cut.is_empty() {
+            let mut adj: FxHashMap<u32, Vec<(u32, u64)>> = FxHashMap::default();
+            for e in &forest {
+                adj.entry(e.u).or_default().push((e.v, e.w));
+                adj.entry(e.v).or_default().push((e.u, e.w));
+            }
+            struct CutPlan {
+                piece: Label,
+                other: Label,
+                probe: Vec<u32>,
+                other_set: FxHashSet<u32>,
+                del: Edge,
+            }
+            let mut bsp = self.dyn_bsp(ecfg);
+            let mut sketch_env = Vec::new();
+            let mut plans = Vec::new();
+            for del in tier_cut {
+                let side_u = tree_piece(&adj, del.u, del);
+                let side_v = tree_piece(&adj, del.v, del);
+                // Probe the smaller piece: its sketch sum cancels every
+                // intra-piece edge by linearity, leaving exactly the
+                // crossing edges.
+                let (probe, other) = if (side_u.len(), del.u) <= (side_v.len(), del.v) {
+                    (side_u, side_v)
+                } else {
+                    (side_v, side_u)
+                };
+                let piece = Label::from(*probe.iter().min().expect("piece is nonempty"));
+                let other_label = Label::from(*other.iter().min().expect("piece is nonempty"));
+                let mut per_machine: Vec<Option<L0Sketch>> = (0..k).map(|_| None).collect();
+                for &x in &probe {
+                    let m = self.home.home(x);
+                    per_machine[m]
+                        .get_or_insert_with(|| L0Sketch::new(self.params))
+                        .merge(&self.sketches[m][&x]);
+                }
+                let referee = self.home.home(piece as u32);
+                for (i, sk) in per_machine.into_iter().enumerate() {
+                    if let Some(sk) = sk {
+                        let payload = Payload::MstCutSketch {
+                            piece,
+                            sketch: Box::new(sk),
+                        };
+                        let bits = payload.wire_bits_lw(l, l);
+                        sketch_env.push(Envelope::with_bits(i, referee, payload, bits));
+                    }
+                }
+                plans.push(CutPlan {
+                    piece,
+                    other: other_label,
+                    probe,
+                    other_set: other.into_iter().collect(),
+                    del,
+                });
+            }
+            bsp.superstep(sketch_env);
+            let mut nonzero: FxHashSet<Label> = FxHashSet::default();
+            for inbox in bsp.take_all_inboxes() {
+                let mut sums: FxHashMap<Label, L0Sketch> = FxHashMap::default();
+                for env in inbox {
+                    if let Payload::MstCutSketch { piece, sketch } = env.payload {
+                        match sums.get_mut(&piece) {
+                            Some(acc) => acc.merge(&sketch),
+                            None => {
+                                sums.insert(piece, *sketch);
+                            }
+                        }
+                    }
+                }
+                for piece in det::sorted_keys(&sums) {
+                    if !sums[&piece].is_zero() {
+                        nonzero.insert(piece);
+                    }
+                }
+            }
+            // Pieces with a non-zero sum have a surviving crossing edge:
+            // every machine nominates its lightest one (every crossing
+            // edge has an endpoint in the probe piece, so scanning the
+            // probe homes' shard views covers the whole cut).
+            let mut cand_env = Vec::new();
+            for plan in &plans {
+                if !nonzero.contains(&plan.piece) {
+                    continue;
+                }
+                let mut best: Vec<Option<EdgeKey>> = vec![None; k];
+                for &x in &plan.probe {
+                    let m = self.home.home(x);
+                    for &(nb, w) in self.inner.sharded().view(m).neighbors(x) {
+                        if plan.other_set.contains(&nb) {
+                            let key = (w, x.min(nb), x.max(nb));
+                            if best[m].is_none_or(|b| key < b) {
+                                best[m] = Some(key);
+                            }
+                        }
+                    }
+                }
+                let referee = self.home.home(plan.piece as u32);
+                for (i, key) in best.into_iter().enumerate() {
+                    if let Some(key) = key {
+                        let payload = Payload::MstCandidate {
+                            piece: plan.piece,
+                            key,
+                            to_piece: plan.other,
+                        };
+                        let bits = payload.wire_bits_lw(l, l);
+                        cand_env.push(Envelope::with_bits(i, referee, payload, bits));
+                    }
+                }
+            }
+            let mut winners: FxHashMap<Label, EdgeKey> = FxHashMap::default();
+            if !cand_env.is_empty() {
+                bsp.superstep(cand_env);
+                for inbox in bsp.take_all_inboxes() {
+                    for env in inbox {
+                        if let Payload::MstCandidate { piece, key, .. } = env.payload {
+                            match winners.get_mut(&piece) {
+                                Some(best) => *best = (*best).min(key),
+                                None => {
+                                    winners.insert(piece, key);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for plan in &plans {
+                forest.retain(|f| (f.u, f.v) != (plan.del.u, plan.del.v));
+                if let Some(&(w, a, b)) = winners.get(&plan.piece) {
+                    // The cut property under the tie-free order: the
+                    // minimum crossing edge rejoins the two pieces.
+                    forest.push(Edge::new(a, b, w));
+                    new_edges.push((self.home.home(plan.piece as u32), (a, b, w)));
+                }
+                // A zero sum certifies a genuine split: the component
+                // stays divided and the labels recompute below.
+            }
+            let s = bsp.into_stats();
+            let (rounds, bits) = (s.rounds, s.total_bits);
+            self.cfg.trace.emit(|| TraceEvent::Segment {
+                name: "mst_cut".to_string(),
+                rounds,
+                bits,
+            });
+            stats.absorb(&s);
+        }
+        // --- Tier: restricted engine re-run over the remaining groups.
+        let mut engine_phases = 0u32;
+        let mut engine_pc: Vec<usize> = Vec::new();
+        let mut engine_drr: Vec<u32> = Vec::new();
+        let (mut sketch_builds, mut sketch_cache_hits) = (0u64, 0u64);
+        if !engine_label_set.is_empty() {
+            let mask: Vec<bool> = old_labels
+                .iter()
+                .map(|lab| engine_label_set.contains(lab))
+                .collect();
+            let mut engine = Engine::new(self.inner.sharded(), Mode::Mst, self.inner.seed(), {
+                let mut c = ecfg.clone();
+                // Contraction densifies label ids but the MST is unique
+                // either way; the restricted run keeps the plain path.
+                c.contract = false;
+                c
+            });
+            engine.restrict(&mask);
+            let result = engine.run();
+            stats.absorb(&result.stats);
+            let survivors: Vec<Edge> = std::mem::take(&mut forest)
+                .into_iter()
+                .filter(|e| !mask[e.u as usize])
+                .collect();
+            forest = splice_forest(&result.mst_edges, survivors);
+            let mut idx = 0usize;
+            for (machine, &cnt) in result.mst_edges_per_machine.iter().enumerate() {
+                for _ in 0..cnt {
+                    new_edges.push((machine, result.mst_edges[idx]));
+                    idx += 1;
+                }
+            }
+            engine_phases = result.phases;
+            engine_pc = result.phase_components;
+            engine_drr = result.drr_depths;
+            sketch_builds = result.sketch_builds;
+            sketch_cache_hits = result.sketch_cache_hits;
+        }
+        forest.sort_unstable_by_key(|e| (e.u, e.v));
+        let labels = forest_labels(n, &forest);
+        let affected: Vec<bool> = old_labels
+            .iter()
+            .map(|lab| index.contains_key(lab))
+            .collect();
+        let active_count = affected.iter().filter(|&&a| a).count();
+        self.mst_state = Some(MstDynState { forest, labels });
+        let certified = if self.cfg.certify {
+            let st = self.mst_state.as_ref().expect("state was just set");
+            let fresh_labels: FxHashSet<Label> = st
+                .labels
+                .iter()
+                .zip(&affected)
+                .filter(|&(_, &a)| a)
+                .map(|(&lab, _)| lab)
+                .collect();
+            let (ok, cert_stats) = self.certify(&fresh_labels, &st.labels, ecfg);
+            stats.absorb(&cert_stats);
+            ok
+        } else {
+            true
+        };
+        if !certified {
+            // Same escape hatch as the connectivity path: record the
+            // aborted attempt as a rolled-back breakdown span and
+            // re-solve fully, keeping the bits spent so far on the books.
+            self.mst_state = None;
+            let span = phase_breakdown(&self.cfg.trace.events_since(mark)).len() as u64;
+            let (rounds, bits) = (stats.rounds, stats.total_bits);
+            self.cfg
+                .trace
+                .emit(|| TraceEvent::DynEscalate { span, rounds, bits });
+            let (mut full, routing) = self.mst_full(cfg);
+            let mut merged = stats;
+            merged.absorb(&full.stats);
+            full.stats = merged;
+            return (full, routing);
+        }
+        self.last_refresh = RefreshKind::Incremental {
+            active_vertices: active_count,
+        };
+        // Criterion (b): only the newly chosen edges need routing — the
+        // surviving forest is already known at its endpoint homes.
+        let mut endpoint_routing = None;
+        if cfg.criterion == crate::mst::OutputCriterion::BothEndpoints && !new_edges.is_empty() {
+            let routing =
+                crate::mst::route_edges_to_endpoints(self.inner.sharded(), &new_edges, cfg);
+            stats.absorb(&routing);
+            endpoint_routing = Some(routing);
+        }
+        let st = self.mst_state.as_ref().expect("state was just set");
+        let mut edges_per_machine = vec![0usize; k];
+        for e in &st.forest {
+            edges_per_machine[self.home.home(e.u)] += 1;
+        }
+        (
+            Refresh {
+                stats,
+                phases: engine_phases,
+                phase_components: engine_pc,
+                drr_depths: engine_drr,
+                edges_per_machine,
+                sketch_builds,
+                sketch_cache_hits,
+            },
+            endpoint_routing,
+        )
+    }
+
+    /// The maintained MST forest, if an MST solve has run.
+    pub fn mst_forest(&self) -> Option<&[Edge]> {
+        self.mst_state.as_ref().map(|s| s.forest.as_slice())
+    }
+
     /// Full re-solve on the compacted shards through the ordinary
     /// [`Problem`] plumbing — the path for problems with no incremental
-    /// decomposition here (MST: mutated weights reshape the whole tree
-    /// order; min cut: a global estimate). The report still carries the
-    /// update-phase counters.
+    /// decomposition here (min cut: a global estimate; MST has its own
+    /// incremental entry point, [`DynamicCluster::mst`]). The report
+    /// still carries the update-phase counters.
     pub fn run_full<P: Problem>(&mut self, problem: P) -> Run<P::Output> {
         self.compact_now();
         let mut run = self.inner.run(problem);
@@ -806,6 +1414,7 @@ impl DynamicCluster {
     /// incremental (restricted engine run over touched components, then
     /// certification), or full.
     fn refresh(&mut self, ecfg: EngineConfig) -> Refresh {
+        let attempt_mark = self.cfg.trace.mark();
         self.compact_now();
         // Maintained structure is only valid under the trajectory knobs it
         // was computed with: a solve under different knobs would splice
@@ -868,14 +1477,12 @@ impl DynamicCluster {
                         *lab = result.labels[v];
                     }
                 }
-                let mut forest: Vec<Edge> = old
+                let survivors: Vec<Edge> = old
                     .forest
                     .into_iter()
                     .filter(|e| !mask[e.u as usize])
                     .collect();
-                forest.extend(result.mst_edges.iter().map(|&(u, v, w)| Edge::new(u, v, w)));
-                forest.sort_unstable_by_key(|e| (e.u, e.v));
-                forest.dedup();
+                let forest = splice_forest(&result.mst_edges, survivors);
                 let certified = if self.cfg.certify {
                     let fresh_labels: FxHashSet<Label> = labels
                         .iter()
@@ -898,8 +1505,16 @@ impl DynamicCluster {
                     // The sketches exposed a missed merge (a Monte-Carlo
                     // sampling whiff in the restricted run): escalate to a
                     // full refresh, keeping the bits spent so far on the
-                    // books.
+                    // books. The aborted attempt stays in the per-phase
+                    // breakdown as a rolled-back span, so the §3.14 tiling
+                    // invariant keeps holding against the merged stats.
                     self.state = None;
+                    let span =
+                        phase_breakdown(&self.cfg.trace.events_since(attempt_mark)).len() as u64;
+                    let (rounds, bits) = (stats.rounds, stats.total_bits);
+                    self.cfg
+                        .trace
+                        .emit(|| TraceEvent::DynEscalate { span, rounds, bits });
                     let mut full = self.refresh(ecfg.clone());
                     let mut merged = stats;
                     merged.absorb(&full.stats);
@@ -911,13 +1526,7 @@ impl DynamicCluster {
                 };
             }
             (None, _) => {
-                let mut forest: Vec<Edge> = result
-                    .mst_edges
-                    .iter()
-                    .map(|&(u, v, w)| Edge::new(u, v, w))
-                    .collect();
-                forest.sort_unstable_by_key(|e| (e.u, e.v));
-                forest.dedup();
+                let forest = splice_forest(&result.mst_edges, Vec::new());
                 self.state = Some(DynState {
                     labels: result.labels.clone(),
                     forest,
@@ -954,18 +1563,7 @@ impl DynamicCluster {
     ) -> (bool, CommStats) {
         let k = self.k();
         let l = id_bits(self.n());
-        let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig {
-            k,
-            bandwidth: ecfg.bandwidth,
-            n: self.n(),
-            cost_model: ecfg.cost_model,
-            encoding: ecfg.encoding,
-        });
-        crate::engine::attach_transport(&mut bsp, ecfg.transport, k);
-        bsp.set_tracer(self.cfg.trace.clone());
-        if let Some(plan) = self.cfg.faults.clone() {
-            bsp.install_faults(plan, true);
-        }
+        let mut bsp = self.dyn_bsp(ecfg);
         let mut envelopes = Vec::new();
         for (i, per_machine) in self.sketches.iter().enumerate() {
             let mut agg: FxHashMap<Label, L0Sketch> = FxHashMap::default();
@@ -1023,11 +1621,40 @@ impl DynamicCluster {
         );
         let bad = verdicts.iter().any(|&b| b);
         let n_labels = fresh_labels.len() as u64;
+        let stats = bsp.into_stats();
+        // The certification exchange is absorbed into the solve's stats,
+        // so the event carries its cost and folds into the per-phase
+        // breakdown as a `"certify"` row (keeping the tiling exact).
+        let (rounds, bits) = (stats.rounds, stats.total_bits);
         self.cfg.trace.emit(|| TraceEvent::DynCertify {
             labels: n_labels,
+            rounds,
+            bits,
             ok: !bad,
         });
-        (!bad, bsp.into_stats())
+        (!bad, stats)
+    }
+
+    /// A superstep runner for the dynamic layer's own exchanges
+    /// (certification, cycle replacement, replacement-edge search): the
+    /// solve's network/encoding/transport envelope, the dynamic tracer,
+    /// and the dynamic layer's fault plan — so chaos plans exercise these
+    /// supersteps through the same reliable delivery as the engine's.
+    fn dyn_bsp(&self, ecfg: &EngineConfig) -> Bsp<Payload> {
+        let k = self.k();
+        let mut bsp: Bsp<Payload> = Bsp::new(NetworkConfig {
+            k,
+            bandwidth: ecfg.bandwidth,
+            n: self.n(),
+            cost_model: ecfg.cost_model,
+            encoding: ecfg.encoding,
+        });
+        crate::engine::attach_transport(&mut bsp, ecfg.transport, k);
+        bsp.set_tracer(self.cfg.trace.clone());
+        if let Some(plan) = self.cfg.faults.clone() {
+            bsp.install_faults(plan, true);
+        }
+        bsp
     }
 
     fn compact_now(&mut self) {
@@ -1037,7 +1664,25 @@ impl DynamicCluster {
         }
     }
 
-    fn report(&mut self, problem: &'static str, r: &Refresh, started: Instant) -> RunReport {
+    fn report(
+        &mut self,
+        problem: &'static str,
+        r: &Refresh,
+        started: Instant,
+        mark: usize,
+    ) -> RunReport {
+        // Bracketing the whole solve with the dynamic tracer yields a
+        // breakdown that tiles `r.stats` exactly — engine segments, the
+        // certify row, the incremental-MST segments, and (on escalation)
+        // the rolled-back attempt rows all land inside the bracket —
+        // provided the solve config threads the *same* tracer as
+        // `DynConfig::trace` (as `kmm dyn --trace` does).
+        let breakdown = self
+            .cfg
+            .trace
+            .is_on()
+            .then(|| phase_breakdown(&self.cfg.trace.events_since(mark)))
+            .filter(|rows| !rows.is_empty());
         let report = RunReport {
             problem,
             stats: r.stats.clone(),
@@ -1050,7 +1695,7 @@ impl DynamicCluster {
             retransmit_bits: r.stats.retransmit_bits + self.epoch_retransmit_bits,
             recovery_rounds: r.stats.recovery_rounds + self.epoch_recovery_rounds,
             wall: started.elapsed(),
-            phase_breakdown: None,
+            phase_breakdown: breakdown,
         };
         self.reset_epoch();
         report
@@ -1173,6 +1818,128 @@ impl DynamicCluster {
         bsp.superstep(envelopes);
         bsp.into_stats()
     }
+}
+
+/// Splices a weighted forest: freshly re-solved edges win over surviving
+/// old edges *by endpoints*, so a delete-then-reinsert with a new weight
+/// can never leave both the stale and the fresh copy of the same edge in
+/// the forest (full-`Edge` dedup would keep both, since their weights
+/// differ).
+fn splice_forest(fresh: &[(u32, u32, u64)], survivors: Vec<Edge>) -> Vec<Edge> {
+    let mut forest: Vec<Edge> = fresh.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
+    forest.sort_unstable_by_key(|e| (e.u, e.v));
+    forest.dedup_by_key(|e| (e.u, e.v));
+    let resolved: FxHashSet<(u32, u32)> = forest.iter().map(|e| (e.u, e.v)).collect();
+    forest.extend(
+        survivors
+            .into_iter()
+            .filter(|e| !resolved.contains(&(e.u, e.v))),
+    );
+    forest.sort_unstable_by_key(|e| (e.u, e.v));
+    debug_assert!(
+        forest
+            .windows(2)
+            .all(|p| (p[0].u, p[0].v) != (p[1].u, p[1].v)),
+        "spliced forest endpoints must be unique"
+    );
+    forest
+}
+
+/// Canonical (minimum-member) component labels of a forest over `n`
+/// vertices.
+fn forest_labels(n: usize, forest: &[Edge]) -> Vec<Label> {
+    let mut uf = VertexUf::new(n);
+    for e in forest {
+        uf.union(e.u, e.v);
+    }
+    (0..n as u32).map(|v| Label::from(uf.find(v))).collect()
+}
+
+/// A plain union-find over vertex ids: path-halving, union by *minimum*
+/// root — so every root is its component's canonical label.
+struct VertexUf {
+    parent: Vec<u32>,
+}
+
+impl VertexUf {
+    fn new(n: usize) -> Self {
+        VertexUf {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+
+    fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// The maximum-key edge on the unique tree path between `u` and `v`
+/// (which must be connected in the forest `adj` describes), as a
+/// tie-free `(w, min, max)` key.
+fn tree_path_max(adj: &FxHashMap<u32, Vec<(u32, u64)>>, u: u32, v: u32) -> (u64, u32, u32) {
+    let mut parent: FxHashMap<u32, (u32, u64)> = FxHashMap::default();
+    let mut queue = vec![u];
+    let mut head = 0usize;
+    while head < queue.len() {
+        let x = queue[head];
+        head += 1;
+        if x == v {
+            break;
+        }
+        for &(nb, w) in adj.get(&x).into_iter().flatten() {
+            if nb != u && !parent.contains_key(&nb) {
+                parent.insert(nb, (x, w));
+                queue.push(nb);
+            }
+        }
+    }
+    let mut best: Option<(u64, u32, u32)> = None;
+    let mut x = v;
+    while x != u {
+        let &(p, w) = parent.get(&x).expect("endpoints are tree-connected");
+        let key = (w, x.min(p), x.max(p));
+        if best.is_none_or(|b| key > b) {
+            best = Some(key);
+        }
+        x = p;
+    }
+    best.expect("tree path has at least one edge")
+}
+
+/// The vertices reachable from `start` in the forest without crossing
+/// the (still-present) deleted edge — one side of the split.
+fn tree_piece(adj: &FxHashMap<u32, Vec<(u32, u64)>>, start: u32, del: Edge) -> Vec<u32> {
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    seen.insert(start);
+    let mut order = vec![start];
+    let mut head = 0usize;
+    while head < order.len() {
+        let x = order[head];
+        head += 1;
+        for &(nb, _) in adj.get(&x).into_iter().flatten() {
+            let crossing = (x.min(nb), x.max(nb)) == (del.u, del.v);
+            if !crossing && seen.insert(nb) {
+                order.push(nb);
+            }
+        }
+    }
+    order
 }
 
 /// A borrowed maintained sketch plus the shared functions — lets `apply`
@@ -1446,5 +2213,368 @@ mod tests {
             .ingest_graph(&mutated)
             .run(Connectivity::with(cfg));
         assert_eq!(run.output.labels, fresh.output.labels);
+    }
+
+    /// A controllable weighted instance for the MST tiers: three
+    /// components with distinct weights everywhere.
+    ///
+    /// ```text
+    /// X: 0-1(10) 1-2(11) 2-3(12) 3-4(13) 4-5(14)  + 0-2(50) 2-4(60)
+    /// Y: 6-7(20) 7-8(21) 8-9(22) 9-6(23)
+    /// Z: 10-11(30)
+    /// ```
+    fn mst_playground() -> Graph {
+        Graph::from_edges(
+            12,
+            [
+                (0, 1, 10),
+                (1, 2, 11),
+                (2, 3, 12),
+                (3, 4, 13),
+                (4, 5, 14),
+                (0, 2, 50),
+                (2, 4, 60),
+                (6, 7, 20),
+                (7, 8, 21),
+                (8, 9, 22),
+                (9, 6, 23),
+                (10, 11, 30),
+            ],
+        )
+    }
+
+    fn assert_mst_matches_fresh(
+        dc: &mut DynamicCluster,
+        applied: &[UpdateBatch],
+        g: &Graph,
+        k: usize,
+        seed: u64,
+        what: &str,
+    ) {
+        let cfg = MstConfig::default();
+        let run = dc.mst(&cfg);
+        let mutated = mutated_graph(g, applied);
+        let fresh = Cluster::builder(k)
+            .seed(seed)
+            .ingest_graph(&mutated)
+            .run(Mst::with(cfg));
+        assert_eq!(run.output.edges, fresh.output.edges, "{what}: forest edges");
+        assert_eq!(
+            run.output.total_weight, fresh.output.total_weight,
+            "{what}: weight"
+        );
+        assert_eq!(
+            run.output.total_weight,
+            refalgo::forest_weight(&refalgo::kruskal(&mutated)),
+            "{what}: Kruskal oracle"
+        );
+        assert!(
+            run.output
+                .edges
+                .windows(2)
+                .all(|p| (p[0].u, p[0].v) != (p[1].u, p[1].v)),
+            "{what}: endpoint-unique forest"
+        );
+    }
+
+    #[test]
+    fn incremental_mst_covers_every_tier() {
+        let g = mst_playground();
+        let (k, seed) = (3, 61);
+        let mut dc = DynamicCluster::wrap(
+            Cluster::builder(k).seed(seed).ingest_graph(&g),
+            DynConfig::default(),
+        );
+        dc.mst(&MstConfig::default());
+        assert_eq!(dc.last_refresh(), RefreshKind::Full);
+        let mut applied: Vec<UpdateBatch> = Vec::new();
+        // Tier: cycle replacement. 1-3(5) closes the cycle 1-2-3 and
+        // evicts 2-3(12); 5-6(99) joins X and Y (same group, no cycle).
+        let b = UpdateBatch::new().insert(1, 3, 5).insert(5, 6, 99);
+        dc.apply(&b).unwrap();
+        applied.push(b);
+        assert_mst_matches_fresh(&mut dc, &applied, &g, k, seed, "cycle tier");
+        assert!(matches!(dc.last_refresh(), RefreshKind::Incremental { .. }));
+        // Tier: replacement-edge search with a survivor. Deleting tree
+        // edge 7-8 splits {…,7} from {8,9}; the non-tree edge 9-6(23)
+        // crosses the cut and must be swapped in.
+        let b = UpdateBatch::new().delete(7, 8);
+        dc.apply(&b).unwrap();
+        applied.push(b);
+        assert_mst_matches_fresh(&mut dc, &applied, &g, k, seed, "cut tier (replacement)");
+        assert!(matches!(dc.last_refresh(), RefreshKind::Incremental { .. }));
+        // Tier: replacement-edge search with a genuine split. 10-11 is a
+        // bridge: the zero sketch sum certifies there is no crossing edge.
+        let b = UpdateBatch::new().delete(10, 11);
+        dc.apply(&b).unwrap();
+        applied.push(b);
+        assert_mst_matches_fresh(&mut dc, &applied, &g, k, seed, "cut tier (split)");
+        // No-op tier: deleting the non-tree edge 0-2(50) leaves the MST
+        // untouched.
+        let b = UpdateBatch::new().delete(0, 2);
+        dc.apply(&b).unwrap();
+        applied.push(b);
+        assert_mst_matches_fresh(&mut dc, &applied, &g, k, seed, "non-tree delete");
+        // Engine tier: a reweight (tree-delete + reinsert) plus a second
+        // tree deletion in the same component.
+        let b = UpdateBatch::new()
+            .delete(4, 5)
+            .insert(4, 5, 200)
+            .delete(8, 9);
+        dc.apply(&b).unwrap();
+        applied.push(b);
+        assert_mst_matches_fresh(&mut dc, &applied, &g, k, seed, "engine tier");
+        assert!(matches!(dc.last_refresh(), RefreshKind::Incremental { .. }));
+        // Cached tier: an insert-then-delete nets out to nothing.
+        let b = UpdateBatch::new().insert(0, 2, 50).delete(0, 2);
+        dc.apply(&b).unwrap();
+        applied.push(b);
+        let run = dc.mst(&MstConfig::default());
+        assert_eq!(dc.last_refresh(), RefreshKind::Cached);
+        assert_eq!(run.report.stats.rounds, 0);
+        assert_eq!(run.report.stats.total_bits, 0);
+    }
+
+    #[test]
+    fn incremental_mst_routes_new_edges_under_criterion_b() {
+        let g = mst_playground();
+        let (k, seed) = (3, 67);
+        let cfg = MstConfig {
+            criterion: crate::mst::OutputCriterion::BothEndpoints,
+            ..MstConfig::default()
+        };
+        let mut dc = DynamicCluster::wrap(
+            Cluster::builder(k).seed(seed).ingest_graph(&g),
+            DynConfig::default(),
+        );
+        let full = dc.mst(&cfg);
+        assert!(full.output.endpoint_routing.is_some());
+        let batch = UpdateBatch::new().insert(1, 3, 5);
+        dc.apply(&batch).unwrap();
+        let run = dc.mst(&cfg);
+        assert!(matches!(dc.last_refresh(), RefreshKind::Incremental { .. }));
+        let routing = run
+            .output
+            .endpoint_routing
+            .expect("a swapped-in edge must be routed");
+        assert!(routing.total_bits > 0);
+        assert!(
+            routing.total_bits < full.output.endpoint_routing.unwrap().total_bits,
+            "only the new edge is routed, not the whole forest"
+        );
+        let mutated = mutated_graph(&g, std::slice::from_ref(&batch));
+        let fresh = Cluster::builder(k)
+            .seed(seed)
+            .ingest_graph(&mutated)
+            .run(Mst::with(cfg));
+        assert_eq!(run.output.edges, fresh.output.edges);
+    }
+
+    #[test]
+    fn single_batch_reweight_agrees_everywhere() {
+        // Satellite of ISSUE 10: a delete-then-reinsert with a different
+        // weight inside ONE batch must flow identically through staged
+        // compaction, the `apply_to_edge_list` oracle, and the
+        // incremental conn + MST paths — and never leave two copies of
+        // the edge behind.
+        let g = mst_playground();
+        let (k, seed) = (3, 71);
+        let mut dc = DynamicCluster::wrap(
+            Cluster::builder(k).seed(seed).ingest_graph(&g),
+            DynConfig::default(),
+        );
+        let conn_cfg = ConnectivityConfig::default();
+        let mst_cfg = MstConfig::default();
+        dc.connectivity(&conn_cfg);
+        dc.mst(&mst_cfg);
+        let batch = UpdateBatch::new().delete(2, 3).insert(2, 3, 1);
+        dc.apply(&batch).unwrap();
+        // Staged overlay sees the reweight before compaction…
+        assert_eq!(dc.cluster().sharded().staged_edge_weight(2, 3), Some(1));
+        // …and the reference oracle agrees: one copy, new weight.
+        let mutated = mutated_graph(&g, std::slice::from_ref(&batch));
+        let copies: Vec<_> = mutated
+            .edges()
+            .iter()
+            .filter(|e| (e.u, e.v) == (2, 3))
+            .collect();
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].w, 1);
+        let conn = dc.connectivity(&conn_cfg);
+        assert!(matches!(dc.last_refresh(), RefreshKind::Incremental { .. }));
+        let forest = dc.forest().expect("solved");
+        assert!(
+            forest
+                .windows(2)
+                .all(|p| (p[0].u, p[0].v) != (p[1].u, p[1].v)),
+            "reweight must not leave a stale forest copy"
+        );
+        assert_eq!(
+            forest.iter().filter(|e| (e.u, e.v) == (2, 3)).count(),
+            1,
+            "exactly the fresh copy survives the splice"
+        );
+        let fresh_conn = Cluster::builder(k)
+            .seed(seed)
+            .ingest_graph(&mutated)
+            .run(Connectivity::with(conn_cfg));
+        assert_eq!(conn.output.labels, fresh_conn.output.labels);
+        let mst = dc.mst(&mst_cfg);
+        let fresh_mst = Cluster::builder(k)
+            .seed(seed)
+            .ingest_graph(&mutated)
+            .run(Mst::with(mst_cfg));
+        assert_eq!(mst.output.edges, fresh_mst.output.edges);
+        assert!(
+            mst.output
+                .edges
+                .iter()
+                .any(|e| (e.u, e.v, e.w) == (2, 3, 1)),
+            "the reweighted edge is now light enough for the MST"
+        );
+    }
+
+    /// Poisons `v`'s maintained incidence sketch with a phantom edge, so
+    /// the next certification over `v`'s component cannot cancel to zero
+    /// and must escalate.
+    fn poison_sketch(dc: &mut DynamicCluster, v: u32) {
+        let DynamicCluster {
+            sketches,
+            fns,
+            home,
+            ..
+        } = dc;
+        let m = home.home(v);
+        sketches[m]
+            .get_mut(&v)
+            .expect("home vertex has a sketch")
+            .add_incident_edge(fns, v, v ^ 1);
+    }
+
+    fn assert_tiles(rows: &[kmachine::trace::PhaseSummary], stats: &CommStats, what: &str) {
+        let rounds: u64 = rows.iter().map(|r| r.rounds).sum();
+        let bits: u64 = rows.iter().map(|r| r.bits).sum();
+        assert_eq!(rounds, stats.rounds, "{what}: breakdown rounds must tile");
+        assert_eq!(bits, stats.total_bits, "{what}: breakdown bits must tile");
+    }
+
+    #[test]
+    fn conn_escalation_is_a_rolled_back_breakdown_span() {
+        let g = generators::planted_components(60, 2, 4, 51);
+        let (k, seed) = (3, 53);
+        let trace = Tracer::recording();
+        let mut dc = DynamicCluster::wrap(
+            Cluster::builder(k).seed(seed).ingest_graph(&g),
+            DynConfig {
+                trace: trace.clone(),
+                ..DynConfig::default()
+            },
+        );
+        let cfg = ConnectivityConfig {
+            trace: trace.clone(),
+            ..ConnectivityConfig::default()
+        };
+        dc.connectivity(&cfg);
+        let e = g.edges()[0];
+        poison_sketch(&mut dc, e.u);
+        let batch = UpdateBatch::new().delete(e.u, e.v);
+        dc.apply(&batch).unwrap();
+        let run = dc.connectivity(&cfg);
+        assert_eq!(
+            dc.last_refresh(),
+            RefreshKind::Full,
+            "certification must escalate to a full refresh"
+        );
+        // The answer still matches a fresh static run (the escape hatch).
+        let mutated = mutated_graph(&g, std::slice::from_ref(&batch));
+        let fresh = Cluster::builder(k)
+            .seed(seed)
+            .ingest_graph(&mutated)
+            .run(Connectivity::default());
+        assert_eq!(run.output.labels, fresh.output.labels);
+        // And the merged stats stay exactly tiled: the aborted attempt is
+        // a first-class rolled-back span, the full refresh follows it.
+        let rows = run.report.phase_breakdown.as_deref().expect("tracing on");
+        assert_tiles(rows, &run.report.stats, "conn escalation");
+        assert!(
+            rows.iter().any(|r| r.rolled_back && r.label == "certify"),
+            "the failed certification must be a rolled-back certify row"
+        );
+        assert!(
+            rows.iter().any(|r| !r.rolled_back),
+            "the full refresh rows stay live"
+        );
+    }
+
+    #[test]
+    fn mst_escalation_is_a_rolled_back_breakdown_span() {
+        let g = mst_playground();
+        let (k, seed) = (3, 73);
+        let trace = Tracer::recording();
+        let mut dc = DynamicCluster::wrap(
+            Cluster::builder(k).seed(seed).ingest_graph(&g),
+            DynConfig {
+                trace: trace.clone(),
+                ..DynConfig::default()
+            },
+        );
+        let cfg = MstConfig {
+            trace: trace.clone(),
+            ..MstConfig::default()
+        };
+        dc.mst(&cfg);
+        poison_sketch(&mut dc, 7);
+        let batch = UpdateBatch::new().delete(7, 8);
+        dc.apply(&batch).unwrap();
+        let run = dc.mst(&cfg);
+        assert_eq!(
+            dc.last_refresh(),
+            RefreshKind::Full,
+            "certification must escalate to a full MST re-solve"
+        );
+        let mutated = mutated_graph(&g, std::slice::from_ref(&batch));
+        let fresh = Cluster::builder(k)
+            .seed(seed)
+            .ingest_graph(&mutated)
+            .run(Mst::with(MstConfig::default()));
+        assert_eq!(run.output.edges, fresh.output.edges);
+        let rows = run.report.phase_breakdown.as_deref().expect("tracing on");
+        assert_tiles(rows, &run.report.stats, "mst escalation");
+        assert!(
+            rows.iter().any(|r| r.rolled_back && r.label == "mst_cut"),
+            "the aborted replacement search must be a rolled-back row"
+        );
+        assert!(rows.iter().any(|r| !r.rolled_back));
+    }
+
+    #[test]
+    fn incremental_mst_breakdown_tiles_clean_runs() {
+        let g = mst_playground();
+        let (k, seed) = (3, 79);
+        let trace = Tracer::recording();
+        let mut dc = DynamicCluster::wrap(
+            Cluster::builder(k).seed(seed).ingest_graph(&g),
+            DynConfig {
+                trace: trace.clone(),
+                ..DynConfig::default()
+            },
+        );
+        let cfg = MstConfig {
+            trace: trace.clone(),
+            ..MstConfig::default()
+        };
+        dc.mst(&cfg);
+        let batch = UpdateBatch::new().insert(1, 3, 5).delete(10, 11);
+        dc.apply(&batch).unwrap();
+        let run = dc.mst(&cfg);
+        assert!(matches!(dc.last_refresh(), RefreshKind::Incremental { .. }));
+        let rows = run.report.phase_breakdown.as_deref().expect("tracing on");
+        assert_tiles(rows, &run.report.stats, "incremental mst");
+        for label in ["mst_cycle", "mst_cut", "certify"] {
+            assert!(
+                rows.iter().any(|r| r.label == label && !r.rolled_back),
+                "row {label} must be present and live"
+            );
+        }
     }
 }

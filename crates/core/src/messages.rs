@@ -229,6 +229,49 @@ pub enum Payload {
         /// Total number of live components (the new `n'`).
         total: u64,
     },
+    /// Incremental MST insert pass: a freshly inserted edge routed to its
+    /// component's owner for cycle-edge replacement (find the max-weight
+    /// edge on the tree cycle the insert closes, swap if heavier).
+    MstCycleEdge {
+        /// The MST component both endpoints belong to.
+        comp: Label,
+        /// One endpoint of the inserted edge.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+        /// The inserted edge's weight.
+        weight: u64,
+    },
+    /// Incremental MST insert pass: the owner's verdict on one cycle
+    /// replacement — the tree edge evicted by the insert, or `None` when
+    /// the insert lost (the cycle's max edge was the insert itself).
+    MstSwap {
+        /// The MST component the swap happened in.
+        comp: Label,
+        /// The evicted tree edge's key, or `None` for no swap.
+        evicted: Option<EdgeKey>,
+    },
+    /// Incremental MST delete pass: a machine's aggregated incidence
+    /// sketch for one side of a tree split, sent to the piece's referee so
+    /// the linear per-piece sum can witness whether any crossing edge
+    /// survives (zero sum ⇔ a genuine component split).
+    MstCutSketch {
+        /// The split piece (labelled by its minimum vertex).
+        piece: Label,
+        /// The machine's summed vertex sketches for the piece.
+        sketch: Box<L0Sketch>,
+    },
+    /// Incremental MST delete pass: a machine's minimum-weight candidate
+    /// edge crossing out of a split piece, min-reduced at the referee to
+    /// pick the replacement edge.
+    MstCandidate {
+        /// The split piece the candidate leaves.
+        piece: Label,
+        /// The candidate edge key.
+        key: EdgeKey,
+        /// The piece on the candidate's far side.
+        to_piece: Label,
+    },
 }
 
 /// Flat per-message type tag cost.
@@ -278,6 +321,10 @@ impl Payload {
                     lw + 16 * parts.len() as u64 + (lw + W_BITS + 2 * l) * adj.len() as u64
                 }
                 Payload::DenseBase { .. } => 2 * lw,
+                Payload::MstCycleEdge { .. } => lw + 2 * l + W_BITS,
+                Payload::MstSwap { evicted, .. } => lw + 1 + evicted.map_or(0, |_| 2 * l + W_BITS),
+                Payload::MstCutSketch { sketch, .. } => lw + sketch.wire_bits(),
+                Payload::MstCandidate { .. } => 2 * lw + (2 * l + W_BITS),
             }
     }
 
@@ -307,12 +354,16 @@ impl Payload {
             Payload::SuperRelabel { .. } => 20,
             Payload::SuperMove { .. } => 21,
             Payload::DenseBase { .. } => 22,
+            Payload::MstCycleEdge { .. } => 23,
+            Payload::MstSwap { .. } => 24,
+            Payload::MstCutSketch { .. } => 25,
+            Payload::MstCandidate { .. } => 26,
         }
     }
 }
 
 /// Number of [`Payload`] variants (batch-run buckets).
-const N_TAGS: usize = 23;
+const N_TAGS: usize = 27;
 
 impl BatchWire for Payload {
     /// Stable snake_case variant name for [`kmachine::trace`] superstep
@@ -342,6 +393,10 @@ impl BatchWire for Payload {
             Payload::SuperRelabel { .. } => "super_relabel",
             Payload::SuperMove { .. } => "super_move",
             Payload::DenseBase { .. } => "dense_base",
+            Payload::MstCycleEdge { .. } => "mst_cycle_edge",
+            Payload::MstSwap { .. } => "mst_swap",
+            Payload::MstCutSketch { .. } => "mst_cut_sketch",
+            Payload::MstCandidate { .. } => "mst_candidate",
         }
     }
 
@@ -479,6 +534,26 @@ impl BatchWire for Payload {
                 }
                 Payload::DenseBase { base, total } => {
                     sec[t] += varint_bits(*base) + varint_bits(*total);
+                }
+                Payload::MstCycleEdge { comp, u, v, weight } => {
+                    primary[t].push(*comp);
+                    sec[t] += v32(*u) + v32(*v) + varint_bits(*weight);
+                }
+                Payload::MstSwap { comp, evicted } => {
+                    primary[t].push(*comp);
+                    sec[t] += 1 + evicted.map_or(0, |(w, u, v)| varint_bits(w) + v32(u) + v32(v));
+                }
+                Payload::MstCutSketch { piece, sketch } => {
+                    primary[t].push(*piece);
+                    sec[t] += sketch.wire_bits();
+                }
+                Payload::MstCandidate {
+                    piece,
+                    key: (w, u, v),
+                    to_piece,
+                } => {
+                    primary[t].push(*piece);
+                    sec[t] += varint_bits(*w) + v32(*u) + v32(*v) + varint_bits(*to_piece);
                 }
             }
         }
@@ -702,6 +777,36 @@ impl WireCodec for Payload {
                 put_varint(out, *base);
                 put_varint(out, *total);
             }
+            Payload::MstCycleEdge { comp, u, v, weight } => {
+                put_varint(out, *comp);
+                put_varint(out, u64::from(*u));
+                put_varint(out, u64::from(*v));
+                put_varint(out, *weight);
+            }
+            Payload::MstSwap { comp, evicted } => {
+                put_varint(out, *comp);
+                put_bool(out, evicted.is_some());
+                if let Some((w, u, v)) = evicted {
+                    put_varint(out, *w);
+                    put_varint(out, u64::from(*u));
+                    put_varint(out, u64::from(*v));
+                }
+            }
+            Payload::MstCutSketch { piece, sketch } => {
+                put_varint(out, *piece);
+                put_sketch(sketch, out);
+            }
+            Payload::MstCandidate {
+                piece,
+                key: (w, u, v),
+                to_piece,
+            } => {
+                put_varint(out, *piece);
+                put_varint(out, *w);
+                put_varint(out, u64::from(*u));
+                put_varint(out, u64::from(*v));
+                put_varint(out, *to_piece);
+            }
         }
     }
 
@@ -852,6 +957,37 @@ impl WireCodec for Payload {
             22 => Payload::DenseBase {
                 base: r.varint("base")?,
                 total: r.varint("total")?,
+            },
+            23 => Payload::MstCycleEdge {
+                comp: r.varint("comp")?,
+                u: get_u32(r, "u")?,
+                v: get_u32(r, "v")?,
+                weight: r.varint("weight")?,
+            },
+            24 => Payload::MstSwap {
+                comp: r.varint("comp")?,
+                evicted: if get_bool(r, "evicted.some")? {
+                    Some((
+                        r.varint("evicted.w")?,
+                        get_u32(r, "evicted.u")?,
+                        get_u32(r, "evicted.v")?,
+                    ))
+                } else {
+                    None
+                },
+            },
+            25 => Payload::MstCutSketch {
+                piece: r.varint("piece")?,
+                sketch: Box::new(get_sketch(r)?),
+            },
+            26 => Payload::MstCandidate {
+                piece: r.varint("piece")?,
+                key: (
+                    r.varint("key.w")?,
+                    get_u32(r, "key.u")?,
+                    get_u32(r, "key.v")?,
+                ),
+                to_piece: r.varint("to_piece")?,
             },
             _ => {
                 return Err(WireError::new(
@@ -1129,6 +1265,29 @@ mod tests {
                 adj: vec![(3, 4, 5, 6), (7, 8, 9, 10)],
             },
             Payload::DenseBase { base: 1, total: 2 },
+            Payload::MstCycleEdge {
+                comp: 1,
+                u: 2,
+                v: 3,
+                weight: u64::MAX,
+            },
+            Payload::MstSwap {
+                comp: 4,
+                evicted: Some((5, 6, 7)),
+            },
+            Payload::MstSwap {
+                comp: 4,
+                evicted: None,
+            },
+            Payload::MstCutSketch {
+                piece: 8,
+                sketch: sample_sketch(),
+            },
+            Payload::MstCandidate {
+                piece: 1,
+                key: (2, 3, 4),
+                to_piece: 5,
+            },
         ]
     }
 

@@ -198,6 +198,27 @@ pub fn minimum_spanning_tree_sharded(sg: &ShardedGraph, seed: u64, cfg: &MstConf
 /// The per-machine receive load is Θ(deg) edge records — on a star this is
 /// the Ω~(n/k) bottleneck the paper proves unavoidable.
 fn route_to_endpoints(sg: &ShardedGraph, result: &EngineResult, cfg: &MstConfig) -> CommStats {
+    // Reconstruct which machine output each edge (machine order matches the
+    // flattening in EngineResult).
+    let mut sourced = Vec::new();
+    let mut idx = 0usize;
+    for (machine, &cnt) in result.mst_edges_per_machine.iter().enumerate() {
+        for _ in 0..cnt {
+            sourced.push((machine, result.mst_edges[idx]));
+            idx += 1;
+        }
+    }
+    route_edges_to_endpoints(sg, &sourced, cfg)
+}
+
+/// The routing superstep behind criterion (b), shared with the dynamic
+/// layer's incremental MST path: each `(source machine, edge)` record is
+/// sent to both endpoint home machines over the reliable superstep layer.
+pub(crate) fn route_edges_to_endpoints(
+    sg: &ShardedGraph,
+    sourced: &[(usize, (u32, u32, u64))],
+    cfg: &MstConfig,
+) -> CommStats {
     let part = sg.partition();
     let mut net = NetworkConfig::new(part.k(), cfg.bandwidth, sg.n());
     net.encoding = cfg.encoding;
@@ -205,21 +226,14 @@ fn route_to_endpoints(sg: &ShardedGraph, result: &EngineResult, cfg: &MstConfig)
     crate::engine::attach_transport(&mut bsp, cfg.transport, part.k());
     bsp.set_tracer(cfg.trace.clone());
     let l = id_bits(sg.n());
-    // Reconstruct which machine output each edge (machine order matches the
-    // flattening in EngineResult).
     let mut out = Vec::new();
-    let mut idx = 0usize;
-    for (machine, &cnt) in result.mst_edges_per_machine.iter().enumerate() {
-        for _ in 0..cnt {
-            let (u, v, w) = result.mst_edges[idx];
-            idx += 1;
-            for dst in [part.home(u), part.home(v)] {
-                let payload = Payload::EdgeList {
-                    edges: vec![(u, v, w)],
-                };
-                let bits = payload.wire_bits_lw(l, l);
-                out.push(Envelope::with_bits(machine, dst, payload, bits));
-            }
+    for &(machine, (u, v, w)) in sourced {
+        for dst in [part.home(u), part.home(v)] {
+            let payload = Payload::EdgeList {
+                edges: vec![(u, v, w)],
+            };
+            let bits = payload.wire_bits_lw(l, l);
+            out.push(Envelope::with_bits(machine, dst, payload, bits));
         }
     }
     bsp.superstep(out);

@@ -1,15 +1,17 @@
 //! The dynamic-update scenario family (DESIGN.md §4, E21): insert-heavy,
-//! delete-heavy and churn update streams replayed on a live
+//! delete-heavy, churn and reweight update streams replayed on a live
 //! [`DynamicCluster`], with every batch measured twice — the incremental
 //! path (update routing + restricted re-solve + certification) against the
 //! static baseline (full re-ingestion + full re-solve of the mutated edge
-//! set). The `tables` binary renders E21 from these measurements and
-//! `tests/dynamic_family.rs` pins the headline claim (incremental ≪ full)
-//! and writes the `BENCH_PR4.json` perf snapshot.
+//! set) — for both connectivity ([`measure`]) and MST maintenance
+//! ([`measure_mst`]). The `tables` binary renders E21 from these
+//! measurements and `tests/dynamic_family.rs` pins the headline claim
+//! (incremental ≪ full) and writes the `BENCH_PR4.json` /
+//! `BENCH_PR10.json` perf snapshots.
 
 use kconn::dynamic::{DynConfig, DynamicCluster, RefreshKind, UpdateBatch, UpdateOp};
-use kconn::session::{Cluster, Connectivity, Problem};
-use kconn::ConnectivityConfig;
+use kconn::session::{Cluster, Connectivity, Mst, Problem};
+use kconn::{ConnectivityConfig, MstConfig};
 use kgraph::{generators, Graph};
 use krand::prf::Prf;
 use rustc_hash::FxHashSet;
@@ -23,6 +25,9 @@ pub enum Profile {
     DeleteHeavy,
     /// Even mix.
     Churn,
+    /// Every op deletes a live edge and re-inserts it at a fresh weight
+    /// inside the same batch: connectivity is untouched, MST churns.
+    Reweight,
 }
 
 impl Profile {
@@ -32,6 +37,7 @@ impl Profile {
             Profile::InsertHeavy => "insert-heavy",
             Profile::DeleteHeavy => "delete-heavy",
             Profile::Churn => "churn",
+            Profile::Reweight => "reweight",
         }
     }
 
@@ -41,6 +47,7 @@ impl Profile {
             Profile::InsertHeavy => 7,
             Profile::DeleteHeavy => 1,
             Profile::Churn => 4,
+            Profile::Reweight => 0, // unused: reweight ops are paired directly
         }
     }
 }
@@ -131,6 +138,32 @@ impl DynScenario {
                 .collect();
             let mut batch = UpdateBatch::new();
             for _ in 0..self.batch_ops {
+                if self.profile == Profile::Reweight {
+                    // Delete + re-insert a live edge (focus-preferred) at a
+                    // fresh weight, inside the same batch.
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let in_focus: Vec<usize> = alive
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(u, _))| comps[u as usize] == focus)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let i = if in_focus.is_empty() {
+                        step(alive.len() as u64) as usize
+                    } else {
+                        in_focus[step(in_focus.len() as u64) as usize]
+                    };
+                    let key = alive[i];
+                    batch.push(UpdateOp::Delete { u: key.0, v: key.1 });
+                    batch.push(UpdateOp::Insert {
+                        u: key.0,
+                        v: key.1,
+                        w: 1 + step(1000),
+                    });
+                    continue;
+                }
                 let want_insert = step(8) < self.profile.insert_octile() || alive.is_empty();
                 if want_insert {
                     // 3/4 of insertions stay inside the focus component;
@@ -198,6 +231,7 @@ pub fn family(quick: bool) -> Vec<DynScenario> {
         DynScenario::new(Profile::InsertHeavy, n, k, 3, batches, ops),
         DynScenario::new(Profile::DeleteHeavy, n, k, 5, batches, ops),
         DynScenario::new(Profile::Churn, n, k, 7, batches, ops),
+        DynScenario::new(Profile::Reweight, n, k, 9, batches, ops),
     ]
 }
 
@@ -309,6 +343,39 @@ pub fn measure(s: &DynScenario) -> Vec<DynMeasurement> {
             full_bits: reingest.total_bits + fresh.report.stats.total_bits,
             full_rounds: reingest.rounds + fresh.report.stats.rounds,
             components: run.output.component_count(),
+        });
+    }
+    out
+}
+
+/// The MST column of E21: replays the same trace on its own cluster (so
+/// update-routing bits are attributed once, not split with the
+/// connectivity column) and costs every batch's incremental MST
+/// maintenance (cycle replacement / sketch replacement-search / restricted
+/// re-run + certification) against re-ingesting and solving MST fresh.
+pub fn measure_mst(s: &DynScenario) -> Vec<DynMeasurement> {
+    let cfg = MstConfig::default();
+    let mut dc = s.dynamic();
+    dc.mst(&cfg); // base solve: both paths start warm
+    let mut out = Vec::new();
+    for (i, batch) in s.trace().iter().enumerate() {
+        let ops = batch.len();
+        dc.apply(batch).expect("generated batches are valid");
+        let run = dc.mst(&cfg);
+        let refresh = dc.last_refresh();
+        let reingest = dc.full_reingest_stats();
+        let fresh = dc.cluster().run(Mst::with(cfg.clone()));
+        debug_assert_eq!(run.output.edges, fresh.output.edges);
+        out.push(DynMeasurement {
+            batch: i + 1,
+            ops,
+            refresh,
+            incremental_bits: run.report.update_bits + run.report.stats.total_bits,
+            incremental_rounds: run.report.update_rounds + run.report.stats.rounds,
+            full_bits: reingest.total_bits + fresh.report.stats.total_bits,
+            full_rounds: reingest.rounds + fresh.report.stats.rounds,
+            // A forest with |E| edges on n vertices spans n − |E| components.
+            components: s.n - run.output.edges.len(),
         });
     }
     out

@@ -1172,13 +1172,20 @@ fn e21(quick: bool) -> ExperimentOutput {
         "incr bits",
         "full bits",
         "full/incr",
+        "mst refresh",
+        "mst incr bits",
+        "mst full bits",
+        "mst full/incr",
         "components",
     ]);
     let mut records = Vec::new();
     let mut violations = 0usize;
     for s in crate::dynamic::family(quick) {
-        for m in crate::dynamic::measure(&s) {
+        let conn = crate::dynamic::measure(&s);
+        let mst = crate::dynamic::measure_mst(&s);
+        for (m, mm) in conn.iter().zip(&mst) {
             violations += usize::from(!m.undercuts_full());
+            violations += usize::from(!mm.undercuts_full());
             t.row(vec![
                 s.id.clone(),
                 m.batch.to_string(),
@@ -1186,9 +1193,14 @@ fn e21(quick: bool) -> ExperimentOutput {
                 m.incremental_bits.to_string(),
                 m.full_bits.to_string(),
                 format!("{:.2}x", m.ratio()),
+                mm.refresh_name(),
+                mm.incremental_bits.to_string(),
+                mm.full_bits.to_string(),
+                format!("{:.2}x", mm.ratio()),
                 m.components.to_string(),
             ]);
             records.push(m.record("E21", &s));
+            records.push(mm.record("E21-mst", &s));
         }
     }
     let md = format!(
@@ -1197,10 +1209,13 @@ fn e21(quick: bool) -> ExperimentOutput {
          the same workload (output protocol off on both sides): the\n\
          incremental path (update routing + touched-component re-solve +\n\
          sketch certification) against re-shipping every edge and solving\n\
-         from scratch. Answers are bit-identical by construction\n\
-         (tests/dynamic.rs); `tests/dynamic_family.rs` asserts the\n\
-         incremental path wins on bits in every cell — this report run\n\
-         measured {violations} violation(s).\n",
+         from scratch. The mst columns cost the maintained-forest path\n\
+         (cycle replacement / sketch replacement-search / restricted\n\
+         re-run) the same way on a separate replay of the same trace.\n\
+         Answers are bit-identical by construction (tests/dynamic.rs);\n\
+         `tests/dynamic_family.rs` asserts both incremental paths win on\n\
+         bits in every cell — this report run measured {violations}\n\
+         violation(s).\n",
         t.render()
     );
     ExperimentOutput {

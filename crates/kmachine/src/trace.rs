@@ -176,8 +176,24 @@ pub enum TraceEvent {
     DynCertify {
         /// Distinct labels in the fresh run.
         labels: u64,
+        /// Rounds the certification supersteps charged.
+        rounds: u64,
+        /// Bits the certification supersteps charged.
+        bits: u64,
         /// Whether certification succeeded.
         ok: bool,
+    },
+    /// A failed certification escalated to a full re-solve: the preceding
+    /// `span` breakdown rows (the discarded incremental attempt, its
+    /// certification pass included) are retroactively marked rolled back.
+    DynEscalate {
+        /// How many immediately-preceding rows belong to the aborted
+        /// incremental attempt.
+        span: u64,
+        /// Total rounds the aborted attempt charged.
+        rounds: u64,
+        /// Total bits the aborted attempt charged.
+        bits: u64,
     },
 }
 
@@ -620,10 +636,24 @@ impl TraceRecord {
                 .num("bits", *bits)
                 .boolean("compacted", *compacted)
                 .finish(),
-            TraceEvent::DynCertify { labels, ok } => JsonObj::new(self.seq, "dyn_certify")
+            TraceEvent::DynCertify {
+                labels,
+                rounds,
+                bits,
+                ok,
+            } => JsonObj::new(self.seq, "dyn_certify")
                 .num("labels", *labels)
+                .num("rounds", *rounds)
+                .num("bits", *bits)
                 .boolean("ok", *ok)
                 .finish(),
+            TraceEvent::DynEscalate { span, rounds, bits } => {
+                JsonObj::new(self.seq, "dyn_escalate")
+                    .num("span", *span)
+                    .num("rounds", *rounds)
+                    .num("bits", *bits)
+                    .finish()
+            }
         }
     }
 }
@@ -999,7 +1029,14 @@ fn record_from_json(v: &Json) -> Result<TraceRecord, String> {
         },
         "dyn_certify" => TraceEvent::DynCertify {
             labels: v.u("labels")?,
+            rounds: v.u("rounds")?,
+            bits: v.u("bits")?,
             ok: v.b("ok")?,
+        },
+        "dyn_escalate" => TraceEvent::DynEscalate {
+            span: v.u("span")?,
+            rounds: v.u("rounds")?,
+            bits: v.u("bits")?,
         },
         other => return Err(format!("unknown event type `{other}`")),
     };
@@ -1255,12 +1292,27 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
                 ));
                 phase_clock += rounds;
             }
-            TraceEvent::DynCertify { labels, ok } => {
-                events.push(instant(
+            TraceEvent::DynCertify {
+                labels,
+                rounds,
+                bits,
+                ok,
+            } => {
+                events.push(complete(
                     "dyn certify",
                     phase_clock,
+                    *rounds,
                     3,
-                    &format!("\"labels\":{labels},\"ok\":{ok}"),
+                    &format!("\"labels\":{labels},\"bits\":{bits},\"ok\":{ok}"),
+                ));
+                phase_clock += rounds;
+            }
+            TraceEvent::DynEscalate { span, rounds, bits } => {
+                events.push(instant(
+                    "dyn escalate",
+                    phase_clock,
+                    3,
+                    &format!("\"span\":{span},\"rounds\":{rounds},\"bits\":{bits}"),
                 ));
             }
         }
@@ -1357,6 +1409,26 @@ pub fn phase_breakdown(records: &[TraceRecord]) -> Vec<PhaseSummary> {
                 sketch_cache_hits: 0,
                 rolled_back: true,
             }),
+            TraceEvent::DynCertify { rounds, bits, .. } => rows.push(PhaseSummary {
+                label: "certify".to_string(),
+                rounds: *rounds,
+                bits: *bits,
+                recovery_rounds: 0,
+                retransmit_bits: 0,
+                sketch_builds: 0,
+                sketch_cache_hits: 0,
+                rolled_back: false,
+            }),
+            TraceEvent::DynEscalate { span, .. } => {
+                // The aborted incremental attempt's rows (certify pass
+                // included) stay in the table — marked rolled back so the
+                // row sum still tiles the merged escalation stats.
+                let n = rows.len();
+                let span = usize::try_from(*span).unwrap_or(n).min(n);
+                for row in &mut rows[n - span..] {
+                    row.rolled_back = true;
+                }
+            }
             _ => {}
         }
     }
@@ -1551,7 +1623,14 @@ mod tests {
         });
         t.emit(|| TraceEvent::DynCertify {
             labels: 4,
+            rounds: 2,
+            bits: 96,
             ok: true,
+        });
+        t.emit(|| TraceEvent::DynEscalate {
+            span: 1,
+            rounds: 2,
+            bits: 96,
         });
         t.emit(|| TraceEvent::Segment {
             name: "output".into(),
@@ -1593,7 +1672,7 @@ mod tests {
     #[test]
     fn records_are_sequence_numbered_in_emission_order() {
         let records = sample_records();
-        assert_eq!(records.len(), 11);
+        assert_eq!(records.len(), 12);
         for (i, r) in records.iter().enumerate() {
             assert_eq!(r.seq, i as u64);
         }
@@ -1698,10 +1777,16 @@ mod tests {
     fn breakdown_tiles_the_stream() {
         let rows = phase_breakdown(&sample_records());
         let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
-        assert_eq!(labels, vec!["setup", "phase 0", "rollback 1", "output"]);
+        assert_eq!(
+            labels,
+            vec!["setup", "phase 0", "rollback 1", "certify", "output"]
+        );
         assert!(rows[2].rolled_back);
+        // The escalation marker retroactively rolls back the certify row.
+        assert!(rows[3].rolled_back);
+        assert!(!rows[4].rolled_back);
         let rounds: u64 = rows.iter().map(|r| r.rounds).sum();
-        assert_eq!(rounds, 2 + 9 + 5 + 1);
+        assert_eq!(rounds, 2 + 9 + 5 + 2 + 1);
     }
 
     #[test]
@@ -1709,6 +1794,7 @@ mod tests {
         let s = summarize(&sample_records());
         assert!(s.contains("phase 0"), "{s}");
         assert!(s.contains("rollback 1"), "{s}");
+        assert!(s.contains("certify"), "{s}");
         assert!(s.contains("total"), "{s}");
         assert!(s.contains("1 -> 2: 400 bits"), "{s}");
         assert!(s.contains("part_sketch: 10 messages"), "{s}");
@@ -1723,7 +1809,7 @@ mod tests {
         let v = p.value().expect("chrome trace must be valid JSON");
         let events = v.arr("traceEvents").expect("traceEvents array");
         // 4 thread_name metadata events + one per source record.
-        assert_eq!(events.len(), 4 + 11);
+        assert_eq!(events.len(), 4 + 12);
         // Phase clock: setup(2) then phase 0 at ts=2.
         let phase0 = events
             .iter()

@@ -87,6 +87,7 @@ fn usage() -> ExitCode {
          mincut  O(log n)-approximate min cut (Theorem 3)\n\
          dyn     replay an update trace on a live cluster (--trace FILE; `+ u v [w]`,\n\
                  `- u v`, `---` batch boundary) with a per-batch report trailer\n\
+                 covering connectivity, the spanning forest and the maintained MST\n\
          stcon   s-t connectivity (--s S --t T; Theorem 4)\n\
          bipart  bipartiteness via the double cover (Theorem 4)\n\
          gen     generate a graph file (--family ... --n N [--m M] [--p P] [--out FILE])\n\
@@ -288,8 +289,9 @@ fn run_problem<P: Problem>(
 }
 
 /// `kmm dyn`: ingest, wrap into a `DynamicCluster`, replay the `--trace`
-/// batches, and print a per-batch trailer (components, forest size, solve
-/// and update-phase costs) — JSON lines under `--report json`.
+/// batches, and print a per-batch trailer (components, forest size, the
+/// maintained MST's weight/size/refresh path, solve and update-phase
+/// costs) — JSON lines under `--report json`.
 #[allow(clippy::too_many_arguments)]
 fn run_dyn(
     args: &Args,
@@ -356,6 +358,14 @@ fn run_dyn(
             RefreshKind::Full => "full".to_string(),
         };
         let st = dc.spanning_forest(&mst_cfg);
+        let mst = dc.mst(&mst_cfg);
+        let mst_refresh = match dc.last_refresh() {
+            RefreshKind::Cached => "cached".to_string(),
+            RefreshKind::Incremental { active_vertices } => {
+                format!("incremental({active_vertices})")
+            }
+            RefreshKind::Full => "full".to_string(),
+        };
         if json {
             let mut head = vec![("batch", batch.to_string())];
             if let Some(u) = up {
@@ -366,6 +376,9 @@ fn run_dyn(
             head.push(("refresh", format!("\"{refresh}\"")));
             head.push(("components", conn.output.component_count().to_string()));
             head.push(("forest_edges", st.output.edges.len().to_string()));
+            head.push(("mst_refresh", format!("\"{mst_refresh}\"")));
+            head.push(("mst_edges", mst.output.edges.len().to_string()));
+            head.push(("mst_weight", mst.output.total_weight.to_string()));
             println!("{}", report_json(&conn.report, &head));
         } else {
             match up {
@@ -383,6 +396,11 @@ fn run_dyn(
             println!("  refresh:      {refresh}");
             println!("  components:   {}", conn.output.component_count());
             println!("  forest edges: {}", st.output.edges.len());
+            println!(
+                "  mst:          weight {} over {} edges ({mst_refresh})",
+                mst.output.total_weight,
+                mst.output.edges.len()
+            );
             println!("  rounds:       {}", conn.report.stats.rounds);
             println!("  total bits:   {}", conn.report.stats.total_bits);
             println!("  wall:         {:.1?}", conn.report.wall);

@@ -1,9 +1,11 @@
 //! Differential pin of the dynamic update subsystem (DESIGN.md §3.9):
 //! for every scenario-matrix graph family, a live [`DynamicCluster`]
-//! replays ≥ 3 update batches, and after *each* batch its Connectivity and
-//! SpanningForest answers must be **bit-identical** to a fresh static
-//! `Cluster::run` on the mutated edge set — plus sound against the
-//! sequential oracles, with the model-accounting invariants intact.
+//! replays ≥ 4 update batches (insert-heavy, delete-heavy, churn,
+//! reweight), and after *each* batch its Connectivity, SpanningForest and
+//! Mst answers must be **bit-identical** to a fresh static `Cluster::run`
+//! on the mutated edge set — plus sound against the sequential oracles,
+//! with the model-accounting invariants intact, fault-free and under a
+//! chaos cell.
 //!
 //! Also property-tests the storage layer: staged deltas + compaction must
 //! reproduce fresh ingestion of the mutated edge sequence exactly, and the
@@ -18,9 +20,10 @@ use kmm::prelude::*;
 use kmm::randomness::prf::Prf;
 use rustc_hash::FxHashSet;
 
-/// Three deterministic batches for one family cell: insert-leaning, then
-/// delete-leaning, then churn with a delete→re-insert. Every batch is
-/// valid in sequence against the evolving edge set.
+/// Four deterministic batches for one family cell: insert-leaning, then
+/// delete-leaning, then churn with a delete→re-insert, then a reweight
+/// batch (delete + same-endpoint re-insert at a new weight inside ONE
+/// batch). Every batch is valid in sequence against the evolving edge set.
 fn batches_for(g: &Graph, seed: u64) -> Vec<UpdateBatch> {
     let prf = Prf::new(seed ^ 0xD74CE);
     let n = g.n() as u64;
@@ -80,6 +83,27 @@ fn batches_for(g: &Graph, seed: u64) -> Vec<UpdateBatch> {
         assert!(!batch.is_empty(), "degenerate batch for this cell");
         out.push(batch);
     }
+    // Reweight batch: pick two live edges and re-insert each at a fresh
+    // weight in the same batch (the splice must keep exactly one copy).
+    let mut batch = UpdateBatch::new();
+    let mut picked = FxHashSet::default();
+    for _ in 0..2 {
+        if alive.is_empty() {
+            break;
+        }
+        let key = alive[step(alive.len() as u64) as usize];
+        if !picked.insert(key) {
+            continue;
+        }
+        batch.push(UpdateOp::Delete { u: key.0, v: key.1 });
+        batch.push(UpdateOp::Insert {
+            u: key.0,
+            v: key.1,
+            w: 1 + step(100),
+        });
+    }
+    assert!(!batch.is_empty(), "degenerate reweight batch for this cell");
+    out.push(batch);
     out
 }
 
@@ -106,9 +130,10 @@ fn dynamic_answers_match_fresh_static_runs_across_families() {
                 DynConfig::default(),
             );
             let mut edges = g.edges().to_vec();
-            dc.connectivity(&conn_cfg); // warm base solve
+            dc.connectivity(&conn_cfg); // warm base solves
+            dc.mst(&mst_cfg);
             let batches = batches_for(&g, seed.wrapping_add(fi as u64 * 101));
-            assert!(batches.len() >= 3, "{id}: the pin needs ≥ 3 batches");
+            assert!(batches.len() >= 4, "{id}: the pin needs ≥ 4 batches");
             for (bi, batch) in batches.iter().enumerate() {
                 batch
                     .apply_to_edge_list(g.n(), &mut edges)
@@ -117,10 +142,12 @@ fn dynamic_answers_match_fresh_static_runs_across_families() {
                     .unwrap_or_else(|e| panic!("{id} batch {bi}: {e}"));
                 let conn = dc.connectivity(&conn_cfg);
                 let st = dc.spanning_forest(&mst_cfg);
+                let mst = dc.mst(&mst_cfg);
                 let mutated = Graph::from_dedup_edges(g.n(), edges.clone());
                 let fresh = Cluster::builder(k).seed(seed).ingest_graph(&mutated);
                 let fresh_conn = fresh.run(Connectivity::with(conn_cfg.clone()));
                 let fresh_st = fresh.run(SpanningForest::with(mst_cfg.clone()));
+                let fresh_mst = fresh.run(Mst::with(mst_cfg.clone()));
                 // Bit-identity: the incremental path must reproduce the
                 // static answers exactly, not just up to relabeling.
                 assert_eq!(
@@ -134,6 +161,19 @@ fn dynamic_answers_match_fresh_static_runs_across_families() {
                 assert_eq!(
                     st.output.edges, fresh_st.output.edges,
                     "{id} batch {bi}: spanning forest must be bit-identical"
+                );
+                assert_eq!(
+                    mst.output.edges, fresh_mst.output.edges,
+                    "{id} batch {bi}: MST must be bit-identical"
+                );
+                assert_eq!(
+                    mst.output.total_weight, fresh_mst.output.total_weight,
+                    "{id} batch {bi}: MST weight"
+                );
+                assert_eq!(
+                    mst.output.total_weight,
+                    refalgo::forest_weight(&refalgo::kruskal(&mutated)),
+                    "{id} batch {bi}: Kruskal oracle"
                 );
                 // Soundness against the sequential oracles.
                 assert_labels_match_reference(&id, &conn.output.labels, &mutated);
@@ -149,9 +189,81 @@ fn dynamic_answers_match_fresh_static_runs_across_families() {
                 // Model accounting stays sane through update + certify.
                 assert_stats_sane(&id, &conn.output.stats, k);
                 assert_stats_sane(&id, &st.output.stats, k);
+                assert_stats_sane(&id, &mst.output.stats, k);
             }
             // The mutated cluster's storage still matches fresh ingestion.
             assert_eq!(dc.m(), edges.len(), "{id}: edge count after churn");
+        }
+    }
+}
+
+/// The same per-batch MST pin under a chaos cell: a seeded drop+dup+reorder
+/// plan on both the update routing and the solves must leave every answer
+/// bit-identical to the fault-free dynamic run AND a fresh static solve —
+/// and the plan must actually fire.
+#[test]
+fn dynamic_mst_matches_static_under_faults() {
+    use kmm::machine::fault::FaultPlan;
+    for &seed in &SEEDS {
+        for (fi, (family, g)) in graph_families(seed).into_iter().enumerate().step_by(5) {
+            let k = KS[(fi / 5) % KS.len()];
+            let plan = FaultPlan::new(seed ^ 0xD15C0)
+                .with_drop(0.2)
+                .with_dup(0.15)
+                .with_reorder(0.3);
+            let id = format!("dyn-mst-chaos/{family}/k{k}/seed{seed}");
+            let mst_faulted = MstConfig {
+                faults: Some(plan.clone()),
+                ..MstConfig::default()
+            };
+            let mst_clean = MstConfig::default();
+            let mut faulted = DynamicCluster::wrap(
+                Cluster::builder(k).seed(seed).ingest_graph(&g),
+                DynConfig {
+                    faults: Some(plan.clone()),
+                    ..DynConfig::default()
+                },
+            );
+            let mut clean = DynamicCluster::wrap(
+                Cluster::builder(k).seed(seed).ingest_graph(&g),
+                DynConfig::default(),
+            );
+            let mut edges = g.edges().to_vec();
+            faulted.mst(&mst_faulted);
+            clean.mst(&mst_clean);
+            let mut fired = 0u64;
+            for (bi, batch) in batches_for(&g, seed ^ 0xC0FFEE).iter().enumerate() {
+                batch
+                    .apply_to_edge_list(g.n(), &mut edges)
+                    .unwrap_or_else(|e| panic!("{id} batch {bi}: {e}"));
+                faulted
+                    .apply(batch)
+                    .unwrap_or_else(|e| panic!("{id} batch {bi}: {e}"));
+                clean
+                    .apply(batch)
+                    .unwrap_or_else(|e| panic!("{id} batch {bi}: {e}"));
+                let run_f = faulted.mst(&mst_faulted);
+                let run_c = clean.mst(&mst_clean);
+                fired += run_f.report.faults_injected;
+                assert_eq!(
+                    run_f.output.edges, run_c.output.edges,
+                    "{id} batch {bi}: faulted vs clean dynamic MST"
+                );
+                let mutated = Graph::from_dedup_edges(g.n(), edges.clone());
+                let fresh = Cluster::builder(k)
+                    .seed(seed)
+                    .ingest_graph(&mutated)
+                    .run(Mst::with(mst_clean.clone()));
+                assert_eq!(
+                    run_c.output.edges, fresh.output.edges,
+                    "{id} batch {bi}: dynamic vs fresh static MST"
+                );
+                assert_eq!(
+                    run_f.output.total_weight, fresh.output.total_weight,
+                    "{id} batch {bi}: MST weight under faults"
+                );
+            }
+            assert!(fired > 0, "{id}: the chaos plan never fired");
         }
     }
 }
